@@ -1,0 +1,381 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the FASTER paper's evaluation (Section 7) as Go benchmarks — one
+// benchmark function per figure, with sub-benchmarks for the figure's
+// series. Shapes (who wins, scaling trends, crossovers) are the target;
+// see EXPERIMENTS.md for a paper-vs-measured comparison and
+// cmd/faster-bench for the same experiments as printed tables at larger
+// scales.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cachesim"
+	"repro/internal/device"
+	"repro/internal/hlog"
+	"repro/internal/ycsb"
+)
+
+const (
+	benchKeys = 50_000
+	benchSeed = 42
+)
+
+// runFixedOps drives a system with b.N total operations.
+func runFixedOps(b *testing.B, sys bench.System, mix ycsb.Mix, label string, gen ycsb.Generator, threads, valueSize int) {
+	b.Helper()
+	wl := ycsb.NewWorkload(gen, mix, benchSeed)
+	bench.Preload(sys, wl.KeySpace(), valueSize, threads)
+	b.ResetTimer()
+	res := bench.Run(sys, bench.RunConfig{
+		Threads:   threads,
+		TotalOps:  b.N,
+		Workload:  wl,
+		ValueSize: valueSize,
+		RMWInputs: ycsb.InputArray(),
+		Seed:      benchSeed,
+	}, label)
+	b.StopTimer()
+	b.ReportMetric(res.Mops(), "Mops/s")
+}
+
+func systemsUnderTest(b *testing.B, valueSize int) map[string]func() bench.System {
+	return map[string]func() bench.System{
+		"faster": func() bench.System {
+			s, err := bench.NewFasterSystem(bench.FasterOptions{Keys: benchKeys, ValueSize: valueSize})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		},
+		"shardmap": func() bench.System { return bench.NewShardmapSystem(benchKeys) },
+		"btree":    func() bench.System { return bench.NewBTreeSystem() },
+		"lsm": func() bench.System {
+			s, err := bench.NewLSMSystem(64<<20, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		},
+	}
+}
+
+// BenchmarkFig8SingleThread is Fig 8a/8b: single-thread throughput across
+// the four YCSB-A variants, uniform and Zipfian, FASTER vs baselines.
+func BenchmarkFig8SingleThread(b *testing.B) {
+	benchFig8(b, 1)
+}
+
+// BenchmarkFig8AllThreads is Fig 8c/8d: the same at full parallelism.
+func BenchmarkFig8AllThreads(b *testing.B) {
+	benchFig8(b, 4)
+}
+
+func benchFig8(b *testing.B, threads int) {
+	mixes := []struct {
+		name string
+		mix  ycsb.Mix
+	}{
+		{"rmw100", ycsb.MixRMW100},
+		{"bu100", ycsb.Mix0R100BU},
+		{"r50bu50", ycsb.Mix50R50BU},
+		{"r100", ycsb.Mix100R},
+	}
+	for _, distr := range []string{"uniform", "zipf"} {
+		for _, m := range mixes {
+			for name, mk := range systemsUnderTest(b, 8) {
+				b.Run(fmt.Sprintf("%s/%s/%s", distr, m.name, name), func(b *testing.B) {
+					sys := mk()
+					defer sys.Close()
+					var gen ycsb.Generator
+					if distr == "zipf" {
+						gen = ycsb.NewZipfian(benchKeys, ycsb.DefaultTheta, benchSeed)
+					} else {
+						gen = ycsb.NewUniform(benchKeys, benchSeed)
+					}
+					runFixedOps(b, sys, m.mix, m.name, gen, threads, 8)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig9aScalabilityRMW is Fig 9a: 100% RMW, 8-byte payloads,
+// Zipfian, thread sweep.
+func BenchmarkFig9aScalabilityRMW(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		for name, mk := range systemsUnderTest(b, 8) {
+			b.Run(fmt.Sprintf("threads=%d/%s", threads, name), func(b *testing.B) {
+				sys := mk()
+				defer sys.Close()
+				gen := ycsb.NewZipfian(benchKeys, ycsb.DefaultTheta, benchSeed)
+				runFixedOps(b, sys, ycsb.MixRMW100, "rmw100", gen, threads, 8)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9bScalabilityUpsert is Fig 9b: 100% blind updates, 100-byte
+// payloads, Zipfian, thread sweep.
+func BenchmarkFig9bScalabilityUpsert(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		for name, mk := range systemsUnderTest(b, 100) {
+			b.Run(fmt.Sprintf("threads=%d/%s", threads, name), func(b *testing.B) {
+				sys := mk()
+				defer sys.Close()
+				gen := ycsb.NewZipfian(benchKeys, ycsb.DefaultTheta, benchSeed)
+				runFixedOps(b, sys, ycsb.Mix0R100BU, "bu100", gen, threads, 100)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10MemoryBudget is Fig 10: fixed dataset, shrinking memory
+// budget, 50:50 Zipfian, FASTER vs the LSM baseline.
+func BenchmarkFig10MemoryBudget(b *testing.B) {
+	const valueSize = 100
+	recBytes := uint64(16 + 8 + ((valueSize + 7) &^ 7))
+	dataset := benchKeys * recBytes
+	for _, frac := range []float64{2.0, 1.0, 0.5, 0.25} {
+		budget := uint64(float64(dataset) * frac)
+		b.Run(fmt.Sprintf("budget=%.2fx/faster", frac), func(b *testing.B) {
+			const pageBits = 16
+			pages := 2
+			for uint64(pages)<<pageBits < budget {
+				pages *= 2
+			}
+			dev := device.NewMem(device.MemConfig{ReadLatency: 20 * time.Microsecond})
+			sys, err := bench.NewFasterSystem(bench.FasterOptions{Keys: benchKeys,
+				ValueSize: valueSize, PageBits: pageBits, BufferPages: pages, Device: dev})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			gen := ycsb.NewZipfian(benchKeys, ycsb.DefaultTheta, benchSeed)
+			runFixedOps(b, sys, ycsb.Mix50R50BU, "r50bu50", gen, 2, valueSize)
+		})
+		b.Run(fmt.Sprintf("budget=%.2fx/lsm", frac), func(b *testing.B) {
+			sys, err := bench.NewLSMSystem(int(budget), "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			gen := ycsb.NewZipfian(benchKeys, ycsb.DefaultTheta, benchSeed)
+			runFixedOps(b, sys, ycsb.Mix50R50BU, "r50bu50", gen, 2, valueSize)
+		})
+	}
+}
+
+// BenchmarkFig11AppendOnlyVsHybrid is Fig 11: the append-only log
+// allocator (§5) against HybridLog (§6) on YCSB 50:50.
+func BenchmarkFig11AppendOnlyVsHybrid(b *testing.B) {
+	for _, distr := range []string{"uniform", "zipf"} {
+		for _, mode := range []struct {
+			name string
+			m    hlog.Mode
+		}{{"hybrid", hlog.ModeHybrid}, {"append-only", hlog.ModeAppendOnly}} {
+			for _, threads := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/%s/threads=%d", distr, mode.name, threads), func(b *testing.B) {
+					pages := 64
+					if mode.m == hlog.ModeAppendOnly {
+						pages = 1024 // hold all appends, as in §7.4.1
+					}
+					sys, err := bench.NewFasterSystem(bench.FasterOptions{
+						Keys: benchKeys, ValueSize: 8, Mode: mode.m, BufferPages: pages})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer sys.Close()
+					var gen ycsb.Generator
+					if distr == "zipf" {
+						gen = ycsb.NewZipfian(benchKeys, ycsb.DefaultTheta, benchSeed)
+					} else {
+						gen = ycsb.NewUniform(benchKeys, benchSeed)
+					}
+					runFixedOps(b, sys, ycsb.Mix50R50BU, "r50bu50", gen, threads, 8)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12aIPURegion is Fig 12a: throughput (and, via the reported
+// metric, log growth) as the in-place-updatable region grows.
+func BenchmarkFig12aIPURegion(b *testing.B) {
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		b.Run(fmt.Sprintf("ipu=%.1f", f), func(b *testing.B) {
+			const pageBits = 14
+			pages := 2
+			need := benchKeys * 32 * 3 / 2
+			for pages<<pageBits < need {
+				pages *= 2
+			}
+			sys, err := bench.NewFasterSystem(bench.FasterOptions{Keys: benchKeys,
+				ValueSize: 8, PageBits: pageBits, BufferPages: pages, MutableFraction: f})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			tail0 := sys.Store().Log().TailAddress()
+			gen := ycsb.NewUniform(benchKeys, benchSeed)
+			runFixedOps(b, sys, ycsb.MixRMW100, "rmw100", gen, 2, 8)
+			growth := float64(sys.Store().Log().TailAddress()-tail0) / float64(b.N)
+			b.ReportMetric(growth, "logB/op")
+		})
+	}
+}
+
+// BenchmarkFig12bFuzzyOps is Fig 12b: the fraction of RMWs that land in
+// the fuzzy region, as the IPU region grows.
+func BenchmarkFig12bFuzzyOps(b *testing.B) {
+	for _, f := range []float64{0.25, 0.5, 0.75, 1.0} {
+		b.Run(fmt.Sprintf("ipu=%.2f", f), func(b *testing.B) {
+			const pageBits = 14
+			pages := 2
+			need := benchKeys * 32 * 3 / 2
+			for pages<<pageBits < need {
+				pages *= 2
+			}
+			sys, err := bench.NewFasterSystem(bench.FasterOptions{Keys: benchKeys,
+				ValueSize: 8, PageBits: pageBits, BufferPages: pages, MutableFraction: f})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			gen := ycsb.NewUniform(benchKeys, benchSeed)
+			runFixedOps(b, sys, ycsb.MixRMW100, "rmw100", gen, 4, 8)
+			fz, total := sys.FuzzyStats()
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(fz) / float64(total)
+			}
+			b.ReportMetric(pct, "fuzzy%")
+		})
+	}
+}
+
+// BenchmarkFig13FuzzyVsThreads is Fig 13: fuzzy-op percentage as the
+// thread count grows, at IPU factor 0.8.
+func BenchmarkFig13FuzzyVsThreads(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			const pageBits = 14
+			pages := 2
+			need := benchKeys * 32 * 3 / 2
+			for pages<<pageBits < need {
+				pages *= 2
+			}
+			sys, err := bench.NewFasterSystem(bench.FasterOptions{Keys: benchKeys,
+				ValueSize: 8, PageBits: pageBits, BufferPages: pages, MutableFraction: 0.8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			gen := ycsb.NewUniform(benchKeys, benchSeed)
+			runFixedOps(b, sys, ycsb.MixRMW100, "rmw100", gen, threads, 8)
+			fz, total := sys.FuzzyStats()
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(fz) / float64(total)
+			}
+			b.ReportMetric(pct, "fuzzy%")
+		})
+	}
+}
+
+// BenchmarkFig14to16CacheSim is Figs 14/15/16: the caching-protocol
+// simulation; the reported metric is the cache miss ratio.
+func BenchmarkFig14to16CacheSim(b *testing.B) {
+	const keys = 1 << 15
+	traces := []struct {
+		name string
+		mk   func() func() uint64
+	}{
+		{"fig14-uniform", func() func() uint64 { return ycsb.NewUniform(keys, benchSeed).Next }},
+		{"fig15-zipf", func() func() uint64 {
+			return ycsb.NewZipfian(keys, ycsb.DefaultTheta, benchSeed).Unscrambled().Next
+		}},
+		{"fig16-hotset", func() func() uint64 {
+			return ycsb.NewHotSet(ycsb.HotSetConfig{Keys: keys, ShiftEvery: keys / 4}, benchSeed).Next
+		}},
+	}
+	protos := []struct {
+		name string
+		mk   cachesim.NewFunc
+	}{
+		{"fifo", func(c int) cachesim.Cache { return cachesim.NewFIFO(c) }},
+		{"lru1", func(c int) cachesim.Cache { return cachesim.NewLRU(c) }},
+		{"lru2", func(c int) cachesim.Cache { return cachesim.NewLRUK(c, 2) }},
+		{"clock", func(c int) cachesim.Cache { return cachesim.NewCLOCK(c) }},
+		{"hlog", func(c int) cachesim.Cache { return cachesim.NewHLOG(c, 0.9) }},
+	}
+	for _, tr := range traces {
+		for _, frac := range []int{4, 8} {
+			for _, p := range protos {
+				b.Run(fmt.Sprintf("%s/cache=1_%d/%s", tr.name, frac, p.name), func(b *testing.B) {
+					res := cachesim.Run(p.mk, keys/frac, tr.mk(), uint64(b.N))
+					b.ReportMetric(res.MissRatio(), "missRatio")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTagSizeAblation is the §7.2.2 experiment: index tag width vs
+// throughput on YCSB 50:50 uniform.
+func BenchmarkTagSizeAblation(b *testing.B) {
+	for _, tagBits := range []uint{1, 4, 14} {
+		b.Run(fmt.Sprintf("tagBits=%d", tagBits), func(b *testing.B) {
+			sys, err := bench.NewFasterSystem(bench.FasterOptions{Keys: benchKeys,
+				ValueSize: 8, TagBits: tagBits})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			gen := ycsb.NewUniform(benchKeys, benchSeed)
+			runFixedOps(b, sys, ycsb.Mix50R50BU, "r50bu50", gen, 4, 8)
+		})
+	}
+}
+
+// BenchmarkRedcachePipeline is the §7.2.4 experiment: the Redis stand-in
+// over loopback TCP at increasing pipeline depths.
+func BenchmarkRedcachePipeline(b *testing.B) {
+	var buf nullWriter
+	for _, depth := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			o := bench.Options{Keys: benchKeys, Duration: time.Duration(b.N) * 20 * time.Microsecond, Out: buf, Seed: benchSeed}
+			if o.Duration < 50*time.Millisecond {
+				o.Duration = 50 * time.Millisecond
+			}
+			rows, err := bench.RedisPipeline(o, 4, []int{depth})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rows[0].GetsPerS, "gets/s")
+			b.ReportMetric(rows[0].SetsPerS, "sets/s")
+		})
+	}
+}
+
+// BenchmarkLogWriteBandwidth is the §7.3 closing measurement: sequential
+// log write bandwidth under a blind-update workload with a mostly
+// read-only region.
+func BenchmarkLogWriteBandwidth(b *testing.B) {
+	o := bench.Options{Keys: benchKeys, Duration: 500 * time.Millisecond, MaxThreads: 4, Out: nullWriter{}, Seed: benchSeed}
+	b.ResetTimer()
+	mbs, err := bench.LogBandwidth(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(mbs, "MB/s")
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }

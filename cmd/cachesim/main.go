@@ -1,0 +1,62 @@
+// Command cachesim regenerates Figures 14, 15 and 16 of the FASTER paper:
+// cache miss ratios of FIFO, LRU_1, LRU_2, CLOCK and the HybridLog's
+// implicit second-chance protocol, over uniform, Zipfian (theta=0.99) and
+// shifting hot-set traces, at cache sizes of 1/2, 1/4, 1/8 and 1/16 of
+// the key space.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cachesim"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	var (
+		keys     = flag.Uint64("keys", 1<<16, "key space size")
+		accesses = flag.Uint64("accesses", 1<<20, "measured accesses per run (after warmup)")
+		seed     = flag.Int64("seed", 42, "trace seed")
+	)
+	flag.Parse()
+
+	fractions := []int{2, 4, 8, 16}
+	type traceDef struct {
+		fig  string
+		name string
+		mk   func() func() uint64
+	}
+	traces := []traceDef{
+		{"Fig 14", "uniform", func() func() uint64 {
+			return ycsb.NewUniform(*keys, *seed).Next
+		}},
+		{"Fig 15", "zipf(0.99)", func() func() uint64 {
+			return ycsb.NewZipfian(*keys, ycsb.DefaultTheta, *seed).Unscrambled().Next
+		}},
+		{"Fig 16", "hot-set", func() func() uint64 {
+			return ycsb.NewHotSet(ycsb.HotSetConfig{
+				Keys: *keys, HotFrac: 0.2, HotProb: 0.9,
+				ShiftEvery: *keys / 4,
+			}, *seed).Next
+		}},
+	}
+
+	for _, tr := range traces {
+		fmt.Printf("\n--- %s: cache miss ratio, %s trace (keys=%d) ---\n", tr.fig, tr.name, *keys)
+		w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+		fmt.Fprintf(w, "cache/total\tFIFO\tLRU_1\tLRU_2\tCLOCK\tHLOG\n")
+		for _, frac := range fractions {
+			capacity := int(*keys) / frac
+			fmt.Fprintf(w, "1/%d", frac)
+			for _, mk := range cachesim.Protocols() {
+				res := cachesim.Run(mk, capacity, tr.mk(), *accesses)
+				fmt.Fprintf(w, "\t%.3f", res.MissRatio())
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+	}
+}

@@ -1,0 +1,60 @@
+// Command faster-bench regenerates the throughput experiments of the
+// FASTER paper's evaluation (Figs 8-13, the §7.2.2 tag ablation, the
+// §7.2.4 Redis-style pipelining comparison, and the §7.3 log-bandwidth
+// probe) as printed tables. Scales are configurable; defaults are laptop
+// sized. See EXPERIMENTS.md for the mapping to the paper's figures.
+//
+// Usage:
+//
+//	faster-bench -fig all
+//	faster-bench -fig 9a -keys 200000 -duration 5s -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "experiment: 8, 9a, 9b, 10, 11, 12, 13, tag, redis, bw, all")
+		keys     = flag.Uint64("keys", 100_000, "dataset size in keys (paper: 250M)")
+		duration = flag.Duration("duration", 2*time.Second, "measurement window per cell (paper: 30s)")
+		threads  = flag.Int("threads", 0, "max threads (default 2*GOMAXPROCS; paper: 56)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	o := bench.Options{
+		Keys:       *keys,
+		Duration:   *duration,
+		MaxThreads: *threads,
+		Out:        os.Stdout,
+		Seed:       *seed,
+	}
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "faster-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("8", func() error { _, err := bench.Fig8(o); return err })
+	run("9a", func() error { _, err := bench.Fig9a(o); return err })
+	run("9b", func() error { _, err := bench.Fig9b(o); return err })
+	run("10", func() error { _, err := bench.Fig10(o); return err })
+	run("11", func() error { _, err := bench.Fig11(o); return err })
+	run("12", func() error { _, err := bench.Fig12(o); return err })
+	run("13", func() error { _, err := bench.Fig13(o); return err })
+	run("tag", func() error { _, err := bench.TagAblation(o); return err })
+	run("redis", func() error { _, err := bench.RedisPipeline(o, 10, nil); return err })
+	run("bw", func() error { _, err := bench.LogBandwidth(o); return err })
+}

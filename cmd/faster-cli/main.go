@@ -1,0 +1,178 @@
+// Command faster-cli is an interactive shell over a FASTER store — a
+// demonstration and debugging tool for the library.
+//
+//	faster-cli [-dir /path/for/log]
+//
+// Commands:
+//
+//	set <key> <value>     blind upsert (string value)
+//	get <key>             read
+//	add <key> <n>         RMW: add n to an 8-byte counter
+//	del <key>             delete
+//	scan                  walk the log in order
+//	stats                 store counters and log markers
+//	checkpoint <dir>      write a checkpoint
+//	quit
+//
+// Counter keys (add/get on keys used with add) are 8-byte sums; set/get
+// on other keys store opaque strings. A single store holds only one value
+// discipline, so the CLI opens the store with BlobOps and implements add
+// as read-modify-write at the client.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory for the log file (default: in-memory simulated SSD)")
+	flag.Parse()
+
+	var dev device.Device
+	if *dir == "" {
+		dev = device.NewMem(device.MemConfig{})
+	} else {
+		f, err := device.OpenFile(filepath.Join(*dir, "faster.log"), 4)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faster-cli: %v\n", err)
+			os.Exit(1)
+		}
+		dev = f
+	}
+	store, err := faster.Open(faster.Config{
+		IndexBuckets: 1 << 16,
+		PageBits:     16,
+		BufferPages:  64,
+		Device:       dev,
+		Ops:          faster.BlobOps{},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faster-cli: %v\n", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+	sess := store.StartSession()
+	defer sess.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("faster-cli ready (set/get/add/del/scan/stats/checkpoint/quit)")
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "set":
+			if len(fields) < 3 {
+				fmt.Println("usage: set <key> <value>")
+				continue
+			}
+			st, err := sess.Upsert([]byte(fields[1]), []byte(strings.Join(fields[2:], " ")))
+			report(st, err, "")
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			out := make([]byte, 256)
+			st, err := sess.Read([]byte(fields[1]), nil, out, nil)
+			if st == faster.Pending {
+				for _, r := range sess.CompletePending(true) {
+					st = r.Status
+				}
+			}
+			report(st, err, strings.TrimRight(string(out), "\x00"))
+		case "add":
+			if len(fields) != 3 {
+				fmt.Println("usage: add <key> <n>")
+				continue
+			}
+			n, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				fmt.Println("bad number:", err)
+				continue
+			}
+			// Client-side RMW over BlobOps: read, add, upsert.
+			key := []byte(fields[1])
+			out := make([]byte, 8)
+			st, _ := sess.Read(key, nil, out, nil)
+			if st == faster.Pending {
+				for _, r := range sess.CompletePending(true) {
+					st = r.Status
+				}
+			}
+			cur := uint64(0)
+			if st == faster.OK {
+				cur = binary.LittleEndian.Uint64(out)
+			}
+			binary.LittleEndian.PutUint64(out, cur+n)
+			st, err = sess.Upsert(key, out)
+			report(st, err, fmt.Sprintf("%d", cur+n))
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			st, err := sess.Delete([]byte(fields[1]))
+			report(st, err, "")
+		case "scan":
+			n := 0
+			err := store.Scan(faster.ScanOptions{}, func(r faster.ScanRecord) bool {
+				kind := "set"
+				if r.Tombstone {
+					kind = "del"
+				}
+				fmt.Printf("  %#010x %s %q (%d bytes)\n", r.Address, kind, r.Key, len(r.Value))
+				n++
+				return n < 100
+			})
+			if err != nil {
+				fmt.Println("scan:", err)
+			}
+		case "stats":
+			s := store.Stats()
+			l := store.Log()
+			fmt.Printf("  ops=%d inPlace=%d appends=%d pendingIO=%d fuzzy=%d failedCAS=%d\n",
+				s.Operations, s.InPlace, s.Appends, s.PendingIOs, s.FuzzyRMWs, s.FailedCAS)
+			fmt.Printf("  log: begin=%#x head=%#x safeRO=%#x ro=%#x tail=%#x\n",
+				l.BeginAddress(), l.HeadAddress(), l.SafeReadOnlyAddress(),
+				l.ReadOnlyAddress(), l.TailAddress())
+		case "checkpoint":
+			if len(fields) != 2 {
+				fmt.Println("usage: checkpoint <dir>")
+				continue
+			}
+			info, err := store.Checkpoint(fields[1])
+			if err != nil {
+				fmt.Println("checkpoint:", err)
+				continue
+			}
+			fmt.Printf("  checkpoint ok: t1=%#x t2=%#x\n", info.T1, info.T2)
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+}
+
+func report(st faster.Status, err error, extra string) {
+	switch {
+	case err != nil:
+		fmt.Println("error:", err)
+	case st == faster.OK && extra != "":
+		fmt.Println(" ", extra)
+	default:
+		fmt.Println(" ", st)
+	}
+}

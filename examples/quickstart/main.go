@@ -1,0 +1,62 @@
+// Quickstart: open a FASTER store, write, read, update and delete.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+)
+
+func main() {
+	// A store needs a device for its log; the in-memory simulated SSD is
+	// the quickest way to get started (use device.OpenFile for a real
+	// file).
+	dev := device.NewMem(device.MemConfig{})
+	defer dev.Close()
+
+	store, err := faster.Open(faster.Config{
+		IndexBuckets: 1 << 12,
+		PageBits:     14, // 16 KB pages
+		BufferPages:  16,
+		Device:       dev,
+		Ops:          faster.BlobOps{}, // opaque byte values
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// All operations go through a session (one per goroutine).
+	sess := store.StartSession()
+	defer sess.Close()
+
+	// Upsert: blind write.
+	if st, err := sess.Upsert([]byte("greeting"), []byte("hello, faster!")); err != nil || st != faster.OK {
+		log.Fatalf("upsert: %v %v", st, err)
+	}
+
+	// Read into a caller-provided buffer.
+	out := make([]byte, 14)
+	st, err := sess.Read([]byte("greeting"), nil, out, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read: %v %q\n", st, out)
+
+	// Overwrite happens in place while the record is in the mutable
+	// region of the HybridLog.
+	sess.Upsert([]byte("greeting"), []byte("hello, again!!"))
+	sess.Read([]byte("greeting"), nil, out, nil)
+	fmt.Printf("read: %q\n", out)
+
+	// Delete, then observe NotFound.
+	sess.Delete([]byte("greeting"))
+	st, _ = sess.Read([]byte("greeting"), nil, out, nil)
+	fmt.Printf("after delete: %v\n", st)
+
+	fmt.Printf("stats: %+v\n", store.Stats())
+}

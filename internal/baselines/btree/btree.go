@@ -1,0 +1,295 @@
+// Package btree is the evaluation's stand-in for Masstree (§7.1): a
+// concurrent, purely in-memory ordered index used for point operations.
+// Like Masstree it supports in-place value updates and scales across
+// threads; unlike FASTER it keeps keys in the index and cannot spill to
+// storage.
+//
+// The tree is a B+tree over uint64 keys with reader/writer latch
+// crabbing: readers hold at most two read latches while descending;
+// writers split full nodes preemptively on the way down (top-down
+// insertion), so a parent latch can always be released once the child is
+// latched. Deletion removes keys from leaves without rebalancing — the
+// YCSB-style workloads the baseline serves never shrink the key space, so
+// lazy deletion keeps the latch protocol simple.
+package btree
+
+import (
+	"sort"
+	"sync"
+)
+
+// fanout is the maximum number of keys per node.
+const fanout = 64
+
+type node struct {
+	mu   sync.RWMutex
+	leaf bool
+	n    int
+	keys [fanout]uint64
+	// children is used by inner nodes (n+1 entries), values by leaves.
+	children [fanout + 1]*node
+	values   [fanout][]byte
+	next     *node // leaf-level chain for scans
+}
+
+// Tree is a concurrent B+tree.
+type Tree struct {
+	mu   sync.RWMutex // guards the root pointer
+	root *node
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// search returns the index of the first key >= k.
+func (nd *node) search(k uint64) int {
+	return sort.Search(nd.n, func(i int) bool { return nd.keys[i] >= k })
+}
+
+// childIndex returns which child to descend into for key k.
+func (nd *node) childIndex(k uint64) int {
+	// Inner node separator convention: child i holds keys < keys[i];
+	// the last child holds the rest.
+	i := sort.Search(nd.n, func(i int) bool { return k < nd.keys[i] })
+	return i
+}
+
+// Get copies the value for key into out, reporting whether it exists.
+func (t *Tree) Get(key uint64, out []byte) bool {
+	t.mu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.mu.RUnlock()
+	for !cur.leaf {
+		child := cur.children[cur.childIndex(key)]
+		child.mu.RLock()
+		cur.mu.RUnlock()
+		cur = child
+	}
+	defer cur.mu.RUnlock()
+	i := cur.search(key)
+	if i < cur.n && cur.keys[i] == key {
+		copy(out, cur.values[i])
+		return true
+	}
+	return false
+}
+
+// Put blindly sets the value for key, updating in place when possible.
+func (t *Tree) Put(key uint64, value []byte) {
+	t.modify(key, func(dst *[]byte, exists bool) {
+		if exists && len(*dst) >= len(value) {
+			copy(*dst, value)
+			*dst = (*dst)[:len(value)]
+			return
+		}
+		*dst = append([]byte(nil), value...)
+	})
+}
+
+// RMW applies fn to the value for key under the leaf latch: fn receives
+// the current value (nil if absent) and returns the new value, which may
+// be the same slice mutated in place.
+func (t *Tree) RMW(key uint64, fn func(cur []byte) []byte) {
+	t.modify(key, func(dst *[]byte, exists bool) {
+		if exists {
+			*dst = fn(*dst)
+		} else {
+			*dst = fn(nil)
+		}
+	})
+}
+
+// Delete removes key (lazily: no rebalancing), reporting presence.
+func (t *Tree) Delete(key uint64) bool {
+	leaf := t.descendWrite(key)
+	defer leaf.mu.Unlock()
+	i := leaf.search(key)
+	if i >= leaf.n || leaf.keys[i] != key {
+		return false
+	}
+	copy(leaf.keys[i:], leaf.keys[i+1:leaf.n])
+	copy(leaf.values[i:], leaf.values[i+1:leaf.n])
+	leaf.values[leaf.n-1] = nil
+	leaf.n--
+	return true
+}
+
+// modify applies apply to the (possibly new) value slot for key.
+func (t *Tree) modify(key uint64, apply func(dst *[]byte, exists bool)) {
+	leaf := t.descendWrite(key)
+	defer leaf.mu.Unlock()
+	i := leaf.search(key)
+	if i < leaf.n && leaf.keys[i] == key {
+		apply(&leaf.values[i], true)
+		return
+	}
+	// Insert at i (leaf is guaranteed non-full by preemptive splits).
+	copy(leaf.keys[i+1:leaf.n+1], leaf.keys[i:leaf.n])
+	copy(leaf.values[i+1:leaf.n+1], leaf.values[i:leaf.n])
+	leaf.keys[i] = key
+	leaf.values[i] = nil
+	leaf.n++
+	apply(&leaf.values[i], false)
+}
+
+// descendWrite returns the write-latched leaf for key, splitting full
+// nodes on the way down so the two-latch crabbing invariant holds.
+func (t *Tree) descendWrite(key uint64) *node {
+	for {
+		t.mu.RLock()
+		root := t.root
+		root.mu.Lock()
+		if root.n == fanout {
+			// Full root: grow the tree under the tree-level latch.
+			root.mu.Unlock()
+			t.mu.RUnlock()
+			t.growRoot()
+			continue
+		}
+		t.mu.RUnlock()
+
+		cur := root
+		for !cur.leaf {
+			idx := cur.childIndex(key)
+			child := cur.children[idx]
+			child.mu.Lock()
+			if child.n == fanout {
+				// Split the full child while holding the (non-full)
+				// parent; then re-pick the branch.
+				t.splitChild(cur, idx)
+				child.mu.Unlock()
+				continue
+			}
+			cur.mu.Unlock()
+			cur = child
+		}
+		return cur
+	}
+}
+
+// growRoot splits a full root, adding a level.
+func (t *Tree) growRoot() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := t.root
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	if root.n != fanout {
+		return // lost the race; someone else grew it
+	}
+	newRoot := &node{leaf: false}
+	newRoot.children[0] = root
+	// splitChild expects the child latched; it is.
+	t.splitChildLocked(newRoot, 0)
+	t.root = newRoot
+}
+
+// splitChild splits the full child at parent.children[idx]. The caller
+// holds the parent (non-full) and the child write latches.
+func (t *Tree) splitChild(parent *node, idx int) {
+	t.splitChildLocked(parent, idx)
+}
+
+// splitChildLocked performs the split; parent and child must be latched.
+func (t *Tree) splitChildLocked(parent *node, idx int) {
+	child := parent.children[idx]
+	mid := child.n / 2
+	right := &node{leaf: child.leaf}
+
+	var sep uint64
+	if child.leaf {
+		// Leaf split: right gets keys[mid:], separator is right's first
+		// key (keys < sep stay left).
+		copy(right.keys[:], child.keys[mid:child.n])
+		copy(right.values[:], child.values[mid:child.n])
+		right.n = child.n - mid
+		for i := mid; i < child.n; i++ {
+			child.values[i] = nil
+		}
+		child.n = mid
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		// Inner split: median key moves up.
+		sep = child.keys[mid]
+		copy(right.keys[:], child.keys[mid+1:child.n])
+		copy(right.children[:], child.children[mid+1:child.n+1])
+		right.n = child.n - mid - 1
+		for i := mid + 1; i <= child.n; i++ {
+			child.children[i] = nil
+		}
+		child.n = mid
+	}
+
+	// Insert sep and right into the parent at idx.
+	copy(parent.keys[idx+1:parent.n+1], parent.keys[idx:parent.n])
+	copy(parent.children[idx+2:parent.n+2], parent.children[idx+1:parent.n+1])
+	parent.keys[idx] = sep
+	parent.children[idx+1] = right
+	parent.n++
+}
+
+// Len counts keys (O(n); tests and stats).
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.mu.RUnlock()
+	for !cur.leaf {
+		child := cur.children[0]
+		child.mu.RLock()
+		cur.mu.RUnlock()
+		cur = child
+	}
+	n := 0
+	for {
+		n += cur.n
+		next := cur.next
+		if next == nil {
+			cur.mu.RUnlock()
+			return n
+		}
+		next.mu.RLock()
+		cur.mu.RUnlock()
+		cur = next
+	}
+}
+
+// Scan visits keys in [from, to) in order, calling fn under the leaf read
+// latch; fn returning false stops the scan.
+func (t *Tree) Scan(from, to uint64, fn func(key uint64, value []byte) bool) {
+	t.mu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.mu.RUnlock()
+	for !cur.leaf {
+		child := cur.children[cur.childIndex(from)]
+		child.mu.RLock()
+		cur.mu.RUnlock()
+		cur = child
+	}
+	for {
+		for i := cur.search(from); i < cur.n; i++ {
+			if cur.keys[i] >= to {
+				cur.mu.RUnlock()
+				return
+			}
+			if !fn(cur.keys[i], cur.values[i]) {
+				cur.mu.RUnlock()
+				return
+			}
+		}
+		next := cur.next
+		if next == nil {
+			cur.mu.RUnlock()
+			return
+		}
+		next.mu.RLock()
+		cur.mu.RUnlock()
+		cur = next
+	}
+}

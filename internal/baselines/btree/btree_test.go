@@ -1,0 +1,247 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func addFn(delta uint64) func([]byte) []byte {
+	return func(cur []byte) []byte {
+		if cur == nil {
+			return u64(delta)
+		}
+		binary.LittleEndian.PutUint64(cur, binary.LittleEndian.Uint64(cur)+delta)
+		return cur
+	}
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr := New()
+	tr.Put(5, u64(55))
+	out := make([]byte, 8)
+	if !tr.Get(5, out) || binary.LittleEndian.Uint64(out) != 55 {
+		t.Fatalf("Get = %v", out)
+	}
+	if tr.Get(6, out) {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestManyKeysAndSplits(t *testing.T) {
+	tr := New()
+	const n = 20_000 // forces multiple levels at fanout 64
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Put(uint64(k), u64(uint64(k)*3))
+	}
+	out := make([]byte, 8)
+	for k := uint64(0); k < n; k++ {
+		if !tr.Get(k, out) {
+			t.Fatalf("key %d missing", k)
+		}
+		if got := binary.LittleEndian.Uint64(out); got != k*3 {
+			t.Fatalf("key %d = %d, want %d", k, got, k*3)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tr := New()
+	for _, k := range rand.New(rand.NewSource(2)).Perm(5000) {
+		tr.Put(uint64(k), u64(uint64(k)))
+	}
+	var prev int64 = -1
+	count := 0
+	tr.Scan(0, 1<<62, func(k uint64, v []byte) bool {
+		if int64(k) <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev = int64(k)
+		count++
+		return true
+	})
+	if count != 5000 {
+		t.Fatalf("scan visited %d keys, want 5000", count)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 1000; k++ {
+		tr.Put(k, u64(k))
+	}
+	var keys []uint64
+	tr.Scan(100, 110, func(k uint64, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 10 || keys[0] != 100 || keys[9] != 109 {
+		t.Fatalf("range scan = %v", keys)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 500; k++ {
+		tr.Put(k, u64(k))
+	}
+	for k := uint64(0); k < 500; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	out := make([]byte, 8)
+	for k := uint64(0); k < 500; k++ {
+		got := tr.Get(k, out)
+		if want := k%2 == 1; got != want {
+			t.Fatalf("key %d present=%v, want %v", k, got, want)
+		}
+	}
+	if tr.Delete(9999) {
+		t.Fatal("delete of missing key returned true")
+	}
+}
+
+func TestRMWSum(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.RMW(3, addFn(2))
+	}
+	out := make([]byte, 8)
+	tr.Get(3, out)
+	if got := binary.LittleEndian.Uint64(out); got != 200 {
+		t.Fatalf("counter = %d, want 200", got)
+	}
+}
+
+func TestConcurrentInsertsAllPresent(t *testing.T) {
+	tr := New()
+	const workers = 8
+	const perW = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := uint64(w*perW + i)
+				tr.Put(k, u64(k+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := make([]byte, 8)
+	for k := uint64(0); k < workers*perW; k++ {
+		if !tr.Get(k, out) || binary.LittleEndian.Uint64(out) != k+1 {
+			t.Fatalf("key %d wrong after concurrent insert", k)
+		}
+	}
+	if tr.Len() != workers*perW {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*perW)
+	}
+}
+
+func TestConcurrentRMWNoLostUpdates(t *testing.T) {
+	tr := New()
+	const workers = 8
+	const perW = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				tr.RMW(uint64(i%10), addFn(1))
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	out := make([]byte, 8)
+	for k := uint64(0); k < 10; k++ {
+		tr.Get(k, out)
+		total += binary.LittleEndian.Uint64(out)
+	}
+	if total != workers*perW {
+		t.Fatalf("total = %d, want %d (lost updates)", total, workers*perW)
+	}
+}
+
+func TestConcurrentMixedReadsWrites(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 1000; k++ {
+		tr.Put(k, u64(k))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			out := make([]byte, 8)
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(2000))
+				if rng.Intn(2) == 0 {
+					tr.Get(k, out)
+				} else {
+					tr.Put(k, u64(k))
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	out := make([]byte, 8)
+	for k := uint64(0); k < 1000; k++ {
+		if !tr.Get(k, out) || binary.LittleEndian.Uint64(out) != k {
+			t.Fatalf("key %d corrupted", k)
+		}
+	}
+}
+
+func TestQuickMatchesModel(t *testing.T) {
+	type step struct {
+		Op  uint8
+		Key uint16
+		Val uint32
+	}
+	f := func(steps []step) bool {
+		tr := New()
+		model := map[uint64]uint64{}
+		for _, s := range steps {
+			k := uint64(s.Key % 512)
+			switch s.Op % 3 {
+			case 0:
+				tr.Put(k, u64(uint64(s.Val)))
+				model[k] = uint64(s.Val)
+			case 1:
+				tr.RMW(k, addFn(uint64(s.Val)))
+				model[k] += uint64(s.Val)
+			case 2:
+				tr.Delete(k)
+				delete(model, k)
+			}
+		}
+		out := make([]byte, 8)
+		for k, want := range model {
+			if !tr.Get(k, out) || binary.LittleEndian.Uint64(out) != want {
+				return false
+			}
+		}
+		return tr.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,487 @@
+// Package lsm is the evaluation's stand-in for RocksDB (§7.1): a
+// log-structured merge-tree key-value store with a skiplist memtable,
+// immutable SSTables with bloom filters and sparse indexes, background
+// flush and compaction, and a RocksDB-style merge operator for RMW
+// workloads. Mirroring the paper's RocksDB configuration, the write-ahead
+// log and checksums are disabled; durability is not the baseline's role
+// in the benchmarks — read-copy-update cost and merge overhead are.
+package lsm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// MergeOperator combines RMW operands, RocksDB style.
+type MergeOperator interface {
+	// FullMerge applies operands (oldest first) to the existing value
+	// (nil if the key had none) and returns the final value.
+	FullMerge(key uint64, existing []byte, operands [][]byte) []byte
+	// PartialMerge combines two adjacent operands when possible.
+	PartialMerge(key uint64, older, newer []byte) ([]byte, bool)
+}
+
+// Config configures a DB.
+type Config struct {
+	// MemtableBytes triggers a flush when the active memtable exceeds
+	// it (default 1 MB).
+	MemtableBytes int
+	// MaxL0Tables triggers an L0->L1 compaction (default 4).
+	MaxL0Tables int
+	// BloomBitsPerKey sizes bloom filters (default 10).
+	BloomBitsPerKey int
+	// Dir stores SSTables as files; empty keeps them in memory.
+	Dir string
+	// Merge is required for Merge() calls.
+	Merge MergeOperator
+}
+
+// DB is the LSM store.
+type DB struct {
+	cfg Config
+
+	mu     sync.RWMutex // guards the structure pointers below
+	mem    *memtable
+	imm    []*memtable // newest first, being flushed
+	l0     []*sstable  // newest first, may overlap
+	l1     []*sstable  // sorted, non-overlapping
+	nextID atomic.Uint64
+	seed   int64
+
+	flushCond *sync.Cond
+	closing   bool
+	bgDone    chan struct{}
+	bgErr     atomic.Pointer[error]
+
+	stats struct {
+		flushes     atomic.Uint64
+		compactions atomic.Uint64
+		gets        atomic.Uint64
+		bloomSkips  atomic.Uint64
+	}
+}
+
+// Stats reports background activity counters.
+type Stats struct {
+	Flushes, Compactions, Gets, BloomSkips uint64
+}
+
+// Open creates an LSM DB.
+func Open(cfg Config) (*DB, error) {
+	if cfg.MemtableBytes == 0 {
+		cfg.MemtableBytes = 1 << 20
+	}
+	if cfg.MaxL0Tables == 0 {
+		cfg.MaxL0Tables = 4
+	}
+	if cfg.BloomBitsPerKey == 0 {
+		cfg.BloomBitsPerKey = 10
+	}
+	db := &DB{cfg: cfg, bgDone: make(chan struct{})}
+	db.mem = newMemtable(1)
+	db.flushCond = sync.NewCond(&db.mu)
+	go db.background()
+	return db, nil
+}
+
+// Close stops background work and releases tables.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	db.closing = true
+	db.flushCond.Broadcast()
+	db.mu.Unlock()
+	<-db.bgDone
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.l0 {
+		t.close()
+	}
+	for _, t := range db.l1 {
+		t.close()
+	}
+	if p := db.bgErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Stats returns counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Flushes:     db.stats.flushes.Load(),
+		Compactions: db.stats.compactions.Load(),
+		Gets:        db.stats.gets.Load(),
+		BloomSkips:  db.stats.bloomSkips.Load(),
+	}
+}
+
+// write installs e for key, rotating the memtable when full.
+func (db *DB) write(key uint64, e *entry) {
+	db.mu.Lock()
+	if db.cfg.Merge != nil && e.kind == kindMerge {
+		// Collapse against the current memtable entry when possible,
+		// the standard partial-merge optimisation.
+		if cur := db.mem.get(key); cur != nil {
+			switch cur.kind {
+			case kindSet:
+				v := db.cfg.Merge.FullMerge(key, cur.value, [][]byte{e.value})
+				e = &entry{kind: kindSet, value: v}
+			case kindMerge:
+				if v, ok := db.cfg.Merge.PartialMerge(key, cur.value, e.value); ok {
+					e = &entry{kind: kindMerge, value: v}
+				}
+			case kindDelete:
+				v := db.cfg.Merge.FullMerge(key, nil, [][]byte{e.value})
+				e = &entry{kind: kindSet, value: v}
+			}
+		}
+	}
+	db.mem.set(key, e)
+	if db.mem.bytes >= db.cfg.MemtableBytes {
+		// Rotate; backpressure when the flush pipeline is deep, like
+		// RocksDB's write stalls.
+		for len(db.imm) >= 4 && !db.closing {
+			db.flushCond.Wait()
+		}
+		db.imm = append([]*memtable{db.mem}, db.imm...)
+		db.seed++
+		db.mem = newMemtable(db.seed)
+		db.flushCond.Broadcast()
+	}
+	db.mu.Unlock()
+}
+
+// Put blindly sets key = value.
+func (db *DB) Put(key uint64, value []byte) {
+	db.write(key, &entry{kind: kindSet, value: append([]byte(nil), value...)})
+}
+
+// Delete removes key.
+func (db *DB) Delete(key uint64) {
+	db.write(key, &entry{kind: kindDelete})
+}
+
+// Merge applies an RMW operand (requires Config.Merge).
+func (db *DB) Merge(key uint64, operand []byte) {
+	db.write(key, &entry{kind: kindMerge, value: append([]byte(nil), operand...)})
+}
+
+// errNoMerge reports Merge entries found without an operator.
+var errNoMerge = errors.New("lsm: merge entries present but no MergeOperator configured")
+
+// Get copies the value for key into out, reporting presence.
+func (db *DB) Get(key uint64, out []byte) (bool, error) {
+	db.stats.gets.Add(1)
+	db.mu.RLock()
+	mem := db.mem
+	imm := db.imm
+	l0 := db.l0
+	l1 := db.l1
+	db.mu.RUnlock()
+
+	// Newest to oldest, accumulating merge operands (newest first).
+	var operands [][]byte
+	resolve := func(e *entry) (bool, bool, error) { // (present, done, err)
+		switch e.kind {
+		case kindSet:
+			v := e.value
+			if len(operands) > 0 {
+				if db.cfg.Merge == nil {
+					return false, true, errNoMerge
+				}
+				v = db.cfg.Merge.FullMerge(key, v, reverse(operands))
+			}
+			copy(out, v)
+			return true, true, nil
+		case kindDelete:
+			if len(operands) > 0 {
+				if db.cfg.Merge == nil {
+					return false, true, errNoMerge
+				}
+				copy(out, db.cfg.Merge.FullMerge(key, nil, reverse(operands)))
+				return true, true, nil
+			}
+			return false, true, nil
+		case kindMerge:
+			operands = append(operands, e.value)
+			return false, false, nil
+		}
+		return false, true, nil
+	}
+
+	if e := mem.get(key); e != nil {
+		if p, done, err := resolve(e); done {
+			return p, err
+		}
+	}
+	for _, m := range imm {
+		if e := m.get(key); e != nil {
+			if p, done, err := resolve(e); done {
+				return p, err
+			}
+		}
+	}
+	for _, t := range l0 {
+		if !t.bloomMayContain(key) {
+			db.stats.bloomSkips.Add(1)
+			continue
+		}
+		e, err := t.get(key)
+		if err != nil {
+			return false, err
+		}
+		if e == nil {
+			continue
+		}
+		if p, done, err := resolve(e); done {
+			return p, err
+		}
+	}
+	for _, t := range l1 {
+		if key < t.minKey || key > t.maxKey {
+			continue
+		}
+		if !t.bloomMayContain(key) {
+			db.stats.bloomSkips.Add(1)
+			continue
+		}
+		e, err := t.get(key)
+		if err != nil {
+			return false, err
+		}
+		if e == nil {
+			continue
+		}
+		if p, done, err := resolve(e); done {
+			return p, err
+		}
+		break // L1 is non-overlapping: one table can hold the key
+	}
+	// Bottom reached with only operands.
+	if len(operands) > 0 {
+		if db.cfg.Merge == nil {
+			return false, errNoMerge
+		}
+		copy(out, db.cfg.Merge.FullMerge(key, nil, reverse(operands)))
+		return true, nil
+	}
+	return false, nil
+}
+
+func reverse(ops [][]byte) [][]byte {
+	out := make([][]byte, len(ops))
+	for i, o := range ops {
+		out[len(ops)-1-i] = o
+	}
+	return out
+}
+
+// WaitForQuiescence blocks until all immutable memtables are flushed and
+// no compaction is pending (tests and fair benchmark accounting).
+func (db *DB) WaitForQuiescence() {
+	db.mu.Lock()
+	for (len(db.imm) > 0 || len(db.l0) > db.cfg.MaxL0Tables) && !db.closing {
+		db.flushCond.Wait()
+	}
+	db.mu.Unlock()
+}
+
+// background runs the flush / compaction loop.
+func (db *DB) background() {
+	defer close(db.bgDone)
+	for {
+		db.mu.Lock()
+		for len(db.imm) == 0 && len(db.l0) <= db.cfg.MaxL0Tables && !db.closing {
+			db.flushCond.Wait()
+		}
+		if db.closing && len(db.imm) == 0 {
+			db.mu.Unlock()
+			return
+		}
+		var work func() error
+		switch {
+		case len(db.imm) > 0:
+			m := db.imm[len(db.imm)-1] // oldest first
+			work = func() error { return db.flushMemtable(m) }
+		default:
+			work = db.compact
+		}
+		db.mu.Unlock()
+		if err := work(); err != nil {
+			db.bgErr.Store(&err)
+			db.mu.Lock()
+			db.closing = true
+			db.flushCond.Broadcast()
+			db.mu.Unlock()
+			return
+		}
+	}
+}
+
+// flushMemtable writes the oldest immutable memtable as an L0 table.
+func (db *DB) flushMemtable(m *memtable) error {
+	var pairs []kvPair
+	m.iterate(func(k uint64, e *entry) bool {
+		pairs = append(pairs, kvPair{key: k, ent: e})
+		return true
+	})
+	t, err := buildSSTable(db.nextID.Add(1), pairs, db.cfg.BloomBitsPerKey, db.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.l0 = append([]*sstable{t}, db.l0...)
+	db.imm = db.imm[:len(db.imm)-1]
+	db.stats.flushes.Add(1)
+	db.flushCond.Broadcast()
+	db.mu.Unlock()
+	return nil
+}
+
+// compact merges all L0 tables and L1 into a fresh L1 run.
+func (db *DB) compact() error {
+	db.mu.RLock()
+	l0 := append([]*sstable(nil), db.l0...)
+	l1 := append([]*sstable(nil), db.l1...)
+	db.mu.RUnlock()
+	if len(l0) == 0 {
+		return nil
+	}
+
+	// Gather: newest-first sources; keep the newest version per key,
+	// folding merge chains.
+	merged := map[uint64]*entry{}
+	sources := append(append([]*sstable(nil), l0...), l1...)
+	for _, t := range sources {
+		err := t.iterate(func(k uint64, e *entry) bool {
+			cur, seen := merged[k]
+			if !seen {
+				merged[k] = e
+				return true
+			}
+			// cur is newer than e (sources scanned newest first).
+			if cur.kind == kindMerge {
+				switch e.kind {
+				case kindSet:
+					v := db.cfg.Merge.FullMerge(k, e.value, [][]byte{cur.value})
+					merged[k] = &entry{kind: kindSet, value: v}
+				case kindDelete:
+					v := db.cfg.Merge.FullMerge(k, nil, [][]byte{cur.value})
+					merged[k] = &entry{kind: kindSet, value: v}
+				case kindMerge:
+					if v, ok := db.cfg.Merge.PartialMerge(k, e.value, cur.value); ok {
+						merged[k] = &entry{kind: kindMerge, value: v}
+					}
+					// Without partial merge support the older operand
+					// is dropped; SumMerge always partial-merges.
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	pairs := make([]kvPair, 0, len(merged))
+	for k, e := range merged {
+		if e.kind == kindDelete {
+			continue // bottom level: tombstones drop out
+		}
+		pairs = append(pairs, kvPair{key: k, ent: e})
+	}
+	sortPairs(pairs)
+	t, err := buildSSTable(db.nextID.Add(1), pairs, db.cfg.BloomBitsPerKey, db.cfg.Dir)
+	if err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	// Only the tables we compacted are replaced; new L0 flushes that
+	// landed meanwhile stay.
+	fresh := db.l0[:len(db.l0)-len(l0)]
+	db.l0 = append([]*sstable(nil), fresh...)
+	db.l1 = []*sstable{t}
+	db.stats.compactions.Add(1)
+	db.flushCond.Broadcast()
+	db.mu.Unlock()
+	for _, old := range sources {
+		old.close()
+	}
+	return nil
+}
+
+func sortPairs(pairs []kvPair) {
+	// Simple insertion-friendly sort; table sizes are bounded by the
+	// compaction inputs.
+	quickSortPairs(pairs, 0, len(pairs)-1)
+}
+
+func quickSortPairs(p []kvPair, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && p[j].key < p[j-1].key; j-- {
+					p[j], p[j-1] = p[j-1], p[j]
+				}
+			}
+			return
+		}
+		pivot := p[(lo+hi)/2].key
+		i, j := lo, hi
+		for i <= j {
+			for p[i].key < pivot {
+				i++
+			}
+			for p[j].key > pivot {
+				j--
+			}
+			if i <= j {
+				p[i], p[j] = p[j], p[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSortPairs(p, lo, j)
+			lo = i
+		} else {
+			quickSortPairs(p, i, hi)
+			hi = j
+		}
+	}
+}
+
+// SumMerge is a MergeOperator for 8-byte little-endian counters — the
+// analogue of the paper's RMW "sum" workload on RocksDB's merge API.
+type SumMerge struct{}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putLeU64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// FullMerge implements MergeOperator.
+func (SumMerge) FullMerge(_ uint64, existing []byte, operands [][]byte) []byte {
+	sum := leU64(existing)
+	for _, op := range operands {
+		sum += leU64(op)
+	}
+	return putLeU64(sum)
+}
+
+// PartialMerge implements MergeOperator.
+func (SumMerge) PartialMerge(_ uint64, older, newer []byte) ([]byte, bool) {
+	return putLeU64(leU64(older) + leU64(newer)), true
+}

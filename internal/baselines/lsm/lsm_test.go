@@ -1,0 +1,264 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func openSmall(t testing.TB, dir string) *DB {
+	t.Helper()
+	db, err := Open(Config{MemtableBytes: 4 << 10, MaxL0Tables: 2, Merge: SumMerge{}, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPutGet(t *testing.T) {
+	db := openSmall(t, "")
+	db.Put(1, u64(11))
+	out := make([]byte, 8)
+	ok, err := db.Get(1, out)
+	if err != nil || !ok || binary.LittleEndian.Uint64(out) != 11 {
+		t.Fatalf("Get = (%v, %v, %v)", ok, err, out)
+	}
+	if ok, _ := db.Get(2, out); ok {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	db := openSmall(t, "")
+	db.Put(1, u64(1))
+	db.Put(1, u64(2))
+	out := make([]byte, 8)
+	db.Get(1, out)
+	if binary.LittleEndian.Uint64(out) != 2 {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestDeleteHidesOlderVersions(t *testing.T) {
+	db := openSmall(t, "")
+	db.Put(1, u64(1))
+	db.Delete(1)
+	out := make([]byte, 8)
+	if ok, _ := db.Get(1, out); ok {
+		t.Fatal("deleted key visible")
+	}
+	db.Put(1, u64(3))
+	if ok, _ := db.Get(1, out); !ok || binary.LittleEndian.Uint64(out) != 3 {
+		t.Fatal("re-insert after delete failed")
+	}
+}
+
+func TestMergeSums(t *testing.T) {
+	db := openSmall(t, "")
+	for i := 0; i < 100; i++ {
+		db.Merge(9, u64(2))
+	}
+	out := make([]byte, 8)
+	ok, err := db.Get(9, out)
+	if err != nil || !ok || binary.LittleEndian.Uint64(out) != 200 {
+		t.Fatalf("merged counter = (%v, %v, %d)", ok, err, binary.LittleEndian.Uint64(out))
+	}
+}
+
+func TestFlushAndReadBack(t *testing.T) {
+	db := openSmall(t, "")
+	const n = 3000 // several memtables worth at 4 KB threshold
+	for i := uint64(0); i < n; i++ {
+		db.Put(i, u64(i+1))
+	}
+	db.WaitForQuiescence()
+	if db.Stats().Flushes == 0 {
+		t.Fatal("no flush happened; threshold not exercised")
+	}
+	out := make([]byte, 8)
+	for i := uint64(0); i < n; i++ {
+		ok, err := db.Get(i, out)
+		if err != nil || !ok || binary.LittleEndian.Uint64(out) != i+1 {
+			t.Fatalf("key %d = (%v, %v, %d)", i, ok, err, binary.LittleEndian.Uint64(out))
+		}
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	db := openSmall(t, "")
+	const n = 2000
+	// Two write passes so compaction must merge versions.
+	for pass := uint64(1); pass <= 2; pass++ {
+		for i := uint64(0); i < n; i++ {
+			db.Put(i, u64(i*pass))
+		}
+	}
+	db.WaitForQuiescence()
+	if db.Stats().Compactions == 0 {
+		t.Fatal("no compaction happened")
+	}
+	out := make([]byte, 8)
+	for i := uint64(0); i < n; i++ {
+		ok, err := db.Get(i, out)
+		if err != nil || !ok || binary.LittleEndian.Uint64(out) != i*2 {
+			t.Fatalf("key %d after compaction = (%v, %v, %d), want %d",
+				i, ok, err, binary.LittleEndian.Uint64(out), i*2)
+		}
+	}
+}
+
+func TestMergeAcrossFlushes(t *testing.T) {
+	db := openSmall(t, "")
+	const keys = 50
+	const rounds = 60
+	for r := 0; r < rounds; r++ {
+		for k := uint64(0); k < keys; k++ {
+			db.Merge(k, u64(1))
+		}
+		// Interleave filler to force rotations.
+		for f := uint64(0); f < 20; f++ {
+			db.Put(1_000_000+f, make([]byte, 64))
+		}
+	}
+	db.WaitForQuiescence()
+	out := make([]byte, 8)
+	for k := uint64(0); k < keys; k++ {
+		ok, err := db.Get(k, out)
+		if err != nil || !ok || binary.LittleEndian.Uint64(out) != rounds {
+			t.Fatalf("merge counter %d = (%v, %v, %d), want %d",
+				k, ok, err, binary.LittleEndian.Uint64(out), rounds)
+		}
+	}
+}
+
+func TestFileBackedTables(t *testing.T) {
+	db := openSmall(t, t.TempDir())
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		db.Put(i, u64(i^0xabc))
+	}
+	db.WaitForQuiescence()
+	out := make([]byte, 8)
+	for i := uint64(0); i < n; i += 37 {
+		ok, err := db.Get(i, out)
+		if err != nil || !ok || binary.LittleEndian.Uint64(out) != i^0xabc {
+			t.Fatalf("file-backed key %d = (%v, %v)", i, ok, err)
+		}
+	}
+}
+
+func TestBloomFilterSkipsTables(t *testing.T) {
+	db := openSmall(t, "")
+	for i := uint64(0); i < 2000; i++ {
+		db.Put(i*2, u64(i)) // even keys only
+	}
+	db.WaitForQuiescence()
+	out := make([]byte, 8)
+	for i := uint64(0); i < 500; i++ {
+		db.Get(i*2+1, out) // odd keys: all misses
+	}
+	if db.Stats().BloomSkips == 0 {
+		t.Fatal("bloom filters never skipped a table probe")
+	}
+}
+
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	db := openSmall(t, "")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				db.Merge(uint64(i%64), u64(1))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]byte, 8)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 3000; i++ {
+			db.Get(uint64(rng.Intn(64)), out)
+		}
+	}()
+	wg.Wait()
+	db.WaitForQuiescence()
+	var total uint64
+	out := make([]byte, 8)
+	for k := uint64(0); k < 64; k++ {
+		if ok, err := db.Get(k, out); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			total += binary.LittleEndian.Uint64(out)
+		}
+	}
+	if total != 4*3000 {
+		t.Fatalf("merged total = %d, want %d", total, 4*3000)
+	}
+}
+
+func TestQuickMatchesModel(t *testing.T) {
+	type step struct {
+		Op  uint8
+		Key uint8
+		Val uint16
+	}
+	f := func(steps []step) bool {
+		db, err := Open(Config{MemtableBytes: 512, MaxL0Tables: 2, Merge: SumMerge{}})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		model := map[uint64]uint64{}
+		for _, s := range steps {
+			k := uint64(s.Key % 32)
+			switch s.Op % 4 {
+			case 0:
+				db.Put(k, u64(uint64(s.Val)))
+				model[k] = uint64(s.Val)
+			case 1:
+				db.Merge(k, u64(uint64(s.Val)))
+				model[k] += uint64(s.Val)
+			case 2:
+				db.Delete(k)
+				delete(model, k)
+			case 3:
+				out := make([]byte, 8)
+				ok, err := db.Get(k, out)
+				if err != nil {
+					return false
+				}
+				want, exists := model[k]
+				if ok != exists {
+					return false
+				}
+				if exists && binary.LittleEndian.Uint64(out) != want {
+					return false
+				}
+			}
+		}
+		db.WaitForQuiescence()
+		out := make([]byte, 8)
+		for k, want := range model {
+			ok, err := db.Get(k, out)
+			if err != nil || !ok || binary.LittleEndian.Uint64(out) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package lsm
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// entryKind distinguishes memtable/SSTable entry types.
+type entryKind uint8
+
+const (
+	kindSet entryKind = iota
+	kindDelete
+	kindMerge // collapsed merge operand (RocksDB-style)
+)
+
+// entry is an immutable value version; nodes swap entry pointers.
+type entry struct {
+	kind  entryKind
+	value []byte
+}
+
+const maxHeight = 12
+
+// memNode is a skiplist node. The tower pointers and the entry pointer
+// are atomic so readers traverse without locks; writers are serialized by
+// the DB write latch.
+type memNode struct {
+	key   uint64
+	ent   atomic.Pointer[entry]
+	tower []atomic.Pointer[memNode]
+}
+
+// memtable is a skiplist keyed by uint64 with lock-free reads and
+// externally synchronized writes, mirroring RocksDB's memtable role.
+type memtable struct {
+	head   *memNode
+	height atomic.Int32 // read by lock-free readers
+	rng    *rand.Rand
+	bytes  int // approximate memory footprint
+	count  int
+}
+
+func newMemtable(seed int64) *memtable {
+	m := &memtable{
+		head: &memNode{tower: make([]atomic.Pointer[memNode], maxHeight)},
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	m.height.Store(1)
+	return m
+}
+
+// findGreaterOrEqual returns the first node with key >= k and the
+// predecessors at each level (for insertion).
+func (m *memtable) findGreaterOrEqual(k uint64, prev []*memNode) *memNode {
+	x := m.head
+	for level := int(m.height.Load()) - 1; level >= 0; level-- {
+		for {
+			next := x.tower[level].Load()
+			if next == nil || next.key >= k {
+				break
+			}
+			x = next
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.tower[0].Load()
+}
+
+// get returns the entry for k, or nil.
+func (m *memtable) get(k uint64) *entry {
+	n := m.findGreaterOrEqual(k, nil)
+	if n != nil && n.key == k {
+		return n.ent.Load()
+	}
+	return nil
+}
+
+// set inserts or replaces the entry for k. Caller holds the write latch.
+func (m *memtable) set(k uint64, e *entry) {
+	prev := make([]*memNode, maxHeight)
+	for i := int(m.height.Load()); i < maxHeight; i++ {
+		prev[i] = m.head
+	}
+	n := m.findGreaterOrEqual(k, prev)
+	if n != nil && n.key == k {
+		old := n.ent.Swap(e)
+		m.bytes += len(e.value) - len(old.value)
+		return
+	}
+	h := 1
+	for h < maxHeight && m.rng.Intn(4) == 0 {
+		h++
+	}
+	if int32(h) > m.height.Load() {
+		m.height.Store(int32(h))
+	}
+	node := &memNode{key: k, tower: make([]atomic.Pointer[memNode], h)}
+	node.ent.Store(e)
+	for level := 0; level < h; level++ {
+		node.tower[level].Store(prev[level].tower[level].Load())
+		// Publish bottom-up so readers always find a consistent chain.
+		prev[level].tower[level].Store(node)
+	}
+	m.bytes += 24 + len(e.value)
+	m.count++
+}
+
+// iterate visits entries in key order.
+func (m *memtable) iterate(fn func(k uint64, e *entry) bool) {
+	for n := m.head.tower[0].Load(); n != nil; n = n.tower[0].Load() {
+		if !fn(n.key, n.ent.Load()) {
+			return
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/xhash"
+)
+
+// SSTable format (little endian), mirroring the essentials of a RocksDB
+// table: sorted entries, a sparse index for binary search, and a bloom
+// filter consulted before any entry probe.
+//
+//	entries:  count x { key u64 | kind u8 | vlen u32 | value }
+//	sparse:   every sparseEvery-th key and its byte offset
+//	bloom:    bit array, k probes by double hashing
+//	footer:   offsets and counts
+//
+// Tables are immutable once built. They live either fully in memory or in
+// a file accessed with ReadAt (when the DB has a directory), so the
+// larger-than-memory experiments touch real storage.
+
+const sparseEvery = 16
+
+type kvPair struct {
+	key  uint64
+	ent  *entry
+	used bool
+}
+
+// sstable is one immutable sorted table.
+type sstable struct {
+	id      uint64
+	minKey  uint64
+	maxKey  uint64
+	count   int
+	data    []byte   // entry region (in-memory tables)
+	file    *os.File // file-backed tables (data==nil)
+	dataLen int
+
+	sparseKeys []uint64
+	sparseOffs []uint32
+
+	bloom     []uint64
+	bloomK    int
+	bloomBits uint64
+}
+
+// buildSSTable serializes sorted pairs into a table. dir == "" keeps the
+// table in memory; otherwise it is written to a file.
+func buildSSTable(id uint64, pairs []kvPair, bloomBitsPerKey int, dir string) (*sstable, error) {
+	t := &sstable{id: id, count: len(pairs)}
+	if len(pairs) == 0 {
+		return t, nil
+	}
+	t.minKey = pairs[0].key
+	t.maxKey = pairs[len(pairs)-1].key
+
+	// Bloom filter.
+	bits := uint64(len(pairs)*bloomBitsPerKey + 63)
+	t.bloomBits = bits
+	t.bloom = make([]uint64, (bits+63)/64)
+	t.bloomK = 7
+	if bloomBitsPerKey < 10 {
+		t.bloomK = bloomBitsPerKey*7/10 + 1
+	}
+
+	var buf []byte
+	for i, p := range pairs {
+		if i%sparseEvery == 0 {
+			t.sparseKeys = append(t.sparseKeys, p.key)
+			t.sparseOffs = append(t.sparseOffs, uint32(len(buf)))
+		}
+		var hdr [13]byte
+		binary.LittleEndian.PutUint64(hdr[:], p.key)
+		hdr[8] = byte(p.ent.kind)
+		binary.LittleEndian.PutUint32(hdr[9:], uint32(len(p.ent.value)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p.ent.value...)
+		t.bloomAdd(p.key)
+	}
+	t.dataLen = len(buf)
+
+	if dir == "" {
+		t.data = buf
+		return t, nil
+	}
+	f, err := os.CreateTemp(dir, fmt.Sprintf("sst-%06d-*.lsm", id))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return nil, err
+	}
+	t.file = f
+	return t, nil
+}
+
+func (t *sstable) bloomAdd(key uint64) {
+	h1 := xhash.Mix64(key)
+	h2 := xhash.Mix64(h1 ^ 0x9e3779b97f4a7c15)
+	for i := 0; i < t.bloomK; i++ {
+		bit := (h1 + uint64(i)*h2) % t.bloomBits
+		t.bloom[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (t *sstable) bloomMayContain(key uint64) bool {
+	if t.count == 0 {
+		return false
+	}
+	h1 := xhash.Mix64(key)
+	h2 := xhash.Mix64(h1 ^ 0x9e3779b97f4a7c15)
+	for i := 0; i < t.bloomK; i++ {
+		bit := (h1 + uint64(i)*h2) % t.bloomBits
+		if t.bloom[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// readAt fills buf from the table's entry region.
+func (t *sstable) readAt(buf []byte, off int) error {
+	if t.data != nil {
+		copy(buf, t.data[off:])
+		return nil
+	}
+	_, err := t.file.ReadAt(buf, int64(off))
+	return err
+}
+
+// get returns the entry for key, or nil.
+func (t *sstable) get(key uint64) (*entry, error) {
+	if t.count == 0 || key < t.minKey || key > t.maxKey || !t.bloomMayContain(key) {
+		return nil, nil
+	}
+	// Sparse index: find the block whose first key is <= key.
+	i := sort.Search(len(t.sparseKeys), func(i int) bool { return t.sparseKeys[i] > key })
+	if i == 0 {
+		return nil, nil
+	}
+	off := int(t.sparseOffs[i-1])
+	end := t.dataLen
+	if i < len(t.sparseOffs) {
+		end = int(t.sparseOffs[i])
+	}
+	block := make([]byte, end-off)
+	if err := t.readAt(block, off); err != nil {
+		return nil, err
+	}
+	for pos := 0; pos+13 <= len(block); {
+		k := binary.LittleEndian.Uint64(block[pos:])
+		kind := entryKind(block[pos+8])
+		vlen := int(binary.LittleEndian.Uint32(block[pos+9:]))
+		if k == key {
+			val := make([]byte, vlen)
+			copy(val, block[pos+13:pos+13+vlen])
+			return &entry{kind: kind, value: val}, nil
+		}
+		if k > key {
+			return nil, nil
+		}
+		pos += 13 + vlen
+	}
+	return nil, nil
+}
+
+// iterate visits all entries in key order.
+func (t *sstable) iterate(fn func(k uint64, e *entry) bool) error {
+	if t.count == 0 {
+		return nil
+	}
+	buf := make([]byte, t.dataLen)
+	if err := t.readAt(buf, 0); err != nil {
+		return err
+	}
+	for pos := 0; pos+13 <= len(buf); {
+		k := binary.LittleEndian.Uint64(buf[pos:])
+		kind := entryKind(buf[pos+8])
+		vlen := int(binary.LittleEndian.Uint32(buf[pos+9:]))
+		val := make([]byte, vlen)
+		copy(val, buf[pos+13:pos+13+vlen])
+		if !fn(k, &entry{kind: kind, value: val}) {
+			return nil
+		}
+		pos += 13 + vlen
+	}
+	return nil
+}
+
+// sizeBytes returns the table's entry-region size.
+func (t *sstable) sizeBytes() int { return t.dataLen }
+
+// close releases file resources.
+func (t *sstable) close() {
+	if t.file != nil {
+		name := t.file.Name()
+		t.file.Close()
+		os.Remove(name)
+		t.file = nil
+	}
+}

@@ -1,0 +1,329 @@
+// Package redcache is the evaluation's stand-in for Redis (§7.2.4): an
+// in-memory key-value cache behind a TCP server whose commands are
+// executed by a single goroutine (Redis's single-threaded event loop),
+// accessed by clients that may pipeline requests. Like Redis, it is not
+// concurrent, expects data to fit in memory, and pays a network hop per
+// batch — the three differences from FASTER the paper calls out.
+//
+// The wire protocol is a compact binary framing rather than RESP; the
+// performance-relevant structure (per-connection reader, single command
+// executor, pipelined batches) is what the experiment measures.
+package redcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Command opcodes.
+const (
+	cmdGet byte = iota + 1
+	cmdSet
+	cmdDel
+	cmdIncr
+)
+
+// Response status codes.
+const (
+	respOK byte = iota
+	respNotFound
+	respErr
+)
+
+// Server is a single-threaded cache server.
+type Server struct {
+	ln    net.Listener
+	data  map[uint64][]byte
+	cmds  chan serverCmd
+	wg    sync.WaitGroup
+	close sync.Once
+	done  chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+type serverCmd struct {
+	op    byte
+	key   uint64
+	value []byte
+	reply chan<- serverReply
+}
+
+type serverReply struct {
+	status byte
+	value  []byte
+}
+
+// ListenAndServe starts a server on addr (e.g. "127.0.0.1:0") and returns
+// it; the actual address is available via Addr.
+func ListenAndServe(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:    ln,
+		data:  make(map[uint64][]byte),
+		cmds:  make(chan serverCmd, 1024),
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.eventLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	var err error
+	s.close.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// eventLoop is the single command executor: all state mutations happen
+// here, serialised, exactly like the Redis event loop.
+func (s *Server) eventLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case c := <-s.cmds:
+			var r serverReply
+			switch c.op {
+			case cmdGet:
+				if v, ok := s.data[c.key]; ok {
+					// Copy: the connection goroutine writes the reply
+					// while this loop may keep mutating the stored value.
+					r = serverReply{status: respOK, value: append([]byte(nil), v...)}
+				} else {
+					r = serverReply{status: respNotFound}
+				}
+			case cmdSet:
+				s.data[c.key] = c.value
+				r = serverReply{status: respOK}
+			case cmdDel:
+				if _, ok := s.data[c.key]; ok {
+					delete(s.data, c.key)
+					r = serverReply{status: respOK}
+				} else {
+					r = serverReply{status: respNotFound}
+				}
+			case cmdIncr:
+				delta := binary.LittleEndian.Uint64(c.value)
+				v, ok := s.data[c.key]
+				if !ok {
+					v = make([]byte, 8)
+					s.data[c.key] = v
+				}
+				binary.LittleEndian.PutUint64(v, binary.LittleEndian.Uint64(v)+delta)
+				r = serverReply{status: respOK, value: append([]byte(nil), v...)}
+			default:
+				r = serverReply{status: respErr}
+			}
+			c.reply <- r
+		}
+	}
+}
+
+// serveConn parses requests and writes responses; execution is delegated
+// to the event loop. Responses preserve request order (one in-flight
+// reply channel consumed synchronously per request keeps ordering while
+// still letting the client pipeline at the TCP level).
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	reply := make(chan serverReply, 1)
+	for {
+		var hdr [13]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		op := hdr[0]
+		key := binary.LittleEndian.Uint64(hdr[1:])
+		vlen := binary.LittleEndian.Uint32(hdr[9:])
+		var value []byte
+		if vlen > 0 {
+			value = make([]byte, vlen)
+			if _, err := io.ReadFull(br, value); err != nil {
+				return
+			}
+		}
+		select {
+		case s.cmds <- serverCmd{op: op, key: key, value: value, reply: reply}:
+		case <-s.done:
+			return
+		}
+		var r serverReply
+		select {
+		case r = <-reply:
+		case <-s.done:
+			return
+		}
+		var rh [5]byte
+		rh[0] = r.status
+		binary.LittleEndian.PutUint32(rh[1:], uint32(len(r.value)))
+		bw.Write(rh[:])
+		bw.Write(r.value)
+		// Flush when no more pipelined requests are buffered.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+// Client is a pipelining client connection.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Req is one pipelined request.
+type Req struct {
+	Op    byte // use Get/Set/Del/Incr constructors
+	Key   uint64
+	Value []byte
+}
+
+// Request constructors.
+func GetReq(key uint64) Req             { return Req{Op: cmdGet, Key: key} }
+func SetReq(key uint64, val []byte) Req { return Req{Op: cmdSet, Key: key, Value: val} }
+func DelReq(key uint64) Req             { return Req{Op: cmdDel, Key: key} }
+func IncrReq(key uint64, d uint64) Req {
+	v := make([]byte, 8)
+	binary.LittleEndian.PutUint64(v, d)
+	return Req{Op: cmdIncr, Key: key, Value: v}
+}
+
+// Resp is one response.
+type Resp struct {
+	OK       bool
+	NotFound bool
+	Value    []byte
+}
+
+// errProtocol reports a malformed response.
+var errProtocol = errors.New("redcache: protocol error")
+
+// Pipeline sends all requests, then reads all responses — the batching
+// whose depth §7.2.4 sweeps from 1 to 200.
+func (c *Client) Pipeline(reqs []Req) ([]Resp, error) {
+	for _, r := range reqs {
+		var hdr [13]byte
+		hdr[0] = r.Op
+		binary.LittleEndian.PutUint64(hdr[1:], r.Key)
+		binary.LittleEndian.PutUint32(hdr[9:], uint32(len(r.Value)))
+		if _, err := c.bw.Write(hdr[:]); err != nil {
+			return nil, err
+		}
+		if _, err := c.bw.Write(r.Value); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]Resp, len(reqs))
+	for i := range out {
+		var rh [5]byte
+		if _, err := io.ReadFull(c.br, rh[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", errProtocol, err)
+		}
+		vlen := binary.LittleEndian.Uint32(rh[1:])
+		var val []byte
+		if vlen > 0 {
+			val = make([]byte, vlen)
+			if _, err := io.ReadFull(c.br, val); err != nil {
+				return nil, err
+			}
+		}
+		switch rh[0] {
+		case respOK:
+			out[i] = Resp{OK: true, Value: val}
+		case respNotFound:
+			out[i] = Resp{NotFound: true}
+		default:
+			return nil, errProtocol
+		}
+	}
+	return out, nil
+}
+
+// Get is a convenience single-request call.
+func (c *Client) Get(key uint64) (Resp, error) {
+	rs, err := c.Pipeline([]Req{GetReq(key)})
+	if err != nil {
+		return Resp{}, err
+	}
+	return rs[0], nil
+}
+
+// Set is a convenience single-request call.
+func (c *Client) Set(key uint64, val []byte) error {
+	_, err := c.Pipeline([]Req{SetReq(key, val)})
+	return err
+}

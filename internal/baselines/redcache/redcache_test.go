@@ -1,0 +1,188 @@
+package redcache
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dial(t *testing.T, s *Server) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestSetGet(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	if err := c.Set(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Get(1)
+	if err != nil || !r.OK || string(r.Value) != "hello" {
+		t.Fatalf("Get = (%+v, %v)", r, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	r, err := c.Get(99)
+	if err != nil || !r.NotFound {
+		t.Fatalf("Get missing = (%+v, %v)", r, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	c.Set(1, []byte("x"))
+	rs, err := c.Pipeline([]Req{DelReq(1), GetReq(1), DelReq(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].OK || !rs[1].NotFound || !rs[2].NotFound {
+		t.Fatalf("delete pipeline = %+v", rs)
+	}
+}
+
+func TestIncr(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	var reqs []Req
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, IncrReq(7, 3))
+	}
+	rs, err := c.Pipeline(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rs[len(rs)-1]
+	if !last.OK || binary.LittleEndian.Uint64(last.Value) != 30 {
+		t.Fatalf("incr result = %+v", last)
+	}
+}
+
+func TestPipelineOrdering(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	const n = 500
+	reqs := make([]Req, 0, 2*n)
+	for i := uint64(0); i < n; i++ {
+		v := make([]byte, 8)
+		binary.LittleEndian.PutUint64(v, i*2)
+		reqs = append(reqs, SetReq(i, v), GetReq(i))
+	}
+	rs, err := c.Pipeline(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		get := rs[2*i+1]
+		if !get.OK || binary.LittleEndian.Uint64(get.Value) != i*2 {
+			t.Fatalf("pipelined get %d = %+v", i, get)
+		}
+	}
+}
+
+func TestMultipleClientsSingleThreadedConsistency(t *testing.T) {
+	s := startServer(t)
+	const clients = 8
+	const perC = 500
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			reqs := make([]Req, perC)
+			for i := range reqs {
+				reqs[i] = IncrReq(42, 1)
+			}
+			if _, err := c.Pipeline(reqs); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	c := dial(t, s)
+	r, err := c.Get(42)
+	if err != nil || !r.OK {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(r.Value); got != clients*perC {
+		t.Fatalf("counter = %d, want %d (event loop not serialising?)", got, clients*perC)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	c.Set(1, []byte("x"))
+	s.Close()
+	if _, err := c.Get(1); err == nil {
+		t.Fatal("expected error after server close")
+	}
+}
+
+func BenchmarkPipelineDepth(b *testing.B) {
+	s, err := ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for _, depth := range []int{1, 10, 100} {
+		b.Run(benchName(depth), func(b *testing.B) {
+			c, err := Dial(s.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			reqs := make([]Req, depth)
+			for i := range reqs {
+				reqs[i] = SetReq(uint64(i), []byte("12345678"))
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n += depth {
+				if _, err := c.Pipeline(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(depth int) string { return "depth=" + itoa(depth) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,8 @@
+package shardmap
+
+import "unsafe"
+
+// atomicWord views the first 8 bytes of v as an atomically addressable
+// word. Values allocated by this package are heap slices, which Go
+// aligns to at least 8 bytes.
+func atomicWord(v []byte) unsafe.Pointer { return unsafe.Pointer(&v[0]) }

@@ -1,0 +1,126 @@
+// Package shardmap is the evaluation's stand-in for the Intel TBB
+// concurrent hash map (§7.1): a purely in-memory concurrent hash map with
+// in-place updates, sharded to reduce lock contention. Like TBB's map it
+// offers no persistence and no larger-than-memory support; its role in
+// the benchmarks is the "best-effort locked in-memory hash map" baseline.
+package shardmap
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xhash"
+)
+
+// Map is a sharded concurrent hash map from uint64 keys to byte values.
+type Map struct {
+	shards []shard
+	mask   uint64
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[uint64][]byte
+	_  [40]byte // pad to reduce false sharing between shard locks
+}
+
+// New creates a map with the given shard count (rounded up to a power of
+// two; default 64) and per-shard capacity hint.
+func New(shardCount int, capacityHint int) *Map {
+	if shardCount <= 0 {
+		shardCount = 64
+	}
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	m := &Map{shards: make([]shard, n), mask: uint64(n - 1)}
+	per := capacityHint / n
+	for i := range m.shards {
+		m.shards[i].m = make(map[uint64][]byte, per)
+	}
+	return m
+}
+
+func (m *Map) shardFor(key uint64) *shard {
+	return &m.shards[xhash.Uint64(key)&m.mask]
+}
+
+// Get copies the value for key into out, reporting whether it exists.
+func (m *Map) Get(key uint64, out []byte) bool {
+	s := m.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	if ok {
+		copy(out, v)
+	}
+	s.mu.RUnlock()
+	return ok
+}
+
+// Put blindly sets the value for key, updating in place when the existing
+// buffer is large enough (the in-place-update property the paper credits
+// TBB with).
+func (m *Map) Put(key uint64, value []byte) {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	if v, ok := s.m[key]; ok && len(v) >= len(value) {
+		copy(v, value)
+	} else {
+		s.m[key] = append([]byte(nil), value...)
+	}
+	s.mu.Unlock()
+}
+
+// RMW adds delta to the 8-byte counter at key, initialising to delta when
+// absent. The addition is in place under the shard lock.
+func (m *Map) RMW(key uint64, delta uint64) {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	if v, ok := s.m[key]; ok && len(v) >= 8 {
+		binary.LittleEndian.PutUint64(v, binary.LittleEndian.Uint64(v)+delta)
+	} else {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, delta)
+		s.m[key] = buf
+	}
+	s.mu.Unlock()
+}
+
+// AtomicRMW adds delta with only a read lock, using an atomic
+// fetch-and-add on the value word; the fast path when the key exists.
+func (m *Map) AtomicRMW(key uint64, delta uint64) {
+	s := m.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	if ok && len(v) >= 8 {
+		atomic.AddUint64((*uint64)(atomicWord(v)), delta)
+		s.mu.RUnlock()
+		return
+	}
+	s.mu.RUnlock()
+	m.RMW(key, delta)
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(key uint64) bool {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.m[key]
+	delete(s.m, key)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the total number of keys.
+func (m *Map) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

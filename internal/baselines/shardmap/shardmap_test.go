@@ -1,0 +1,130 @@
+package shardmap
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestPutGet(t *testing.T) {
+	m := New(4, 0)
+	m.Put(1, u64(42))
+	out := make([]byte, 8)
+	if !m.Get(1, out) || binary.LittleEndian.Uint64(out) != 42 {
+		t.Fatalf("Get = %v", out)
+	}
+	if m.Get(2, out) {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestPutInPlace(t *testing.T) {
+	m := New(4, 0)
+	m.Put(1, u64(1))
+	m.Put(1, u64(2))
+	out := make([]byte, 8)
+	m.Get(1, out)
+	if binary.LittleEndian.Uint64(out) != 2 {
+		t.Fatal("overwrite failed")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestRMWSum(t *testing.T) {
+	m := New(4, 0)
+	for i := 0; i < 10; i++ {
+		m.RMW(7, 3)
+	}
+	out := make([]byte, 8)
+	m.Get(7, out)
+	if got := binary.LittleEndian.Uint64(out); got != 30 {
+		t.Fatalf("counter = %d, want 30", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New(4, 0)
+	m.Put(1, u64(1))
+	if !m.Delete(1) {
+		t.Fatal("delete existing returned false")
+	}
+	if m.Delete(1) {
+		t.Fatal("delete missing returned true")
+	}
+	if m.Get(1, make([]byte, 8)) {
+		t.Fatal("key survived delete")
+	}
+}
+
+func TestConcurrentAtomicRMWSumsExactly(t *testing.T) {
+	m := New(16, 1024)
+	const workers = 8
+	const perW = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				m.AtomicRMW(uint64(i%8), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	out := make([]byte, 8)
+	for k := uint64(0); k < 8; k++ {
+		if !m.Get(k, out) {
+			t.Fatalf("key %d missing", k)
+		}
+		total += binary.LittleEndian.Uint64(out)
+	}
+	if total != workers*perW {
+		t.Fatalf("total = %d, want %d", total, workers*perW)
+	}
+}
+
+func TestQuickMatchesModel(t *testing.T) {
+	type step struct {
+		Op  uint8
+		Key uint8
+		Val uint32
+	}
+	f := func(steps []step) bool {
+		m := New(4, 0)
+		model := map[uint64]uint64{}
+		for _, s := range steps {
+			k := uint64(s.Key % 16)
+			switch s.Op % 3 {
+			case 0:
+				m.Put(k, u64(uint64(s.Val)))
+				model[k] = uint64(s.Val)
+			case 1:
+				m.RMW(k, uint64(s.Val))
+				model[k] += uint64(s.Val)
+			case 2:
+				m.Delete(k)
+				delete(model, k)
+			}
+		}
+		out := make([]byte, 8)
+		for k, want := range model {
+			if !m.Get(k, out) || binary.LittleEndian.Uint64(out) != want {
+				return false
+			}
+		}
+		return m.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package bench is the shared benchmark harness behind cmd/faster-bench
+// and the repository-level bench_test.go: it drives YCSB workloads
+// (§7.1) against FASTER and the baseline systems with a uniform adapter
+// interface, measuring throughput the way the paper does — N workers
+// issuing operations for a fixed duration, counting completions.
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ycsb"
+)
+
+// Worker is one benchmark thread's handle onto a system under test.
+type Worker interface {
+	// Read looks up key into out (len = value size), reporting presence.
+	Read(key uint64, out []byte) bool
+	// Upsert blindly sets key = value.
+	Upsert(key uint64, value []byte)
+	// RMW adds delta to the 8-byte counter at key.
+	RMW(key uint64, delta uint64)
+	// Finish drains any outstanding asynchronous work.
+	Finish()
+	// Close releases the worker.
+	Close()
+}
+
+// System is a key-value system under test.
+type System interface {
+	Name() string
+	NewWorker(id int) Worker
+	Close() error
+}
+
+// RunConfig parameterises one measurement.
+type RunConfig struct {
+	// Threads is the worker count.
+	Threads int
+	// Duration is the measurement window (time-based runs).
+	Duration time.Duration
+	// TotalOps, when nonzero, runs a fixed operation count instead of a
+	// fixed duration (deterministic; used by testing.B benches).
+	TotalOps int
+	// Workload supplies keys and op kinds; cloned per worker.
+	Workload *ycsb.Workload
+	// ValueSize is the payload size (8 or 100 in the paper).
+	ValueSize int
+	// Preload inserts every key before measuring (the paper preloads
+	// the dataset).
+	Preload bool
+	// RMWInputs is the paper's 8-entry increment array.
+	RMWInputs [8]uint64
+	// Seed bases per-worker seeds.
+	Seed int64
+}
+
+// Result is one measurement.
+type Result struct {
+	System   string
+	Threads  int
+	Ops      uint64
+	Elapsed  time.Duration
+	ValueSz  int
+	Workload string
+}
+
+// Mops returns throughput in million operations per second.
+func (r Result) Mops() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-14s threads=%-3d %-10s %3dB  %8.3f Mops/s",
+		r.System, r.Threads, r.Workload, r.ValueSz, r.Mops())
+}
+
+// Preload inserts every key in the workload's key space with a zero
+// value of the configured size.
+func Preload(sys System, keys uint64, valueSize int, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	per := keys / uint64(threads)
+	for t := 0; t < threads; t++ {
+		lo := uint64(t) * per
+		hi := lo + per
+		if t == threads-1 {
+			hi = keys
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			w := sys.NewWorker(1000 + int(lo))
+			defer w.Close()
+			val := make([]byte, valueSize)
+			for k := lo; k < hi; k++ {
+				binary.LittleEndian.PutUint64(val, k)
+				w.Upsert(k, val)
+			}
+			w.Finish()
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Run measures sys under cfg.
+func Run(sys System, cfg RunConfig, label string) Result {
+	if cfg.Preload {
+		Preload(sys, cfg.Workload.KeySpace(), cfg.ValueSize, cfg.Threads)
+	}
+	var (
+		stop    atomic.Bool
+		totalOp atomic.Uint64
+		wg      sync.WaitGroup
+	)
+	opsPerWorker := 0
+	if cfg.TotalOps > 0 {
+		opsPerWorker = cfg.TotalOps / cfg.Threads
+		if opsPerWorker == 0 {
+			opsPerWorker = 1
+		}
+	}
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := sys.NewWorker(id)
+			defer w.Close()
+			wl := cfg.Workload.Clone(cfg.Seed + int64(id)*7919)
+			out := make([]byte, cfg.ValueSize)
+			val := make([]byte, cfg.ValueSize)
+			for i := range val {
+				val[i] = byte(id)
+			}
+			var done uint64
+			for {
+				if opsPerWorker > 0 {
+					if done >= uint64(opsPerWorker) {
+						break
+					}
+				} else if done&255 == 0 && stop.Load() {
+					break
+				}
+				op := wl.Next()
+				switch op.Kind {
+				case ycsb.OpRead:
+					w.Read(op.Key, out)
+				case ycsb.OpUpsert:
+					w.Upsert(op.Key, val)
+				case ycsb.OpRMW:
+					w.RMW(op.Key, cfg.RMWInputs[done&7])
+				}
+				done++
+			}
+			w.Finish()
+			totalOp.Add(done)
+		}(t)
+	}
+	if opsPerWorker == 0 {
+		time.AfterFunc(cfg.Duration, func() { stop.Store(true) })
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return Result{
+		System:   sys.Name(),
+		Threads:  cfg.Threads,
+		Ops:      totalOp.Load(),
+		Elapsed:  elapsed,
+		ValueSz:  cfg.ValueSize,
+		Workload: label,
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faster"
+)
+
+func TestDebugFig12Cmd(t *testing.T) {
+	if os.Getenv("DEBUG_FIG12") == "" {
+		t.Skip("manual")
+	}
+	var spins, lastInFlight, lastRetries, lastCompleted, lastIOs atomic.Int64
+	var lastDesc atomic.Pointer[string]
+	faster.SetDebugSpinHook(func(inFlight, retries, completed int, ios uint64, desc string) {
+		spins.Add(1)
+		lastInFlight.Store(int64(inFlight))
+		lastRetries.Store(int64(retries))
+		lastCompleted.Store(int64(completed))
+		lastIOs.Store(int64(ios))
+		lastDesc.Store(&desc)
+	})
+	defer faster.SetDebugSpinHook(nil)
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				d := ""
+				if p := lastDesc.Load(); p != nil {
+					d = *p
+				}
+				t.Logf("spins=%d inFlight=%d retries=%d completed=%d ios=%d last=%s",
+					spins.Load(), lastInFlight.Load(), lastRetries.Load(), lastCompleted.Load(), lastIOs.Load(), d)
+			}
+		}
+	}()
+	o := Options{Keys: 50000, Duration: time.Second, MaxThreads: 4, Out: os.Stderr, Seed: 42}
+	_, err := Fig12(o)
+	close(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

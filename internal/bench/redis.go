@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baselines/redcache"
+)
+
+// RedisRow is one pipeline-depth measurement of the §7.2.4 experiment.
+type RedisRow struct {
+	Pipeline int
+	SetsPerS float64
+	GetsPerS float64
+}
+
+// RedisPipeline regenerates the §7.2.4 comparison: redcache (the Redis
+// stand-in) driven by client goroutines over loopback TCP, sweeping the
+// pipeline (batch) depth as the paper does from 1 to 200. It reports
+// set/sec and get/sec per depth.
+func RedisPipeline(o Options, clients int, depths []int) ([]RedisRow, error) {
+	o.defaults()
+	if clients == 0 {
+		clients = 10 // redis-benchmark -c 10, as in the paper
+	}
+	if len(depths) == 0 {
+		depths = []int{1, 10, 50, 100, 200}
+	}
+	srv, err := redcache.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	var rows []RedisRow
+	fmt.Fprintf(o.Out, "\n--- §7.2.4 redcache pipelining (clients=%d, keys=%d) ---\n", clients, o.Keys)
+	for _, depth := range depths {
+		sets, err := redisPhase(srv.Addr(), clients, depth, o, false)
+		if err != nil {
+			return nil, err
+		}
+		gets, err := redisPhase(srv.Addr(), clients, depth, o, true)
+		if err != nil {
+			return nil, err
+		}
+		row := RedisRow{Pipeline: depth, SetsPerS: sets, GetsPerS: gets}
+		rows = append(rows, row)
+		fmt.Fprintf(o.Out, "pipeline=%-4d  %10.0f sets/s  %10.0f gets/s\n", depth, sets, gets)
+	}
+	return rows, nil
+}
+
+func redisPhase(addr string, clients, depth int, o Options, get bool) (float64, error) {
+	var (
+		wg    sync.WaitGroup
+		total uint64
+		mu    sync.Mutex
+		errs  []error
+	)
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := redcache.Dial(addr)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			reqs := make([]redcache.Req, depth)
+			var done uint64
+			k := uint64(id)
+			for time.Now().Before(deadline) {
+				for i := range reqs {
+					key := k % o.Keys
+					if get {
+						reqs[i] = redcache.GetReq(key)
+					} else {
+						reqs[i] = redcache.SetReq(key, []byte("8bytes!!"))
+					}
+					k += 7919
+				}
+				if _, err := cl.Pipeline(reqs); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				done += uint64(depth)
+			}
+			mu.Lock()
+			total += done
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return 0, errs[0]
+	}
+	return float64(total) / time.Since(start).Seconds(), nil
+}

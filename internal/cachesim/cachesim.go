@@ -1,0 +1,486 @@
+// Package cachesim implements the caching-protocol simulation of Section
+// 7.5 of the FASTER paper: a constant-sized key buffer managed by one of
+// five protocols — FIFO, CLOCK, LRU-1, LRU-2 (the LRU-K protocol of
+// O'Neil et al. with K=2) and HLOG, the HybridLog's implicit
+// second-chance-FIFO behaviour — measured by cache miss ratio over
+// synthetic access traces (uniform, Zipfian, shifting hot set).
+package cachesim
+
+import "fmt"
+
+// Cache is a fixed-capacity key cache under some replacement protocol.
+type Cache interface {
+	// Access touches key, returning true on a hit. On a miss the key is
+	// admitted (evicting per protocol).
+	Access(key uint64) bool
+	// Name identifies the protocol.
+	Name() string
+	// Len returns the number of cached slots in use (duplicates count,
+	// matching the paper's effective-cache-size argument for HLOG).
+	Len() int
+}
+
+// NewFunc constructs a cache of the given capacity.
+type NewFunc func(capacity int) Cache
+
+// Protocols enumerates the five protocols of Fig 14-16 in paper order.
+func Protocols() []NewFunc {
+	return []NewFunc{
+		func(c int) Cache { return NewFIFO(c) },
+		func(c int) Cache { return NewLRU(c) },
+		func(c int) Cache { return NewLRUK(c, 2) },
+		func(c int) Cache { return NewCLOCK(c) },
+		func(c int) Cache { return NewHLOG(c, 0.9) },
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+// FIFO evicts in insertion order, ignoring hits.
+type FIFO struct {
+	cap   int
+	ring  []uint64
+	head  int
+	count int
+	pos   map[uint64]int // key -> refcount in ring (0 = absent)
+}
+
+// NewFIFO creates a FIFO cache.
+func NewFIFO(capacity int) *FIFO {
+	return &FIFO{cap: capacity, ring: make([]uint64, capacity), pos: make(map[uint64]int, capacity)}
+}
+
+// Name implements Cache.
+func (c *FIFO) Name() string { return "FIFO" }
+
+// Len implements Cache.
+func (c *FIFO) Len() int { return c.count }
+
+// Access implements Cache.
+func (c *FIFO) Access(key uint64) bool {
+	if c.pos[key] > 0 {
+		return true
+	}
+	if c.count == c.cap {
+		old := c.ring[c.head]
+		if n := c.pos[old]; n <= 1 {
+			delete(c.pos, old)
+		} else {
+			c.pos[old] = n - 1
+		}
+		c.count--
+	}
+	c.ring[c.head] = key
+	c.head = (c.head + 1) % c.cap
+	c.count++
+	c.pos[key]++
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// CLOCK (second-chance FIFO with reference bits)
+// ---------------------------------------------------------------------------
+
+// CLOCK approximates LRU with a circulating hand and per-slot ref bits.
+type CLOCK struct {
+	cap   int
+	keys  []uint64
+	ref   []bool
+	used  []bool
+	hand  int
+	count int
+	slot  map[uint64]int
+}
+
+// NewCLOCK creates a CLOCK cache.
+func NewCLOCK(capacity int) *CLOCK {
+	return &CLOCK{
+		cap: capacity, keys: make([]uint64, capacity),
+		ref: make([]bool, capacity), used: make([]bool, capacity),
+		slot: make(map[uint64]int, capacity),
+	}
+}
+
+// Name implements Cache.
+func (c *CLOCK) Name() string { return "CLOCK" }
+
+// Len implements Cache.
+func (c *CLOCK) Len() int { return c.count }
+
+// Access implements Cache.
+func (c *CLOCK) Access(key uint64) bool {
+	if i, ok := c.slot[key]; ok {
+		c.ref[i] = true
+		return true
+	}
+	// Find a victim slot.
+	for {
+		if !c.used[c.hand] {
+			break
+		}
+		if !c.ref[c.hand] {
+			delete(c.slot, c.keys[c.hand])
+			c.count--
+			break
+		}
+		c.ref[c.hand] = false
+		c.hand = (c.hand + 1) % c.cap
+	}
+	c.keys[c.hand] = key
+	c.used[c.hand] = true
+	c.ref[c.hand] = false
+	c.slot[key] = c.hand
+	c.count++
+	c.hand = (c.hand + 1) % c.cap
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// LRU-1
+// ---------------------------------------------------------------------------
+
+type lruNode struct {
+	key        uint64
+	prev, next *lruNode
+}
+
+// LRU evicts the least recently used key (LRU-1).
+type LRU struct {
+	cap        int
+	nodes      map[uint64]*lruNode
+	head, tail *lruNode // head = most recent
+}
+
+// NewLRU creates an LRU-1 cache.
+func NewLRU(capacity int) *LRU {
+	return &LRU{cap: capacity, nodes: make(map[uint64]*lruNode, capacity)}
+}
+
+// Name implements Cache.
+func (c *LRU) Name() string { return "LRU_1" }
+
+// Len implements Cache.
+func (c *LRU) Len() int { return len(c.nodes) }
+
+func (c *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *LRU) pushFront(n *lruNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Access implements Cache.
+func (c *LRU) Access(key uint64) bool {
+	if n, ok := c.nodes[key]; ok {
+		c.unlink(n)
+		c.pushFront(n)
+		return true
+	}
+	if len(c.nodes) == c.cap {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.nodes, victim.key)
+	}
+	n := &lruNode{key: key}
+	c.pushFront(n)
+	c.nodes[key] = n
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// LRU-K (O'Neil et al. 1993), used with K=2 as the paper's LRU_2
+// ---------------------------------------------------------------------------
+
+// LRUK evicts the resident key with the largest backward K-distance: the
+// key whose K-th most recent access is oldest. Keys with fewer than K
+// recorded accesses have infinite distance and are evicted first (by
+// oldest last access). Following O'Neil et al., access history is
+// retained for a while after eviction (the Retained Information Period),
+// so a key re-admitted shortly after eviction still counts its earlier
+// accesses toward its K-distance.
+type LRUK struct {
+	cap      int
+	k        int
+	now      uint64
+	resident map[uint64]bool
+	hist     map[uint64][]uint64 // key -> last K access times (newest first)
+	heap     lazyHeap
+}
+
+// NewLRUK creates an LRU-K cache.
+func NewLRUK(capacity, k int) *LRUK {
+	return &LRUK{
+		cap: capacity, k: k,
+		resident: make(map[uint64]bool, capacity),
+		hist:     make(map[uint64][]uint64, 2*capacity),
+	}
+}
+
+// Name implements Cache.
+func (c *LRUK) Name() string { return fmt.Sprintf("LRU_%d", c.k) }
+
+// Len implements Cache.
+func (c *LRUK) Len() int { return len(c.resident) }
+
+// priority returns the eviction priority: the K-th most recent access
+// time, or the (much smaller, hence evicted-first) last access time for
+// keys with short history, offset below all full histories.
+func (c *LRUK) priority(h []uint64) uint64 {
+	if len(h) >= c.k {
+		return h[c.k-1] + (1 << 63) // full history sorts above short ones
+	}
+	return h[len(h)-1]
+}
+
+// retainedPeriod is how long (in accesses) history survives eviction.
+func (c *LRUK) retainedPeriod() uint64 { return uint64(2 * c.cap) }
+
+// Access implements Cache.
+func (c *LRUK) Access(key uint64) bool {
+	c.now++
+	h := c.hist[key]
+	// Drop history older than the retained period.
+	for len(h) > 0 && c.now-h[len(h)-1] > c.retainedPeriod() {
+		h = h[:len(h)-1]
+	}
+	h = append([]uint64{c.now}, h...)
+	if len(h) > c.k {
+		h = h[:c.k]
+	}
+	c.hist[key] = h
+	hit := c.resident[key]
+	if !hit {
+		if len(c.resident) == c.cap {
+			c.evict()
+		}
+		c.resident[key] = true
+	}
+	c.heap.push(heapItem{prio: c.priority(h), key: key})
+	c.pruneHistory()
+	return hit
+}
+
+// evict pops stale heap entries until one matches a resident key's
+// current priority, then removes that key (history is retained).
+func (c *LRUK) evict() {
+	for {
+		it, ok := c.heap.pop()
+		if !ok {
+			// Heap exhausted; rebuild from resident histories.
+			for k := range c.resident {
+				c.heap.push(heapItem{prio: c.priority(c.hist[k]), key: k})
+			}
+			continue
+		}
+		if !c.resident[it.key] {
+			continue // already evicted
+		}
+		if c.priority(c.hist[it.key]) != it.prio {
+			continue // stale entry; a fresher one exists
+		}
+		delete(c.resident, it.key)
+		return
+	}
+}
+
+// pruneHistory bounds the retained-history map.
+func (c *LRUK) pruneHistory() {
+	if len(c.hist) <= 8*c.cap {
+		return
+	}
+	for k, h := range c.hist {
+		if !c.resident[k] && (len(h) == 0 || c.now-h[0] > c.retainedPeriod()) {
+			delete(c.hist, k)
+		}
+	}
+}
+
+// heapItem is a lazily invalidated eviction candidate.
+type heapItem struct {
+	prio uint64
+	key  uint64
+}
+
+// lazyHeap is a binary min-heap of eviction candidates.
+type lazyHeap struct{ a []heapItem }
+
+func (h *lazyHeap) push(it heapItem) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p].prio <= h.a[i].prio {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *lazyHeap) pop() (heapItem, bool) {
+	if len(h.a) == 0 {
+		return heapItem{}, false
+	}
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l].prio < h.a[small].prio {
+			small = l
+		}
+		if r < last && h.a[r].prio < h.a[small].prio {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top, true
+}
+
+// ---------------------------------------------------------------------------
+// HLOG: the HybridLog's implicit caching behaviour (§6.4, §7.5)
+// ---------------------------------------------------------------------------
+
+// HLOG simulates FASTER's in-memory log window as a cache: the buffer is
+// the last `capacity` log slots. An access to a key in the mutable region
+// is a hit in place; an access in the read-only region is a hit that
+// copies the key to the tail (the second chance); a miss appends the key.
+// Hot keys therefore occupy up to two slots (one read-only, one mutable),
+// which is exactly the effective-cache-size penalty the paper reports.
+type HLOG struct {
+	cap     int
+	mutable int // slots in the mutable region (tail side)
+	ring    []uint64
+	tailPos uint64            // monotone log position
+	last    map[uint64]uint64 // key -> most recent log position + 1
+	live    int
+}
+
+// NewHLOG creates an HLOG cache; mutableFrac is the fraction of the
+// buffer in the in-place-updatable region (paper default 0.9).
+func NewHLOG(capacity int, mutableFrac float64) *HLOG {
+	m := int(float64(capacity) * mutableFrac)
+	if m < 1 {
+		m = 1
+	}
+	if m > capacity {
+		m = capacity
+	}
+	return &HLOG{
+		cap: capacity, mutable: m,
+		ring: make([]uint64, capacity),
+		last: make(map[uint64]uint64, capacity),
+	}
+}
+
+// Name implements Cache.
+func (c *HLOG) Name() string { return "HLOG" }
+
+// Len implements Cache.
+func (c *HLOG) Len() int { return c.live }
+
+func (c *HLOG) append(key uint64) {
+	if c.live == c.cap {
+		evictPos := c.tailPos - uint64(c.cap)
+		old := c.ring[evictPos%uint64(c.cap)]
+		if p, ok := c.last[old]; ok && p == evictPos+1 {
+			delete(c.last, old)
+		}
+		c.live--
+	}
+	c.ring[c.tailPos%uint64(c.cap)] = key
+	c.last[key] = c.tailPos + 1
+	c.tailPos++
+	c.live++
+}
+
+// Access implements Cache.
+func (c *HLOG) Access(key uint64) bool {
+	p, ok := c.last[key]
+	if ok {
+		pos := p - 1
+		windowStart := uint64(0)
+		if c.tailPos > uint64(c.cap) {
+			windowStart = c.tailPos - uint64(c.cap)
+		}
+		if pos >= windowStart {
+			roBoundary := uint64(0)
+			if c.tailPos > uint64(c.mutable) {
+				roBoundary = c.tailPos - uint64(c.mutable)
+			}
+			if pos < roBoundary {
+				// Read-only region: second chance — copy to tail.
+				c.append(key)
+			}
+			return true
+		}
+		delete(c.last, key)
+	}
+	c.append(key)
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Simulation harness
+// ---------------------------------------------------------------------------
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Protocol  string
+	CacheSize int
+	Accesses  uint64
+	Misses    uint64
+}
+
+// MissRatio returns misses / accesses.
+func (r Result) MissRatio() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// Run feeds trace through a fresh cache from mk and reports the miss
+// ratio, after a warmup of capacity accesses that are excluded from the
+// counts (the paper measures steady-state behaviour).
+func Run(mk NewFunc, capacity int, trace func() uint64, accesses uint64) Result {
+	c := mk(capacity)
+	warm := uint64(capacity)
+	for i := uint64(0); i < warm; i++ {
+		c.Access(trace())
+	}
+	var misses uint64
+	for i := uint64(0); i < accesses; i++ {
+		if !c.Access(trace()) {
+			misses++
+		}
+	}
+	return Result{Protocol: c.Name(), CacheSize: capacity, Accesses: accesses, Misses: misses}
+}

@@ -1,0 +1,222 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ycsb"
+)
+
+func allCaches(capacity int) []Cache {
+	return []Cache{
+		NewFIFO(capacity), NewLRU(capacity), NewLRUK(capacity, 2),
+		NewCLOCK(capacity), NewHLOG(capacity, 0.9),
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	for _, c := range allCaches(8) {
+		if c.Access(1) {
+			t.Fatalf("%s: hit on first access", c.Name())
+		}
+		if !c.Access(1) {
+			t.Fatalf("%s: miss on second access", c.Name())
+		}
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	for _, c := range allCaches(4) {
+		for k := uint64(0); k < 100; k++ {
+			c.Access(k)
+		}
+		if c.Len() > 4 {
+			t.Fatalf("%s: Len %d exceeds capacity 4", c.Name(), c.Len())
+		}
+	}
+}
+
+func TestFIFOEvictsInOrder(t *testing.T) {
+	c := NewFIFO(3)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	c.Access(1) // hit; FIFO ignores recency
+	c.Access(4) // evicts 1 (oldest insertion)
+	if c.Access(1) {
+		t.Fatal("FIFO should have evicted key 1")
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := NewLRU(3)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	c.Access(1) // 1 becomes most recent
+	c.Access(4) // evicts 2
+	if !c.Access(1) {
+		t.Fatal("LRU wrongly evicted recently used key 1")
+	}
+	if c.Access(2) {
+		t.Fatal("LRU should have evicted key 2")
+	}
+}
+
+func TestCLOCKGivesSecondChance(t *testing.T) {
+	c := NewCLOCK(3)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	c.Access(1) // sets ref bit on 1
+	c.Access(4) // hand passes 1 (clears ref), evicts 2
+	if !c.Access(1) {
+		t.Fatal("CLOCK evicted referenced key 1")
+	}
+	if c.Access(2) {
+		t.Fatal("CLOCK should have evicted key 2")
+	}
+}
+
+func TestLRUKPrefersEvictingOneTimers(t *testing.T) {
+	c := NewLRUK(3, 2)
+	c.Access(1)
+	c.Access(1) // key 1 has full history
+	c.Access(2)
+	c.Access(2) // key 2 has full history
+	c.Access(3) // one access only
+	c.Access(4) // must evict 3 (infinite K-distance)
+	if c.Access(3) {
+		t.Fatal("LRU-2 should have evicted the one-time key 3")
+	}
+	if !c.Access(1) || !c.Access(2) {
+		t.Fatal("LRU-2 evicted a key with full history over a one-timer")
+	}
+}
+
+func TestHLOGSecondChance(t *testing.T) {
+	// Capacity 10, mutable 5. A key accessed in the read-only region is
+	// copied to the tail and survives longer than plain FIFO would allow.
+	c := NewHLOG(10, 0.5)
+	c.Access(1)
+	for k := uint64(2); k <= 7; k++ {
+		c.Access(k) // key 1 now 7 positions back: read-only region
+	}
+	if !c.Access(1) {
+		t.Fatal("key 1 should still be cached")
+	}
+	// Key 1 was copied to the tail; push 8 more keys: the original copy
+	// falls out but the fresh copy remains.
+	for k := uint64(10); k < 18; k++ {
+		c.Access(k)
+	}
+	if !c.Access(1) {
+		t.Fatal("HLOG second chance failed: key 1 evicted despite tail copy")
+	}
+}
+
+func TestHLOGDuplicatesReduceEffectiveSize(t *testing.T) {
+	// With heavy reuse, HLOG stores duplicate copies, so a scan over
+	// slightly more distinct keys than capacity misses more than LRU.
+	const cap = 64
+	trace := func(seed int64) func() uint64 {
+		rng := rand.New(rand.NewSource(seed))
+		return func() uint64 { return uint64(rng.Intn(cap + 16)) }
+	}
+	lru := Run(func(c int) Cache { return NewLRU(c) }, cap, trace(1), 50_000)
+	hlog := Run(func(c int) Cache { return NewHLOG(c, 0.9) }, cap, trace(1), 50_000)
+	if hlog.MissRatio() <= lru.MissRatio() {
+		t.Fatalf("expected HLOG (%.4f) to miss more than LRU (%.4f) under reuse",
+			hlog.MissRatio(), lru.MissRatio())
+	}
+}
+
+func TestUniformAllProtocolsSimilar(t *testing.T) {
+	// Fig 14: under a uniform trace every protocol's miss ratio is about
+	// 1 - cacheSize/keySpace.
+	const keys = 4096
+	const cap = keys / 4
+	for _, mk := range Protocols() {
+		g := ycsb.NewUniform(keys, 7)
+		res := Run(mk, cap, g.Next, 100_000)
+		want := 1.0 - float64(cap)/keys
+		if r := res.MissRatio(); r < want-0.08 || r > want+0.08 {
+			t.Fatalf("%s: uniform miss ratio %.3f, want ~%.3f", res.Protocol, r, want)
+		}
+	}
+}
+
+func TestZipfLRUBeatsFIFOAndHLOGBetween(t *testing.T) {
+	// Fig 15's qualitative shape: LRU_1/LRU_2/CLOCK < HLOG < FIFO.
+	const keys = 1 << 15
+	const cap = keys / 8
+	ratio := map[string]float64{}
+	for _, mk := range Protocols() {
+		g := ycsb.NewZipfian(keys, ycsb.DefaultTheta, 3).Unscrambled()
+		res := Run(mk, cap, g.Next, 300_000)
+		ratio[res.Protocol] = res.MissRatio()
+	}
+	if !(ratio["LRU_1"] < ratio["HLOG"]) {
+		t.Fatalf("LRU_1 (%.4f) should beat HLOG (%.4f) on zipf", ratio["LRU_1"], ratio["HLOG"])
+	}
+	if !(ratio["HLOG"] < ratio["FIFO"]) {
+		t.Fatalf("HLOG (%.4f) should beat FIFO (%.4f) on zipf", ratio["HLOG"], ratio["FIFO"])
+	}
+}
+
+func TestHotSetHLOGCompetitive(t *testing.T) {
+	// Fig 16: on the shifting hot-set trace HLOG stays between FIFO and
+	// the LRU family.
+	const keys = 1 << 14
+	const cap = keys / 4
+	ratio := map[string]float64{}
+	for _, mk := range Protocols() {
+		g := ycsb.NewHotSet(ycsb.HotSetConfig{Keys: keys, ShiftEvery: 10_000}, 5)
+		res := Run(mk, cap, g.Next, 300_000)
+		ratio[res.Protocol] = res.MissRatio()
+	}
+	if !(ratio["HLOG"] <= ratio["FIFO"]+0.02) {
+		t.Fatalf("HLOG (%.4f) should be at least as good as FIFO (%.4f) on hot-set",
+			ratio["HLOG"], ratio["FIFO"])
+	}
+}
+
+// Property: Len never exceeds capacity for any access sequence, for any
+// protocol.
+func TestQuickLenBounded(t *testing.T) {
+	f := func(keys []uint16, capSeed uint8) bool {
+		capacity := int(capSeed)%32 + 1
+		for _, c := range allCaches(capacity) {
+			for _, k := range keys {
+				c.Access(uint64(k) % 64)
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accessing the same key twice in a row always hits the second
+// time (no protocol evicts the key it just admitted, capacity >= 1).
+func TestQuickImmediateReaccessHits(t *testing.T) {
+	f := func(keys []uint16) bool {
+		for _, c := range allCaches(4) {
+			for _, k := range keys {
+				c.Access(uint64(k))
+				if !c.Access(uint64(k)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,512 @@
+// Package device abstracts the secondary-storage layer under the FASTER
+// log-structured allocators (Section 5 of the paper).
+//
+// The HybridLog issues asynchronous, sector-aligned page flushes and
+// record-granular random reads. The Device interface captures exactly that
+// contract. Three implementations are provided:
+//
+//   - File:  a real file on disk, mirroring the paper's "file on SSD",
+//     serviced by a small pool of I/O worker goroutines.
+//   - Mem:   an in-memory simulated SSD with configurable read latency and
+//     sequential-write bandwidth, used where the paper's FusionIO drive is
+//     unavailable (see DESIGN.md substitutions).
+//   - Null:  discards writes and fails reads; backs the pure in-memory
+//     allocator mode, which never touches storage.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed device.
+var ErrClosed = errors.New("device: closed")
+
+// ErrOutOfRange is returned when a read addresses bytes never written.
+var ErrOutOfRange = errors.New("device: read beyond written extent")
+
+// Callback receives the result of an asynchronous I/O operation.
+type Callback func(err error)
+
+// Device is an asynchronous block store addressed by byte offset. Offsets
+// correspond one-to-one with HybridLog logical addresses, so a record at
+// logical address L lives at device offset L once its page is flushed.
+//
+// Implementations must allow concurrent calls. Callbacks may run on
+// arbitrary goroutines and must not block for long.
+type Device interface {
+	// WriteAsync writes buf at the given offset and invokes cb when the
+	// write is durable (or has failed). The caller must not modify buf
+	// until cb runs.
+	WriteAsync(buf []byte, offset uint64, cb Callback)
+
+	// ReadAsync fills buf from the given offset and invokes cb. Reads of
+	// regions never written fail with ErrOutOfRange (File devices may
+	// instead return io.EOF-derived errors).
+	ReadAsync(buf []byte, offset uint64, cb Callback)
+
+	// Sync blocks until all writes issued before the call have completed.
+	Sync() error
+
+	// Truncate discards all data below the given offset (log GC,
+	// Appendix C). Reads below it subsequently fail.
+	Truncate(until uint64) error
+
+	// Close releases resources. Outstanding I/O completes first.
+	Close() error
+}
+
+// Stats aggregates device-level counters exposed by the built-in devices.
+type Stats struct {
+	Writes       uint64 // number of WriteAsync calls completed
+	Reads        uint64 // number of ReadAsync calls completed
+	BytesWritten uint64
+	BytesRead    uint64
+}
+
+// statCounters is embedded by implementations to share counter plumbing.
+type statCounters struct {
+	writes       atomic.Uint64
+	reads        atomic.Uint64
+	bytesWritten atomic.Uint64
+	bytesRead    atomic.Uint64
+}
+
+func (s *statCounters) snapshot() Stats {
+	return Stats{
+		Writes:       s.writes.Load(),
+		Reads:        s.reads.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		BytesRead:    s.bytesRead.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ioPool: a fixed pool of worker goroutines servicing async requests.
+// ---------------------------------------------------------------------------
+
+type ioRequest struct {
+	write  bool
+	buf    []byte
+	offset uint64
+	cb     Callback
+}
+
+// ioPool services asynchronous requests with a fixed set of worker
+// goroutines over an unbounded queue. The queue must be unbounded:
+// completion callbacks may submit follow-up I/O (two-phase record reads),
+// so a bounded queue could deadlock with every worker blocked inside a
+// callback that is trying to enqueue.
+type ioPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []ioRequest
+	pending sync.WaitGroup // tracks in-flight requests for Sync
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+func newIOPool(workers int, serve func(ioRequest)) *ioPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ioPool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				p.mu.Lock()
+				for len(p.queue) == 0 && !p.closed.Load() {
+					p.cond.Wait()
+				}
+				if len(p.queue) == 0 {
+					p.mu.Unlock()
+					return
+				}
+				r := p.queue[0]
+				p.queue = p.queue[1:]
+				p.mu.Unlock()
+				serve(r)
+				p.pending.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *ioPool) submit(r ioRequest) bool {
+	if p.closed.Load() {
+		return false
+	}
+	p.pending.Add(1)
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		p.pending.Done()
+		return false
+	}
+	p.queue = append(p.queue, r)
+	p.mu.Unlock()
+	p.cond.Signal()
+	return true
+}
+
+func (p *ioPool) syncWait() { p.pending.Wait() }
+
+func (p *ioPool) close() {
+	p.mu.Lock()
+	already := p.closed.Swap(true)
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	p.cond.Broadcast()
+	p.wg.Wait()
+	// Fail any requests that were queued but never served.
+	for _, r := range p.queue {
+		r.cb(ErrClosed)
+		p.pending.Done()
+	}
+	p.queue = nil
+}
+
+// ---------------------------------------------------------------------------
+// File device
+// ---------------------------------------------------------------------------
+
+// File is a Device backed by a file, the direct analogue of the paper's
+// "file on SSD". I/O is serviced by a pool of goroutines using positional
+// reads and writes, so requests proceed concurrently.
+type File struct {
+	statCounters
+	f         *os.File
+	pool      *ioPool
+	truncated atomic.Uint64 // offsets below this are invalid
+	maxExtent atomic.Uint64 // high-water mark of written bytes
+}
+
+// OpenFile creates or opens path as a device. workers sets the I/O pool
+// size; 4 is a reasonable default for an SSD.
+func OpenFile(path string, workers int) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("device: open %s: %w", path, err)
+	}
+	d := &File{f: f}
+	d.pool = newIOPool(workers, d.serve)
+	return d, nil
+}
+
+func (d *File) serve(r ioRequest) {
+	var err error
+	if r.write {
+		_, err = d.f.WriteAt(r.buf, int64(r.offset))
+		if err == nil {
+			d.writes.Add(1)
+			d.bytesWritten.Add(uint64(len(r.buf)))
+			for {
+				hi := d.maxExtent.Load()
+				end := r.offset + uint64(len(r.buf))
+				if end <= hi || d.maxExtent.CompareAndSwap(hi, end) {
+					break
+				}
+			}
+		}
+	} else {
+		switch {
+		case r.offset < d.truncated.Load():
+			err = ErrOutOfRange
+		default:
+			var n int
+			n, err = d.f.ReadAt(r.buf, int64(r.offset))
+			if err == io.EOF && n == len(r.buf) {
+				err = nil
+			}
+			if err == nil {
+				d.reads.Add(1)
+				d.bytesRead.Add(uint64(len(r.buf)))
+			}
+		}
+	}
+	r.cb(err)
+}
+
+// WriteAsync implements Device.
+func (d *File) WriteAsync(buf []byte, offset uint64, cb Callback) {
+	if !d.pool.submit(ioRequest{write: true, buf: buf, offset: offset, cb: cb}) {
+		cb(ErrClosed)
+	}
+}
+
+// ReadAsync implements Device.
+func (d *File) ReadAsync(buf []byte, offset uint64, cb Callback) {
+	if !d.pool.submit(ioRequest{buf: buf, offset: offset, cb: cb}) {
+		cb(ErrClosed)
+	}
+}
+
+// Sync implements Device.
+func (d *File) Sync() error {
+	d.pool.syncWait()
+	return d.f.Sync()
+}
+
+// Truncate implements Device. Data below until becomes unreadable; the
+// underlying file is hole-punched only logically (offsets are preserved).
+func (d *File) Truncate(until uint64) error {
+	for {
+		old := d.truncated.Load()
+		if until <= old || d.truncated.CompareAndSwap(old, until) {
+			return nil
+		}
+	}
+}
+
+// Stats returns I/O counters.
+func (d *File) Stats() Stats { return d.snapshot() }
+
+// Close implements Device.
+func (d *File) Close() error {
+	d.pool.close()
+	return d.f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Mem device: simulated SSD
+// ---------------------------------------------------------------------------
+
+// MemConfig tunes the simulated SSD.
+type MemConfig struct {
+	// ReadLatency is added to every read, modelling flash random-read
+	// latency. Zero disables the delay.
+	ReadLatency time.Duration
+	// WriteBandwidth caps sequential write throughput in bytes/sec,
+	// modelling the drive's 2 GB/s ceiling from §7.3. Zero = unlimited.
+	WriteBandwidth uint64
+	// Workers sets the I/O pool size (default 4).
+	Workers int
+}
+
+// Mem is an in-memory Device that simulates an SSD: it stores flushed pages
+// in a sparse map of extents and can impose read latency and a write
+// bandwidth cap. It substitutes for the paper's FusionIO drive in
+// larger-than-memory experiments (DESIGN.md §1).
+type Mem struct {
+	statCounters
+	cfg  MemConfig
+	pool *ioPool
+
+	mu         sync.RWMutex
+	extents    map[uint64][]byte // offset -> copy of written buffer
+	truncated  uint64
+	maxExtent  uint64
+	extentSize uint64 // size of first extent; fast path for aligned lookups
+
+	writeTokens atomic.Int64 // crude token bucket for bandwidth capping
+	lastRefill  atomic.Int64 // unix nanos
+}
+
+// NewMem creates a simulated SSD.
+func NewMem(cfg MemConfig) *Mem {
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	d := &Mem{cfg: cfg, extents: make(map[uint64][]byte)}
+	d.lastRefill.Store(time.Now().UnixNano())
+	d.pool = newIOPool(workers, d.serve)
+	return d
+}
+
+func (d *Mem) throttleWrite(n int) {
+	if d.cfg.WriteBandwidth == 0 {
+		return
+	}
+	for {
+		now := time.Now().UnixNano()
+		last := d.lastRefill.Load()
+		if now > last && d.lastRefill.CompareAndSwap(last, now) {
+			refill := int64(uint64(now-last) * d.cfg.WriteBandwidth / 1e9)
+			// Cap the bucket at one second of bandwidth.
+			if cur := d.writeTokens.Add(refill); cur > int64(d.cfg.WriteBandwidth) {
+				d.writeTokens.Store(int64(d.cfg.WriteBandwidth))
+			}
+		}
+		if d.writeTokens.Add(-int64(n)) >= 0 {
+			return
+		}
+		d.writeTokens.Add(int64(n)) // undo; wait for refill
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func (d *Mem) serve(r ioRequest) {
+	if r.write {
+		d.throttleWrite(len(r.buf))
+		cp := make([]byte, len(r.buf))
+		copy(cp, r.buf)
+		d.mu.Lock()
+		d.extents[r.offset] = cp
+		if d.extentSize == 0 {
+			d.extentSize = uint64(len(cp))
+		}
+		if end := r.offset + uint64(len(cp)); end > d.maxExtent {
+			d.maxExtent = end
+		}
+		d.mu.Unlock()
+		d.writes.Add(1)
+		d.bytesWritten.Add(uint64(len(r.buf)))
+		r.cb(nil)
+		return
+	}
+	if d.cfg.ReadLatency > 0 {
+		time.Sleep(d.cfg.ReadLatency)
+	}
+	err := d.readAt(r.buf, r.offset)
+	if err == nil {
+		d.reads.Add(1)
+		d.bytesRead.Add(uint64(len(r.buf)))
+	}
+	r.cb(err)
+}
+
+// readAt assembles buf from stored extents. Extents are written at page
+// granularity by the log, so a record read touches one or two extents.
+func (d *Mem) readAt(buf []byte, offset uint64) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if offset < d.truncated {
+		return ErrOutOfRange
+	}
+	if offset+uint64(len(buf)) > d.maxExtent {
+		return ErrOutOfRange
+	}
+	need := len(buf)
+	filled := 0
+	for filled < need {
+		pos := offset + uint64(filled)
+		ext, extOff, ok := d.findExtent(pos)
+		if !ok {
+			return ErrOutOfRange
+		}
+		n := copy(buf[filled:], ext[extOff:])
+		filled += n
+	}
+	return nil
+}
+
+// findExtent locates the extent containing pos. Called with mu held.
+func (d *Mem) findExtent(pos uint64) (ext []byte, off uint64, ok bool) {
+	// Extents are page-sized and page-aligned in normal operation, so an
+	// aligned probe hits first; fall back to a scan for irregular writes.
+	if sz := d.extentSize; sz != 0 {
+		start := pos - pos%sz
+		if e, found := d.extents[start]; found && pos < start+uint64(len(e)) {
+			return e, pos - start, true
+		}
+	}
+	for start, e := range d.extents {
+		if pos >= start && pos < start+uint64(len(e)) {
+			return e, pos - start, true
+		}
+	}
+	return nil, 0, false
+}
+
+// WriteAsync implements Device.
+func (d *Mem) WriteAsync(buf []byte, offset uint64, cb Callback) {
+	if !d.pool.submit(ioRequest{write: true, buf: buf, offset: offset, cb: cb}) {
+		cb(ErrClosed)
+	}
+}
+
+// ReadAsync implements Device.
+func (d *Mem) ReadAsync(buf []byte, offset uint64, cb Callback) {
+	if !d.pool.submit(ioRequest{buf: buf, offset: offset, cb: cb}) {
+		cb(ErrClosed)
+	}
+}
+
+// Sync implements Device.
+func (d *Mem) Sync() error {
+	d.pool.syncWait()
+	return nil
+}
+
+// Truncate implements Device and frees truncated extents.
+func (d *Mem) Truncate(until uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if until > d.truncated {
+		d.truncated = until
+	}
+	for start, e := range d.extents {
+		if start+uint64(len(e)) <= d.truncated {
+			delete(d.extents, start)
+		}
+	}
+	return nil
+}
+
+// Stats returns I/O counters.
+func (d *Mem) Stats() Stats { return d.snapshot() }
+
+// StoredBytes reports how many bytes the device currently retains.
+func (d *Mem) StoredBytes() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n uint64
+	for _, e := range d.extents {
+		n += uint64(len(e))
+	}
+	return n
+}
+
+// Close implements Device.
+func (d *Mem) Close() error {
+	d.pool.close()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Null device
+// ---------------------------------------------------------------------------
+
+// Null discards all writes and fails all reads. It backs the pure
+// in-memory allocator configuration (Section 4), which by construction
+// never reads from storage.
+type Null struct{ statCounters }
+
+// NewNull returns a Null device.
+func NewNull() *Null { return &Null{} }
+
+// WriteAsync implements Device; the write is acknowledged immediately.
+func (d *Null) WriteAsync(buf []byte, offset uint64, cb Callback) {
+	d.writes.Add(1)
+	d.bytesWritten.Add(uint64(len(buf)))
+	cb(nil)
+}
+
+// ReadAsync implements Device; reads always fail.
+func (d *Null) ReadAsync(buf []byte, offset uint64, cb Callback) {
+	cb(ErrOutOfRange)
+}
+
+// Sync implements Device.
+func (d *Null) Sync() error { return nil }
+
+// Truncate implements Device.
+func (d *Null) Truncate(uint64) error { return nil }
+
+// Stats returns I/O counters.
+func (d *Null) Stats() Stats { return d.snapshot() }
+
+// Close implements Device.
+func (d *Null) Close() error { return nil }

@@ -1,0 +1,75 @@
+package device
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is returned by Faulty for injected failures.
+var ErrInjected = errors.New("device: injected fault")
+
+// Faulty wraps a Device and injects errors, for failure testing: the
+// store must surface injected read errors as failed operations without
+// corrupting state, and injected write (flush) errors must never let
+// eviction pass unflushed pages.
+type Faulty struct {
+	inner Device
+
+	// FailEveryNthRead fails every Nth read (0 disables).
+	failEveryNthRead atomic.Int64
+	// FailEveryNthWrite fails every Nth write (0 disables).
+	failEveryNthWrite atomic.Int64
+
+	reads, writes   atomic.Int64
+	injectedReads   atomic.Int64
+	injectedWrites  atomic.Int64
+	permanentBroken atomic.Bool
+}
+
+// NewFaulty wraps inner.
+func NewFaulty(inner Device) *Faulty { return &Faulty{inner: inner} }
+
+// FailEveryNthRead arranges every n-th read to fail (0 disables).
+func (d *Faulty) FailEveryNthRead(n int64) { d.failEveryNthRead.Store(n) }
+
+// FailEveryNthWrite arranges every n-th write to fail (0 disables).
+func (d *Faulty) FailEveryNthWrite(n int64) { d.failEveryNthWrite.Store(n) }
+
+// BreakPermanently makes every subsequent operation fail.
+func (d *Faulty) BreakPermanently() { d.permanentBroken.Store(true) }
+
+// InjectedFaults returns (readFaults, writeFaults) counts.
+func (d *Faulty) InjectedFaults() (int64, int64) {
+	return d.injectedReads.Load(), d.injectedWrites.Load()
+}
+
+// ReadAsync implements Device.
+func (d *Faulty) ReadAsync(buf []byte, offset uint64, cb Callback) {
+	n := d.reads.Add(1)
+	if d.permanentBroken.Load() || (d.failEveryNthRead.Load() > 0 && n%d.failEveryNthRead.Load() == 0) {
+		d.injectedReads.Add(1)
+		cb(ErrInjected)
+		return
+	}
+	d.inner.ReadAsync(buf, offset, cb)
+}
+
+// WriteAsync implements Device.
+func (d *Faulty) WriteAsync(buf []byte, offset uint64, cb Callback) {
+	n := d.writes.Add(1)
+	if d.permanentBroken.Load() || (d.failEveryNthWrite.Load() > 0 && n%d.failEveryNthWrite.Load() == 0) {
+		d.injectedWrites.Add(1)
+		cb(ErrInjected)
+		return
+	}
+	d.inner.WriteAsync(buf, offset, cb)
+}
+
+// Sync implements Device.
+func (d *Faulty) Sync() error { return d.inner.Sync() }
+
+// Truncate implements Device.
+func (d *Faulty) Truncate(until uint64) error { return d.inner.Truncate(until) }
+
+// Close implements Device.
+func (d *Faulty) Close() error { return d.inner.Close() }

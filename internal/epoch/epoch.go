@@ -1,0 +1,257 @@
+// Package epoch implements the extended epoch-protection framework from
+// Section 2.3 of the FASTER paper (SIGMOD 2018).
+//
+// The framework maintains a shared atomic counter E (the current epoch) and a
+// table of thread-local epoch values, one cache line per slot. An epoch c is
+// safe once every registered thread has advanced strictly past c. On top of
+// the basic protection scheme the framework supports trigger actions: a
+// thread can bump the current epoch from c to c+1 and attach a callback that
+// the system runs exactly once, at some point after epoch c has become safe.
+//
+// Threads (in Go: goroutines that own a session) interact with the framework
+// through four operations, mirroring Section 2.4 of the paper:
+//
+//	Acquire   reserve a slot and join the current epoch
+//	Refresh   publish the current epoch and run any ready trigger actions
+//	BumpWith  increment the current epoch, attaching a trigger action
+//	Release   leave the epoch table
+//
+// The manager is generic: it knows nothing about logs, indexes or stores.
+// FASTER uses it for page flushing, page eviction, safe-read-only offset
+// advancement, index resizing and checkpointing.
+package epoch
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	// Unprotected is the epoch value published by a slot that is not
+	// currently protecting any epoch.
+	Unprotected uint64 = 0
+
+	// drainListSize is the capacity of the (epoch, action) drain list. The
+	// paper implements the drain list as a small array scanned on refresh;
+	// it only needs to hold actions whose epochs are not yet safe.
+	drainListSize = 256
+
+	// cacheLineBytes is the assumed cache line size; each epoch-table slot
+	// is padded to this size so threads never false-share their entries.
+	cacheLineBytes = 64
+)
+
+// entry is a single epoch-table slot, padded to a cache line.
+type entry struct {
+	localEpoch atomic.Uint64 // thread-local epoch, or Unprotected
+	reentrant  atomic.Uint64 // nested Acquire count for this slot
+	_          [cacheLineBytes - 16]byte
+}
+
+// drainItem is one pending trigger action. epoch holds the epoch that must
+// become safe before action runs; a zero epoch marks a free slot.
+type drainItem struct {
+	epoch  atomic.Uint64
+	action func()
+}
+
+// Action is a trigger callback executed exactly once after its epoch is safe.
+type Action = func()
+
+// Manager is the shared epoch state: the current epoch counter, the table of
+// per-thread epochs and the drain list of pending trigger actions.
+//
+// A Manager must be created with New. All methods are safe for concurrent
+// use. Guard methods take a *Guard obtained from Acquire.
+type Manager struct {
+	current   atomic.Uint64 // the current epoch E
+	safe      atomic.Uint64 // cached maximal safe epoch Es
+	drainCnt  atomic.Int64  // number of occupied drain-list slots
+	table     []entry
+	drainList [drainListSize]drainItem
+}
+
+// New creates a Manager with capacity for maxSlots concurrently registered
+// threads. maxSlots must be at least 1; typical values are a small multiple
+// of GOMAXPROCS.
+func New(maxSlots int) *Manager {
+	if maxSlots < 1 {
+		panic("epoch: maxSlots must be >= 1")
+	}
+	m := &Manager{table: make([]entry, maxSlots)}
+	m.current.Store(1) // epoch 0 is reserved: it is trivially safe
+	return m
+}
+
+// NewDefault creates a Manager sized for 2*GOMAXPROCS+8 slots.
+func NewDefault() *Manager {
+	return New(2*runtime.GOMAXPROCS(0) + 8)
+}
+
+// Guard represents one registered thread's membership in the epoch table.
+// It is not safe for concurrent use; exactly one goroutine drives a Guard.
+type Guard struct {
+	m    *Manager
+	slot int
+}
+
+// Current returns the current epoch E.
+func (m *Manager) Current() uint64 { return m.current.Load() }
+
+// Safe returns the most recently computed maximal safe epoch Es. It is a
+// conservative (monotone) lower bound of the true safe epoch.
+func (m *Manager) Safe() uint64 { return m.safe.Load() }
+
+// Acquire reserves an epoch-table slot for the calling goroutine and
+// publishes the current epoch into it. It returns a Guard used for all
+// subsequent operations. Acquire panics if every slot is taken.
+func (m *Manager) Acquire() *Guard {
+	for i := range m.table {
+		e := &m.table[i]
+		if e.localEpoch.Load() == Unprotected &&
+			e.localEpoch.CompareAndSwap(Unprotected, m.current.Load()) {
+			e.reentrant.Store(1)
+			return &Guard{m: m, slot: i}
+		}
+	}
+	panic(fmt.Sprintf("epoch: all %d slots in use", len(m.table)))
+}
+
+// Release removes the guard's entry from the epoch table. The guard must not
+// be used afterwards. Releasing lets the epochs the thread was pinning
+// become safe, so Release also attempts a drain.
+func (g *Guard) Release() {
+	e := &g.m.table[g.slot]
+	if e.reentrant.Add(^uint64(0)) != 0 { // decrement; still nested
+		return
+	}
+	e.localEpoch.Store(Unprotected)
+	if g.m.drainCnt.Load() > 0 {
+		g.m.computeSafeAndDrain(g.m.current.Load())
+	}
+	g.m = nil
+}
+
+// Refresh publishes the current epoch into the guard's slot, recomputes the
+// maximal safe epoch, and runs any drain-list actions that became safe.
+// FASTER threads call Refresh periodically (e.g. every 256 operations).
+func (g *Guard) Refresh() {
+	cur := g.m.current.Load()
+	g.m.table[g.slot].localEpoch.Store(cur)
+	if g.m.drainCnt.Load() > 0 {
+		g.m.computeSafeAndDrain(cur)
+	}
+}
+
+// Epoch returns the epoch currently published by this guard.
+func (g *Guard) Epoch() uint64 { return g.m.table[g.slot].localEpoch.Load() }
+
+// Bump atomically increments the current epoch and returns the previous
+// value c. All threads that refresh after the bump observe at least c+1.
+func (m *Manager) Bump() uint64 {
+	return m.current.Add(1) - 1
+}
+
+// BumpWith increments the current epoch from c to c+1 and registers action
+// to run once epoch c is safe, i.e. once every registered thread has
+// refreshed past c. The action runs exactly once, on whichever thread next
+// drains the list after safety; it may run inline if c is already safe.
+func (m *Manager) BumpWith(action Action) {
+	prior := m.Bump()
+	m.enqueue(prior, action)
+	// Opportunistically drain: if no other thread is registered, or all
+	// have refreshed, the action can run immediately.
+	m.computeSafeAndDrain(m.current.Load())
+}
+
+// enqueue adds (epoch, action) to the drain list, spinning for a free slot.
+// The list is sized generously; in a correctly running system actions drain
+// promptly, so exhaustion indicates threads failing to refresh.
+func (m *Manager) enqueue(epoch uint64, action Action) {
+	for spins := 0; ; spins++ {
+		for i := range m.drainList {
+			it := &m.drainList[i]
+			if it.epoch.Load() == 0 {
+				// Claim the slot with CAS; install action before
+				// publishing the epoch so a concurrent drainer never
+				// sees a claimed slot without its action.
+				if it.epoch.CompareAndSwap(0, math.MaxUint64) {
+					it.action = action
+					it.epoch.Store(epoch)
+					m.drainCnt.Add(1)
+					return
+				}
+			}
+		}
+		// Drain list full: help drain, then retry.
+		m.computeSafeAndDrain(m.current.Load())
+		if spins > 1<<20 {
+			panic("epoch: drain list persistently full (threads not refreshing?)")
+		}
+		runtime.Gosched()
+	}
+}
+
+// computeSafeAndDrain recomputes the maximal safe epoch by scanning the
+// epoch table and then triggers every drain-list action whose epoch is safe.
+// Each action is claimed with a CAS so it runs exactly once.
+func (m *Manager) computeSafeAndDrain(currentEpoch uint64) {
+	safe := currentEpoch - 1
+	for i := range m.table {
+		le := m.table[i].localEpoch.Load()
+		if le != Unprotected && le-1 < safe {
+			safe = le - 1
+		}
+	}
+	// Monotonically raise the cached safe epoch.
+	for {
+		old := m.safe.Load()
+		if safe <= old || m.safe.CompareAndSwap(old, safe) {
+			break
+		}
+	}
+	if m.drainCnt.Load() == 0 {
+		return
+	}
+	for i := range m.drainList {
+		it := &m.drainList[i]
+		ep := it.epoch.Load()
+		if ep == 0 || ep == math.MaxUint64 || ep > safe {
+			continue
+		}
+		// Claim: mark in-flight so no other thread runs it.
+		if !it.epoch.CompareAndSwap(ep, math.MaxUint64) {
+			continue
+		}
+		action := it.action
+		it.action = nil
+		it.epoch.Store(0) // free the slot
+		m.drainCnt.Add(-1)
+		action()
+	}
+}
+
+// Drain runs all pending trigger actions whose epochs are safe, first
+// recomputing safety. Useful at shutdown and in tests.
+func (m *Manager) Drain() {
+	m.computeSafeAndDrain(m.current.Load())
+}
+
+// PendingActions reports the number of trigger actions not yet executed.
+func (m *Manager) PendingActions() int { return int(m.drainCnt.Load()) }
+
+// Registered reports how many slots are currently occupied.
+func (m *Manager) Registered() int {
+	n := 0
+	for i := range m.table {
+		if m.table[i].localEpoch.Load() != Unprotected {
+			n++
+		}
+	}
+	return n
+}
+
+// Slots returns the capacity of the epoch table.
+func (m *Manager) Slots() int { return len(m.table) }

@@ -1,0 +1,210 @@
+package faster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/hlog"
+	"repro/internal/index"
+)
+
+// Checkpointing and recovery (§6.5). FASTER treats the HybridLog itself as
+// the write-ahead log:
+//
+//  1. record t1 = tail address
+//  2. write a fuzzy checkpoint of the hash index (no read locks; §3.3)
+//  3. record t2 = tail address
+//  4. shift the read-only offset to t2 and wait for the flush, making
+//     every record below t2 durable
+//
+// All index mutations during (1)-(3) correspond to records in [t1, t2) on
+// the log, because in-place updates never touch the index. Recovery loads
+// the fuzzy index image and replays exactly that window, raising each
+// affected entry to its newest record; the result is a consistent index
+// as of t2.
+//
+// The checkpoint directory holds two files: "index.ckpt" (the fuzzy index
+// image) and "meta.ckpt" (the bracket addresses).
+
+const metaMagic uint64 = 0xFA57E2C0FFEE0001
+
+// CheckpointInfo describes a completed checkpoint.
+type CheckpointInfo struct {
+	// T1 and T2 bracket the fuzzy index capture on the log.
+	T1, T2 hlog.Address
+	// Begin is the log truncation point at checkpoint time.
+	Begin hlog.Address
+}
+
+// Checkpoint writes a consistent checkpoint into dir (created if needed).
+// It runs without quiescing the store: concurrent operations proceed, and
+// their effects either fall below t2 (captured) or land after it. The
+// calling goroutine must not hold a session.
+func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
+	if s.log.Mode() == hlog.ModeInMemory {
+		return CheckpointInfo{}, errors.New("faster: in-memory stores cannot checkpoint (no device)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return CheckpointInfo{}, err
+	}
+
+	t1 := s.log.TailAddress()
+	f, err := os.Create(filepath.Join(dir, "index.ckpt"))
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	if err := s.idx.WriteCheckpoint(f); err != nil {
+		f.Close()
+		return CheckpointInfo{}, fmt.Errorf("faster: index checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return CheckpointInfo{}, err
+	}
+	t2 := s.log.ShiftReadOnlyToTail()
+	// The safe read-only shift needs every session to refresh; the log's
+	// wait loop drains trigger actions for us.
+	if err := s.log.WaitUntilFlushed(t2); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("faster: flush to t2: %w", err)
+	}
+
+	info := CheckpointInfo{T1: t1, T2: t2, Begin: s.log.BeginAddress()}
+	if err := writeMeta(filepath.Join(dir, "meta.ckpt"), info); err != nil {
+		return CheckpointInfo{}, err
+	}
+	return info, nil
+}
+
+func writeMeta(path string, info CheckpointInfo) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	crc := crc32.NewIEEE()
+	put := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		w.Write(b[:])
+		crc.Write(b[:])
+	}
+	put(metaMagic)
+	put(info.T1)
+	put(info.T2)
+	put(info.Begin)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(crc.Sum32()))
+	w.Write(b[:])
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func readMeta(path string) (CheckpointInfo, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	if len(raw) != 40 {
+		return CheckpointInfo{}, errors.New("faster: bad checkpoint meta size")
+	}
+	crc := crc32.ChecksumIEEE(raw[:32])
+	if binary.LittleEndian.Uint64(raw[32:]) != uint64(crc) {
+		return CheckpointInfo{}, errors.New("faster: checkpoint meta crc mismatch")
+	}
+	if binary.LittleEndian.Uint64(raw) != metaMagic {
+		return CheckpointInfo{}, errors.New("faster: checkpoint meta bad magic")
+	}
+	return CheckpointInfo{
+		T1:    binary.LittleEndian.Uint64(raw[8:]),
+		T2:    binary.LittleEndian.Uint64(raw[16:]),
+		Begin: binary.LittleEndian.Uint64(raw[24:]),
+	}, nil
+}
+
+// Recover opens a store from a checkpoint directory and the device that
+// holds the log contents. cfg plays the same role as in Open; its Device
+// must contain the flushed log (for the built-in device types, reopen the
+// same file or reuse the same Mem device).
+func Recover(cfg Config, dir string) (*Store, error) {
+	info, err := readMeta(filepath.Join(dir, "meta.ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "index.ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	idx, err := index.ReadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("faster: index recovery: %w", err)
+	}
+
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.idx = idx
+	if err := s.log.RecoverTo(info.Begin, info.T2); err != nil {
+		s.Close()
+		return nil, err
+	}
+
+	// Repair the fuzzy index: replay [t1, t2). Records in the window are
+	// newer than anything the fuzzy capture could have seen for their
+	// chain, except entries captured late in the pass — raising each
+	// entry to the maximum address handles both (§6.5).
+	err = s.Scan(ScanOptions{From: info.T1, To: info.T2}, func(r ScanRecord) bool {
+		h := hashKey(r.Key)
+		e, cur := s.idx.FindOrCreateEntry(h)
+		for cur < r.Address {
+			if e.CompareAndSwapAddress(cur, r.Address) {
+				break
+			}
+			e, cur = s.idx.FindOrCreateEntry(h)
+		}
+		return true
+	})
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("faster: log replay: %w", err)
+	}
+	return s, nil
+}
+
+// RebuildIndex reconstructs the entire hash index from the log (the
+// "technically we can rebuild the entire hash-index from the HybridLog"
+// observation of §6.5). It serves as the recovery oracle in tests and as
+// a last-resort repair path. The store must be quiesced.
+func (s *Store) RebuildIndex() error {
+	idx, err := index.New(index.Config{InitialBuckets: s.cfg.IndexBuckets, TagBits: s.cfg.TagBits})
+	if err != nil {
+		return err
+	}
+	err = s.Scan(ScanOptions{}, func(r ScanRecord) bool {
+		h := hashKey(r.Key)
+		e, cur := idx.FindOrCreateEntry(h)
+		for cur < r.Address {
+			if e.CompareAndSwapAddress(cur, r.Address) {
+				break
+			}
+			e, cur = idx.FindOrCreateEntry(h)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s.idx = idx
+	return nil
+}

@@ -1,0 +1,274 @@
+package faster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// readVar reads a variable-length value, following pendings.
+func readVar(t *testing.T, sess *Session, k []byte, max int) ([]byte, Status) {
+	t.Helper()
+	out := make([]byte, max)
+	st, err := sess.Read(k, nil, out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vlen := -1
+	if st == Pending {
+		for _, r := range sess.CompletePending(true) {
+			st = r.Status
+			vlen = r.ValueLen
+		}
+	}
+	if vlen >= 0 {
+		return out[:vlen], st
+	}
+	return out, st
+}
+
+func TestAppendOpsGrowsValues(t *testing.T) {
+	s, _ := openTestStore(t, Config{Ops: AppendOps{MaxValueLen: 256}, BufferPages: 16})
+	sess := s.StartSession()
+	defer sess.Close()
+
+	k := []byte("growing-key")
+	for i := 0; i < 5; i++ {
+		st, err := sess.RMW(k, []byte(fmt.Sprintf("part%d,", i)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == Pending {
+			for _, r := range sess.CompletePending(true) {
+				if r.Status != OK {
+					t.Fatalf("pending append: %v (%v)", r.Status, r.Err)
+				}
+			}
+		}
+	}
+	got, st := readVar(t, sess, k, 256)
+	if st != OK {
+		t.Fatalf("read = %v", st)
+	}
+	want := "part0,part1,part2,part3,part4,"
+	if !bytes.HasPrefix(got, []byte(want)) {
+		t.Fatalf("appended value = %q, want prefix %q", got, want)
+	}
+	// Growth forces seals + copy-updates: every RMW after the first must
+	// have appended a record.
+	if s.Stats().Appends < 5 {
+		t.Fatalf("appends = %d, want >= 5 (grow-in-place impossible)", s.Stats().Appends)
+	}
+}
+
+func TestSealedRecordUpsertFallsBackToAppend(t *testing.T) {
+	s, _ := openTestStore(t, Config{Ops: BlobOps{}, BufferPages: 16})
+	sess := s.StartSession()
+	defer sess.Close()
+	k := []byte("k")
+	sess.Upsert(k, []byte("short"))
+	// A longer value cannot fit: ConcurrentWriter declines, the record
+	// seals, and the upsert appends.
+	appendsBefore := s.Stats().Appends
+	if st, err := sess.Upsert(k, []byte("much longer value than before")); err != nil || st != OK {
+		t.Fatalf("upsert = (%v, %v)", st, err)
+	}
+	if s.Stats().Appends != appendsBefore+1 {
+		t.Fatalf("expected exactly one append, got %d", s.Stats().Appends-appendsBefore)
+	}
+	got, st := readVar(t, sess, k, 64)
+	if st != OK || !bytes.HasPrefix(got, []byte("much longer value")) {
+		t.Fatalf("read after grow = (%q, %v)", got, st)
+	}
+	// Shrinking again goes in place.
+	inPlaceBefore := s.Stats().InPlace
+	sess.Upsert(k, []byte("tiny"))
+	if s.Stats().InPlace != inPlaceBefore+1 {
+		t.Fatal("shrinking upsert should update in place")
+	}
+}
+
+func TestConcurrentAppendersLoseNothing(t *testing.T) {
+	// Each worker appends its own marker bytes; the final value must
+	// contain exactly workers*perW marker bytes in some order.
+	s, _ := openTestStore(t, Config{Ops: AppendOps{MaxValueLen: 4096}, BufferPages: 64})
+	const workers = 4
+	const perW = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := s.StartSession()
+			defer sess.Close()
+			marker := []byte{byte('A' + w)}
+			for i := 0; i < perW; i++ {
+				st, err := sess.RMW([]byte("shared"), marker, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if st == Pending {
+					sess.CompletePending(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sess := s.StartSession()
+	defer sess.Close()
+	got, st := readVar(t, sess, []byte("shared"), 4096)
+	if st != OK {
+		t.Fatalf("read = %v", st)
+	}
+	counts := map[byte]int{}
+	for _, b := range got {
+		if b != 0 {
+			counts[b]++
+		}
+	}
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += counts[byte('A'+w)]
+	}
+	if total != workers*perW {
+		t.Fatalf("appended %d markers, want %d (counts=%v)", total, workers*perW, counts)
+	}
+}
+
+func TestCompactRollsLiveKeysForward(t *testing.T) {
+	s, _ := openTestStore(t, Config{BufferPages: 8})
+	sess := s.StartSession()
+	defer sess.Close()
+	const n = 1200
+	for i := uint64(0); i < n; i++ {
+		if st, _ := sess.RMW(key(i), u64(i+1), nil); st == Pending {
+			sess.CompletePending(true)
+		}
+	}
+	// Delete a band of keys so compaction has garbage to drop.
+	for i := uint64(0); i < n; i += 3 {
+		sess.Delete(key(i))
+	}
+	sess.CompletePending(true)
+
+	cut := s.Log().SafeReadOnlyAddress()
+	if cut <= s.Log().BeginAddress() {
+		t.Skip("nothing became read-only; buffer too large for this test")
+	}
+	copied, reclaimed, err := s.Compact(cut, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed == 0 {
+		t.Fatal("compaction reclaimed nothing")
+	}
+	t.Logf("compacted: %d keys copied, %d bytes reclaimed", copied, reclaimed)
+	if s.Log().BeginAddress() != cut {
+		t.Fatalf("begin = %#x, want %#x", s.Log().BeginAddress(), cut)
+	}
+
+	// All live keys still resolve with their values; deleted keys stay
+	// deleted.
+	for i := uint64(0); i < n; i++ {
+		got, st := readU64(t, sess, key(i))
+		if i%3 == 0 {
+			if st != NotFound {
+				t.Fatalf("deleted key %d resolves to (%d, %v) after compact", i, got, st)
+			}
+			continue
+		}
+		if st != OK || got != i+1 {
+			t.Fatalf("key %d after compact = (%d, %v), want (%d, OK)", i, got, st, i+1)
+		}
+	}
+}
+
+func TestCompactBeyondSafeROFails(t *testing.T) {
+	s, _ := openTestStore(t, Config{})
+	sess := s.StartSession()
+	defer sess.Close()
+	sess.RMW(key(1), u64(1), nil)
+	if _, _, err := s.Compact(s.Log().TailAddress()+4096, sess); err == nil {
+		t.Fatal("compacting beyond safeRO should fail")
+	}
+}
+
+func TestCompactEmptyRangeIsNoop(t *testing.T) {
+	s, _ := openTestStore(t, Config{})
+	sess := s.StartSession()
+	defer sess.Close()
+	copied, reclaimed, err := s.Compact(s.Log().BeginAddress(), sess)
+	if err != nil || copied != 0 || reclaimed != 0 {
+		t.Fatalf("noop compact = (%d, %d, %v)", copied, reclaimed, err)
+	}
+}
+
+func TestPendingResultCarriesValueLen(t *testing.T) {
+	s, _ := openTestStore(t, Config{Ops: BlobOps{}, BufferPages: 8})
+	sess := s.StartSession()
+	defer sess.Close()
+	// A 24-byte value, then spill it to storage.
+	sess.Upsert(key(0), []byte("twenty-four byte value!!"))
+	for i := uint64(1); i < 1500; i++ {
+		sess.Upsert(key(i), u64(i))
+	}
+	out := make([]byte, 64)
+	st, err := sess.Read(key(0), nil, out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Pending {
+		t.Skip("record still in memory; spill insufficient")
+	}
+	results := sess.CompletePending(true)
+	if len(results) != 1 || results[0].Status != OK {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].ValueLen != 24 {
+		t.Fatalf("ValueLen = %d, want 24", results[0].ValueLen)
+	}
+}
+
+func TestDeepOnDiskChainDescent(t *testing.T) {
+	// Regression: followChain must advance the fetch address when the
+	// fetched record belongs to a tag-colliding sibling key — it used to
+	// refetch the same record forever. A 1-bit tag over few buckets
+	// forces many keys per (offset, tag) chain; a tiny buffer pushes the
+	// chains to storage, so reads and RMWs must descend several records
+	// deep on disk.
+	s, _ := openTestStore(t, Config{TagBits: 1, IndexBuckets: 64, BufferPages: 8,
+		MutableFraction: 0.3})
+	sess := s.StartSession()
+	defer sess.Close()
+	const keys = 1500
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		for i := uint64(0); i < keys; i++ {
+			st, err := sess.RMW(key(i), u64(1), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st == Pending {
+				for _, res := range sess.CompletePending(true) {
+					if res.Status != OK {
+						t.Fatalf("pending RMW: %v (%v)", res.Status, res.Err)
+					}
+				}
+			}
+		}
+	}
+	if s.Log().HeadAddress() == 0 {
+		t.Fatal("chains never spilled; test is not exercising disk descent")
+	}
+	for i := uint64(0); i < keys; i++ {
+		got, st := readU64(t, sess, key(i))
+		if st != OK || got != rounds {
+			t.Fatalf("key %d = (%d, %v), want (%d, OK)", i, got, st, rounds)
+		}
+	}
+	if s.Stats().PendingIOs == 0 {
+		t.Fatal("no storage I/O happened; chains were never followed on disk")
+	}
+}

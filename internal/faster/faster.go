@@ -1,0 +1,227 @@
+// Package faster is a from-scratch Go implementation of the FASTER
+// concurrent key-value store (Chandramouli et al., SIGMOD 2018).
+//
+// A Store combines the latch-free hash index of Section 3 with one of the
+// three record allocators of Sections 4-6 (in-memory, append-only, or
+// HybridLog) and exposes the paper's runtime interface: Read, Upsert, RMW
+// (read-modify-write) and Delete, plus CompletePending for continuing
+// operations that went asynchronous on a storage miss.
+//
+// All operations are issued through a Session, which owns an epoch-table
+// slot and must be refreshed periodically — the package does this
+// automatically every RefreshInterval operations, mirroring §2.5.
+package faster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/device"
+	"repro/internal/epoch"
+	"repro/internal/hlog"
+	"repro/internal/index"
+	"repro/internal/xhash"
+)
+
+// Status reports the outcome of a store operation.
+type Status int
+
+const (
+	// OK means the operation completed.
+	OK Status = iota
+	// NotFound means the key does not exist (reads and deletes).
+	NotFound
+	// Pending means the operation went asynchronous (storage I/O or
+	// fuzzy-region deferral); it completes via CompletePending.
+	Pending
+	// Err means the operation failed; see the accompanying error.
+	Err
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case NotFound:
+		return "NOT_FOUND"
+	case Pending:
+		return "PENDING"
+	case Err:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Config configures a Store.
+type Config struct {
+	// IndexBuckets is the initial number of hash buckets; the paper
+	// defaults to #keys/2.
+	IndexBuckets uint64
+	// TagBits configures the index tag width (ablation §7.2.2); 0 means
+	// the default (14).
+	TagBits uint
+
+	// PageBits, BufferPages, MutableFraction and Mode configure the
+	// HybridLog (see hlog.Config). MutableFraction defaults to 0.9, the
+	// paper's recommended 90:10 split.
+	PageBits        uint
+	BufferPages     int
+	MutableFraction float64
+	Mode            hlog.Mode
+
+	// Device stores the log; required for hybrid and append-only modes.
+	Device device.Device
+
+	// Ops supplies the user read/update logic. Required.
+	Ops ValueOps
+
+	// CRDT enables delta records for RMW in the fuzzy region (§6.3).
+	// Requires Ops to implement MergeOps.
+	CRDT bool
+
+	// MaxSessions bounds concurrently active sessions (epoch slots).
+	// Default 64.
+	MaxSessions int
+	// RefreshInterval is the number of operations between automatic
+	// epoch refreshes (paper: 256).
+	RefreshInterval int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Ops == nil {
+		return errors.New("faster: Config.Ops is required")
+	}
+	if c.IndexBuckets == 0 {
+		c.IndexBuckets = 1 << 16
+	}
+	if c.PageBits == 0 {
+		c.PageBits = 22 // 4 MB pages, as in §7.4.1
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = 32
+	}
+	if c.MutableFraction == 0 {
+		c.MutableFraction = 0.9
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.RefreshInterval == 0 {
+		c.RefreshInterval = 256
+	}
+	if c.CRDT {
+		if _, ok := c.Ops.(MergeOps); !ok {
+			return errors.New("faster: CRDT requires Ops to implement MergeOps")
+		}
+	}
+	return nil
+}
+
+// Stats aggregates store-level counters. Fuzzy and pending counters feed
+// the Fig 12b / Fig 13 experiments.
+type Stats struct {
+	Operations   uint64 // completed user operations
+	FuzzyRMWs    uint64 // RMWs deferred because the record was fuzzy
+	PendingIOs   uint64 // operations that went to storage
+	DeltaRecords uint64 // CRDT delta records appended
+	InPlace      uint64 // updates applied in place
+	Appends      uint64 // records appended (RCU, inserts, tombstones)
+	FailedCAS    uint64 // lost index compare-and-swaps (retries)
+}
+
+// Store is a FASTER key-value store instance.
+type Store struct {
+	cfg   Config
+	em    *epoch.Manager
+	idx   *index.Index
+	log   *hlog.Log
+	ops   ValueOps
+	merge MergeOps // non-nil iff cfg.CRDT
+
+	stats struct {
+		operations   atomic.Uint64
+		fuzzyRMWs    atomic.Uint64
+		pendingIOs   atomic.Uint64
+		deltaRecords atomic.Uint64
+		inPlace      atomic.Uint64
+		appends      atomic.Uint64
+		failedCAS    atomic.Uint64
+	}
+
+	closed atomic.Bool
+}
+
+// Open creates a Store from cfg.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	em := epoch.New(cfg.MaxSessions + 8)
+	idx, err := index.New(index.Config{InitialBuckets: cfg.IndexBuckets, TagBits: cfg.TagBits})
+	if err != nil {
+		return nil, err
+	}
+	log, err := hlog.New(hlog.Config{
+		PageBits:        cfg.PageBits,
+		BufferPages:     cfg.BufferPages,
+		MutableFraction: cfg.MutableFraction,
+		Mode:            cfg.Mode,
+		Device:          cfg.Device,
+		Epoch:           em,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, em: em, idx: idx, log: log, ops: cfg.Ops}
+	if cfg.CRDT {
+		s.merge = cfg.Ops.(MergeOps)
+	}
+	return s, nil
+}
+
+// Log exposes the underlying HybridLog (log analytics, experiments).
+func (s *Store) Log() *hlog.Log { return s.log }
+
+// Index exposes the underlying hash index (experiments, tests).
+func (s *Store) Index() *index.Index { return s.idx }
+
+// Epoch exposes the store's epoch manager.
+func (s *Store) Epoch() *epoch.Manager { return s.em }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Operations:   s.stats.operations.Load(),
+		FuzzyRMWs:    s.stats.fuzzyRMWs.Load(),
+		PendingIOs:   s.stats.pendingIOs.Load(),
+		DeltaRecords: s.stats.deltaRecords.Load(),
+		InPlace:      s.stats.inPlace.Load(),
+		Appends:      s.stats.appends.Load(),
+		FailedCAS:    s.stats.failedCAS.Load(),
+	}
+}
+
+// GrowIndex doubles the hash index on the fly (Appendix B). The calling
+// goroutine must not hold an active session.
+func (s *Store) GrowIndex() error { return s.idx.Grow(s.em) }
+
+// TruncateUntil garbage-collects the log prefix below addr
+// (expiration-based GC, Appendix C). Index entries pointing below the new
+// begin address are dropped lazily as operations encounter them.
+func (s *Store) TruncateUntil(addr hlog.Address) error {
+	return s.log.TruncateUntil(addr)
+}
+
+// hashKey computes the index hash for key.
+func hashKey(key []byte) uint64 { return xhash.Bytes(key) }
+
+// Close shuts the store down. Outstanding sessions must be closed first.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.em.Drain()
+	return s.log.Close()
+}

@@ -1,0 +1,496 @@
+package faster
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/hlog"
+)
+
+// Operations go pending for two reasons (§5.3, §6.3): the record they need
+// lives on storage (Read, RMW), or an RMW hit the fuzzy region and must be
+// retried after the safe read-only offset catches up. Each pending
+// operation carries a context that resumes it; completions are queued per
+// session and drained by CompletePending, exactly as in §2.5.
+
+// opKind identifies how a pending operation resumes.
+type opKind int
+
+const (
+	opRead      opKind = iota // storage read, deliver value
+	opReadMerge               // CRDT reconcile continuing down the chain
+	opRMW                     // storage read, then copy-update at the tail
+	opRMWRetry                // fuzzy-region deferral, re-execute
+	opRMWVerify               // verify no newer version in an evicted span
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opRead:
+		return "read"
+	case opReadMerge:
+		return "read-merge"
+	case opRMW:
+		return "rmw"
+	case opRMWRetry:
+		return "rmw-retry"
+	case opRMWVerify:
+		return "rmw-verify"
+	default:
+		return "unknown"
+	}
+}
+
+// PendingOp is the continuation context of an asynchronous operation.
+type PendingOp struct {
+	kind   opKind
+	key    []byte // owned copy
+	input  []byte // owned copy
+	output []byte // caller-provided output buffer (reads)
+	ctx    any
+
+	addr      hlog.Address // record currently being fetched
+	entryAddr hlog.Address // chain head observed when the RMW issued
+	acc       []byte       // CRDT merge accumulator
+	buf       []byte       // completed read buffer
+	err       error
+
+	// RMW span verification (see publishFetched): the fetched old
+	// record's buffer, the span floor, and the chain head to republish
+	// against once the span is verified clean.
+	fetchedBuf []byte
+	verifyStop hlog.Address
+	verifyCur  hlog.Address
+
+	trace []string // debug instrumentation (debugTraceOps)
+}
+
+// debugTrace appends a step to the op's debug trace.
+func (op *PendingOp) debugTrace(format string, args ...any) {
+	if debugTraceOps {
+		op.trace = append(op.trace, fmt.Sprintf(format, args...))
+		if len(op.trace) > 24 {
+			op.trace = op.trace[len(op.trace)-24:]
+		}
+	}
+}
+
+// Result reports the completion of a pending operation.
+type Result struct {
+	// Kind is "read", "read-merge", "rmw" or "rmw-retry".
+	Kind string
+	// Key is the operation's key (the session's owned copy).
+	Key []byte
+	// Output is the caller's output buffer, now filled (reads).
+	Output []byte
+	// Status is the final status: OK, NotFound or Err.
+	Status Status
+	// ValueLen is the record's value length for completed reads.
+	ValueLen int
+	// Err is non-nil when Status is Err.
+	Err error
+	// Ctx is the caller's context value from the original call.
+	Ctx any
+}
+
+// completionQueue is a mutex-guarded queue filled by device callbacks
+// (arbitrary goroutines) and drained by the session goroutine.
+type completionQueue struct {
+	mu  sync.Mutex
+	ops []*PendingOp
+}
+
+func (q *completionQueue) push(op *PendingOp) {
+	if debugPush != nil {
+		debugPush(op)
+	}
+	q.mu.Lock()
+	q.ops = append(q.ops, op)
+	q.mu.Unlock()
+}
+
+func (q *completionQueue) drain() []*PendingOp {
+	q.mu.Lock()
+	ops := q.ops
+	q.ops = nil
+	q.mu.Unlock()
+	return ops
+}
+
+// newPendingOp builds a continuation with owned copies of key and input.
+func (sess *Session) newPendingOp(kind opKind, key, input, output []byte, ctx any) *PendingOp {
+	op := &PendingOp{kind: kind, output: output, ctx: ctx}
+	op.key = append([]byte(nil), key...)
+	if input != nil {
+		op.input = append([]byte(nil), input...)
+	}
+	return op
+}
+
+// issueIO starts the asynchronous fetch of the record at op.addr: first
+// the 16-byte header (for the record's size), then the full record. The
+// final callback parks the op on the session's completion queue; no store
+// state is touched from the I/O callback goroutine.
+func (sess *Session) issueIO(op *PendingOp) {
+	op.debugTrace("issue@%#x kind=%v", op.addr, op.kind)
+	if debugIssue != nil {
+		debugIssue(op)
+	}
+	sess.inFlight++
+	sess.s.stats.pendingIOs.Add(1)
+	hdr := make([]byte, recHeaderBytes)
+	sess.s.log.ReadAsync(op.addr, hdr, func(err error) {
+		if err != nil {
+			op.err = err
+			sess.completed.push(op)
+			return
+		}
+		size := probeSize(hdr)
+		if size == 0 || size > 1<<24 {
+			op.err = errCorruptRecord
+			sess.completed.push(op)
+			return
+		}
+		buf := make([]byte, size)
+		sess.s.log.ReadAsync(op.addr, buf, func(err error) {
+			if err != nil {
+				op.err = err
+			} else {
+				op.buf = buf
+			}
+			sess.completed.push(op)
+		})
+	})
+}
+
+// CompletePending processes the session's completed asynchronous I/Os and
+// fuzzy-region retries, returning one Result per finished user operation.
+// With wait set it blocks (refreshing the epoch) until every outstanding
+// operation has finished.
+func (sess *Session) CompletePending(wait bool) []Result {
+	var results []Result
+	spins := 0
+	for {
+		progressed := false
+
+		// Fuzzy deferrals: retry once the safe read-only offset has been
+		// republished (any epoch refresh may have advanced it).
+		if n := len(sess.retries); n > 0 {
+			retries := sess.retries
+			sess.retries = nil
+			for _, op := range retries {
+				st, err := sess.rmwInternal(op.key, op.input, op.ctx)
+				if st == Pending {
+					// Re-queued (still fuzzy, or now on storage).
+					continue
+				}
+				progressed = true
+				results = append(results, Result{
+					Kind: op.kind.String(), Key: op.key, Status: st, Err: err, Ctx: op.ctx,
+				})
+			}
+		}
+
+		for _, op := range sess.completed.drain() {
+			progressed = true
+			if res, done := sess.continueOp(op); done {
+				sess.inFlight--
+				results = append(results, res)
+			}
+		}
+
+		if !wait {
+			return results
+		}
+		if sess.inFlight == 0 && len(sess.retries) == 0 {
+			return results
+		}
+		if progressed {
+			spins = 0
+			continue
+		}
+		// Let flush/eviction trigger actions run so the fuzzy region
+		// shrinks and device callbacks land — and yield the processor so
+		// the device workers actually get to run (critical on small
+		// GOMAXPROCS: a tight spin here starves the I/O goroutines).
+		sess.g.Refresh()
+		sess.s.em.Drain()
+		if debugSpin != nil {
+			debugSpin(sess)
+		}
+		spins++
+		if spins > 64 {
+			time.Sleep(5 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// continueOp resumes a pending operation whose I/O completed. done is
+// false when the op re-issued another I/O (following the chain).
+func (sess *Session) continueOp(op *PendingOp) (Result, bool) {
+	s := sess.s
+	fail := func(st Status, err error) (Result, bool) {
+		return Result{Kind: op.kind.String(), Key: op.key, Output: op.output,
+			Status: st, Err: err, Ctx: op.ctx}, true
+	}
+	if op.err != nil {
+		return fail(Err, op.err)
+	}
+	rec, ok := parseRecord(op.buf)
+	if !ok {
+		return fail(Err, errCorruptRecord)
+	}
+
+	op.debugTrace("complete@%#x key=%x inv=%v prev=%#x", op.addr, rec.key, rec.invalid(), rec.prev())
+	if rec.invalid() || !bytes.Equal(rec.key, op.key) {
+		// Not our record: follow the chain further down.
+		return sess.followChain(op, rec.prev())
+	}
+
+	switch op.kind {
+	case opRead:
+		if rec.tombstone() {
+			return fail(NotFound, nil)
+		}
+		if rec.delta() && s.merge != nil {
+			// The newest on-disk record is a delta: switch to a merge
+			// fold from here down.
+			op.kind = opReadMerge
+			op.acc = make([]byte, len(op.output))
+			return sess.mergeAndDescend(op, rec)
+		}
+		s.ops.SingleReader(op.key, rec.value, op.input, op.output)
+		res, done := fail(OK, nil)
+		res.ValueLen = len(rec.value)
+		return res, done
+
+	case opReadMerge:
+		if rec.tombstone() {
+			copy(op.output, op.acc)
+			return fail(OK, nil)
+		}
+		return sess.mergeAndDescend(op, rec)
+
+	case opRMW:
+		return sess.completeRMWAfterFetch(op, rec)
+
+	case opRMWVerify:
+		// The span record matched our key (checked above): a newer
+		// version exists, so the fetched value is stale.
+		return sess.reissueRMW(op)
+	}
+	return fail(Err, errCorruptRecord)
+}
+
+// followChain either issues the next fetch or finishes the op when the
+// chain is exhausted.
+func (sess *Session) followChain(op *PendingOp, next hlog.Address) (Result, bool) {
+	s := sess.s
+	if op.kind == opRMWVerify && next <= op.verifyStop {
+		// Span verified clean on storage: republish against the head we
+		// observed when the verification started.
+		return sess.republishVerified(op)
+	}
+	if next == hlog.InvalidAddress || next < s.log.BeginAddress() {
+		return sess.chainExhausted(op)
+	}
+	if s.log.InMemory(next) {
+		if debugPath != nil {
+			debugPath("follow-inmemory")
+		}
+		// Chains point strictly downward, so a fetched record's
+		// predecessor cannot re-enter memory; begin-address truncation
+		// is the only way this could mislead, handled above.
+		return sess.chainExhausted(op)
+	}
+	if debugPath != nil {
+		debugPath("follow-chain")
+	}
+	op.addr = next
+	op.buf = nil
+	sess.inFlight--
+	sess.issueIO(op)
+	return Result{}, false
+}
+
+// republishVerified retries a publish whose candidate span proved free of
+// newer versions of the op's key.
+func (sess *Session) republishVerified(op *PendingOp) (Result, bool) {
+	finish := func(st Status, err error) (Result, bool) {
+		return Result{Kind: "rmw", Key: op.key, Status: st, Err: err, Ctx: op.ctx}, true
+	}
+	rec, ok := parseRecord(op.fetchedBuf)
+	if !ok {
+		return finish(Err, errCorruptRecord)
+	}
+	op.kind = opRMW
+	st, err := sess.publishFetched(hashKey(op.key), op, rec, op.verifyCur)
+	switch st {
+	case statusDone:
+		return finish(OK, err)
+	case statusPendingIO:
+		sess.inFlight--
+		return Result{}, false
+	default:
+		return sess.reissueRMW(op)
+	}
+}
+
+// chainExhausted finishes an op whose key turned out not to exist.
+func (sess *Session) chainExhausted(op *PendingOp) (Result, bool) {
+	if op.kind == opRMWVerify {
+		// The whole chain below the span floor ended: span clean.
+		return sess.republishVerified(op)
+	}
+	switch op.kind {
+	case opRead:
+		return Result{Kind: op.kind.String(), Key: op.key, Output: op.output,
+			Status: NotFound, Ctx: op.ctx}, true
+	case opReadMerge:
+		copy(op.output, op.acc)
+		return Result{Kind: op.kind.String(), Key: op.key, Output: op.output,
+			Status: OK, Ctx: op.ctx}, true
+	case opRMW:
+		// Key absent below the fetch point: CREATE_RECORD with the
+		// initial value (Alg 4), through the same verified-publish path
+		// as fetched values — the chain head may have moved during the
+		// descent, and only a new version of THIS key should force a
+		// restart. A synthesized tombstone stands in for the (absent)
+		// old record, making the publish take the initial-value branch.
+		h := hashKey(op.key)
+		tomb := make([]byte, recordSize(len(op.key), 0))
+		writeRecord(tomb, 0, flagTombstone, op.key, 0)
+		op.fetchedBuf = tomb
+		rec, _ := parseRecord(tomb)
+		st, err := sess.publishFetched(h, op, rec, op.entryAddr)
+		switch st {
+		case statusDone:
+			return Result{Kind: op.kind.String(), Key: op.key, Status: OK, Err: err, Ctx: op.ctx}, true
+		case statusPendingIO:
+			sess.inFlight-- // the verify fetch re-incremented
+			return Result{}, false
+		default:
+			return sess.reissueRMW(op)
+		}
+	}
+	return Result{Kind: op.kind.String(), Key: op.key, Status: Err, Err: errCorruptRecord, Ctx: op.ctx}, true
+}
+
+// mergeAndDescend folds rec into the accumulator and continues down the
+// chain until the base (non-delta) record.
+func (sess *Session) mergeAndDescend(op *PendingOp, rec record) (Result, bool) {
+	s := sess.s
+	s.merge.Merge(op.key, rec.value, op.acc)
+	if !rec.delta() {
+		copy(op.output, op.acc)
+		return Result{Kind: op.kind.String(), Key: op.key, Output: op.output,
+			Status: OK, Ctx: op.ctx}, true
+	}
+	return sess.followChain(op, rec.prev())
+}
+
+// completeRMWAfterFetch finishes an RMW whose old value arrived from
+// storage. There is deliberately no "chain head moved, refetch" check
+// here: the publish path verifies any records appended above the
+// fetch-time head (in memory, or via an on-disk span check) and restarts
+// only when a newer version of the op's key actually exists — a naive
+// refetch rule live-locks against a tag-colliding hot key whose appends
+// always outpace this op's two-I/O descent.
+func (sess *Session) completeRMWAfterFetch(op *PendingOp, rec record) (Result, bool) {
+	finish := func(st Status, err error) (Result, bool) {
+		return Result{Kind: op.kind.String(), Key: op.key, Status: st, Err: err, Ctx: op.ctx}, true
+	}
+	h := hashKey(op.key)
+	chainHead := op.entryAddr
+	// Publish the update computed from the fetched value. The old value
+	// lives in op.buf (session-owned memory). Publishing must tolerate
+	// the chain head moving under us: when a tag-colliding hot key keeps
+	// appending, a naive retry-by-refetch loop starves (each retry costs
+	// two I/Os while the hot sibling appends from memory). Instead,
+	// verify in memory that no newer version of OUR key appeared and
+	// re-CAS against the new head.
+	op.fetchedBuf = op.buf
+	st, err := sess.publishFetched(h, op, rec, chainHead)
+	switch st {
+	case statusDone:
+		return finish(OK, err)
+	case statusPendingIO:
+		sess.inFlight-- // the verify fetch re-incremented
+		return Result{}, false
+	default:
+		return sess.reissueRMW(op)
+	}
+}
+
+// publishFetched appends the RMW result for a value fetched from storage,
+// CASing the index entry. On a lost CAS it checks, purely in memory,
+// whether the span of records added above the fetch point contains a
+// newer version of the op's key: if not, the fetched value is still
+// current and the publish retries against the new chain head; if it does
+// (or the span is unverifiable because it was already evicted), the
+// caller must re-execute the RMW.
+func (sess *Session) publishFetched(h uint64, op *PendingOp, old record, chainHead hlog.Address) (internalStatus, error) {
+	s := sess.s
+	haveOld := !old.tombstone()
+	for {
+		var valueLen int
+		if haveOld {
+			valueLen = s.ops.CopyValueLen(op.key, old.value, op.input)
+		} else {
+			valueLen = s.ops.InitialValueLen(op.key, op.input)
+		}
+		_, st, err := sess.appendRecord(h, op.key, chainHead, hlog.InvalidAddress, 0, valueLen, func(dst record) {
+			if haveOld {
+				s.ops.CopyUpdater(op.key, old.value, dst.value, op.input)
+			} else {
+				s.ops.InitialUpdater(op.key, dst.value, op.input)
+			}
+		})
+		if err != nil {
+			return statusDone, err
+		}
+		if st == statusDone {
+			return statusDone, nil
+		}
+		// Lost the CAS: inspect the records newer than our observed
+		// head. All of them were appended after the fetch, so they are
+		// at the tail unless already evicted.
+		_, cur := s.idx.FindOrCreateEntry(h)
+		floor := maxAddr(s.log.HeadAddress(), chainHead+1)
+		laddr, _, found := s.traceBack(op.key, cur, floor)
+		if found {
+			return statusRetry, nil // a newer version of our key exists
+		}
+		if laddr != hlog.InvalidAddress && laddr > chainHead {
+			// Part of the span was evicted before we could check it in
+			// memory. Verify the evicted part on storage: this keeps
+			// per-attempt work proportional to the span (the appends
+			// that landed during one publish attempt), where a full
+			// re-descent from the tail can outlive the eviction window
+			// and live-lock against a tag-colliding hot key.
+			op.kind = opRMWVerify
+			op.verifyStop = chainHead
+			op.verifyCur = cur
+			op.addr = laddr
+			sess.issueIO(op)
+			return statusPendingIO, nil
+		}
+		chainHead = cur
+	}
+}
+
+// reissueRMW re-executes a lost-CAS RMW via the normal path.
+func (sess *Session) reissueRMW(op *PendingOp) (Result, bool) {
+	op.debugTrace("reissue")
+	st, err := sess.rmwInternal(op.key, op.input, op.ctx)
+	if st == Pending {
+		sess.inFlight--
+		return Result{}, false
+	}
+	return Result{Kind: op.kind.String(), Key: op.key, Status: st, Err: err, Ctx: op.ctx}, true
+}

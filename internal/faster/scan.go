@@ -1,0 +1,222 @@
+package faster
+
+import (
+	"fmt"
+
+	"repro/internal/hlog"
+)
+
+// Log scanning (Appendix F): the HybridLog is record-oriented and
+// approximately time-ordered, so it doubles as a change feed for
+// analytics. Scan walks a logical-address window in order, decoding
+// records from memory frames when resident and from the device otherwise.
+//
+// Scan reads whole pages from the device, so it is also the replay engine
+// used by recovery (checkpoint.go).
+
+// ScanRecord is one record yielded by Scan.
+type ScanRecord struct {
+	// Address is the record's logical address.
+	Address hlog.Address
+	// Key and Value alias a transient buffer; copy them to retain.
+	Key, Value []byte
+	// Tombstone marks a delete marker record.
+	Tombstone bool
+	// Delta marks a CRDT partial-update record.
+	Delta bool
+	// Invalid marks a record that lost its index insert race; analytics
+	// normally skip these, so Scan only yields them when includeInvalid
+	// is set on the call.
+	Invalid bool
+	// Previous is the address of the prior version in this record's
+	// hash chain.
+	Previous hlog.Address
+}
+
+// ScanOptions controls Scan.
+type ScanOptions struct {
+	// From and To bound the scan window [From, To); zero values default
+	// to the begin address and tail address respectively.
+	From, To hlog.Address
+	// IncludeInvalid also yields records that lost their publish race.
+	IncludeInvalid bool
+}
+
+// Scan invokes fn for every record in the window, in log order. Returning
+// false from fn stops the scan early. Scan is safe to run concurrently
+// with operations, but the window above the safe read-only offset is read
+// without synchronisation against in-place updates; analytics scans
+// normally stop at SafeReadOnlyAddress (pass To: 0 on a quiesced store, or
+// To: s.Log().SafeReadOnlyAddress() on a live one).
+func (s *Store) Scan(opts ScanOptions, fn func(r ScanRecord) bool) error {
+	from, to := opts.From, opts.To
+	if from == 0 {
+		from = s.log.BeginAddress()
+	}
+	if to == 0 {
+		to = s.log.TailAddress()
+	}
+	if from >= to {
+		return nil
+	}
+	pageSize := s.log.PageSize()
+	pageBuf := make([]byte, pageSize)
+
+	// Epoch protection keeps resident pages from being evicted under the
+	// scan; refreshing at page granularity bounds how long we pin them.
+	g := s.em.Acquire()
+	defer g.Release()
+
+	addr := from
+	for addr < to {
+		g.Refresh()
+		pageStart := addr &^ (pageSize - 1)
+		pageEnd := pageStart + pageSize
+		var page []byte
+		if s.log.InMemory(pageStart) {
+			page = s.log.Slice(pageStart)[:pageSize]
+		} else {
+			// Fetch the flushed page (or its prefix, if the window ends
+			// inside it) from the device.
+			end := pageEnd
+			if to < end {
+				end = to
+			}
+			buf := pageBuf[:end-pageStart]
+			errCh := make(chan error, 1)
+			s.log.ReadAsync(pageStart, buf, func(err error) { errCh <- err })
+			if err := <-errCh; err != nil {
+				return fmt.Errorf("faster: scan read page at %#x: %w", pageStart, err)
+			}
+			page = buf
+		}
+		// Walk records within the page.
+		for addr < to && addr < pageEnd {
+			off := addr - pageStart
+			if uint64(len(page)) <= off {
+				break
+			}
+			rec, ok := parseRecord(page[off:])
+			if !ok {
+				break // padding: rest of page is empty
+			}
+			if !rec.invalid() || opts.IncludeInvalid {
+				cont := fn(ScanRecord{
+					Address:   addr,
+					Key:       rec.key,
+					Value:     rec.value,
+					Tombstone: rec.tombstone(),
+					Delta:     rec.delta(),
+					Invalid:   rec.invalid(),
+					Previous:  rec.prev(),
+				})
+				if !cont {
+					return nil
+				}
+			}
+			addr += uint64(rec.size)
+		}
+		addr = pageEnd
+	}
+	return nil
+}
+
+// Compact rolls the log prefix [BeginAddress, until) forward to the tail
+// (the "Roll To Tail" garbage collection of Appendix C): every key whose
+// newest version lives below the cut-off is re-appended at the tail, then
+// the prefix is truncated. The caller supplies a session and must ensure
+// no concurrent writers run during compaction (like the paper's GC, this
+// is an administrative operation).
+//
+// Compaction runs in two phases so the log scan's epoch guard is released
+// before any store operation runs (a session operation inside the scan
+// could otherwise deadlock a page roll on the scanner's stale epoch):
+// first collect the candidate keys, then roll each one forward.
+//
+// It returns the number of records copied forward and the number of bytes
+// reclaimed.
+func (s *Store) Compact(until hlog.Address, sess *Session) (copied int, reclaimed uint64, err error) {
+	begin := s.log.BeginAddress()
+	if until <= begin {
+		return 0, 0, nil
+	}
+	if until > s.log.SafeReadOnlyAddress() {
+		return 0, 0, fmt.Errorf("faster: compact until %#x beyond safe read-only %#x", until, s.log.SafeReadOnlyAddress())
+	}
+
+	// Phase 1: collect keys whose newest version sits below the cut.
+	seen := map[string]bool{}
+	var candidates [][]byte
+	err = s.Scan(ScanOptions{From: begin, To: until}, func(r ScanRecord) bool {
+		if r.Tombstone {
+			return true // deletes below the cut die with the prefix
+		}
+		if seen[string(r.Key)] {
+			return true
+		}
+		_, chainHead, ok := s.idx.FindEntry(hashKey(r.Key))
+		if !ok || chainHead >= until {
+			// Key deleted, or its newest version is already above the
+			// cut (the index entry always points at the newest record).
+			return true
+		}
+		seen[string(r.Key)] = true
+		candidates = append(candidates, append([]byte(nil), r.Key...))
+		return true
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Phase 2: roll each candidate's current value to the tail.
+	out := make([]byte, maxCompactValue)
+	for _, key := range candidates {
+		st, rerr := sess.Read(key, nil, out, nil)
+		if rerr != nil {
+			return copied, 0, rerr
+		}
+		vlen := -1
+		if st == Pending {
+			for _, res := range sess.CompletePending(true) {
+				st = res.Status
+				vlen = res.ValueLen
+			}
+		} else if st == OK {
+			// Synchronous reads hit an in-memory record; its decoded
+			// length is authoritative.
+			vlen = s.newestValueLen(key)
+		}
+		if st != OK {
+			continue // deleted meanwhile; nothing to preserve
+		}
+		if vlen < 0 || vlen > len(out) {
+			vlen = len(out)
+		}
+		if st2, _ := sess.Upsert(key, out[:vlen]); st2 == OK {
+			copied++
+		}
+	}
+	if terr := s.TruncateUntil(until); terr != nil {
+		return copied, 0, terr
+	}
+	return copied, until - begin, nil
+}
+
+// maxCompactValue bounds the value buffer used when rolling records
+// forward.
+const maxCompactValue = 1 << 16
+
+// newestValueLen returns the value length of the newest in-memory record
+// for key, or -1 when it is not resident.
+func (s *Store) newestValueLen(key []byte) int {
+	_, addr, ok := s.idx.FindEntry(hashKey(key))
+	if !ok || !s.log.InMemory(addr) {
+		return -1
+	}
+	laddr, rec, found := s.traceBack(key, addr, s.log.HeadAddress())
+	if !found {
+		return -1
+	}
+	_ = laddr
+	return len(rec.value)
+}

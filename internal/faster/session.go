@@ -1,0 +1,544 @@
+package faster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/hlog"
+)
+
+// Session is a registered FASTER thread (§2.5). Exactly one goroutine may
+// drive a session; a session owns an epoch-table slot, refreshes it
+// automatically every RefreshInterval operations, and carries the pending
+// queue for operations that went asynchronous.
+type Session struct {
+	s        *Store
+	g        *epoch.Guard
+	opsSince int
+
+	completed completionQueue // async I/O completions land here
+	retries   []*PendingOp    // fuzzy-region deferrals (§6.3)
+	inFlight  int             // issued I/Os not yet returned to the user
+
+	// Per-session counters (aggregated into store stats lazily would
+	// cost atomics; these feed the Fig 12b/13 fuzzy-rate measurements).
+	fuzzyOps  uint64
+	totalOps  uint64
+	spinDebug uint64 // test instrumentation
+
+	closed bool
+}
+
+// ErrSessionClosed is returned by operations on a closed session.
+var ErrSessionClosed = errors.New("faster: session closed")
+
+// errKeyEmpty rejects zero-length keys (a zero key length marks padding
+// in the log format).
+var errKeyEmpty = errors.New("faster: empty key")
+
+// StartSession registers a new session (the paper's Acquire).
+func (s *Store) StartSession() *Session {
+	return &Session{s: s, g: s.em.Acquire()}
+}
+
+// Close deregisters the session (the paper's Release). Pending operations
+// are completed first.
+func (sess *Session) Close() error {
+	if sess.closed {
+		return nil
+	}
+	sess.CompletePending(true)
+	sess.closed = true
+	sess.g.Release()
+	return nil
+}
+
+// Refresh publishes the session into the current epoch immediately.
+func (sess *Session) Refresh() { sess.g.Refresh() }
+
+// FuzzyOps returns (fuzzy, total) operation counts for this session.
+func (sess *Session) FuzzyOps() (fuzzy, total uint64) {
+	return sess.fuzzyOps, sess.totalOps
+}
+
+// opStart performs the per-operation bookkeeping: periodic refresh (§2.5)
+// and counters.
+func (sess *Session) opStart() {
+	sess.totalOps++
+	sess.s.stats.operations.Add(1)
+	sess.opsSince++
+	if sess.opsSince >= sess.s.cfg.RefreshInterval {
+		sess.opsSince = 0
+		sess.g.Refresh()
+	}
+}
+
+// traceBack walks the in-memory record chain from addr down to (but not
+// below) floor, looking for key. If found it returns the record's address
+// and decoded view. Otherwise found is false and the returned address is
+// the first address below floor (the on-disk continuation), or
+// hlog.InvalidAddress if the chain ended.
+func (s *Store) traceBack(key []byte, addr, floor hlog.Address) (hlog.Address, record, bool) {
+	begin := s.log.BeginAddress()
+	for addr != hlog.InvalidAddress && addr >= floor && addr >= begin {
+		rec, ok := s.recordAt(addr)
+		if !ok {
+			return hlog.InvalidAddress, record{}, false
+		}
+		if !rec.invalid() && bytes.Equal(rec.key, key) {
+			return addr, rec, true
+		}
+		addr = rec.prev()
+	}
+	if addr < begin {
+		addr = hlog.InvalidAddress
+	}
+	return addr, record{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Read (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+// Read looks up key and, if the record is in memory, invokes the reader
+// function with output. On a storage miss it returns Pending and the
+// result is delivered by CompletePending with ctx attached.
+func (sess *Session) Read(key, input, output []byte, ctx any) (Status, error) {
+	if sess.closed {
+		return Err, ErrSessionClosed
+	}
+	if len(key) == 0 {
+		return Err, errKeyEmpty
+	}
+	sess.opStart()
+	s := sess.s
+
+	h := hashKey(key)
+	entry, addr, ok := s.idx.FindEntry(h)
+	if !ok {
+		return NotFound, nil
+	}
+	if addr < s.log.BeginAddress() {
+		// Dangling entry below the truncation point: lazy GC (App. C).
+		entry.CompareAndDelete(addr)
+		return NotFound, nil
+	}
+	head := s.log.HeadAddress()
+	laddr, rec, found := s.traceBack(key, addr, head)
+	if found {
+		if rec.tombstone() {
+			return NotFound, nil
+		}
+		if rec.delta() {
+			return sess.readReconcile(key, input, output, ctx, laddr, rec)
+		}
+		if laddr < s.log.SafeReadOnlyAddress() {
+			s.ops.SingleReader(key, rec.value, input, output)
+		} else {
+			s.ops.ConcurrentReader(key, rec.value, input, output)
+		}
+		return OK, nil
+	}
+	if laddr == hlog.InvalidAddress {
+		return NotFound, nil
+	}
+	// The chain continues on storage: go asynchronous.
+	op := sess.newPendingOp(opRead, key, input, output, ctx)
+	op.addr = laddr
+	sess.issueIO(op)
+	return Pending, nil
+}
+
+// readReconcile handles a CRDT read whose newest record is a delta: it
+// folds delta values down the chain until the base record (§6.3). If the
+// chain descends to storage the fold continues asynchronously.
+func (sess *Session) readReconcile(key, input, output []byte, ctx any, addr hlog.Address, rec record) (Status, error) {
+	s := sess.s
+	acc := make([]byte, len(output))
+	head := s.log.HeadAddress()
+	begin := s.log.BeginAddress()
+	for {
+		s.merge.Merge(key, rec.value, acc)
+		if !rec.delta() {
+			copy(output, acc)
+			return OK, nil
+		}
+		addr = rec.prev()
+		// Find the next chain record matching the key.
+		var found bool
+		addr, rec, found = s.traceBack(key, addr, head)
+		if found {
+			if rec.tombstone() {
+				copy(output, acc)
+				return OK, nil
+			}
+			continue
+		}
+		if addr == hlog.InvalidAddress || addr < begin {
+			copy(output, acc)
+			return OK, nil
+		}
+		// Continue the fold on storage.
+		op := sess.newPendingOp(opReadMerge, key, input, output, ctx)
+		op.addr = addr
+		op.acc = acc
+		sess.issueIO(op)
+		return Pending, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Upsert (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+// Upsert blindly replaces the value for key (inserting if absent).
+func (sess *Session) Upsert(key, value []byte) (Status, error) {
+	if sess.closed {
+		return Err, ErrSessionClosed
+	}
+	if len(key) == 0 {
+		return Err, errKeyEmpty
+	}
+	sess.opStart()
+	s := sess.s
+	h := hashKey(key)
+
+	for {
+		entry, chainHead := s.idx.FindOrCreateEntry(h)
+		if chainHead != 0 && chainHead < s.log.BeginAddress() {
+			entry.CompareAndDelete(chainHead)
+			continue
+		}
+		// In-place only in the mutable region (Table 1): trace no lower
+		// than the read-only offset.
+		ro := s.log.ReadOnlyAddress()
+		laddr, rec, found := s.traceBack(key, chainHead, maxAddr(ro, s.log.HeadAddress()))
+		if found && !rec.tombstone() && !rec.delta() && !rec.sealed() {
+			if debugAssert && laddr < s.log.SafeReadOnlyAddress() {
+				panic("in-place upsert below safeRO")
+			}
+			if s.ops.ConcurrentWriter(key, rec.value, value) {
+				s.stats.inPlace.Add(1)
+				return OK, nil
+			}
+			// The writer declined (value must grow): seal the record so
+			// no later in-place write races with the RCU that follows.
+			s.seal(laddr)
+		}
+		// Otherwise append a new record at the tail (RCU / insert).
+		_, st, err := sess.appendRecord(h, key, chainHead, hlog.InvalidAddress, 0, len(value), func(dst record) {
+			s.ops.SingleWriter(key, dst.value, value)
+		})
+		if err != nil {
+			return Err, err
+		}
+		if st == statusRetry {
+			continue
+		}
+		if found {
+			s.setOverwritten(laddr)
+		}
+		return OK, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// RMW (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+// RMW atomically updates key's value from its current value and input,
+// using the InitialUpdater / InPlaceUpdater / CopyUpdater functions. On a
+// storage miss or a fuzzy-region hit it returns Pending.
+func (sess *Session) RMW(key, input []byte, ctx any) (Status, error) {
+	if sess.closed {
+		return Err, ErrSessionClosed
+	}
+	if len(key) == 0 {
+		return Err, errKeyEmpty
+	}
+	sess.opStart()
+	return sess.rmwInternal(key, input, ctx)
+}
+
+// rmwInternal is the retryable core of RMW; CompletePending re-enters it
+// for fuzzy deferrals.
+func (sess *Session) rmwInternal(key, input []byte, ctx any) (Status, error) {
+	s := sess.s
+	h := hashKey(key)
+
+	for {
+		entry, chainHead := s.idx.FindOrCreateEntry(h)
+		if chainHead != 0 && chainHead < s.log.BeginAddress() {
+			entry.CompareAndDelete(chainHead)
+			continue
+		}
+		head := s.log.HeadAddress()
+		laddr, rec, found := s.traceBack(key, chainHead, head)
+
+		switch {
+		case found && rec.tombstone():
+			// Key was deleted: re-insert with the initial value.
+			st, err := sess.rmwCreate(h, key, input, chainHead, hlog.InvalidAddress, record{}, false)
+			if err != nil {
+				return Err, err
+			}
+			if st == statusRetry {
+				continue
+			}
+			return OK, nil
+
+		case found && rec.delta() && s.merge != nil:
+			// A CRDT delta chain is pending reconciliation; appending
+			// another delta keeps RMW latch-free (§6.3).
+			st, err := sess.rmwAppendDelta(h, key, input, chainHead)
+			if err != nil {
+				return Err, err
+			}
+			if st == statusRetry {
+				continue
+			}
+			return OK, nil
+
+		case found:
+			ro := s.log.ReadOnlyAddress()
+			sro := s.log.SafeReadOnlyAddress()
+			switch {
+			case laddr >= ro && !rec.sealed():
+				// Mutable region: update in place (Table 2).
+				if debugAssert {
+					if fi := s.log.FlushIssuedAddress(); laddr < fi {
+						panic(fmt.Sprintf("in-place RMW at %#x below flush-issued %#x (ro=%#x sro=%#x)",
+							laddr, fi, ro, sro))
+					}
+				}
+				if s.ops.InPlaceUpdater(key, rec.value, input) {
+					s.stats.inPlace.Add(1)
+					return OK, nil
+				}
+				// The updater declined (value must grow): seal the
+				// record and copy-update from it.
+				s.seal(laddr)
+				st, err := sess.rmwCreate(h, key, input, chainHead, laddr, rec, true)
+				if err != nil {
+					return Err, err
+				}
+				if st == statusRetry {
+					continue
+				}
+				s.setOverwritten(laddr)
+				return OK, nil
+
+			case laddr >= ro: // sealed: must copy-update
+				st, err := sess.rmwCreate(h, key, input, chainHead, laddr, rec, true)
+				if err != nil {
+					return Err, err
+				}
+				if st == statusRetry {
+					continue
+				}
+				return OK, nil
+			case laddr >= sro:
+				// Fuzzy region (§6.2-6.3).
+				if s.merge != nil {
+					st, err := sess.rmwAppendDelta(h, key, input, chainHead)
+					if err != nil {
+						return Err, err
+					}
+					if st == statusRetry {
+						continue
+					}
+					return OK, nil
+				}
+				sess.fuzzyOps++
+				s.stats.fuzzyRMWs.Add(1)
+				op := sess.newPendingOp(opRMWRetry, key, input, nil, ctx)
+				sess.retries = append(sess.retries, op)
+				return Pending, nil
+			default:
+				// Safe read-only region: copy-update to the tail.
+				st, err := sess.rmwCreate(h, key, input, chainHead, laddr, rec, true)
+				if err != nil {
+					return Err, err
+				}
+				if st == statusRetry {
+					continue
+				}
+				s.setOverwritten(laddr)
+				return OK, nil
+			}
+
+		case laddr == hlog.InvalidAddress:
+			// Key absent: insert the initial value.
+			st, err := sess.rmwCreate(h, key, input, chainHead, hlog.InvalidAddress, record{}, false)
+			if err != nil {
+				return Err, err
+			}
+			if st == statusRetry {
+				continue
+			}
+			return OK, nil
+
+		default:
+			// The chain continues on storage: fetch asynchronously.
+			op := sess.newPendingOp(opRMW, key, input, nil, ctx)
+			op.addr = laddr
+			op.entryAddr = chainHead
+			sess.issueIO(op)
+			return Pending, nil
+		}
+	}
+}
+
+type internalStatus int
+
+const (
+	statusDone internalStatus = iota
+	statusRetry
+	statusPendingIO
+)
+
+// appendRecord allocates and publishes a record at the tail: write the
+// record, fill the value via fill, CAS the index entry from chainHead.
+// Returns statusRetry (with the record invalidated) on a lost CAS.
+//
+// Allocate may refresh the session's epoch while waiting for buffer
+// maintenance, which can let the log evict pages. srcAddr, if nonzero, is
+// an address whose record fill reads from (copy-updates); if it falls
+// below the head after allocation the source memory is gone and the whole
+// operation must be retried from the index.
+func (sess *Session) appendRecord(h uint64, key []byte, chainHead, srcAddr hlog.Address, flags uint64, valueLen int, fill func(dst record)) (hlog.Address, internalStatus, error) {
+	s := sess.s
+	size := recordSize(len(key), valueLen)
+	newAddr, err := s.log.Allocate(size, sess.g)
+	if err != nil {
+		return 0, statusDone, fmt.Errorf("faster: allocate record: %w", err)
+	}
+	if srcAddr != hlog.InvalidAddress && srcAddr < s.log.HeadAddress() {
+		s.setInvalid(newAddr)
+		return 0, statusRetry, nil
+	}
+	dst := writeRecord(s.log.Slice(newAddr)[:size], chainHead, flags, key, valueLen)
+	fill(dst)
+	e, cur := s.idx.FindOrCreateEntry(h)
+	if cur != chainHead || !e.CompareAndSwapAddress(chainHead, newAddr) {
+		s.setInvalid(newAddr)
+		s.stats.failedCAS.Add(1)
+		return 0, statusRetry, nil
+	}
+	s.stats.appends.Add(1)
+	return newAddr, statusDone, nil
+}
+
+// rmwCreate appends the updated record for an RMW: either the initial
+// value (absent/tombstoned key) or a copy-update of old.
+func (sess *Session) rmwCreate(h uint64, key, input []byte, chainHead, srcAddr hlog.Address, old record, haveOld bool) (internalStatus, error) {
+	s := sess.s
+	var valueLen int
+	if haveOld {
+		valueLen = s.ops.CopyValueLen(key, old.value, input)
+	} else {
+		valueLen = s.ops.InitialValueLen(key, input)
+	}
+	_, st, err := sess.appendRecord(h, key, chainHead, srcAddr, 0, valueLen, func(dst record) {
+		if haveOld {
+			s.ops.CopyUpdater(key, old.value, dst.value, input)
+		} else {
+			s.ops.InitialUpdater(key, dst.value, input)
+		}
+	})
+	return st, err
+}
+
+// rmwAppendDelta appends a CRDT delta record: the update applied to an
+// empty initial value, flagged so reads reconcile the chain (§6.3).
+func (sess *Session) rmwAppendDelta(h uint64, key, input []byte, chainHead hlog.Address) (internalStatus, error) {
+	s := sess.s
+	valueLen := s.ops.InitialValueLen(key, input)
+	_, st, err := sess.appendRecord(h, key, chainHead, hlog.InvalidAddress, flagDelta, valueLen, func(dst record) {
+		s.ops.InitialUpdater(key, dst.value, input)
+	})
+	if st == statusDone && err == nil {
+		s.stats.deltaRecords.Add(1)
+	}
+	return st, err
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+// ---------------------------------------------------------------------------
+
+// Delete removes key from the store. In the mutable region the record is
+// tombstoned in place; otherwise a tombstone record is appended (§5.3).
+// A singleton in-memory chain releases its index entry directly (§4).
+func (sess *Session) Delete(key []byte) (Status, error) {
+	if sess.closed {
+		return Err, ErrSessionClosed
+	}
+	if len(key) == 0 {
+		return Err, errKeyEmpty
+	}
+	sess.opStart()
+	s := sess.s
+	h := hashKey(key)
+
+	for {
+		entry, chainHead, ok := s.idx.FindEntry(h)
+		if !ok {
+			return NotFound, nil
+		}
+		if chainHead < s.log.BeginAddress() {
+			entry.CompareAndDelete(chainHead)
+			return NotFound, nil
+		}
+		head := s.log.HeadAddress()
+		laddr, rec, found := s.traceBack(key, chainHead, head)
+		if found && rec.tombstone() {
+			return NotFound, nil
+		}
+		if found && !rec.delta() && laddr >= s.log.ReadOnlyAddress() {
+			if laddr == chainHead && rec.prev() == hlog.InvalidAddress {
+				// Singleton chain wholly in memory: free the index slot
+				// so it can be reused (§4). The record becomes garbage.
+				if entry.CompareAndDelete(chainHead) {
+					s.setInvalid(laddr)
+					return OK, nil
+				}
+				continue
+			}
+			// Tombstone in place.
+			p := s.headerPtr(laddr)
+			for {
+				oldH := atomic.LoadUint64(p)
+				if oldH&flagTombstone != 0 {
+					return NotFound, nil
+				}
+				if atomic.CompareAndSwapUint64(p, oldH, oldH|flagTombstone) {
+					return OK, nil
+				}
+			}
+		}
+		if !found && laddr == hlog.InvalidAddress {
+			return NotFound, nil
+		}
+		// Record is read-only, on disk, or a delta chain: append a
+		// tombstone record.
+		_, st, err := sess.appendRecord(h, key, chainHead, hlog.InvalidAddress, flagTombstone, 0, func(record) {})
+		if err != nil {
+			return Err, err
+		}
+		if st == statusRetry {
+			continue
+		}
+		return OK, nil
+	}
+}
+
+func maxAddr(a, b hlog.Address) hlog.Address {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,326 @@
+package faster
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"unsafe"
+)
+
+// ValueOps supplies the user-defined read and update logic of Appendix E.
+// The paper integrates these via dynamic code generation; here they are an
+// interface the compiler can devirtualise, with the same contracts:
+//
+//   - Single* variants run with exclusive access to the value (a freshly
+//     allocated record, or an immutable record in the read-only region).
+//   - Concurrent* variants may race with other readers and writers of the
+//     same record; the implementation is responsible for record-level
+//     concurrency (atomics, a record lock, or app-level partitioning).
+//
+// Values are byte slices aliasing log memory. Value slices are always
+// 8-byte aligned (records are 8-aligned and key regions padded), so 8-byte
+// values can be manipulated with sync/atomic via AtomicU64.
+type ValueOps interface {
+	// SingleReader copies or computes output from an immutable value.
+	SingleReader(key, value, input, output []byte)
+	// ConcurrentReader is SingleReader under possible concurrent updates.
+	ConcurrentReader(key, value, input, output []byte)
+
+	// SingleWriter stores src into a freshly allocated value (upsert).
+	SingleWriter(key, dst, src []byte)
+	// ConcurrentWriter stores src into a live mutable value (upsert).
+	// Returning false declines the in-place write (e.g. the new value
+	// does not fit), and the store falls back to a read-copy-update
+	// append — mirroring the bool-returning updaters of the reference
+	// implementation.
+	ConcurrentWriter(key, dst, src []byte) bool
+
+	// InitialUpdater populates the value for an RMW of an absent key.
+	InitialUpdater(key, value, input []byte)
+	// InPlaceUpdater applies an RMW to a live mutable value. Returning
+	// false declines (value must grow), forcing a copy-update.
+	InPlaceUpdater(key, value, input []byte) bool
+	// CopyUpdater writes the updated value into a new location based on
+	// the existing (immutable) value and the input.
+	CopyUpdater(key, oldValue, newValue, input []byte)
+
+	// InitialValueLen returns the value size to allocate for an RMW
+	// insert with the given input.
+	InitialValueLen(key, input []byte) int
+	// CopyValueLen returns the value size to allocate when copy-updating
+	// oldValue with input.
+	CopyValueLen(key, oldValue, input []byte) int
+}
+
+// MergeOps marks a ValueOps implementation as a CRDT (§2.2, §6.3): RMW
+// updates can be computed as independent partial values ("deltas") that a
+// read later merges into the final value. FASTER exploits this in the
+// fuzzy region, appending delta records instead of deferring the update.
+type MergeOps interface {
+	ValueOps
+	// Merge folds a delta value into acc (an output buffer previously
+	// filled by a Reader call).
+	Merge(key, delta, acc []byte)
+}
+
+// AtomicU64 views an 8-byte, 8-aligned value slice as an atomically
+// addressable word. It panics on misaligned or short slices: value slices
+// handed to ValueOps by this package always satisfy the contract.
+func AtomicU64(value []byte) *uint64 {
+	if len(value) < 8 {
+		panic("faster: value shorter than 8 bytes")
+	}
+	p := unsafe.Pointer(&value[0])
+	if uintptr(p)%8 != 0 {
+		panic("faster: misaligned value")
+	}
+	return (*uint64)(p)
+}
+
+// ---------------------------------------------------------------------------
+// Built-in operation sets. These play the role of the paper's generated
+// code for the two workloads the evaluation uses: 8-byte values updated by
+// a running sum (the count store / YCSB RMW variant), and opaque
+// fixed-size blobs replaced blindly (YCSB upserts).
+// ---------------------------------------------------------------------------
+
+// SumOps implements the paper's running count-store example: values are
+// uint64 counters, RMW adds the 8-byte input, reads copy the counter out.
+// In-place updates use fetch-and-add, so it is safe under full
+// concurrency, and it is a CRDT (partial sums merge by addition).
+type SumOps struct{}
+
+var _ MergeOps = SumOps{}
+
+// SingleReader implements ValueOps.
+func (SumOps) SingleReader(_, value, _, output []byte) { copy(output, value[:8]) }
+
+// ConcurrentReader implements ValueOps using an atomic load.
+func (SumOps) ConcurrentReader(_, value, _, output []byte) {
+	binary.LittleEndian.PutUint64(output, atomic.LoadUint64(AtomicU64(value)))
+}
+
+// SingleWriter implements ValueOps.
+func (SumOps) SingleWriter(_, dst, src []byte) { copy(dst, src[:8]) }
+
+// ConcurrentWriter implements ValueOps using an atomic store.
+func (SumOps) ConcurrentWriter(_, dst, src []byte) bool {
+	atomic.StoreUint64(AtomicU64(dst), binary.LittleEndian.Uint64(src))
+	return true
+}
+
+// InitialUpdater starts the counter at the input (sum over empty is input).
+func (SumOps) InitialUpdater(_, value, input []byte) {
+	binary.LittleEndian.PutUint64(value, binary.LittleEndian.Uint64(input))
+}
+
+// InPlaceUpdater adds input with fetch-and-add.
+func (SumOps) InPlaceUpdater(_, value, input []byte) bool {
+	atomic.AddUint64(AtomicU64(value), binary.LittleEndian.Uint64(input))
+	return true
+}
+
+// CopyUpdater writes old+input into the new value.
+func (SumOps) CopyUpdater(_, oldValue, newValue, input []byte) {
+	old := binary.LittleEndian.Uint64(oldValue)
+	binary.LittleEndian.PutUint64(newValue, old+binary.LittleEndian.Uint64(input))
+}
+
+// InitialValueLen implements ValueOps.
+func (SumOps) InitialValueLen(_, _ []byte) int { return 8 }
+
+// CopyValueLen implements ValueOps.
+func (SumOps) CopyValueLen(_, _, _ []byte) int { return 8 }
+
+// Merge implements MergeOps: partial sums add. The delta may be a live
+// mutable record, so it is loaded atomically.
+func (SumOps) Merge(_, delta, acc []byte) {
+	sum := binary.LittleEndian.Uint64(acc) + atomic.LoadUint64(AtomicU64(delta))
+	binary.LittleEndian.PutUint64(acc, sum)
+}
+
+// BlobOps treats values as opaque fixed-or-variable byte blobs: upserts
+// replace the whole value, RMW overwrites it with the input (a blind RMW,
+// used by YCSB variants), reads copy it out. Concurrent variants copy
+// 8-byte words atomically so readers never observe torn words, though a
+// reader may observe a mix of two complete writes — acceptable for the
+// benchmark workloads, per the paper's record-level concurrency contract.
+type BlobOps struct{}
+
+var _ ValueOps = BlobOps{}
+
+func copyWordsAtomic(dst, src []byte) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		atomic.StoreUint64(AtomicU64(dst[i:]), binary.LittleEndian.Uint64(src[i:]))
+	}
+	if i < n {
+		// Partial tail word. Record values are padded to 8 bytes, so
+		// the containing word is addressable through the slice capacity;
+		// write it atomically to stay race-free with concurrent readers
+		// and writers of the same record.
+		if cap(dst) >= i+8 {
+			w := dst[i : i+8 : i+8]
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], atomic.LoadUint64(AtomicU64(w)))
+			copy(tmp[:n-i], src[i:n])
+			atomic.StoreUint64(AtomicU64(w), binary.LittleEndian.Uint64(tmp[:]))
+			return
+		}
+		copy(dst[i:n], src[i:n]) // caller-owned buffer without padding
+	}
+}
+
+func readWordsAtomic(dst, src []byte) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], atomic.LoadUint64(AtomicU64(src[i:])))
+	}
+	if i < n {
+		if cap(src) >= i+8 {
+			w := src[i : i+8 : i+8]
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], atomic.LoadUint64(AtomicU64(w)))
+			copy(dst[i:n], tmp[:n-i])
+			return
+		}
+		copy(dst[i:n], src[i:n])
+	}
+}
+
+// SingleReader implements ValueOps.
+func (BlobOps) SingleReader(_, value, _, output []byte) { copy(output, value) }
+
+// ConcurrentReader implements ValueOps.
+func (BlobOps) ConcurrentReader(_, value, _, output []byte) { readWordsAtomic(output, value) }
+
+// SingleWriter implements ValueOps.
+func (BlobOps) SingleWriter(_, dst, src []byte) { copy(dst, src) }
+
+// ConcurrentWriter implements ValueOps; it declines when src does not
+// fit so the store re-appends instead.
+func (BlobOps) ConcurrentWriter(_, dst, src []byte) bool {
+	if len(src) > len(dst) {
+		return false
+	}
+	copyWordsAtomic(dst, src)
+	return true
+}
+
+// InitialUpdater implements ValueOps (blind RMW: value := input).
+func (BlobOps) InitialUpdater(_, value, input []byte) { copy(value, input) }
+
+// InPlaceUpdater implements ValueOps; it declines when input does not fit.
+func (BlobOps) InPlaceUpdater(_, value, input []byte) bool {
+	if len(input) > len(value) {
+		return false
+	}
+	copyWordsAtomic(value, input)
+	return true
+}
+
+// CopyUpdater implements ValueOps.
+func (BlobOps) CopyUpdater(_, _, newValue, input []byte) { copy(newValue, input) }
+
+// InitialValueLen implements ValueOps.
+func (BlobOps) InitialValueLen(_, input []byte) int { return len(input) }
+
+// CopyValueLen implements ValueOps.
+func (BlobOps) CopyValueLen(_, oldValue, input []byte) int {
+	if len(input) > len(oldValue) {
+		return len(input)
+	}
+	return len(oldValue)
+}
+
+// AppendOps implements a variable-length "append to value" RMW: each RMW
+// concatenates input onto the value (capped at MaxValueLen), reads copy
+// the value out, upserts replace it. Values grow, so in-place updates
+// decline whenever the new bytes do not fit in the record's allocation,
+// exercising the sealed-record copy-update path. Appends are associative,
+// so AppendOps is a CRDT: deltas merge by concatenation (order between
+// concurrent appenders is arbitrary, as CRDT semantics require).
+type AppendOps struct {
+	// MaxValueLen caps value growth (default 1024).
+	MaxValueLen int
+}
+
+var _ MergeOps = AppendOps{}
+
+func (a AppendOps) max() int {
+	if a.MaxValueLen == 0 {
+		return 1024
+	}
+	return a.MaxValueLen
+}
+
+func (a AppendOps) clamp(n int) int {
+	if m := a.max(); n > m {
+		return m
+	}
+	return n
+}
+
+// SingleReader implements ValueOps.
+func (AppendOps) SingleReader(_, value, _, output []byte) { copy(output, value) }
+
+// ConcurrentReader implements ValueOps. Appended bytes never change once
+// written (the length only grows via sealed copies), so a plain copy of
+// the immutable prefix is safe.
+func (AppendOps) ConcurrentReader(_, value, _, output []byte) { copy(output, value) }
+
+// SingleWriter implements ValueOps.
+func (AppendOps) SingleWriter(_, dst, src []byte) { copy(dst, src) }
+
+// ConcurrentWriter implements ValueOps; replacing a value with a shorter
+// or equal one happens in place, longer declines.
+func (AppendOps) ConcurrentWriter(_, dst, src []byte) bool {
+	if len(src) > len(dst) {
+		return false
+	}
+	copyWordsAtomic(dst, src)
+	return true
+}
+
+// InitialUpdater implements ValueOps: the first append.
+func (a AppendOps) InitialUpdater(_, value, input []byte) { copy(value, input) }
+
+// InPlaceUpdater implements ValueOps; appends always grow the value, so
+// in-place updates always decline and every RMW copies. (A production
+// variant would reserve slack capacity; declining keeps the example
+// exercising the seal path.)
+func (AppendOps) InPlaceUpdater(_, _, _ []byte) bool { return false }
+
+// CopyUpdater implements ValueOps: newValue = oldValue ++ input.
+func (a AppendOps) CopyUpdater(_, oldValue, newValue, input []byte) {
+	n := copy(newValue, oldValue)
+	copy(newValue[n:], input)
+}
+
+// InitialValueLen implements ValueOps.
+func (a AppendOps) InitialValueLen(_, input []byte) int { return a.clamp(len(input)) }
+
+// CopyValueLen implements ValueOps.
+func (a AppendOps) CopyValueLen(_, oldValue, input []byte) int {
+	return a.clamp(len(oldValue) + len(input))
+}
+
+// Merge implements MergeOps: delta values concatenate onto acc, tracking
+// the fill with the accumulated non-zero prefix length. The accumulator
+// is zero-initialised by the reconcile machinery, so the fill boundary is
+// the first zero run of 8 bytes — adequate for text-like payloads; binary
+// payloads should use a framed encoding on top.
+func (a AppendOps) Merge(_, delta, acc []byte) {
+	fill := len(acc)
+	for fill > 0 && acc[fill-1] == 0 {
+		fill--
+	}
+	copy(acc[fill:], delta)
+}

@@ -1,0 +1,649 @@
+// Package hlog implements the HybridLog record allocator from Sections 5
+// and 6 of the FASTER paper (SIGMOD 2018), together with its two
+// degenerate configurations: the pure in-memory allocator of Section 4 and
+// the append-only log allocator of Section 5.
+//
+// The log defines a 48-bit global logical address space spanning main
+// memory and secondary storage. The in-memory tail portion lives in a
+// bounded circular buffer of page frames. Four monotone address markers
+// partition the space (Fig 5 and Fig 7 of the paper):
+//
+//	begin ≤ head ≤ safeReadOnly ≤ readOnly ≤ tail
+//
+//	[begin, head)         stable region, on the device only
+//	[head, safeReadOnly)  read-only region, in memory, immutable
+//	[safeReadOnly, readOnly) fuzzy region (§6.2–6.3)
+//	[readOnly, tail)      mutable region, updated in place
+//
+// Page frames are allocated as []uint64 arenas so that every 8-byte word
+// can be manipulated with sync/atomic; records never span pages and are
+// 8-byte aligned. Flushing and eviction are coordinated latch-free with
+// epoch trigger actions, exactly as in Algorithm 1 of the paper.
+package hlog
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"repro/internal/device"
+	"repro/internal/epoch"
+)
+
+// Address is a 48-bit logical address into the log.
+type Address = uint64
+
+// InvalidAddress is the zero address; no record is ever allocated there.
+const InvalidAddress Address = 0
+
+// FirstValidAddress is where allocation starts: the first 64 bytes of the
+// address space are reserved so that 0 can mean "empty" in index entries.
+const FirstValidAddress Address = 64
+
+// Mode selects which of the paper's three allocators this log behaves as.
+type Mode int
+
+const (
+	// ModeHybrid is the HybridLog of Section 6: an in-place-updatable
+	// mutable region, a read-only region, and a stable region on storage.
+	ModeHybrid Mode = iota
+	// ModeAppendOnly is the log-structured allocator of Section 5: the
+	// read-only offset tracks the tail, so every update is a read-copy-
+	// update append.
+	ModeAppendOnly
+	// ModeInMemory is the allocator of Section 4: frames grow without
+	// bound, nothing is ever flushed or evicted, and the entire log is
+	// mutable.
+	ModeInMemory
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeHybrid:
+		return "hybrid"
+	case ModeAppendOnly:
+		return "append-only"
+	case ModeInMemory:
+		return "in-memory"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config configures a Log.
+type Config struct {
+	// PageBits is F: pages are 1<<F bytes. Must be in [9, 30].
+	PageBits uint
+	// BufferPages is the number of in-memory page frames (power of two).
+	// Ignored by ModeInMemory.
+	BufferPages int
+	// MutableFraction is the fraction of the in-memory buffer kept as the
+	// in-place-updatable (mutable) region; the paper recommends 0.9
+	// (§6.4). Forced to 0 for ModeAppendOnly and 1 for ModeInMemory.
+	MutableFraction float64
+	// Mode selects the allocator behaviour.
+	Mode Mode
+	// Device receives flushed pages and serves record reads. ModeInMemory
+	// may leave it nil (a Null device is substituted).
+	Device device.Device
+	// Epoch is the shared epoch manager. Required.
+	Epoch *epoch.Manager
+	// MaxInMemoryPages bounds the growable frame table for ModeInMemory
+	// (default 1<<20 pages).
+	MaxInMemoryPages int
+}
+
+// frame flush status values.
+const (
+	frameClosed uint32 = iota // frame free for (re)use
+	frameOpen                 // frame holds a live page
+)
+
+// frame is one slot of the circular buffer.
+type frame struct {
+	words []uint64 // page content; fixed after init
+	bytes []byte   // unsafe byte view of words
+
+	status atomic.Uint32 // frameClosed / frameOpen
+}
+
+func newFrame(pageSize int) *frame {
+	f := &frame{words: make([]uint64, pageSize/8)}
+	f.bytes = unsafe.Slice((*byte)(unsafe.Pointer(&f.words[0])), pageSize)
+	return f
+}
+
+func (f *frame) zero() { clear(f.words) }
+
+// Log is the HybridLog allocator.
+type Log struct {
+	cfg       Config
+	pageBits  uint
+	pageSize  uint64
+	frameMask uint64
+	roLag     uint64 // bytes between readOnly target and tail page start
+	headLag   uint64 // bytes of buffer capacity
+
+	em  *epoch.Manager
+	dev device.Device
+
+	// Packed tail word: high 32 bits page number, low 32 bits offset
+	// within the page. See Allocate.
+	tailWord atomic.Uint64
+
+	head       atomic.Uint64 // lowest address resident in memory
+	readOnly   atomic.Uint64 // mutable/read-only boundary target
+	safeRO     atomic.Uint64 // read-only boundary seen by all threads
+	begin      atomic.Uint64 // log truncation point (GC, Appendix C)
+	flushIssue atomic.Uint64 // flushes issued up to this address
+	flushed    watermark     // contiguous flush completion watermark
+
+	frames    []*frame                // circular buffer (hybrid/append-only)
+	memFrames []atomic.Pointer[frame] // growable table (in-memory mode)
+
+	closed atomic.Bool
+}
+
+// debugTrap enables internal invariant traps (tests only).
+var debugTrap = os.Getenv("FASTER_DEBUG_ASSERT") != ""
+
+// Errors returned by the log.
+var (
+	ErrRecordTooLarge = errors.New("hlog: record larger than page")
+	ErrClosed         = errors.New("hlog: closed")
+	ErrAddressEvicted = errors.New("hlog: address below head (evicted)")
+)
+
+// New creates a Log from cfg.
+func New(cfg Config) (*Log, error) {
+	if cfg.PageBits < 9 || cfg.PageBits > 30 {
+		return nil, fmt.Errorf("hlog: PageBits %d out of range [9,30]", cfg.PageBits)
+	}
+	if cfg.Epoch == nil {
+		return nil, errors.New("hlog: Epoch manager required")
+	}
+	switch cfg.Mode {
+	case ModeAppendOnly:
+		cfg.MutableFraction = 0
+	case ModeInMemory:
+		cfg.MutableFraction = 1
+		if cfg.Device == nil {
+			cfg.Device = device.NewNull()
+		}
+		if cfg.MaxInMemoryPages == 0 {
+			cfg.MaxInMemoryPages = 1 << 20
+		}
+	case ModeHybrid:
+		if cfg.MutableFraction < 0 || cfg.MutableFraction > 1 {
+			return nil, fmt.Errorf("hlog: MutableFraction %v out of range", cfg.MutableFraction)
+		}
+		if cfg.Device == nil {
+			return nil, errors.New("hlog: Device required for hybrid mode")
+		}
+	default:
+		return nil, fmt.Errorf("hlog: unknown mode %v", cfg.Mode)
+	}
+	if cfg.Mode != ModeInMemory {
+		if cfg.BufferPages < 2 || bits.OnesCount(uint(cfg.BufferPages)) != 1 {
+			return nil, fmt.Errorf("hlog: BufferPages %d must be a power of two >= 2", cfg.BufferPages)
+		}
+	}
+
+	l := &Log{
+		cfg:      cfg,
+		pageBits: cfg.PageBits,
+		pageSize: 1 << cfg.PageBits,
+		em:       cfg.Epoch,
+		dev:      cfg.Device,
+	}
+	l.flushed.init()
+
+	if cfg.Mode == ModeInMemory {
+		l.memFrames = make([]atomic.Pointer[frame], cfg.MaxInMemoryPages)
+		l.memFrames[0].Store(newFrame(int(l.pageSize)))
+	} else {
+		l.frameMask = uint64(cfg.BufferPages - 1)
+		l.frames = make([]*frame, cfg.BufferPages)
+		for i := range l.frames {
+			l.frames[i] = newFrame(int(l.pageSize))
+		}
+		l.frames[0].status.Store(frameOpen)
+		l.headLag = uint64(cfg.BufferPages) << cfg.PageBits
+		// Mutable region size in whole pages; the remainder of the
+		// buffer is the read-only (second chance) region.
+		mutPages := uint64(float64(cfg.BufferPages) * cfg.MutableFraction)
+		// At least one page of the buffer must be able to become
+		// read-only, or nothing ever flushes and eviction deadlocks
+		// once the buffer wraps.
+		if cfg.Mode == ModeHybrid && mutPages >= uint64(cfg.BufferPages) {
+			mutPages = uint64(cfg.BufferPages) - 1
+		}
+		l.roLag = mutPages << cfg.PageBits
+	}
+
+	l.tailWord.Store(FirstValidAddress) // page 0, offset 64
+	l.begin.Store(FirstValidAddress)
+	return l, nil
+}
+
+// PageSize returns the page size in bytes.
+func (l *Log) PageSize() uint64 { return l.pageSize }
+
+// Mode returns the allocator mode.
+func (l *Log) Mode() Mode { return l.cfg.Mode }
+
+// packed tail helpers.
+func unpack(w uint64) (page, off uint64) { return w >> 32, w & 0xffffffff }
+
+// TailAddress returns the next address that will be allocated.
+func (l *Log) TailAddress() Address {
+	page, off := unpack(l.tailWord.Load())
+	if off > l.pageSize {
+		off = l.pageSize
+	}
+	// Addition, not OR: a mid-roll clamp makes off == pageSize, whose
+	// bit overlaps the page number's lowest bit.
+	return page<<l.pageBits + off
+}
+
+// HeadAddress returns the lowest logical address resident in memory.
+func (l *Log) HeadAddress() Address { return l.head.Load() }
+
+// ReadOnlyAddress returns the mutable-region boundary (§6.1). In
+// append-only mode it is the tail itself: no record is ever mutable, so
+// every update is a read-copy-update append (§5.3). The internal offset
+// that drives flushing still advances at page granularity.
+func (l *Log) ReadOnlyAddress() Address {
+	if l.cfg.Mode == ModeAppendOnly {
+		return l.TailAddress()
+	}
+	return l.readOnly.Load()
+}
+
+// SafeReadOnlyAddress returns the boundary seen by all threads (§6.2).
+// In append-only mode records are immutable from birth, so there is no
+// fuzzy region and the safe boundary equals the tail.
+func (l *Log) SafeReadOnlyAddress() Address {
+	if l.cfg.Mode == ModeAppendOnly {
+		return l.TailAddress()
+	}
+	return l.safeRO.Load()
+}
+
+// BeginAddress returns the truncation point of the log.
+func (l *Log) BeginAddress() Address { return l.begin.Load() }
+
+// FlushedUntilAddress returns the address below which every byte is durable.
+func (l *Log) FlushedUntilAddress() Address { return l.flushed.level() }
+
+// FlushIssuedAddress returns the address below which flush I/O has been
+// issued (diagnostics).
+func (l *Log) FlushIssuedAddress() Address { return l.flushIssue.Load() }
+
+// pageOf returns the page number containing addr.
+func (l *Log) pageOf(addr Address) uint64 { return addr >> l.pageBits }
+
+// frameFor returns the frame that holds page, or nil (in-memory mode, page
+// not yet allocated).
+func (l *Log) frameFor(page uint64) *frame {
+	if l.cfg.Mode == ModeInMemory {
+		return l.memFrames[page].Load()
+	}
+	return l.frames[page&l.frameMask]
+}
+
+// Slice returns the in-memory bytes at addr, up to the end of its page.
+// The caller must have established addr >= HeadAddress under epoch
+// protection; this is the latch-free fast path, so no check is performed.
+func (l *Log) Slice(addr Address) []byte {
+	f := l.frameFor(l.pageOf(addr))
+	return f.bytes[addr&(l.pageSize-1):]
+}
+
+// Uint64Ptr returns a pointer to the 8-byte-aligned word at addr, suitable
+// for sync/atomic operations. addr must be 8-byte aligned and in memory.
+func (l *Log) Uint64Ptr(addr Address) *uint64 {
+	f := l.frameFor(l.pageOf(addr))
+	return &f.words[(addr&(l.pageSize-1))>>3]
+}
+
+// Allocate reserves size bytes at the tail and returns the logical address.
+// size must be a positive multiple of 8 and no larger than a page. The
+// guard g is the caller's epoch guard; Allocate may Refresh it while
+// waiting for buffer maintenance (so callers must treat Allocate as an
+// epoch boundary, as FASTER threads do). This is Algorithm 1 of the paper.
+func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
+	if size == 0 || size%8 != 0 {
+		return InvalidAddress, fmt.Errorf("hlog: invalid allocation size %d", size)
+	}
+	if uint64(size) > l.pageSize-FirstValidAddress {
+		return InvalidAddress, ErrRecordTooLarge
+	}
+	for {
+		if l.closed.Load() {
+			return InvalidAddress, ErrClosed
+		}
+		w := l.tailWord.Add(uint64(size))
+		page, off := unpack(w)
+		start := off - uint64(size)
+		if off <= l.pageSize {
+			// Common case: the allocation fits on the current page
+			// (including an exact fit at the page end).
+			return page<<l.pageBits | start, nil
+		}
+		if start <= l.pageSize {
+			// This thread crossed the boundary: it performs buffer
+			// maintenance and opens the next page (Alg 1 lines 5-16).
+			//
+			// Deviation from Alg 1's exact-fit special case: a crosser
+			// here never retains an address on the old page (an exact
+			// fit returned above, and a straddler's space is wasted),
+			// so openPage is free to refresh the caller's epoch while
+			// it waits — a thread holding an old-page address across a
+			// refresh could otherwise race with the page's flush.
+			l.openPage(page+1, g)
+			// Any straddling space [start, pageSize) on the old page
+			// stays zero, which record scans recognise as padding.
+			// Allocate this request at the new page start.
+			if debugTrap {
+				if cur := l.tailWord.Load(); (page+1)<<32|uint64(size) < cur {
+					panic(fmt.Sprintf("tail store backward: cur=(%d,%#x) new=(%d,%#x)",
+						cur>>32, cur&0xffffffff, page+1, size))
+				}
+			}
+			l.tailWord.Store((page+1)<<32 | uint64(size))
+			return (page + 1) << l.pageBits, nil
+		}
+		// Another thread is opening the new page: spin until the tail
+		// word becomes valid again, then retry (Alg 1 lines 17-19).
+		for spins := 0; ; spins++ {
+			_, off := unpack(l.tailWord.Load())
+			if off <= l.pageSize {
+				break
+			}
+			if spins%64 == 63 {
+				if g != nil {
+					g.Refresh()
+				}
+				runtime.Gosched()
+			}
+			if l.closed.Load() {
+				return InvalidAddress, ErrClosed
+			}
+		}
+	}
+}
+
+// openPage prepares the frame for newPage: advances the read-only and head
+// offsets if they lag (Alg 1 buffer_maintenance), waits until the target
+// frame is evictable, and claims it.
+func (l *Log) openPage(newPage uint64, g *epoch.Guard) {
+	if l.cfg.Mode == ModeInMemory {
+		if newPage >= uint64(len(l.memFrames)) {
+			panic("hlog: in-memory log exceeded MaxInMemoryPages")
+		}
+		l.memFrames[newPage].Store(newFrame(int(l.pageSize)))
+		return
+	}
+
+	// Advance the read-only offset to maintain its lag from the tail.
+	l.maybeShiftReadOnly(newPage)
+
+	// The frame for newPage can be claimed once its previous occupant
+	// (page newPage-bufferPages) has been closed. For the first pass
+	// around the buffer the frame has never been used and is Closed.
+	f := l.frames[newPage&l.frameMask]
+	var desiredHead uint64
+	if newPage+1 >= uint64(len(l.frames)) {
+		desiredHead = (newPage + 1 - uint64(len(l.frames))) << l.pageBits
+	}
+	for spins := 0; f.status.Load() != frameClosed; spins++ {
+		l.maybeShiftHead(desiredHead)
+		if g != nil {
+			g.Refresh()
+		}
+		l.em.Drain()
+		if spins > 1024 {
+			time.Sleep(10 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+		if l.closed.Load() {
+			return
+		}
+	}
+	f.zero()
+	f.status.Store(frameOpen)
+}
+
+// maybeShiftReadOnly raises the read-only offset so it trails the new tail
+// page by roLag bytes, and registers the epoch trigger that publishes the
+// safe read-only offset and flushes the newly read-only pages (§6.2).
+func (l *Log) maybeShiftReadOnly(tailPage uint64) {
+	tailStart := tailPage << l.pageBits
+	if tailStart <= l.roLag {
+		return
+	}
+	desired := tailStart - l.roLag
+	for {
+		cur := l.readOnly.Load()
+		if desired <= cur {
+			return
+		}
+		if l.readOnly.CompareAndSwap(cur, desired) {
+			l.em.BumpWith(func() { l.onSafeReadOnly(desired) })
+			return
+		}
+	}
+}
+
+// ShiftReadOnlyToTail moves the read-only offset all the way to the
+// current tail (used by checkpointing, §6.5) and returns the tail address.
+func (l *Log) ShiftReadOnlyToTail() Address {
+	tail := l.TailAddress()
+	if l.cfg.Mode == ModeInMemory {
+		return tail
+	}
+	for {
+		cur := l.readOnly.Load()
+		if tail <= cur {
+			return tail
+		}
+		if l.readOnly.CompareAndSwap(cur, tail) {
+			l.em.BumpWith(func() { l.onSafeReadOnly(tail) })
+			return tail
+		}
+	}
+}
+
+// onSafeReadOnly runs as an epoch trigger action once every thread has seen
+// a read-only offset of at least ro. It raises the safe read-only offset
+// and issues flushes for the span that just became immutable.
+func (l *Log) onSafeReadOnly(ro uint64) {
+	if debugTrap && ro > l.readOnly.Load() {
+		panic(fmt.Sprintf("hlog: onSafeReadOnly(%#x) beyond readOnly=%#x", ro, l.readOnly.Load()))
+	}
+	for {
+		cur := l.safeRO.Load()
+		if ro <= cur {
+			break
+		}
+		if l.safeRO.CompareAndSwap(cur, ro) {
+			break
+		}
+	}
+	// Claim the flush span [issued, ro) exactly once.
+	for {
+		issued := l.flushIssue.Load()
+		if ro <= issued {
+			return
+		}
+		if l.flushIssue.CompareAndSwap(issued, ro) {
+			l.issueFlush(issued, ro)
+			return
+		}
+	}
+}
+
+// issueFlush writes [from, to) to the device, splitting at page boundaries.
+func (l *Log) issueFlush(from, to uint64) {
+	for from < to {
+		page := l.pageOf(from)
+		pageEnd := (page + 1) << l.pageBits
+		end := min(pageEnd, to)
+		f := l.frames[page&l.frameMask]
+		off := from & (l.pageSize - 1)
+		buf := f.bytes[off : end-(page<<l.pageBits)]
+		start, stop := from, end
+		// A failed flush would lose data; the paper assumes reliable
+		// storage. Completion is recorded only on success — eviction can
+		// never pass an unflushed page — and transient failures retry
+		// with a small backoff so the durability watermark is not
+		// wedged forever by one bad write.
+		var attempt device.Callback
+		write := func() { l.dev.WriteAsync(buf, start, attempt) }
+		attempt = func(err error) {
+			if err == nil {
+				l.flushed.complete(start, stop)
+				return
+			}
+			if l.closed.Load() {
+				return
+			}
+			time.AfterFunc(time.Millisecond, write)
+		}
+		write()
+		from = end
+	}
+}
+
+// maybeShiftHead raises the head offset toward desired, limited by the
+// flush watermark (pages must be durable before eviction), and registers
+// the epoch trigger that closes the evicted frames (§5.2).
+func (l *Log) maybeShiftHead(desired uint64) {
+	if desired == 0 {
+		return
+	}
+	if fu := l.flushed.level(); desired > fu {
+		desired = fu &^ (l.pageSize - 1) // only whole flushed pages evict
+	}
+	for {
+		cur := l.head.Load()
+		if desired <= cur {
+			return
+		}
+		if l.head.CompareAndSwap(cur, desired) {
+			oldHead, newHead := cur, desired
+			l.em.BumpWith(func() { l.closeFrames(oldHead, newHead) })
+			return
+		}
+	}
+}
+
+// closeFrames marks the frames holding pages [oldHead, newHead) as closed,
+// making them reusable. Runs as an epoch trigger: by then no thread can be
+// accessing those addresses.
+func (l *Log) closeFrames(oldHead, newHead uint64) {
+	for p := oldHead >> l.pageBits; p < newHead>>l.pageBits; p++ {
+		l.frames[p&l.frameMask].status.Store(frameClosed)
+	}
+}
+
+// ReadAsync reads len(buf) bytes at addr from the device (the stable
+// region). The caller is responsible for ensuring addr+len(buf) is below
+// the flush watermark or handling the resulting error.
+func (l *Log) ReadAsync(addr Address, buf []byte, cb device.Callback) {
+	l.dev.ReadAsync(buf, addr, cb)
+}
+
+// WaitUntilFlushed blocks until the flush watermark reaches addr. It
+// drains epoch actions while waiting so that single-threaded callers make
+// progress; callers holding a guard must have refreshed past the bump that
+// initiated the flush.
+func (l *Log) WaitUntilFlushed(addr Address) error {
+	for spins := 0; l.flushed.level() < addr; spins++ {
+		if l.closed.Load() {
+			return ErrClosed
+		}
+		l.em.Drain()
+		if spins > 128 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// TruncateUntil discards the log prefix below addr (expiration-based GC,
+// Appendix C). Addresses below the new begin address become invalid.
+func (l *Log) TruncateUntil(addr Address) error {
+	for {
+		cur := l.begin.Load()
+		if addr <= cur {
+			return nil
+		}
+		if l.begin.CompareAndSwap(cur, addr) {
+			return l.dev.Truncate(addr)
+		}
+	}
+}
+
+// InMemory reports whether addr is at or above the head offset (resident).
+func (l *Log) InMemory(addr Address) bool { return addr >= l.head.Load() }
+
+// RecoverTo positions a freshly created log so that all addresses in
+// [begin, tail) live on the device and allocation resumes at the start of
+// the page containing tail (recovery, §6.5). The remainder of the tail
+// page is sacrificed: recovering mid-page would mix pre- and post-crash
+// records in one flush unit. Must be called before any allocation.
+func (l *Log) RecoverTo(begin, tail Address) error {
+	if l.cfg.Mode == ModeInMemory {
+		return errors.New("hlog: cannot recover an in-memory log")
+	}
+	if l.TailAddress() != FirstValidAddress {
+		return errors.New("hlog: RecoverTo on a used log")
+	}
+	page := l.pageOf(tail)
+	if tail&(l.pageSize-1) != 0 {
+		page++ // resume on a fresh page
+	}
+	resume := page << l.pageBits
+	l.tailWord.Store(page << 32) // offset 0 on the resume page
+	l.head.Store(resume)
+	l.readOnly.Store(resume)
+	l.safeRO.Store(resume)
+	l.flushIssue.Store(resume)
+	l.flushed.complete(0, resume)
+	l.begin.Store(begin)
+	for _, f := range l.frames {
+		f.status.Store(frameClosed) // including the initially open frame 0
+	}
+	f := l.frames[page&l.frameMask]
+	f.zero()
+	f.status.Store(frameOpen)
+	return nil
+}
+
+// Capacity returns the in-memory capacity in bytes (0 for ModeInMemory,
+// which is unbounded).
+func (l *Log) Capacity() uint64 {
+	if l.cfg.Mode == ModeInMemory {
+		return 0
+	}
+	return uint64(len(l.frames)) << l.pageBits
+}
+
+// Close flushes nothing and releases the log. In-flight device I/O is
+// allowed to finish; subsequent allocations fail.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	return l.dev.Sync()
+}

@@ -1,0 +1,44 @@
+package hlog
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// watermark tracks the contiguous completion level of a stream of byte
+// ranges that are issued in order but may complete out of order (page
+// flushes serviced by a pool of device workers). level() is the address
+// below which every issued range has completed.
+type watermark struct {
+	mu      sync.Mutex
+	pending map[uint64]uint64 // start -> end of completed, non-contiguous ranges
+	lvl     atomic.Uint64
+}
+
+func (w *watermark) init() { w.pending = make(map[uint64]uint64) }
+
+// level returns the contiguous completion watermark.
+func (w *watermark) level() uint64 { return w.lvl.Load() }
+
+// complete records that [start, end) has finished and advances the level
+// across any ranges that are now contiguous.
+func (w *watermark) complete(start, end uint64) {
+	if end <= start {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if prev, ok := w.pending[start]; !ok || end > prev {
+		w.pending[start] = end
+	}
+	lvl := w.lvl.Load()
+	for {
+		next, ok := w.pending[lvl]
+		if !ok {
+			break
+		}
+		delete(w.pending, lvl)
+		lvl = next
+	}
+	w.lvl.Store(lvl)
+}

@@ -1,0 +1,434 @@
+// Package index implements the FASTER hash index of Section 3: a
+// concurrent, latch-free, resizable hash table from key hashes to 48-bit
+// record addresses. The index stores no keys; collisions beyond its
+// (offset, tag) resolution are handled by the record linked lists of the
+// store layered above it.
+//
+// # Layout
+//
+// The index is an array of 2^k cache-line-sized buckets. A bucket holds
+// seven 8-byte entries plus one overflow-bucket pointer (Fig 2 of the
+// paper). Each entry packs, from the top bit down:
+//
+//	bit 63     tentative bit (two-phase insert, §3.2)
+//	bit 62     occupied bit (distinguishes a claimed entry whose tag and
+//	           address are both zero from an empty slot)
+//	bits 48..61 tag (up to 14 bits; the paper uses 15 by omitting the
+//	           occupied bit — §7.2.2 shows small tags cost little)
+//	bits 0..47 record address
+//
+// The tag is drawn from the top bits of the hash and the bucket offset
+// from the bottom bits, so they stay independent of the table size and
+// survive resizing.
+//
+// All entry manipulation is by 64-bit compare-and-swap; the index is never
+// locked. Inserting a new tag uses the paper's two-phase tentative-bit
+// algorithm to preserve the invariant that each (offset, tag) pair has at
+// most one non-tentative entry.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// entriesPerBucket is the number of hash entries per 64-byte bucket;
+	// the eighth word is the overflow pointer.
+	entriesPerBucket = 7
+
+	tentativeBit uint64 = 1 << 63
+	occupiedBit  uint64 = 1 << 62
+
+	// AddressBits is the width of record addresses stored in entries.
+	AddressBits = 48
+	// AddressMask extracts the address from an entry.
+	AddressMask uint64 = 1<<AddressBits - 1
+
+	tagShift = AddressBits
+	// MaxTagBits is the widest supported tag.
+	MaxTagBits = 14
+)
+
+// bucket is one cache line: seven entries and an overflow pointer. The
+// overflow word holds 1+index into the overflow arena (0 = none).
+type bucket [8]uint64
+
+// table is one version of the hash table (resizing keeps two).
+type table struct {
+	size    uint64 // number of main buckets, power of two
+	buckets []bucket
+
+	// Overflow buckets are allocated from a chunked arena so bucket
+	// pointers stay stable while the arena grows.
+	ovMu     sync.Mutex
+	ovChunks [][]bucket
+	ovNext   atomic.Uint64
+	ovFree   atomic.Uint64 // head of free list (1+index), 0 if empty
+}
+
+const ovChunkSize = 1024
+
+func newTable(size uint64) *table {
+	return &table{size: size, buckets: make([]bucket, size)}
+}
+
+// overflowBucket returns the overflow bucket for handle h (h = 1+index).
+func (t *table) overflowBucket(h uint64) *bucket {
+	i := h - 1
+	return &t.ovChunks[i/ovChunkSize][i%ovChunkSize]
+}
+
+// allocOverflow returns a handle to a zeroed overflow bucket.
+func (t *table) allocOverflow() uint64 {
+	// Pop from the free list first. Freed buckets are only pushed while
+	// zeroed, and handles are never reused concurrently with a pop
+	// because pushes happen under the index invariants (bucket
+	// unreachable), so the simple CAS loop suffices.
+	for {
+		h := t.ovFree.Load()
+		if h == 0 {
+			break
+		}
+		b := t.overflowBucket(h)
+		next := atomic.LoadUint64(&b[7])
+		if t.ovFree.CompareAndSwap(h, next) {
+			atomic.StoreUint64(&b[7], 0)
+			return h
+		}
+	}
+	t.ovMu.Lock()
+	defer t.ovMu.Unlock()
+	n := t.ovNext.Load()
+	if int(n/ovChunkSize) == len(t.ovChunks) {
+		t.ovChunks = append(t.ovChunks, make([]bucket, ovChunkSize))
+	}
+	t.ovNext.Store(n + 1)
+	return n + 1
+}
+
+// Config configures an Index.
+type Config struct {
+	// InitialBuckets is the starting number of main buckets (rounded up
+	// to a power of two). The paper sizes this at #keys/2.
+	InitialBuckets uint64
+	// TagBits is the tag width in bits, 0..14. Default 14.
+	TagBits uint
+	// MaxResizeChunks caps the number of migration chunks (default 256).
+	MaxResizeChunks int
+}
+
+// Index is the FASTER hash index.
+type Index struct {
+	tagBits  uint
+	tagMask  uint64 // tag field mask, already shifted into position
+	tagCount uint64 // number of distinct tags
+
+	// status packs the resize phase and active version; see resize.go.
+	status atomic.Uint32
+
+	tables [2]*table // [version] — during resize both are live
+
+	resize resizeState
+}
+
+// New creates an index with the given configuration.
+func New(cfg Config) (*Index, error) {
+	if cfg.InitialBuckets == 0 {
+		cfg.InitialBuckets = 1024
+	}
+	size := uint64(1) << bits.Len64(cfg.InitialBuckets-1)
+	tagBits := cfg.TagBits
+	if tagBits == 0 {
+		tagBits = MaxTagBits
+	}
+	if tagBits > MaxTagBits {
+		return nil, fmt.Errorf("index: TagBits %d > max %d", tagBits, MaxTagBits)
+	}
+	idx := &Index{
+		tagBits:  tagBits,
+		tagMask:  (1<<tagBits - 1) << tagShift,
+		tagCount: 1 << tagBits,
+	}
+	idx.tables[0] = newTable(size)
+	idx.resize.maxChunks = cfg.MaxResizeChunks
+	if idx.resize.maxChunks == 0 {
+		idx.resize.maxChunks = 256
+	}
+	idx.status.Store(packStatus(phaseStable, 0))
+	return idx, nil
+}
+
+// NewForKeys sizes the index at keys/2 buckets, the paper's default.
+func NewForKeys(keys uint64) (*Index, error) {
+	n := keys / 2
+	if n < 64 {
+		n = 64
+	}
+	return New(Config{InitialBuckets: n})
+}
+
+// TagBits returns the configured tag width. TagZero reports whether tags
+// are disabled entirely (TagBits 0 is expressed as tagMask 0 internally
+// only via NewWithZeroTag; see ablation helpers).
+func (idx *Index) TagBits() uint { return idx.tagBits }
+
+// Size returns the number of main buckets of the active table.
+func (idx *Index) Size() uint64 { return idx.activeTable().size }
+
+func (idx *Index) activeTable() *table {
+	_, v := unpackStatus(idx.status.Load())
+	return idx.tables[v]
+}
+
+// tagOf extracts the (shifted) tag field for hash.
+func (idx *Index) tagOf(hash uint64) uint64 {
+	return (hash >> (64 - idx.tagBits) << tagShift) & idx.tagMask
+}
+
+// offsetOf extracts the bucket offset for hash in table t.
+func offsetOf(t *table, hash uint64) uint64 { return hash & (t.size - 1) }
+
+// EntryAddress extracts the record address from an entry value.
+func EntryAddress(e uint64) uint64 { return e & AddressMask }
+
+// entryLive reports whether e is a visible (non-tentative, occupied) entry.
+func entryLive(e uint64) bool {
+	return e != 0 && e&tentativeBit == 0 && e&occupiedBit != 0
+}
+
+// ErrNotFound is returned by Delete when no entry matches.
+var ErrNotFound = errors.New("index: entry not found")
+
+// Entry is a stable reference to one hash-bucket slot. The store reads the
+// address, traverses records, and later CASes a new address into the slot.
+type Entry struct {
+	slot *uint64
+	// meta holds the occupied|tag bits that every new value must carry.
+	meta uint64
+}
+
+// Address returns the current record address in the slot.
+func (e Entry) Address() uint64 { return EntryAddress(atomic.LoadUint64(e.slot)) }
+
+// Load returns the raw current entry word.
+func (e Entry) Load() uint64 { return atomic.LoadUint64(e.slot) }
+
+// CompareAndSwapAddress installs newAddr if the slot still carries oldAddr
+// with this entry's tag. It fails if the entry was deleted, retagged or
+// poisoned by a resize.
+func (e Entry) CompareAndSwapAddress(oldAddr, newAddr uint64) bool {
+	oldWord := e.meta | (oldAddr & AddressMask)
+	newWord := e.meta | (newAddr & AddressMask)
+	return atomic.CompareAndSwapUint64(e.slot, oldWord, newWord)
+}
+
+// CompareAndDelete zeroes the slot if it still carries oldAddr, freeing it
+// for future inserts (§3.2 "Finding and Deleting an Entry").
+func (e Entry) CompareAndDelete(oldAddr uint64) bool {
+	oldWord := e.meta | (oldAddr & AddressMask)
+	return atomic.CompareAndSwapUint64(e.slot, oldWord, 0)
+}
+
+// FindEntry locates the live entry for hash, returning it and its current
+// address. ok is false if no entry exists. The chunk pin taken by beginOp
+// is held across the scan so a concurrent resize cannot poison the chain
+// mid-traversal.
+func (idx *Index) FindEntry(hash uint64) (e Entry, addr uint64, ok bool) {
+	t, pinned := idx.beginOp(hash)
+	defer idx.endOp(pinned)
+	tag := idx.tagOf(hash)
+	b := &t.buckets[offsetOf(t, hash)]
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			w := atomic.LoadUint64(&b[i])
+			if entryLive(w) && w&idx.tagMask == tag {
+				return Entry{slot: &b[i], meta: occupiedBit | tag}, w & AddressMask, true
+			}
+		}
+		ov := atomic.LoadUint64(&b[7])
+		if ov == 0 {
+			return Entry{}, 0, false
+		}
+		b = t.overflowBucket(ov)
+	}
+}
+
+// FindOrCreateEntry locates the live entry for hash or inserts one with
+// address 0 using the two-phase tentative algorithm of §3.2. The returned
+// address is 0 for a fresh entry.
+func (idx *Index) FindOrCreateEntry(hash uint64) (Entry, uint64) {
+	for {
+		t, pinned := idx.beginOp(hash)
+		e, addr, ok := idx.findOrCreateOnce(t, hash)
+		idx.endOp(pinned)
+		if ok {
+			return e, addr
+		}
+	}
+}
+
+// findOrCreateOnce attempts one pass of the two-phase insert on table t.
+// ok is false when the operation must be retried (lost race, duplicate
+// backoff, chain extension, or resize poisoning).
+func (idx *Index) findOrCreateOnce(t *table, hash uint64) (Entry, uint64, bool) {
+	tag := idx.tagOf(hash)
+	meta := occupiedBit | tag
+	first := &t.buckets[offsetOf(t, hash)]
+
+	// Pass 1: look for an existing live entry; remember the first empty
+	// slot in chain order (the insert target).
+	var free *uint64
+	b := first
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			w := atomic.LoadUint64(&b[i])
+			if entryLive(w) && w&idx.tagMask == tag {
+				return Entry{slot: &b[i], meta: meta}, w & AddressMask, true
+			}
+			if w == 0 && free == nil {
+				free = &b[i]
+			}
+		}
+		ov := atomic.LoadUint64(&b[7])
+		if ov == 0 {
+			break
+		}
+		b = t.overflowBucket(ov)
+	}
+	if free == nil {
+		// Chain full: extend it with a fresh overflow bucket. The CAS
+		// may lose to a concurrent extender; retry either way.
+		h := t.allocOverflow()
+		if !atomic.CompareAndSwapUint64(&b[7], 0, h) {
+			t.freeOverflow(h)
+		}
+		return Entry{}, 0, false
+	}
+	// Phase 1: claim the slot tentatively. Entries with the tentative bit
+	// set are invisible to concurrent reads and updates.
+	tentative := tentativeBit | meta
+	if !atomic.CompareAndSwapUint64(free, 0, tentative) {
+		return Entry{}, 0, false
+	}
+	// Phase 2: rescan the whole chain for another entry (tentative or
+	// live) with our tag; if found, back off and retry (Fig 3b).
+	dup := false
+	b = first
+scan:
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			w := atomic.LoadUint64(&b[i])
+			if &b[i] != free && w&occupiedBit != 0 && w&idx.tagMask == tag {
+				dup = true
+				break scan
+			}
+		}
+		ov := atomic.LoadUint64(&b[7])
+		if ov == 0 {
+			break
+		}
+		b = t.overflowBucket(ov)
+	}
+	if dup {
+		atomic.StoreUint64(free, 0)
+		return Entry{}, 0, false
+	}
+	// Finalize: clear the tentative bit.
+	if !atomic.CompareAndSwapUint64(free, tentative, meta) {
+		// Poisoned by a concurrent resize migration; the retry routes
+		// to the new table.
+		return Entry{}, 0, false
+	}
+	return Entry{slot: free, meta: meta}, 0, true
+}
+
+// freeOverflow pushes an unused overflow bucket back on the free list.
+// The bucket must be unreachable and zero except possibly its link word.
+func (t *table) freeOverflow(h uint64) {
+	b := t.overflowBucket(h)
+	for {
+		head := t.ovFree.Load()
+		atomic.StoreUint64(&b[7], head)
+		if t.ovFree.CompareAndSwap(head, h) {
+			return
+		}
+	}
+}
+
+// Delete removes the live entry for hash regardless of its address.
+// Record-level deletes normally go through Entry.CompareAndDelete; this
+// form supports administrative removal.
+func (idx *Index) Delete(hash uint64) error {
+	for {
+		e, addr, ok := idx.FindEntry(hash)
+		if !ok {
+			return ErrNotFound
+		}
+		if e.CompareAndDelete(addr) {
+			return nil
+		}
+	}
+}
+
+// ForEachEntry invokes fn for every live entry in the active table. Used
+// by recovery, GC sweeps and tests; runs concurrently with mutations and
+// sees a fuzzy snapshot.
+func (idx *Index) ForEachEntry(fn func(addr uint64)) {
+	t := idx.activeTable()
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		for {
+			for j := 0; j < entriesPerBucket; j++ {
+				w := atomic.LoadUint64(&b[j])
+				if entryLive(w) {
+					fn(w & AddressMask)
+				}
+			}
+			ov := atomic.LoadUint64(&b[7])
+			if ov == 0 {
+				break
+			}
+			b = t.overflowBucket(ov)
+		}
+	}
+}
+
+// UpdateAddresses rewrites every live entry's address through fn (used by
+// log-truncation GC to drop dangling addresses: fn returning 0 deletes the
+// entry). Not concurrent-safe with writers; callers quiesce first.
+func (idx *Index) UpdateAddresses(fn func(addr uint64) uint64) {
+	t := idx.activeTable()
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		for {
+			for j := 0; j < entriesPerBucket; j++ {
+				w := atomic.LoadUint64(&b[j])
+				if entryLive(w) {
+					newAddr := fn(w & AddressMask)
+					if newAddr == 0 {
+						atomic.StoreUint64(&b[j], 0)
+					} else if newAddr != w&AddressMask {
+						atomic.StoreUint64(&b[j], w&^AddressMask|newAddr)
+					}
+				}
+			}
+			ov := atomic.LoadUint64(&b[7])
+			if ov == 0 {
+				break
+			}
+			b = t.overflowBucket(ov)
+		}
+	}
+}
+
+// Count returns the number of live entries (O(table size); for tests and
+// stats).
+func (idx *Index) Count() uint64 {
+	var n uint64
+	idx.ForEachEntry(func(uint64) { n++ })
+	return n
+}

@@ -1,0 +1,280 @@
+package index
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+)
+
+// Resizing (Appendix B of the paper) proceeds through three phases packed,
+// together with the active version and a generation counter, into a single
+// atomic status word:
+//
+//	stable    normal operation on the active table
+//	prepare   a new table exists; threads pin their chunk around each
+//	          index operation so migration cannot start under them
+//	resizing  threads cooperatively migrate chunks; operations route to
+//	          the new table once their chunk is done
+//
+// The epoch framework provides the prepare->resizing transition: the phase
+// only becomes resizing after every thread has observed prepare, which it
+// does at its next refresh.
+//
+// Safety against stale entry references: when a migrator copies an entry
+// out of the old table it CASes the old slot to a poison word (tentative,
+// unoccupied). Any Entry.CompareAndSwapAddress held from before the resize
+// then fails, and the caller retries its operation, which routes to the
+// new table.
+//
+// A split points both child buckets at the same record chain. The index
+// stores no keys, and part of a chain may live on disk, so the child that
+// "really" owns each record cannot be determined synchronously (the paper
+// makes the same choice). Chains self-clean as records are copied forward.
+// Merging (shrink) requires the meta-record mechanism sketched in the
+// paper's appendix and is not implemented; Shrink returns ErrUnsupported.
+
+const (
+	phaseStable uint32 = iota
+	phasePrepare
+	phaseResizing
+)
+
+// poisonWord marks a migrated slot: tentative and not occupied, so it is
+// invisible to readers and unmatchable by any legitimate CAS.
+const poisonWord = tentativeBit
+
+func packStatus(phase uint32, version uint32) uint32 {
+	return phase | version<<2
+}
+
+// packStatusGen includes the resize generation in the upper bits.
+func packStatusGen(phase, version, gen uint32) uint32 {
+	return phase | version<<2 | gen<<3
+}
+
+func unpackStatus(s uint32) (phase uint32, version uint32) {
+	return s & 3, s >> 2 & 1
+}
+
+func statusGen(s uint32) uint32 { return s >> 3 }
+
+// ErrUnsupported is returned by Shrink.
+var ErrUnsupported = errors.New("index: shrink requires meta-records and is not implemented")
+
+// resizeState holds the coordination data for an in-flight resize.
+type resizeState struct {
+	mu        sync.Mutex // serializes Grow calls
+	maxChunks int
+
+	// The fields below are rewritten under mu before the status word
+	// advertises prepare; readers load status first (acquire) so they
+	// observe a consistent snapshot.
+	old, new   *table
+	numChunks  int
+	chunkShift uint
+	pins       []atomic.Int32
+	migrated   []atomic.Uint32 // 0 pending, 1 claimed, 2 done
+}
+
+// chunkOf maps a hash to its migration chunk in the old table.
+func (r *resizeState) chunkOf(hash uint64) int {
+	return int((hash & (r.old.size - 1)) >> r.chunkShift)
+}
+
+// beginOp routes an index operation to the right table for hash,
+// respecting the resize phase. It returns the table whose buckets the
+// operation may touch and the chunk it pinned (-1 if none). The caller
+// must call endOp with the same pin.
+func (idx *Index) beginOp(hash uint64) (t *table, pinned int) {
+	for {
+		st := idx.status.Load()
+		phase, v := unpackStatus(st)
+		switch phase {
+		case phaseStable:
+			return idx.tables[v], -1
+		case phasePrepare:
+			r := &idx.resize
+			chunk := r.chunkOf(hash)
+			if r.pins[chunk].Add(1) > 0 {
+				// Guard against a full resize cycle having slipped by
+				// between the status load and the pin (generation check).
+				if idx.status.Load() == st {
+					return r.old, chunk
+				}
+				r.pins[chunk].Add(-1)
+				continue
+			}
+			// The migrator claimed this chunk already; undo and spin
+			// until the phase catches up.
+			r.pins[chunk].Add(-1)
+			runtime.Gosched()
+		case phaseResizing:
+			r := &idx.resize
+			idx.ensureChunkDone(r.chunkOf(hash))
+			if statusGen(idx.status.Load()) != statusGen(st) {
+				continue // a whole resize cycle slipped past us
+			}
+			return r.new, -1
+		}
+	}
+}
+
+// endOp releases the chunk pin taken by beginOp.
+func (idx *Index) endOp(pinned int) {
+	if pinned >= 0 {
+		idx.resize.pins[pinned].Add(-1)
+	}
+}
+
+// ensureChunkDone cooperatively migrates chunk or waits for its migrator.
+func (idx *Index) ensureChunkDone(chunk int) {
+	r := &idx.resize
+	for r.migrated[chunk].Load() != 2 {
+		if r.pins[chunk].CompareAndSwap(0, math.MinInt32) {
+			r.migrated[chunk].Store(1)
+			idx.migrateChunk(chunk)
+			r.migrated[chunk].Store(2)
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// migrateChunk copies every live entry of the chunk's old-table buckets
+// into both child buckets of the new table, poisoning old slots as it
+// goes. The migrator has exclusive ownership of the chunk (pins are
+// negative) and of the child buckets.
+func (idx *Index) migrateChunk(chunk int) {
+	r := &idx.resize
+	lo := uint64(chunk) << r.chunkShift
+	hi := lo + r.old.size/uint64(r.numChunks)
+	for off := lo; off < hi; off++ {
+		b := &r.old.buckets[off]
+		for {
+			for i := 0; i < entriesPerBucket; i++ {
+				for {
+					w := atomic.LoadUint64(&b[i])
+					if w == 0 || w == poisonWord {
+						break
+					}
+					if entryLive(w) {
+						idx.insertMigrated(r.new, off, w)
+						idx.insertMigrated(r.new, off+r.old.size, w)
+					}
+					if atomic.CompareAndSwapUint64(&b[i], w, poisonWord) {
+						break
+					}
+					// Lost a race with a late CAS; undo the copies and
+					// redo with the fresh value.
+					idx.removeMigrated(r.new, off, w)
+					idx.removeMigrated(r.new, off+r.old.size, w)
+				}
+			}
+			ov := atomic.LoadUint64(&b[7])
+			if ov == 0 {
+				break
+			}
+			b = r.old.overflowBucket(ov)
+		}
+	}
+}
+
+// insertMigrated places entry w into the new-table bucket at off. The
+// migrator owns the destination, so plain stores (atomic for publication)
+// suffice.
+func (idx *Index) insertMigrated(t *table, off uint64, w uint64) {
+	b := &t.buckets[off]
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			if atomic.LoadUint64(&b[i]) == 0 {
+				atomic.StoreUint64(&b[i], w)
+				return
+			}
+		}
+		ov := atomic.LoadUint64(&b[7])
+		if ov == 0 {
+			ov = t.allocOverflow()
+			atomic.StoreUint64(&b[7], ov)
+		}
+		b = t.overflowBucket(ov)
+	}
+}
+
+// removeMigrated undoes insertMigrated after a lost CAS race.
+func (idx *Index) removeMigrated(t *table, off uint64, w uint64) {
+	b := &t.buckets[off]
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			if atomic.LoadUint64(&b[i]) == w {
+				atomic.StoreUint64(&b[i], 0)
+				return
+			}
+		}
+		ov := atomic.LoadUint64(&b[7])
+		if ov == 0 {
+			return
+		}
+		b = t.overflowBucket(ov)
+	}
+}
+
+// Grow doubles the index on the fly. It drives the three-phase state
+// machine of Appendix B, using em to guarantee that migration starts only
+// after every thread has observed the prepare phase. The caller must not
+// hold an epoch guard (other sessions keep refreshing as usual and help
+// migrate chunks they touch).
+func (idx *Index) Grow(em *epoch.Manager) error {
+	r := &idx.resize
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	st := idx.status.Load()
+	phase, v := unpackStatus(st)
+	if phase != phaseStable {
+		return errors.New("index: resize already in progress")
+	}
+	gen := statusGen(st) + 1
+
+	old := idx.tables[v]
+	nt := newTable(old.size * 2)
+	idx.tables[1-v] = nt
+
+	numChunks := r.maxChunks
+	if uint64(numChunks) > old.size {
+		numChunks = int(old.size)
+	}
+	// Round down to a power of two so chunk boundaries divide evenly.
+	numChunks = 1 << (bits.Len(uint(numChunks)) - 1)
+	r.old, r.new = old, nt
+	r.numChunks = numChunks
+	r.chunkShift = uint(bits.TrailingZeros64(old.size / uint64(numChunks)))
+	r.pins = make([]atomic.Int32, numChunks)
+	r.migrated = make([]atomic.Uint32, numChunks)
+
+	idx.status.Store(packStatusGen(phasePrepare, v, gen))
+	em.BumpWith(func() {
+		idx.status.Store(packStatusGen(phaseResizing, v, gen))
+	})
+	for {
+		p, _ := unpackStatus(idx.status.Load())
+		if p == phaseResizing {
+			break
+		}
+		em.Drain()
+		runtime.Gosched()
+	}
+	for c := 0; c < numChunks; c++ {
+		idx.ensureChunkDone(c)
+	}
+	idx.status.Store(packStatusGen(phaseStable, 1-v, gen))
+	idx.tables[v] = nil
+	return nil
+}
+
+// Shrink is unimplemented; see the package comment above.
+func (idx *Index) Shrink(*epoch.Manager) error { return ErrUnsupported }

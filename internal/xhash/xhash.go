@@ -1,0 +1,42 @@
+// Package xhash provides the 64-bit hash functions used by the FASTER hash
+// index. The index steals bits from the hash for the bucket offset (low
+// bits) and the tag (high bits), so the hash must mix all input bits into
+// both ends of the word. We use the finalizer of MurmurHash3 / SplitMix64
+// for 8-byte keys (the common case in the paper's YCSB workloads) and an
+// FNV-1a-then-mix construction for arbitrary byte strings.
+package xhash
+
+import "encoding/binary"
+
+// Mix64 applies a full-avalanche 64-bit finalizer (SplitMix64 / Murmur3
+// fmix64 family): every input bit affects every output bit.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Uint64 hashes an 8-byte key.
+func Uint64(k uint64) uint64 { return Mix64(k) }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Bytes hashes an arbitrary byte string. The FNV-1a core is finished with
+// Mix64 so that short keys still avalanche into the high (tag) bits.
+func Bytes(b []byte) uint64 {
+	if len(b) == 8 {
+		return Mix64(binary.LittleEndian.Uint64(b))
+	}
+	var h uint64 = fnvOffset
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return Mix64(h)
+}

@@ -1,0 +1,78 @@
+package xhash
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping any single input bit must flip a substantial fraction of
+	// output bits (the property the index relies on: offsets come from
+	// the low bits, tags from the high bits).
+	const samples = 200
+	for bit := 0; bit < 64; bit++ {
+		var totalFlips int
+		for s := uint64(1); s <= samples; s++ {
+			a := Mix64(s)
+			b := Mix64(s ^ 1<<bit)
+			totalFlips += bits.OnesCount64(a ^ b)
+		}
+		avg := float64(totalFlips) / samples
+		if avg < 24 || avg > 40 {
+			t.Fatalf("bit %d: average flips %.1f, want ~32", bit, avg)
+		}
+	}
+}
+
+func TestUint64Deterministic(t *testing.T) {
+	if Uint64(42) != Uint64(42) {
+		t.Fatal("hash not deterministic")
+	}
+	if Uint64(42) == Uint64(43) {
+		t.Fatal("adjacent keys collide")
+	}
+}
+
+func TestBytesMatchesUint64For8Bytes(t *testing.T) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], 0xdeadbeef)
+	if Bytes(b[:]) != Uint64(0xdeadbeef) {
+		t.Fatal("8-byte Bytes must equal Uint64 of the same key")
+	}
+}
+
+func TestBytesVariableLengths(t *testing.T) {
+	seen := map[uint64]string{}
+	inputs := []string{"", "a", "ab", "abc", "abcdefg", "abcdefgh", "abcdefghi",
+		"key-1", "key-2", "completely different key material"}
+	for _, in := range inputs {
+		h := Bytes([]byte(in))
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision between %q and %q", prev, in)
+		}
+		seen[h] = in
+	}
+}
+
+// Property: low k bits of the hash are roughly uniform for sequential
+// keys (the index's bucket offset source).
+func TestQuickLowBitsSpread(t *testing.T) {
+	f := func(start uint64) bool {
+		const buckets = 64
+		var counts [buckets]int
+		for i := uint64(0); i < 64*buckets; i++ {
+			counts[Uint64(start+i)%buckets]++
+		}
+		for _, c := range counts {
+			if c < 32 || c > 96 { // expect 64 +- 50%
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,313 @@
+// Package ycsb generates the workloads of Section 7.1 of the FASTER
+// paper: an extended YCSB-A with 8-byte keys, 8-byte or 100-byte values,
+// read/blind-update mixes denoted R:BU, and a 100% read-modify-write
+// variant whose input increments a per-key sum from a user-provided input
+// array (8 entries, as in the paper).
+//
+// Three key distributions are provided: Uniform, scrambled Zipfian with
+// theta = 0.99 (the YCSB default), and the paper's shifting hot-set
+// distribution, which models keys moving from cold to hot and back.
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/xhash"
+)
+
+// OpKind is the operation an access performs.
+type OpKind uint8
+
+const (
+	// OpRead is a point read.
+	OpRead OpKind = iota
+	// OpUpsert is a blind update (YCSB "update").
+	OpUpsert
+	// OpRMW is a read-modify-write increment.
+	OpRMW
+)
+
+// Generator produces a stream of keys from some distribution. Generators
+// are not safe for concurrent use; give each worker its own (Clone).
+type Generator interface {
+	// Next returns the next key in [0, Keys).
+	Next() uint64
+	// Keys returns the size of the key space.
+	Keys() uint64
+	// Clone returns an independent generator with the given seed.
+	Clone(seed int64) Generator
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+// Uniform draws keys uniformly at random.
+type Uniform struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniform creates a uniform generator over n keys.
+func NewUniform(n uint64, seed int64) *Uniform {
+	return &Uniform{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }
+
+// Keys implements Generator.
+func (u *Uniform) Keys() uint64 { return u.n }
+
+// Clone implements Generator.
+func (u *Uniform) Clone(seed int64) Generator { return NewUniform(u.n, seed) }
+
+// ---------------------------------------------------------------------------
+// Scrambled Zipfian (theta = 0.99), after Gray et al. "Quickly generating
+// billion-record synthetic databases" and the YCSB implementation.
+// ---------------------------------------------------------------------------
+
+// Zipfian draws keys from a scrambled Zipfian distribution: ranks follow
+// the Zipf law, and a hash scatters the popular ranks across the key
+// space (so hot keys are not clustered).
+type Zipfian struct {
+	n         uint64
+	theta     float64
+	alpha     float64
+	zetan     float64
+	eta       float64
+	zeta2     float64
+	rng       *rand.Rand
+	scrambled bool
+}
+
+// DefaultTheta is the YCSB default skew.
+const DefaultTheta = 0.99
+
+// NewZipfian creates a scrambled Zipfian generator over n keys.
+func NewZipfian(n uint64, theta float64, seed int64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed)), scrambled: true}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zetaStatic computes the generalized harmonic number sum_{i=1..n} 1/i^t.
+func zetaStatic(n uint64, theta float64) float64 {
+	// Exact for small n; logarithmic approximation beyond, which is the
+	// standard trick for billion-key spaces.
+	const exactLimit = 10_000_000
+	if n <= exactLimit {
+		var z float64
+		for i := uint64(1); i <= n; i++ {
+			z += 1 / math.Pow(float64(i), theta)
+		}
+		return z
+	}
+	z := zetaStatic(exactLimit, theta)
+	// Integral approximation of the tail.
+	t := 1 - theta
+	z += (math.Pow(float64(n), t) - math.Pow(float64(exactLimit), t)) / t
+	return z
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	if !z.scrambled {
+		return rank
+	}
+	return xhash.Mix64(rank) % z.n
+}
+
+// Keys implements Generator.
+func (z *Zipfian) Keys() uint64 { return z.n }
+
+// Clone implements Generator.
+func (z *Zipfian) Clone(seed int64) Generator {
+	c := *z
+	c.rng = rand.New(rand.NewSource(seed))
+	return &c
+}
+
+// Unscrambled returns a copy that emits raw ranks (rank 0 = hottest);
+// used by the cache simulations where rank order matters.
+func (z *Zipfian) Unscrambled() *Zipfian {
+	c := *z
+	c.scrambled = false
+	c.rng = rand.New(rand.NewSource(z.rng.Int63()))
+	return &c
+}
+
+// ---------------------------------------------------------------------------
+// Shifting hot set (§7.1, §7.5)
+// ---------------------------------------------------------------------------
+
+// HotSet models the paper's hot-set distribution: a hot fraction of the
+// key space is accessed with high probability, and the hot set's position
+// slides across the key space every shiftEvery accesses, modelling users
+// starting and stopping sessions.
+type HotSet struct {
+	n          uint64
+	hotKeys    uint64
+	hotProb    float64
+	shiftEvery uint64
+	step       uint64 // keys the window slides per shift
+
+	accesses uint64
+	hotStart uint64
+	rng      *rand.Rand
+}
+
+// HotSetConfig configures a HotSet generator. The paper's simulation uses
+// a hot set of 1/5 of the keys accessed with 90% probability.
+type HotSetConfig struct {
+	Keys       uint64
+	HotFrac    float64 // fraction of keys that are hot (default 0.2)
+	HotProb    float64 // probability an access hits the hot set (default 0.9)
+	ShiftEvery uint64  // accesses between window shifts (default Keys)
+	ShiftFrac  float64 // fraction of the hot set replaced per shift (default 0.1)
+}
+
+// NewHotSet creates a hot-set generator.
+func NewHotSet(cfg HotSetConfig, seed int64) *HotSet {
+	if cfg.HotFrac == 0 {
+		cfg.HotFrac = 0.2
+	}
+	if cfg.HotProb == 0 {
+		cfg.HotProb = 0.9
+	}
+	if cfg.ShiftEvery == 0 {
+		cfg.ShiftEvery = cfg.Keys
+	}
+	if cfg.ShiftFrac == 0 {
+		cfg.ShiftFrac = 0.1
+	}
+	hot := uint64(float64(cfg.Keys) * cfg.HotFrac)
+	if hot == 0 {
+		hot = 1
+	}
+	step := uint64(float64(hot) * cfg.ShiftFrac)
+	if step == 0 {
+		step = 1
+	}
+	return &HotSet{
+		n: cfg.Keys, hotKeys: hot, hotProb: cfg.HotProb,
+		shiftEvery: cfg.ShiftEvery, step: step,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next implements Generator.
+func (h *HotSet) Next() uint64 {
+	h.accesses++
+	if h.accesses%h.shiftEvery == 0 {
+		h.hotStart = (h.hotStart + h.step) % h.n
+	}
+	if h.rng.Float64() < h.hotProb {
+		return (h.hotStart + uint64(h.rng.Int63n(int64(h.hotKeys)))) % h.n
+	}
+	// Cold access: uniform over the non-hot remainder.
+	cold := uint64(h.rng.Int63n(int64(h.n - h.hotKeys)))
+	return (h.hotStart + h.hotKeys + cold) % h.n
+}
+
+// Keys implements Generator.
+func (h *HotSet) Keys() uint64 { return h.n }
+
+// Clone implements Generator.
+func (h *HotSet) Clone(seed int64) Generator {
+	c := *h
+	c.rng = rand.New(rand.NewSource(seed))
+	return &c
+}
+
+// ---------------------------------------------------------------------------
+// Workload mixes
+// ---------------------------------------------------------------------------
+
+// Mix describes an operation mix. The paper writes mixes as R:BU (reads :
+// blind updates); RMW mixes are denoted 0:100 RMW.
+type Mix struct {
+	ReadPct   int // percentage of reads
+	UpsertPct int // percentage of blind updates
+	RMWPct    int // percentage of read-modify-writes
+}
+
+// Common mixes from the evaluation.
+var (
+	MixRMW100    = Mix{RMWPct: 100}                // "0:100 RMW"
+	Mix0R100BU   = Mix{UpsertPct: 100}             // "0:100"
+	Mix50R50BU   = Mix{ReadPct: 50, UpsertPct: 50} // "50:50"
+	Mix100R      = Mix{ReadPct: 100}               // "100:0"
+	MixYCSBNames = map[string]Mix{
+		"0:100 RMW": MixRMW100,
+		"0:100":     Mix0R100BU,
+		"50:50":     Mix50R50BU,
+		"100:0":     Mix100R,
+	}
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Workload pairs a key generator with an operation mix.
+type Workload struct {
+	gen Generator
+	mix Mix
+	rng *rand.Rand
+}
+
+// NewWorkload builds a workload; not safe for concurrent use (Clone per
+// worker).
+func NewWorkload(gen Generator, mix Mix, seed int64) *Workload {
+	return &Workload{gen: gen, mix: mix, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next operation.
+func (w *Workload) Next() Op {
+	k := w.gen.Next()
+	p := w.rng.Intn(100)
+	switch {
+	case p < w.mix.ReadPct:
+		return Op{Kind: OpRead, Key: k}
+	case p < w.mix.ReadPct+w.mix.UpsertPct:
+		return Op{Kind: OpUpsert, Key: k}
+	default:
+		return Op{Kind: OpRMW, Key: k}
+	}
+}
+
+// KeySpace returns the number of distinct keys the workload draws from.
+func (w *Workload) KeySpace() uint64 { return w.gen.Keys() }
+
+// Clone returns an independent workload stream.
+func (w *Workload) Clone(seed int64) *Workload {
+	return &Workload{gen: w.gen.Clone(seed), mix: w.mix, rng: rand.New(rand.NewSource(seed ^ 0x9e3779b9))}
+}
+
+// InputArray returns the paper's 8-entry RMW input array: RMW updates
+// "increment a value by a number from a user-provided input array with 8
+// entries".
+func InputArray() [8]uint64 {
+	return [8]uint64{1, 2, 3, 5, 7, 11, 13, 17}
+}

@@ -1,0 +1,204 @@
+package ycsb
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	g := NewUniform(100, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10_000; i++ {
+		k := g.Next()
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestUniformIsRoughlyFlat(t *testing.T) {
+	g := NewUniform(10, 7)
+	counts := make([]int, 10)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Fatalf("key %d frequency %.3f, want ~0.10", k, frac)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// Unscrambled ranks: rank 0 must be the most frequent, and the top
+	// ranks must dominate (theta=0.99 means ~top-20% gets most traffic).
+	g := NewZipfian(1000, DefaultTheta, 42).Unscrambled()
+	counts := make([]int, 1000)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	if counts[0] < counts[1] || counts[0] < counts[500] {
+		t.Fatalf("rank 0 not hottest: %d vs %d vs %d", counts[0], counts[1], counts[500])
+	}
+	var top10 int
+	for i := 0; i < 10; i++ {
+		top10 += counts[i]
+	}
+	if frac := float64(top10) / n; frac < 0.25 {
+		t.Fatalf("top-10 ranks got %.3f of traffic, want >= 0.25 for zipf 0.99", frac)
+	}
+}
+
+func TestZipfianScrambleSpreadsHotKeys(t *testing.T) {
+	g := NewZipfian(1<<20, DefaultTheta, 1)
+	counts := map[uint64]int{}
+	for i := 0; i < 100_000; i++ {
+		counts[g.Next()]++
+	}
+	// Collect the 10 hottest scrambled keys; they must not be clustered
+	// in a narrow range (scrambling spreads them).
+	type kv struct {
+		k uint64
+		c int
+	}
+	var all []kv
+	for k, c := range counts {
+		all = append(all, kv{k, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	var lo, hi uint64 = math.MaxUint64, 0
+	for _, e := range all[:10] {
+		if e.k < lo {
+			lo = e.k
+		}
+		if e.k > hi {
+			hi = e.k
+		}
+	}
+	if hi-lo < 1<<16 {
+		t.Fatalf("top-10 hot keys clustered in range %d", hi-lo)
+	}
+}
+
+func TestZipfianInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewZipfian(257, DefaultTheta, seed)
+		for i := 0; i < 200; i++ {
+			if g.Next() >= 257 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotSetConcentration(t *testing.T) {
+	g := NewHotSet(HotSetConfig{Keys: 1000, HotFrac: 0.2, HotProb: 0.9, ShiftEvery: 1 << 30}, 3)
+	hot := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if g.Next() < 200 { // window starts at 0 and never shifts here
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction %.3f, want ~0.90", frac)
+	}
+}
+
+func TestHotSetShifts(t *testing.T) {
+	g := NewHotSet(HotSetConfig{Keys: 1000, ShiftEvery: 1000, ShiftFrac: 0.5}, 4)
+	firstWindow := map[uint64]int{}
+	for i := 0; i < 900; i++ {
+		firstWindow[g.Next()]++
+	}
+	// Drive several shifts.
+	for i := 0; i < 5000; i++ {
+		g.Next()
+	}
+	if g.hotStart == 0 {
+		t.Fatal("hot window never shifted")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	w := NewWorkload(NewUniform(100, 1), Mix50R50BU, 2)
+	var reads, upserts, rmws int
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		switch w.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpsert:
+			upserts++
+		case OpRMW:
+			rmws++
+		}
+	}
+	if frac := float64(reads) / n; frac < 0.48 || frac > 0.52 {
+		t.Fatalf("read fraction %.3f, want ~0.50", frac)
+	}
+	if rmws != 0 {
+		t.Fatalf("unexpected RMWs in 50:50 mix: %d", rmws)
+	}
+}
+
+func TestMixRMW100(t *testing.T) {
+	w := NewWorkload(NewUniform(10, 1), MixRMW100, 5)
+	for i := 0; i < 1000; i++ {
+		if op := w.Next(); op.Kind != OpRMW {
+			t.Fatalf("op %v in 100%% RMW mix", op.Kind)
+		}
+	}
+}
+
+func TestClonesAreIndependent(t *testing.T) {
+	w := NewWorkload(NewZipfian(1000, DefaultTheta, 1), Mix50R50BU, 1)
+	c1 := w.Clone(100)
+	c2 := w.Clone(200)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Next().Key == c2.Next().Key {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("clones emitted %d/100 identical keys; streams not independent", same)
+	}
+}
+
+func TestInputArrayMatchesPaper(t *testing.T) {
+	arr := InputArray()
+	if len(arr) != 8 {
+		t.Fatalf("input array has %d entries, want 8", len(arr))
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	g := NewZipfian(250_000_000, DefaultTheta, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkUniformNext(b *testing.B) {
+	g := NewUniform(250_000_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
