@@ -26,15 +26,17 @@ func main() {
 		duration = flag.Duration("duration", 2*time.Second, "measurement window per cell (paper: 30s)")
 		threads  = flag.Int("threads", 0, "max threads (default 2*GOMAXPROCS; paper: 56)")
 		seed     = flag.Int64("seed", 42, "workload seed")
+		metrics  = flag.Bool("metrics", false, "dump the store metrics report after each FASTER cell")
 	)
 	flag.Parse()
 
 	o := bench.Options{
-		Keys:       *keys,
-		Duration:   *duration,
-		MaxThreads: *threads,
-		Out:        os.Stdout,
-		Seed:       *seed,
+		Keys:        *keys,
+		Duration:    *duration,
+		MaxThreads:  *threads,
+		Out:         os.Stdout,
+		Seed:        *seed,
+		DumpMetrics: *metrics,
 	}
 
 	run := func(name string, fn func() error) {

@@ -11,6 +11,7 @@
 //	del <key>             delete
 //	scan                  walk the log in order
 //	stats                 store counters and log markers
+//	metrics               full metrics report (all layers, named series)
 //	checkpoint <dir>      write a checkpoint
 //	quit
 //
@@ -65,7 +66,7 @@ func main() {
 	defer sess.Close()
 
 	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("faster-cli ready (set/get/add/del/scan/stats/checkpoint/quit)")
+	fmt.Println("faster-cli ready (set/get/add/del/scan/stats/metrics/checkpoint/quit)")
 	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
@@ -149,6 +150,10 @@ func main() {
 			fmt.Printf("  log: begin=%#x head=%#x safeRO=%#x ro=%#x tail=%#x\n",
 				l.BeginAddress(), l.HeadAddress(), l.SafeReadOnlyAddress(),
 				l.ReadOnlyAddress(), l.TailAddress())
+		case "metrics":
+			if err := store.WriteReport(os.Stdout); err != nil {
+				fmt.Println("metrics:", err)
+			}
 		case "checkpoint":
 			if len(fields) != 2 {
 				fmt.Println("usage: checkpoint <dir>")

@@ -29,6 +29,9 @@ type Options struct {
 	Out io.Writer
 	// Seed makes runs reproducible.
 	Seed int64
+	// DumpMetrics prints the store's full metrics report (Store.Metrics
+	// flattened to named series) after each FASTER measurement cell.
+	DumpMetrics bool
 }
 
 func (o *Options) defaults() {
@@ -126,7 +129,23 @@ func runMix(sysName string, o Options, mix ycsb.Mix, label string, gen ycsb.Gene
 		RMWInputs: ycsb.InputArray(),
 		Seed:      o.Seed,
 	}, label)
+	maybeDumpMetrics(o, sys, label)
 	return res, nil
+}
+
+// maybeDumpMetrics prints the store's metrics report when the system under
+// test is a FASTER store and o.DumpMetrics is set. Must run before the
+// system is closed.
+func maybeDumpMetrics(o Options, sys System, label string) {
+	if !o.DumpMetrics {
+		return
+	}
+	fsys, ok := sys.(*FasterSystem)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(o.Out, "--- metrics: %s %s ---\n", sys.Name(), label)
+	_ = fsys.Store().WriteReport(o.Out)
 }
 
 // Fig8 regenerates Fig 8a-8d: throughput of FASTER vs the in-memory and
@@ -328,6 +347,7 @@ func Fig12(o Options) ([]Fig12Row, error) {
 				RMWInputs: ycsb.InputArray(), Seed: o.Seed}, "RMW "+distr)
 			tail1 := sys.Store().Log().TailAddress()
 			fz, total := sys.FuzzyStats()
+			maybeDumpMetrics(o, sys, fmt.Sprintf("RMW %s ipu=%.1f", distr, f))
 			sys.Close()
 			growth := float64(tail1-tail0) / res.Elapsed.Seconds() / (1 << 20)
 			pct := 0.0
@@ -363,6 +383,7 @@ func Fig13(o Options) ([]Fig12Row, error) {
 			Workload: wl, ValueSize: 8, Preload: true,
 			RMWInputs: ycsb.InputArray(), Seed: o.Seed}, "RMW uniform")
 		fz, total := sys.FuzzyStats()
+		maybeDumpMetrics(o, sys, fmt.Sprintf("RMW uniform threads=%d", threads))
 		sys.Close()
 		pct := 0.0
 		if total > 0 {
@@ -421,6 +442,7 @@ func LogBandwidth(o Options) (float64, error) {
 		Workload: wl, ValueSize: 100, Preload: true,
 		RMWInputs: ycsb.InputArray(), Seed: o.Seed}, "0:100 uniform")
 	written := dev.Stats().BytesWritten
+	maybeDumpMetrics(o, sys, "0:100 uniform bandwidth")
 	sys.Close()
 	mbs := float64(written) / res.Elapsed.Seconds() / (1 << 20)
 	fmt.Fprintf(o.Out, "\n--- §7.3 log write bandwidth: %.1f MB/s (%.3f Mops/s) ---\n", mbs, res.Mops())

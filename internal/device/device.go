@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // ErrClosed is returned by operations on a closed device.
@@ -69,12 +71,31 @@ type Stats struct {
 	BytesRead    uint64
 }
 
+// Metrics extends Stats with per-operation latency histograms (measured
+// from submission to completion callback, so queueing behind a busy
+// worker pool shows up) and the injected-fault counters of Faulty.
+type Metrics struct {
+	Stats
+	ReadLatency         metrics.HistogramSnapshot
+	WriteLatency        metrics.HistogramSnapshot
+	InjectedReadFaults  uint64
+	InjectedWriteFaults uint64
+}
+
+// MetricsSource is implemented by devices that expose instrumentation;
+// all built-in devices do.
+type MetricsSource interface {
+	Metrics() Metrics
+}
+
 // statCounters is embedded by implementations to share counter plumbing.
 type statCounters struct {
 	writes       atomic.Uint64
 	reads        atomic.Uint64
 	bytesWritten atomic.Uint64
 	bytesRead    atomic.Uint64
+	readLatency  metrics.Histogram
+	writeLatency metrics.Histogram
 }
 
 func (s *statCounters) snapshot() Stats {
@@ -86,15 +107,37 @@ func (s *statCounters) snapshot() Stats {
 	}
 }
 
+func (s *statCounters) metricsSnapshot() Metrics {
+	return Metrics{
+		Stats:        s.snapshot(),
+		ReadLatency:  s.readLatency.Snapshot(),
+		WriteLatency: s.writeLatency.Snapshot(),
+	}
+}
+
+// observe records an operation's submit-to-completion latency.
+func (s *statCounters) observe(write bool, submitNs int64) {
+	d := time.Now().UnixNano() - submitNs
+	if d < 0 {
+		d = 0
+	}
+	if write {
+		s.writeLatency.ObserveNs(uint64(d))
+	} else {
+		s.readLatency.ObserveNs(uint64(d))
+	}
+}
+
 // ---------------------------------------------------------------------------
 // ioPool: a fixed pool of worker goroutines servicing async requests.
 // ---------------------------------------------------------------------------
 
 type ioRequest struct {
-	write  bool
-	buf    []byte
-	offset uint64
-	cb     Callback
+	write    bool
+	buf      []byte
+	offset   uint64
+	cb       Callback
+	submitNs int64 // set by submit; feeds the latency histograms
 }
 
 // ioPool services asynchronous requests with a fixed set of worker
@@ -145,6 +188,7 @@ func (p *ioPool) submit(r ioRequest) bool {
 	if p.closed.Load() {
 		return false
 	}
+	r.submitNs = time.Now().UnixNano()
 	p.pending.Add(1)
 	p.mu.Lock()
 	if p.closed.Load() {
@@ -206,6 +250,7 @@ func OpenFile(path string, workers int) (*File, error) {
 
 func (d *File) serve(r ioRequest) {
 	var err error
+	defer func() { d.observe(r.write, r.submitNs) }()
 	if r.write {
 		_, err = d.f.WriteAt(r.buf, int64(r.offset))
 		if err == nil {
@@ -271,6 +316,9 @@ func (d *File) Truncate(until uint64) error {
 
 // Stats returns I/O counters.
 func (d *File) Stats() Stats { return d.snapshot() }
+
+// Metrics implements MetricsSource.
+func (d *File) Metrics() Metrics { return d.metricsSnapshot() }
 
 // Close implements Device.
 func (d *File) Close() error {
@@ -348,6 +396,7 @@ func (d *Mem) throttleWrite(n int) {
 }
 
 func (d *Mem) serve(r ioRequest) {
+	defer func() { d.observe(r.write, r.submitNs) }()
 	if r.write {
 		d.throttleWrite(len(r.buf))
 		cp := make([]byte, len(r.buf))
@@ -458,6 +507,9 @@ func (d *Mem) Truncate(until uint64) error {
 // Stats returns I/O counters.
 func (d *Mem) Stats() Stats { return d.snapshot() }
 
+// Metrics implements MetricsSource.
+func (d *Mem) Metrics() Metrics { return d.metricsSnapshot() }
+
 // StoredBytes reports how many bytes the device currently retains.
 func (d *Mem) StoredBytes() uint64 {
 	d.mu.RLock()
@@ -507,6 +559,9 @@ func (d *Null) Truncate(uint64) error { return nil }
 
 // Stats returns I/O counters.
 func (d *Null) Stats() Stats { return d.snapshot() }
+
+// Metrics implements MetricsSource.
+func (d *Null) Metrics() Metrics { return d.metricsSnapshot() }
 
 // Close implements Device.
 func (d *Null) Close() error { return nil }

@@ -43,6 +43,18 @@ func (d *Faulty) InjectedFaults() (int64, int64) {
 	return d.injectedReads.Load(), d.injectedWrites.Load()
 }
 
+// Metrics implements MetricsSource: the inner device's metrics (when it
+// exposes any) annotated with this wrapper's injected-fault counters.
+func (d *Faulty) Metrics() Metrics {
+	var m Metrics
+	if src, ok := d.inner.(MetricsSource); ok {
+		m = src.Metrics()
+	}
+	m.InjectedReadFaults = uint64(d.injectedReads.Load())
+	m.InjectedWriteFaults = uint64(d.injectedWrites.Load())
+	return m
+}
+
 // ReadAsync implements Device.
 func (d *Faulty) ReadAsync(buf []byte, offset uint64, cb Callback) {
 	n := d.reads.Add(1)

@@ -26,6 +26,9 @@ import (
 	"math"
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 const (
@@ -53,8 +56,9 @@ type entry struct {
 // drainItem is one pending trigger action. epoch holds the epoch that must
 // become safe before action runs; a zero epoch marks a free slot.
 type drainItem struct {
-	epoch  atomic.Uint64
-	action func()
+	epoch      atomic.Uint64
+	action     func()
+	enqueuedNs int64 // wall time of enqueue, for bump-to-safe latency
 }
 
 // Action is a trigger callback executed exactly once after its epoch is safe.
@@ -71,6 +75,12 @@ type Manager struct {
 	drainCnt  atomic.Int64  // number of occupied drain-list slots
 	table     []entry
 	drainList [drainListSize]drainItem
+
+	mx struct {
+		bumps      metrics.Counter
+		actionsRun metrics.Counter
+		bumpToSafe metrics.Histogram // enqueue -> action-run latency
+	}
 }
 
 // New creates a Manager with capacity for maxSlots concurrently registered
@@ -151,6 +161,7 @@ func (g *Guard) Epoch() uint64 { return g.m.table[g.slot].localEpoch.Load() }
 // Bump atomically increments the current epoch and returns the previous
 // value c. All threads that refresh after the bump observe at least c+1.
 func (m *Manager) Bump() uint64 {
+	m.mx.bumps.Inc()
 	return m.current.Add(1) - 1
 }
 
@@ -179,6 +190,7 @@ func (m *Manager) enqueue(epoch uint64, action Action) {
 				// sees a claimed slot without its action.
 				if it.epoch.CompareAndSwap(0, math.MaxUint64) {
 					it.action = action
+					it.enqueuedNs = time.Now().UnixNano()
 					it.epoch.Store(epoch)
 					m.drainCnt.Add(1)
 					return
@@ -226,9 +238,12 @@ func (m *Manager) computeSafeAndDrain(currentEpoch uint64) {
 			continue
 		}
 		action := it.action
+		enqueuedNs := it.enqueuedNs
 		it.action = nil
 		it.epoch.Store(0) // free the slot
 		m.drainCnt.Add(-1)
+		m.mx.actionsRun.Inc()
+		m.mx.bumpToSafe.ObserveNs(uint64(max64(0, time.Now().UnixNano()-enqueuedNs)))
 		action()
 	}
 }
@@ -255,3 +270,37 @@ func (m *Manager) Registered() int {
 
 // Slots returns the capacity of the epoch table.
 func (m *Manager) Slots() int { return len(m.table) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Metrics is a snapshot of the epoch framework's instrumentation: the
+// epoch counters, the drain-list depth, and the latency from a BumpWith
+// enqueue to its trigger action running (the bump-to-safe latency of
+// §2.4, which bounds how quickly flushes and evictions take effect).
+type Metrics struct {
+	CurrentEpoch   uint64
+	SafeEpoch      uint64
+	DrainListDepth int64
+	Registered     int
+	Bumps          uint64
+	ActionsRun     uint64
+	BumpToSafe     metrics.HistogramSnapshot
+}
+
+// Metrics returns a snapshot of the manager's instrumentation.
+func (m *Manager) Metrics() Metrics {
+	return Metrics{
+		CurrentEpoch:   m.current.Load(),
+		SafeEpoch:      m.safe.Load(),
+		DrainListDepth: m.drainCnt.Load(),
+		Registered:     m.Registered(),
+		Bumps:          m.mx.bumps.Load(),
+		ActionsRun:     m.mx.actionsRun.Load(),
+		BumpToSafe:     m.mx.bumpToSafe.Snapshot(),
+	}
+}

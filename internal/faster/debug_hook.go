@@ -5,6 +5,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // debugSpin, when non-nil, is called from CompletePending's no-progress
@@ -97,9 +99,11 @@ func SetDebugSpinHook(fn func(inFlight, retries, completed int, pendingIOs uint6
 	}
 }
 
-// debugAssert enables internal invariant assertions; set the
-// FASTER_DEBUG_ASSERT environment variable or flip it from a test.
-var debugAssert = os.Getenv("FASTER_DEBUG_ASSERT") != ""
+// debugAssert reports whether internal invariant assertions are enabled
+// (the process-wide FASTER_DEBUG_ASSERT switch in internal/metrics,
+// shared with the hlog layer; flip it from tests with
+// metrics.SetDebugAsserts).
+func debugAssert() bool { return metrics.DebugAsserts() }
 
 // debugIssue / debugPush observe pending-op lifecycle (tests only).
 var (

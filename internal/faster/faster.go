@@ -21,6 +21,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/hlog"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/xhash"
 )
 
@@ -148,6 +149,16 @@ type Store struct {
 		inPlace      atomic.Uint64
 		appends      atomic.Uint64
 		failedCAS    atomic.Uint64
+	}
+
+	mx struct {
+		reads          metrics.Counter   // Read calls
+		upserts        metrics.Counter   // Upsert calls
+		rmws           metrics.Counter   // RMW calls
+		deletes        metrics.Counter   // Delete calls
+		rcuCopies      metrics.Counter   // read-copy-update appends (old value copied forward)
+		pendingDepth   metrics.Gauge     // I/Os issued and not yet returned to the user
+		pendingLatency metrics.Histogram // issue -> completion-queue drain
 	}
 
 	closed atomic.Bool

@@ -1,0 +1,185 @@
+package faster
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/device"
+	"repro/internal/epoch"
+	"repro/internal/hlog"
+	"repro/internal/index"
+	"repro/internal/metrics"
+)
+
+// StoreMetrics is a point-in-time snapshot of every instrumented layer of
+// the store. It is the typed view; Series flattens it into named scalar
+// series for the expvar endpoint and text reports.
+type StoreMetrics struct {
+	// Store-level operation counters.
+	Reads     uint64
+	Upserts   uint64
+	RMWs      uint64
+	Deletes   uint64
+	RCUCopies uint64 // updates that copied the old value to the tail
+	FailedCAS uint64 // lost index compare-and-swaps (retried)
+	InPlace   uint64 // updates applied in place
+	Appends   uint64 // records appended
+	FuzzyRMWs uint64 // RMWs deferred in the fuzzy region
+
+	PendingDepth   int64                     // I/Os outstanding right now
+	PendingIssued  uint64                    // I/Os issued in total
+	PendingLatency metrics.HistogramSnapshot // issue -> completion drain
+
+	Log   hlog.Metrics
+	Index index.Metrics
+	Epoch epoch.Metrics
+
+	// Device is present when the configured device exposes metrics (all
+	// built-in devices do); DeviceKnown reports whether it is meaningful.
+	Device      device.Metrics
+	DeviceKnown bool
+}
+
+// Metrics returns a snapshot of all store instrumentation.
+func (s *Store) Metrics() StoreMetrics {
+	m := StoreMetrics{
+		Reads:     s.mx.reads.Load(),
+		Upserts:   s.mx.upserts.Load(),
+		RMWs:      s.mx.rmws.Load(),
+		Deletes:   s.mx.deletes.Load(),
+		RCUCopies: s.mx.rcuCopies.Load(),
+		FailedCAS: s.stats.failedCAS.Load(),
+		InPlace:   s.stats.inPlace.Load(),
+		Appends:   s.stats.appends.Load(),
+		FuzzyRMWs: s.stats.fuzzyRMWs.Load(),
+
+		PendingDepth:   s.mx.pendingDepth.Load(),
+		PendingIssued:  s.stats.pendingIOs.Load(),
+		PendingLatency: s.mx.pendingLatency.Snapshot(),
+
+		Log:   s.log.Metrics(),
+		Index: s.idx.Metrics(),
+		Epoch: s.em.Metrics(),
+	}
+	if src, ok := s.cfg.Device.(device.MetricsSource); ok {
+		m.Device = src.Metrics()
+		m.DeviceKnown = true
+	}
+	return m
+}
+
+// Series flattens the snapshot into named scalar series. Names are stable
+// dotted paths (faster.*, hlog.*, index.*, epoch.*, device.*); latency
+// histograms expand into .count/.mean_ns/.p50_ns/.p99_ns/.max_ns.
+func (m StoreMetrics) Series() metrics.Series {
+	s := metrics.Series{
+		"faster.reads":          float64(m.Reads),
+		"faster.upserts":        float64(m.Upserts),
+		"faster.rmws":           float64(m.RMWs),
+		"faster.deletes":        float64(m.Deletes),
+		"faster.rcu_copies":     float64(m.RCUCopies),
+		"faster.failed_cas":     float64(m.FailedCAS),
+		"faster.in_place":       float64(m.InPlace),
+		"faster.appends":        float64(m.Appends),
+		"faster.fuzzy_rmws":     float64(m.FuzzyRMWs),
+		"faster.pending_depth":  float64(m.PendingDepth),
+		"faster.pending_issued": float64(m.PendingIssued),
+	}
+	s.AddHistogram("faster.pending_latency", m.PendingLatency)
+
+	s["hlog.tail_address"] = float64(m.Log.TailAddress)
+	s["hlog.head_address"] = float64(m.Log.HeadAddress)
+	s["hlog.read_only_address"] = float64(m.Log.ReadOnlyAddress)
+	s["hlog.safe_read_only_address"] = float64(m.Log.SafeReadOnlyAddress)
+	s["hlog.begin_address"] = float64(m.Log.BeginAddress)
+	s["hlog.flushed_until"] = float64(m.Log.FlushedUntil)
+	s["hlog.mutable_bytes"] = float64(m.Log.MutableBytes)
+	s["hlog.fuzzy_bytes"] = float64(m.Log.FuzzyBytes)
+	s["hlog.read_only_bytes"] = float64(m.Log.ReadOnlyBytes)
+	s["hlog.stable_bytes"] = float64(m.Log.StableBytes)
+	s["hlog.flushes_issued"] = float64(m.Log.FlushesIssued)
+	s["hlog.flush_retries"] = float64(m.Log.FlushRetries)
+	s["hlog.flushed_bytes"] = float64(m.Log.FlushedBytes)
+	s["hlog.evicted_pages"] = float64(m.Log.EvictedPages)
+	s["hlog.ro_shifts"] = float64(m.Log.ROShifts)
+	s["hlog.head_shifts"] = float64(m.Log.HeadShifts)
+	s.AddHistogram("hlog.flush_latency", m.Log.FlushLatency)
+	s.AddHistogram("hlog.frame_wait", m.Log.FrameWait)
+	s.AddHistogram("hlog.tail_contention", m.Log.TailContention)
+	s.AddHistogram("hlog.flush_wait", m.Log.FlushWait)
+
+	s["index.buckets"] = float64(m.Index.Buckets)
+	s["index.entries"] = float64(m.Index.Entries)
+	s["index.overflow_buckets"] = float64(m.Index.OverflowBuckets)
+	s["index.max_chain"] = float64(m.Index.MaxChain)
+	s["index.tentative_conflicts"] = float64(m.Index.TentativeConflicts)
+	s["index.insert_retries"] = float64(m.Index.InsertRetries)
+	s["index.resizes"] = float64(m.Index.Resizes)
+	if m.Index.ResizeActive {
+		s["index.resize_active"] = 1
+	} else {
+		s["index.resize_active"] = 0
+	}
+	s["index.resize_chunks_done"] = float64(m.Index.ResizeChunksDone)
+	s["index.resize_chunks_total"] = float64(m.Index.ResizeChunksTotal)
+	for i, c := range m.Index.ChainLengths {
+		name := fmt.Sprintf("index.chain_len_%d", i+1)
+		if i == len(m.Index.ChainLengths)-1 {
+			name = fmt.Sprintf("index.chain_len_%d_plus", i+1)
+		}
+		s[name] = float64(c)
+	}
+
+	s["epoch.current"] = float64(m.Epoch.CurrentEpoch)
+	s["epoch.safe"] = float64(m.Epoch.SafeEpoch)
+	s["epoch.drain_list_depth"] = float64(m.Epoch.DrainListDepth)
+	s["epoch.registered"] = float64(m.Epoch.Registered)
+	s["epoch.bumps"] = float64(m.Epoch.Bumps)
+	s["epoch.actions_run"] = float64(m.Epoch.ActionsRun)
+	s.AddHistogram("epoch.bump_to_safe", m.Epoch.BumpToSafe)
+
+	if m.DeviceKnown {
+		s["device.reads"] = float64(m.Device.Reads)
+		s["device.writes"] = float64(m.Device.Writes)
+		s["device.bytes_read"] = float64(m.Device.BytesRead)
+		s["device.bytes_written"] = float64(m.Device.BytesWritten)
+		s["device.injected_read_faults"] = float64(m.Device.InjectedReadFaults)
+		s["device.injected_write_faults"] = float64(m.Device.InjectedWriteFaults)
+		s.AddHistogram("device.read_latency", m.Device.ReadLatency)
+		s.AddHistogram("device.write_latency", m.Device.WriteLatency)
+	}
+	return s
+}
+
+// WriteReport renders the full metrics snapshot as sorted "name value"
+// lines (the bench/CLI report format).
+func (s *Store) WriteReport(w io.Writer) error {
+	_, err := io.WriteString(w, s.Metrics().Series().Format())
+	return err
+}
+
+// PublishExpvar registers the store's metrics under name in the process's
+// expvar registry (served on /debug/vars by any expvar-aware mux). The
+// snapshot is taken lazily on every scrape. Expvar panics on duplicate
+// names, so publishing the same name twice returns an error instead.
+func (s *Store) PublishExpvar(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("faster: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return s.Metrics().Series() }))
+	return nil
+}
+
+// MetricsHandler returns an http.Handler that serves the flattened metric
+// series as a JSON object, for wiring into any mux without expvar.
+func (s *Store) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Metrics().Series())
+	})
+}

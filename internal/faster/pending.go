@@ -65,6 +65,8 @@ type PendingOp struct {
 	verifyStop hlog.Address
 	verifyCur  hlog.Address
 
+	issuedNs int64 // set by issueIO; feeds the pending-latency histogram
+
 	trace []string // debug instrumentation (debugTraceOps)
 }
 
@@ -130,6 +132,13 @@ func (sess *Session) newPendingOp(kind opKind, key, input, output []byte, ctx an
 	return op
 }
 
+// ioDone pairs an issueIO: the op's current I/O round has been consumed
+// by the session goroutine (the op may re-issue immediately).
+func (sess *Session) ioDone() {
+	sess.inFlight--
+	sess.s.mx.pendingDepth.Dec()
+}
+
 // issueIO starts the asynchronous fetch of the record at op.addr: first
 // the 16-byte header (for the record's size), then the full record. The
 // final callback parks the op on the session's completion queue; no store
@@ -140,7 +149,9 @@ func (sess *Session) issueIO(op *PendingOp) {
 		debugIssue(op)
 	}
 	sess.inFlight++
+	sess.s.mx.pendingDepth.Inc()
 	sess.s.stats.pendingIOs.Add(1)
+	op.issuedNs = time.Now().UnixNano()
 	hdr := make([]byte, recHeaderBytes)
 	sess.s.log.ReadAsync(op.addr, hdr, func(err error) {
 		if err != nil {
@@ -196,8 +207,9 @@ func (sess *Session) CompletePending(wait bool) []Result {
 
 		for _, op := range sess.completed.drain() {
 			progressed = true
+			sess.s.mx.pendingLatency.Observe(time.Duration(time.Now().UnixNano() - op.issuedNs))
 			if res, done := sess.continueOp(op); done {
-				sess.inFlight--
+				sess.ioDone()
 				results = append(results, res)
 			}
 		}
@@ -313,7 +325,7 @@ func (sess *Session) followChain(op *PendingOp, next hlog.Address) (Result, bool
 	}
 	op.addr = next
 	op.buf = nil
-	sess.inFlight--
+	sess.ioDone()
 	sess.issueIO(op)
 	return Result{}, false
 }
@@ -334,7 +346,7 @@ func (sess *Session) republishVerified(op *PendingOp) (Result, bool) {
 	case statusDone:
 		return finish(OK, err)
 	case statusPendingIO:
-		sess.inFlight--
+		sess.ioDone()
 		return Result{}, false
 	default:
 		return sess.reissueRMW(op)
@@ -372,7 +384,7 @@ func (sess *Session) chainExhausted(op *PendingOp) (Result, bool) {
 		case statusDone:
 			return Result{Kind: op.kind.String(), Key: op.key, Status: OK, Err: err, Ctx: op.ctx}, true
 		case statusPendingIO:
-			sess.inFlight-- // the verify fetch re-incremented
+			sess.ioDone() // the verify fetch re-incremented
 			return Result{}, false
 		default:
 			return sess.reissueRMW(op)
@@ -420,7 +432,7 @@ func (sess *Session) completeRMWAfterFetch(op *PendingOp, rec record) (Result, b
 	case statusDone:
 		return finish(OK, err)
 	case statusPendingIO:
-		sess.inFlight-- // the verify fetch re-incremented
+		sess.ioDone() // the verify fetch re-incremented
 		return Result{}, false
 	default:
 		return sess.reissueRMW(op)
@@ -489,7 +501,7 @@ func (sess *Session) reissueRMW(op *PendingOp) (Result, bool) {
 	op.debugTrace("reissue")
 	st, err := sess.rmwInternal(op.key, op.input, op.ctx)
 	if st == Pending {
-		sess.inFlight--
+		sess.ioDone()
 		return Result{}, false
 	}
 	return Result{Kind: op.kind.String(), Key: op.key, Status: st, Err: err, Ctx: op.ctx}, true

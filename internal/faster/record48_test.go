@@ -1,0 +1,71 @@
+package faster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The record header packs the previous address into bits 0..47 with the
+// invalid/tombstone/delta/overwrite/sealed flags directly above. These
+// tests pin the packing at the top of the 48-bit address space: a prev
+// address must never leak into the flag field and vice versa.
+
+func TestRecordPrevPackingAtBoundary(t *testing.T) {
+	k := []byte("boundary-key")
+	const valueLen = 24
+	size := recordSize(len(k), valueLen)
+	prev := uint64(1)<<48 - uint64(size) // highest address a same-size predecessor could occupy
+
+	buf := make([]byte, size)
+	rec := writeRecord(buf, prev, 0, k, valueLen)
+	if rec.prev() != prev {
+		t.Fatalf("prev round-trip = %#x, want %#x", rec.prev(), prev)
+	}
+	if rec.invalid() || rec.tombstone() || rec.delta() || rec.sealed() {
+		t.Fatalf("boundary prev set flag bits: header=%#x", rec.header)
+	}
+
+	parsed, ok := parseRecord(buf)
+	if !ok {
+		t.Fatal("parseRecord failed")
+	}
+	if parsed.prev() != prev {
+		t.Fatalf("parsed prev = %#x, want %#x", parsed.prev(), prev)
+	}
+	if !bytes.Equal(parsed.key, k) {
+		t.Fatalf("parsed key = %q, want %q", parsed.key, k)
+	}
+	if parsed.invalid() || parsed.tombstone() {
+		t.Fatalf("parsed flags corrupted: header=%#x", parsed.header)
+	}
+}
+
+func TestRecordPrevStrayHighBitsMasked(t *testing.T) {
+	k := []byte("k")
+	buf := make([]byte, recordSize(len(k), 8))
+
+	// A prev value with garbage above bit 47 — exactly where flagInvalid
+	// and flagTombstone live — must be masked by writeRecord, or a stale
+	// high bit would make a freshly written record invisible (invalid) or
+	// deleted (tombstone).
+	stray := uint64(0x1234) | flagInvalid | flagTombstone | 1<<60
+	rec := writeRecord(buf, stray, 0, k, 8)
+	if rec.prev() != 0x1234 {
+		t.Fatalf("prev = %#x, want 0x1234", rec.prev())
+	}
+	if rec.invalid() {
+		t.Fatal("stray bit 48 leaked into flagInvalid")
+	}
+	if rec.tombstone() {
+		t.Fatal("stray bit 49 leaked into flagTombstone")
+	}
+
+	// Flags requested explicitly must coexist with a boundary prev.
+	rec2 := writeRecord(buf, uint64(1)<<48-64, flagTombstone, k, 8)
+	if !rec2.tombstone() {
+		t.Fatal("explicit tombstone flag lost")
+	}
+	if rec2.prev() != uint64(1)<<48-64 {
+		t.Fatalf("prev = %#x, want %#x", rec2.prev(), uint64(1)<<48-64)
+	}
+}

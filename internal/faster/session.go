@@ -115,6 +115,7 @@ func (sess *Session) Read(key, input, output []byte, ctx any) (Status, error) {
 	}
 	sess.opStart()
 	s := sess.s
+	s.mx.reads.Inc()
 
 	h := hashKey(key)
 	entry, addr, ok := s.idx.FindEntry(h)
@@ -204,6 +205,7 @@ func (sess *Session) Upsert(key, value []byte) (Status, error) {
 	}
 	sess.opStart()
 	s := sess.s
+	s.mx.upserts.Inc()
 	h := hashKey(key)
 
 	for {
@@ -217,7 +219,7 @@ func (sess *Session) Upsert(key, value []byte) (Status, error) {
 		ro := s.log.ReadOnlyAddress()
 		laddr, rec, found := s.traceBack(key, chainHead, maxAddr(ro, s.log.HeadAddress()))
 		if found && !rec.tombstone() && !rec.delta() && !rec.sealed() {
-			if debugAssert && laddr < s.log.SafeReadOnlyAddress() {
+			if debugAssert() && laddr < s.log.SafeReadOnlyAddress() {
 				panic("in-place upsert below safeRO")
 			}
 			if s.ops.ConcurrentWriter(key, rec.value, value) {
@@ -239,6 +241,7 @@ func (sess *Session) Upsert(key, value []byte) (Status, error) {
 			continue
 		}
 		if found {
+			s.mx.rcuCopies.Inc()
 			s.setOverwritten(laddr)
 		}
 		return OK, nil
@@ -260,6 +263,7 @@ func (sess *Session) RMW(key, input []byte, ctx any) (Status, error) {
 		return Err, errKeyEmpty
 	}
 	sess.opStart()
+	sess.s.mx.rmws.Inc()
 	return sess.rmwInternal(key, input, ctx)
 }
 
@@ -308,7 +312,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any) (Status, error) {
 			switch {
 			case laddr >= ro && !rec.sealed():
 				// Mutable region: update in place (Table 2).
-				if debugAssert {
+				if debugAssert() {
 					if fi := s.log.FlushIssuedAddress(); laddr < fi {
 						panic(fmt.Sprintf("in-place RMW at %#x below flush-issued %#x (ro=%#x sro=%#x)",
 							laddr, fi, ro, sro))
@@ -449,6 +453,9 @@ func (sess *Session) rmwCreate(h uint64, key, input []byte, chainHead, srcAddr h
 			s.ops.InitialUpdater(key, dst.value, input)
 		}
 	})
+	if haveOld && st == statusDone && err == nil {
+		s.mx.rcuCopies.Inc()
+	}
 	return st, err
 }
 
@@ -482,6 +489,7 @@ func (sess *Session) Delete(key []byte) (Status, error) {
 	}
 	sess.opStart()
 	s := sess.s
+	s.mx.deletes.Inc()
 	h := hashKey(key)
 
 	for {

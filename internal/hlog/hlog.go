@@ -25,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"os"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -33,6 +32,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/epoch"
+	"repro/internal/metrics"
 )
 
 // Address is a 48-bit logical address into the log.
@@ -146,11 +146,25 @@ type Log struct {
 	frames    []*frame                // circular buffer (hybrid/append-only)
 	memFrames []atomic.Pointer[frame] // growable table (in-memory mode)
 
+	mx struct {
+		flushesIssued  metrics.Counter   // page-granular flush writes issued
+		flushRetries   metrics.Counter   // failed flush writes re-issued
+		flushedBytes   metrics.Counter   // bytes durably flushed
+		flushLatency   metrics.Histogram // write issue -> durable callback
+		evictedPages   metrics.Counter   // frames closed by head advances
+		roShifts       metrics.Counter   // read-only offset advances (§6.2)
+		headShifts     metrics.Counter   // head offset advances (eviction)
+		frameWait      metrics.Histogram // openPage waits for an evictable frame
+		tailContention metrics.Histogram // Allocate spins behind a page-opener
+		flushWait      metrics.Histogram // WaitUntilFlushed stall time
+	}
+
 	closed atomic.Bool
 }
 
-// debugTrap enables internal invariant traps (tests only).
-var debugTrap = os.Getenv("FASTER_DEBUG_ASSERT") != ""
+// debugTrap reports whether internal invariant traps are enabled (the
+// process-wide FASTER_DEBUG_ASSERT switch shared with the faster layer).
+func debugTrap() bool { return metrics.DebugAsserts() }
 
 // Errors returned by the log.
 var (
@@ -350,7 +364,7 @@ func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
 			// Any straddling space [start, pageSize) on the old page
 			// stays zero, which record scans recognise as padding.
 			// Allocate this request at the new page start.
-			if debugTrap {
+			if debugTrap() {
 				if cur := l.tailWord.Load(); (page+1)<<32|uint64(size) < cur {
 					panic(fmt.Sprintf("tail store backward: cur=(%d,%#x) new=(%d,%#x)",
 						cur>>32, cur&0xffffffff, page+1, size))
@@ -361,6 +375,7 @@ func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
 		}
 		// Another thread is opening the new page: spin until the tail
 		// word becomes valid again, then retry (Alg 1 lines 17-19).
+		waitStart := time.Now()
 		for spins := 0; ; spins++ {
 			_, off := unpack(l.tailWord.Load())
 			if off <= l.pageSize {
@@ -376,6 +391,7 @@ func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
 				return InvalidAddress, ErrClosed
 			}
 		}
+		l.mx.tailContention.Observe(time.Since(waitStart))
 	}
 }
 
@@ -402,20 +418,24 @@ func (l *Log) openPage(newPage uint64, g *epoch.Guard) {
 	if newPage+1 >= uint64(len(l.frames)) {
 		desiredHead = (newPage + 1 - uint64(len(l.frames))) << l.pageBits
 	}
-	for spins := 0; f.status.Load() != frameClosed; spins++ {
-		l.maybeShiftHead(desiredHead)
-		if g != nil {
-			g.Refresh()
+	if f.status.Load() != frameClosed {
+		waitStart := time.Now()
+		for spins := 0; f.status.Load() != frameClosed; spins++ {
+			l.maybeShiftHead(desiredHead)
+			if g != nil {
+				g.Refresh()
+			}
+			l.em.Drain()
+			if spins > 1024 {
+				time.Sleep(10 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			if l.closed.Load() {
+				return
+			}
 		}
-		l.em.Drain()
-		if spins > 1024 {
-			time.Sleep(10 * time.Microsecond)
-		} else {
-			runtime.Gosched()
-		}
-		if l.closed.Load() {
-			return
-		}
+		l.mx.frameWait.Observe(time.Since(waitStart))
 	}
 	f.zero()
 	f.status.Store(frameOpen)
@@ -436,6 +456,7 @@ func (l *Log) maybeShiftReadOnly(tailPage uint64) {
 			return
 		}
 		if l.readOnly.CompareAndSwap(cur, desired) {
+			l.mx.roShifts.Inc()
 			l.em.BumpWith(func() { l.onSafeReadOnly(desired) })
 			return
 		}
@@ -455,6 +476,7 @@ func (l *Log) ShiftReadOnlyToTail() Address {
 			return tail
 		}
 		if l.readOnly.CompareAndSwap(cur, tail) {
+			l.mx.roShifts.Inc()
 			l.em.BumpWith(func() { l.onSafeReadOnly(tail) })
 			return tail
 		}
@@ -465,7 +487,7 @@ func (l *Log) ShiftReadOnlyToTail() Address {
 // a read-only offset of at least ro. It raises the safe read-only offset
 // and issues flushes for the span that just became immutable.
 func (l *Log) onSafeReadOnly(ro uint64) {
-	if debugTrap && ro > l.readOnly.Load() {
+	if debugTrap() && ro > l.readOnly.Load() {
 		panic(fmt.Sprintf("hlog: onSafeReadOnly(%#x) beyond readOnly=%#x", ro, l.readOnly.Load()))
 	}
 	for {
@@ -506,17 +528,22 @@ func (l *Log) issueFlush(from, to uint64) {
 		// with a small backoff so the durability watermark is not
 		// wedged forever by one bad write.
 		var attempt device.Callback
+		issued := time.Now()
 		write := func() { l.dev.WriteAsync(buf, start, attempt) }
 		attempt = func(err error) {
 			if err == nil {
+				l.mx.flushLatency.Observe(time.Since(issued))
+				l.mx.flushedBytes.Add(stop - start)
 				l.flushed.complete(start, stop)
 				return
 			}
 			if l.closed.Load() {
 				return
 			}
+			l.mx.flushRetries.Inc()
 			time.AfterFunc(time.Millisecond, write)
 		}
+		l.mx.flushesIssued.Inc()
 		write()
 		from = end
 	}
@@ -538,6 +565,7 @@ func (l *Log) maybeShiftHead(desired uint64) {
 			return
 		}
 		if l.head.CompareAndSwap(cur, desired) {
+			l.mx.headShifts.Inc()
 			oldHead, newHead := cur, desired
 			l.em.BumpWith(func() { l.closeFrames(oldHead, newHead) })
 			return
@@ -551,6 +579,7 @@ func (l *Log) maybeShiftHead(desired uint64) {
 func (l *Log) closeFrames(oldHead, newHead uint64) {
 	for p := oldHead >> l.pageBits; p < newHead>>l.pageBits; p++ {
 		l.frames[p&l.frameMask].status.Store(frameClosed)
+		l.mx.evictedPages.Inc()
 	}
 }
 
@@ -566,6 +595,11 @@ func (l *Log) ReadAsync(addr Address, buf []byte, cb device.Callback) {
 // progress; callers holding a guard must have refreshed past the bump that
 // initiated the flush.
 func (l *Log) WaitUntilFlushed(addr Address) error {
+	if l.flushed.level() >= addr {
+		return nil
+	}
+	waitStart := time.Now()
+	defer func() { l.mx.flushWait.Observe(time.Since(waitStart)) }()
 	for spins := 0; l.flushed.level() < addr; spins++ {
 		if l.closed.Load() {
 			return ErrClosed

@@ -9,9 +9,16 @@ import (
 // ranges that are issued in order but may complete out of order (page
 // flushes serviced by a pool of device workers). level() is the address
 // below which every issued range has completed.
+//
+// Completions may also arrive more than once or overlap: a flush that
+// fails with a transient device error is retried, and the retry span can
+// duplicate or straddle ranges that other workers have completed in the
+// meantime. complete() therefore merges arbitrary overlapping, duplicate
+// and out-of-order ranges; only genuinely missing bytes hold the level
+// back.
 type watermark struct {
 	mu      sync.Mutex
-	pending map[uint64]uint64 // start -> end of completed, non-contiguous ranges
+	pending map[uint64]uint64 // start -> end of completed, disjoint ranges above lvl
 	lvl     atomic.Uint64
 }
 
@@ -28,10 +35,34 @@ func (w *watermark) complete(start, end uint64) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if prev, ok := w.pending[start]; !ok || end > prev {
-		w.pending[start] = end
-	}
 	lvl := w.lvl.Load()
+	if end <= lvl {
+		return // entirely below the level already: duplicate completion
+	}
+	if start < lvl {
+		start = lvl // the part below the level is already accounted for
+	}
+	// Absorb every pending range that overlaps or abuts [start, end).
+	// Growing the interval can create new overlaps (and map iteration
+	// order is unspecified), so repeat until a full pass absorbs nothing.
+	for merged := true; merged; {
+		merged = false
+		for s, e := range w.pending {
+			if s <= end && start <= e {
+				delete(w.pending, s)
+				if s < start {
+					start = s
+				}
+				if e > end {
+					end = e
+				}
+				merged = true
+			}
+		}
+	}
+	w.pending[start] = end
+	// Pending ranges are disjoint, non-adjacent and start at or above the
+	// level, so the level advances by consuming exact-start matches.
 	for {
 		next, ok := w.pending[lvl]
 		if !ok {

@@ -1,0 +1,140 @@
+package hlog
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newTestWatermark() *watermark {
+	w := &watermark{}
+	w.init()
+	return w
+}
+
+func TestWatermarkInOrder(t *testing.T) {
+	w := newTestWatermark()
+	w.complete(0, 10)
+	w.complete(10, 30)
+	if got := w.level(); got != 30 {
+		t.Fatalf("level = %d, want 30", got)
+	}
+}
+
+func TestWatermarkOutOfOrder(t *testing.T) {
+	w := newTestWatermark()
+	w.complete(20, 30)
+	if got := w.level(); got != 0 {
+		t.Fatalf("level = %d, want 0 before gap fills", got)
+	}
+	w.complete(0, 10)
+	if got := w.level(); got != 10 {
+		t.Fatalf("level = %d, want 10", got)
+	}
+	w.complete(10, 20)
+	if got := w.level(); got != 30 {
+		t.Fatalf("level = %d, want 30", got)
+	}
+}
+
+// TestWatermarkOverlapStraddlesLevel is the device-retry scenario that
+// wedged the old exact-adjacency implementation: a retried flush span
+// straddles the already-advanced level, so its start never matches the
+// level exactly and the bytes beyond it were lost forever.
+func TestWatermarkOverlapStraddlesLevel(t *testing.T) {
+	w := newTestWatermark()
+	w.complete(0, 100)
+	if got := w.level(); got != 100 {
+		t.Fatalf("level = %d, want 100", got)
+	}
+	w.complete(50, 150) // retry overlapping the completed prefix
+	if got := w.level(); got != 150 {
+		t.Fatalf("level = %d, want 150 (overlapping completion wedged the watermark)", got)
+	}
+}
+
+func TestWatermarkDuplicateAndOverlapPending(t *testing.T) {
+	w := newTestWatermark()
+	w.complete(100, 200)
+	w.complete(100, 200) // exact duplicate while still pending
+	w.complete(150, 300) // overlap extending a pending range
+	w.complete(250, 260) // subset of pending
+	if got := w.level(); got != 0 {
+		t.Fatalf("level = %d, want 0 (gap [0,100) outstanding)", got)
+	}
+	w.complete(0, 100)
+	if got := w.level(); got != 300 {
+		t.Fatalf("level = %d, want 300", got)
+	}
+	w.complete(0, 300) // full-span duplicate after the fact
+	if got := w.level(); got != 300 {
+		t.Fatalf("level = %d after duplicate, want 300", got)
+	}
+	if len(w.pending) != 0 {
+		t.Fatalf("pending map leaked %d entries: %v", len(w.pending), w.pending)
+	}
+}
+
+func TestWatermarkBridgingRange(t *testing.T) {
+	w := newTestWatermark()
+	w.complete(0, 10)
+	w.complete(40, 50)
+	w.complete(5, 45) // one completion bridging level and a pending island
+	if got := w.level(); got != 50 {
+		t.Fatalf("level = %d, want 50", got)
+	}
+}
+
+// TestWatermarkPropertyRandom issues every page of a span as completions
+// in random order, with random duplicates and random overlapping retry
+// spans interleaved, concurrently from several workers. Whatever the
+// schedule, once all pages are in the level must equal the span end and
+// no pending state may leak.
+func TestWatermarkPropertyRandom(t *testing.T) {
+	const (
+		pages    = 256
+		pageSize = 64
+		span     = pages * pageSize
+	)
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		w := newTestWatermark()
+
+		type rng2 struct{ start, end uint64 }
+		var ranges []rng2
+		// Every page exactly once (shuffled) — the genuine completions.
+		perm := rng.Perm(pages)
+		for _, p := range perm {
+			ranges = append(ranges, rng2{uint64(p) * pageSize, uint64(p+1) * pageSize})
+		}
+		// Plus random duplicate/overlapping retry spans.
+		for i := 0; i < pages/2; i++ {
+			s := rng.Uint64() % span
+			e := s + 1 + rng.Uint64()%(4*pageSize)
+			if e > span {
+				e = span
+			}
+			ranges = append(ranges, rng2{s, e})
+		}
+		rng.Shuffle(len(ranges), func(i, j int) { ranges[i], ranges[j] = ranges[j], ranges[i] })
+
+		workers := 4
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				for i := k; i < len(ranges); i += workers {
+					w.complete(ranges[i].start, ranges[i].end)
+				}
+			}(k)
+		}
+		wg.Wait()
+		if got := w.level(); got != span {
+			t.Fatalf("trial %d: level = %d, want %d", trial, got, span)
+		}
+		if len(w.pending) != 0 {
+			t.Fatalf("trial %d: pending leaked: %v", trial, w.pending)
+		}
+	}
+}

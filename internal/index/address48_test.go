@@ -1,0 +1,118 @@
+package index
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The index packs a 48-bit address below a tag/flag field; any address bit
+// above bit 47 that survives into an entry word corrupts the tag. These
+// tests pin the boundary behaviour at the top of the address space.
+
+const boundaryRecSize = 64 // a typical record allocation
+
+// boundaryAddr is the highest address a record of boundaryRecSize can
+// occupy without overflowing the 48-bit space.
+const boundaryAddr = uint64(1)<<AddressBits - boundaryRecSize
+
+func TestEntryAddressBoundary(t *testing.T) {
+	idx, err := New(Config{InitialBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := uint64(0xdeadbeefcafe1234)
+
+	e, addr := idx.FindOrCreateEntry(hash)
+	if addr != 0 {
+		t.Fatalf("fresh entry address = %#x, want 0", addr)
+	}
+	if !e.CompareAndSwapAddress(0, boundaryAddr) {
+		t.Fatal("CAS to boundary address failed")
+	}
+
+	_, got, ok := idx.FindEntry(hash)
+	if !ok {
+		t.Fatal("entry vanished after boundary CAS")
+	}
+	if got != boundaryAddr {
+		t.Fatalf("address round-trip = %#x, want %#x", got, boundaryAddr)
+	}
+	// The tag/meta field must be exactly what the insert wrote.
+	if w := e.Load(); w&^AddressMask != e.meta {
+		t.Fatalf("entry meta corrupted: word=%#x meta=%#x", w, e.meta)
+	}
+}
+
+func TestEntryCASMasksStrayHighBits(t *testing.T) {
+	idx, err := New(Config{InitialBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := uint64(0x123456789abcdef0)
+	e, _ := idx.FindOrCreateEntry(hash)
+
+	// A caller bug that leaks bits above bit 47 must not reach the slot.
+	stray := boundaryAddr | 1<<50 | 1<<63
+	if !e.CompareAndSwapAddress(0, stray) {
+		t.Fatal("CAS failed")
+	}
+	if got := e.Address(); got != boundaryAddr {
+		t.Fatalf("address = %#x, want %#x (stray bits must be masked)", got, boundaryAddr)
+	}
+	if w := e.Load(); w&tentativeBit != 0 {
+		t.Fatalf("stray bit 63 leaked into the tentative bit: word=%#x", w)
+	}
+	if w := e.Load(); w&^AddressMask != e.meta {
+		t.Fatalf("tag field corrupted: word=%#x meta=%#x", w, e.meta)
+	}
+}
+
+func TestUpdateAddressesMasksStrayHighBits(t *testing.T) {
+	idx, err := New(Config{InitialBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := []uint64{0x1111, 0x2222 << 32, 0x3333 << 48}
+	for _, h := range hashes {
+		e, _ := idx.FindOrCreateEntry(h)
+		if !e.CompareAndSwapAddress(0, 100) {
+			t.Fatalf("seed CAS failed for %#x", h)
+		}
+	}
+
+	// A GC callback that returns an address with garbage above bit 47
+	// (e.g. arithmetic that wrapped) must not corrupt tags.
+	idx.UpdateAddresses(func(addr uint64) uint64 {
+		return boundaryAddr | 1<<52 | 1<<62
+	})
+
+	seen := 0
+	idx.ForEachEntry(func(addr uint64) {
+		seen++
+		if addr != boundaryAddr {
+			t.Errorf("entry address = %#x, want %#x", addr, boundaryAddr)
+		}
+	})
+	if seen != len(hashes) {
+		t.Fatalf("ForEachEntry visited %d entries, want %d", seen, len(hashes))
+	}
+	for _, h := range hashes {
+		if _, got, ok := idx.FindEntry(h); !ok || got != boundaryAddr {
+			t.Errorf("FindEntry(%#x) = (%#x, %v), want (%#x, true) — tag corrupted?", h, got, ok, boundaryAddr)
+		}
+	}
+}
+
+func TestEntryLiveAtBoundary(t *testing.T) {
+	// A raw word whose address field is all ones must still parse as a
+	// live entry and mask back cleanly.
+	w := occupiedBit | (uint64(0x2a) << tagShift) | AddressMask
+	var slot uint64
+	atomic.StoreUint64(&slot, w)
+	if !entryLive(w) {
+		t.Fatal("boundary word not live")
+	}
+	if EntryAddress(w) != AddressMask {
+		t.Fatalf("EntryAddress = %#x, want %#x", EntryAddress(w), AddressMask)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 const (
@@ -133,6 +135,12 @@ type Index struct {
 	tables [2]*table // [version] — during resize both are live
 
 	resize resizeState
+
+	mx struct {
+		tentativeConflicts metrics.Counter // two-phase insert backoffs (§3.2)
+		insertRetries      metrics.Counter // lost slot claims / chain extensions
+		resizes            metrics.Counter // completed Grow cycles
+	}
 }
 
 // New creates an index with the given configuration.
@@ -302,6 +310,7 @@ func (idx *Index) findOrCreateOnce(t *table, hash uint64) (Entry, uint64, bool) 
 	if free == nil {
 		// Chain full: extend it with a fresh overflow bucket. The CAS
 		// may lose to a concurrent extender; retry either way.
+		idx.mx.insertRetries.Inc()
 		h := t.allocOverflow()
 		if !atomic.CompareAndSwapUint64(&b[7], 0, h) {
 			t.freeOverflow(h)
@@ -312,6 +321,7 @@ func (idx *Index) findOrCreateOnce(t *table, hash uint64) (Entry, uint64, bool) 
 	// set are invisible to concurrent reads and updates.
 	tentative := tentativeBit | meta
 	if !atomic.CompareAndSwapUint64(free, 0, tentative) {
+		idx.mx.insertRetries.Inc()
 		return Entry{}, 0, false
 	}
 	// Phase 2: rescan the whole chain for another entry (tentative or
@@ -334,6 +344,7 @@ scan:
 		b = t.overflowBucket(ov)
 	}
 	if dup {
+		idx.mx.tentativeConflicts.Inc()
 		atomic.StoreUint64(free, 0)
 		return Entry{}, 0, false
 	}
@@ -408,7 +419,10 @@ func (idx *Index) UpdateAddresses(fn func(addr uint64) uint64) {
 			for j := 0; j < entriesPerBucket; j++ {
 				w := atomic.LoadUint64(&b[j])
 				if entryLive(w) {
-					newAddr := fn(w & AddressMask)
+					// Mask the callback's result: an address with stray
+					// bits above bit 47 would leak into the tag/flag
+					// field and corrupt the entry.
+					newAddr := fn(w&AddressMask) & AddressMask
 					if newAddr == 0 {
 						atomic.StoreUint64(&b[j], 0)
 					} else if newAddr != w&AddressMask {
@@ -431,4 +445,84 @@ func (idx *Index) Count() uint64 {
 	var n uint64
 	idx.ForEachEntry(func(uint64) { n++ })
 	return n
+}
+
+// ChainHistogramBuckets is the size of the Metrics chain-length
+// distribution; the last cell aggregates all longer chains.
+const ChainHistogramBuckets = 8
+
+// Metrics is a snapshot of the index instrumentation: structural shape
+// (bucket count, live entries, overflow-chain length distribution),
+// latch-free contention counters (tentative-bit conflicts, lost insert
+// CASes), and resize progress (Appendix B).
+type Metrics struct {
+	Buckets uint64 // main buckets in the active table
+	Entries uint64 // live entries (fuzzy under concurrent mutation)
+	TagBits uint
+
+	// ChainLengths[i] counts main buckets whose bucket chain (main +
+	// overflow) is i+1 buckets long; the last cell aggregates longer
+	// chains. MaxChain is the longest chain seen.
+	ChainLengths    [ChainHistogramBuckets]uint64
+	MaxChain        int
+	OverflowBuckets uint64 // overflow buckets carved from the arena
+
+	TentativeConflicts uint64
+	InsertRetries      uint64
+
+	Resizes           uint64 // completed Grow cycles
+	ResizeActive      bool
+	ResizeChunksDone  int
+	ResizeChunksTotal int
+}
+
+// Metrics scans the active table (O(buckets), like Count) and returns a
+// snapshot. Safe to run concurrently with mutations; the structural
+// numbers are a fuzzy snapshot.
+func (idx *Index) Metrics() Metrics {
+	t := idx.activeTable()
+	m := Metrics{
+		Buckets:            t.size,
+		TagBits:            idx.tagBits,
+		OverflowBuckets:    t.ovNext.Load(),
+		TentativeConflicts: idx.mx.tentativeConflicts.Load(),
+		InsertRetries:      idx.mx.insertRetries.Load(),
+		Resizes:            idx.mx.resizes.Load(),
+	}
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		chain := 1
+		for {
+			for j := 0; j < entriesPerBucket; j++ {
+				if entryLive(atomic.LoadUint64(&b[j])) {
+					m.Entries++
+				}
+			}
+			ov := atomic.LoadUint64(&b[7])
+			if ov == 0 {
+				break
+			}
+			chain++
+			b = t.overflowBucket(ov)
+		}
+		cell := chain - 1
+		if cell >= ChainHistogramBuckets {
+			cell = ChainHistogramBuckets - 1
+		}
+		m.ChainLengths[cell]++
+		if chain > m.MaxChain {
+			m.MaxChain = chain
+		}
+	}
+	if phase, _ := unpackStatus(idx.status.Load()); phase != phaseStable {
+		r := &idx.resize
+		m.ResizeActive = true
+		m.ResizeChunksTotal = r.numChunks
+		for c := range r.migrated {
+			if r.migrated[c].Load() == 2 {
+				m.ResizeChunksDone++
+			}
+		}
+	}
+	return m
 }

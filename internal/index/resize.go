@@ -273,6 +273,7 @@ func (idx *Index) Grow(em *epoch.Manager) error {
 	}
 	idx.status.Store(packStatusGen(phaseStable, 1-v, gen))
 	idx.tables[v] = nil
+	idx.mx.resizes.Inc()
 	return nil
 }
 

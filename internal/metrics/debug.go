@@ -1,0 +1,22 @@
+package metrics
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// debugAsserts is the single process-wide switch for internal invariant
+// assertions. Historically faster and hlog each read FASTER_DEBUG_ASSERT
+// into their own package variable, so a test flipping one flag silently
+// left the other off; both layers now consult this shared switch.
+var debugAsserts atomic.Bool
+
+func init() { debugAsserts.Store(os.Getenv("FASTER_DEBUG_ASSERT") != "") }
+
+// DebugAsserts reports whether internal invariant assertions are enabled
+// (the FASTER_DEBUG_ASSERT environment variable, or SetDebugAsserts).
+func DebugAsserts() bool { return debugAsserts.Load() }
+
+// SetDebugAsserts flips invariant assertions for every layer at once
+// (tests only). It returns the previous value so tests can restore it.
+func SetDebugAsserts(on bool) bool { return debugAsserts.Swap(on) }

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+			c.Add(2)
+			g.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000+8*2 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := g.Load(); got != 8*5 {
+		t.Fatalf("gauge = %d", got)
+	}
+	g.Set(-3)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge after Set = %d", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1024, 10},
+		{1<<39 + 1, HistogramBuckets - 1}, {1 << 63, HistogramBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond) // 1000 ns
+	}
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max() != time.Millisecond {
+		t.Fatalf("max = %v", s.Max())
+	}
+	if p50 := s.Quantile(0.50); p50 < time.Microsecond || p50 > 2*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p100 := s.Quantile(1.0); p100 < 512*time.Microsecond {
+		t.Fatalf("p100 = %v, want >= 512us bucket", p100)
+	}
+	if mean := s.Mean(); mean < time.Microsecond || mean > 20*time.Microsecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	var empty Histogram
+	if es := empty.Snapshot(); es.Mean() != 0 || es.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram not zero: %v", es)
+	}
+}
+
+func TestSeriesMergeAndFormat(t *testing.T) {
+	s := Series{}
+	s["ops"] = 42
+	s.Merge("hlog", Series{"flushes": 7})
+	var h Histogram
+	h.Observe(time.Microsecond)
+	s.AddHistogram("io.read", h.Snapshot())
+	if s["hlog.flushes"] != 7 {
+		t.Fatalf("merge failed: %v", s)
+	}
+	if s["io.read.count"] != 1 {
+		t.Fatalf("histogram flatten failed: %v", s)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "hlog.flushes") || !strings.Contains(out, "ops") {
+		t.Fatalf("format missing keys:\n%s", out)
+	}
+}
+
+func TestDebugAsserts(t *testing.T) {
+	prev := SetDebugAsserts(true)
+	defer SetDebugAsserts(prev)
+	if !DebugAsserts() {
+		t.Fatal("SetDebugAsserts(true) not visible")
+	}
+	SetDebugAsserts(false)
+	if DebugAsserts() {
+		t.Fatal("SetDebugAsserts(false) not visible")
+	}
+}
