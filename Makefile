@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench fmt
+.PHONY: build test race torture check bench fmt
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+# Seeded crash/torn-write torture matrix (fixed seeds, 100 crash points by
+# default) under the race detector. Scale with FASTER_TORTURE_POINTS=N.
+torture:
+	FASTER_TORTURE_POINTS=$${FASTER_TORTURE_POINTS:-100} \
+		$(GO) test -race -run TestCrashRecoveryTorture -count=1 ./internal/faster/
 
 check:
 	./scripts/check.sh

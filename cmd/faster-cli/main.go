@@ -10,7 +10,7 @@
 //	add <key> <n>         RMW: add n to an 8-byte counter
 //	del <key>             delete
 //	scan                  walk the log in order
-//	stats                 store counters and log markers
+//	stats                 store counters, log markers and health state
 //	metrics               full metrics report (all layers, named series)
 //	checkpoint <dir>      write a checkpoint
 //	quit
@@ -19,6 +19,15 @@
 // on other keys store opaque strings. A single store holds only one value
 // discipline, so the CLI opens the store with BlobOps and implements add
 // as read-modify-write at the client.
+//
+// Fault-injection knobs (the torture harness, interactively): when any of
+// -fault-seed, -fault-read-prob, -fault-write-prob, -fault-latency,
+// -torn-writes or -crash-after-bytes is set, the device is wrapped in
+// device.Faulty with those settings, and `stats` reports the health
+// ladder (healthy/degraded/read-only/failed) plus the injected-fault
+// counts — a live demonstration of graceful degradation: break the
+// write path and watch `set` fail with ErrReadOnly while `get` keeps
+// serving.
 package main
 
 import (
@@ -37,6 +46,12 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "directory for the log file (default: in-memory simulated SSD)")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for probabilistic fault injection")
+	readProb := flag.Float64("fault-read-prob", 0, "probability each device read fails (0 disables)")
+	writeProb := flag.Float64("fault-write-prob", 0, "probability each device write fails (0 disables)")
+	faultLatency := flag.Duration("fault-latency", 0, "added device latency per read/write (0 disables)")
+	tornWrites := flag.Bool("torn-writes", false, "injected write faults leave a torn prefix on the media")
+	crashAfter := flag.Int64("crash-after-bytes", 0, "break the device permanently after N bytes written (0 disables)")
 	flag.Parse()
 
 	var dev device.Device
@@ -49,6 +64,18 @@ func main() {
 			os.Exit(1)
 		}
 		dev = f
+	}
+	var faulty *device.Faulty
+	if *faultSeed != 0 || *readProb > 0 || *writeProb > 0 ||
+		*faultLatency > 0 || *tornWrites || *crashAfter > 0 {
+		faulty = device.NewFaulty(dev)
+		faulty.SeedFaults(*faultSeed, *readProb, *writeProb)
+		faulty.TornWrites(*tornWrites)
+		faulty.InjectLatency(*faultLatency, *faultLatency)
+		if *crashAfter > 0 {
+			faulty.CrashAfterBytes(*crashAfter)
+		}
+		dev = faulty
 	}
 	store, err := faster.Open(faster.Config{
 		IndexBuckets: 1 << 16,
@@ -63,7 +90,7 @@ func main() {
 	}
 	defer store.Close()
 	sess := store.StartSession()
-	defer sess.Close()
+	defer func() { sess.Close() }() // sess is swapped around checkpoints
 
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Println("faster-cli ready (set/get/add/del/scan/stats/metrics/checkpoint/quit)")
@@ -150,6 +177,16 @@ func main() {
 			fmt.Printf("  log: begin=%#x head=%#x safeRO=%#x ro=%#x tail=%#x\n",
 				l.BeginAddress(), l.HeadAddress(), l.SafeReadOnlyAddress(),
 				l.ReadOnlyAddress(), l.TailAddress())
+			fmt.Printf("  health: %s", store.Health())
+			if cause := store.HealthCause(); cause != nil {
+				fmt.Printf(" (cause: %v)", cause)
+			}
+			fmt.Println()
+			if faulty != nil {
+				ir, iw := faulty.InjectedFaults()
+				fmt.Printf("  faults: reads=%d writes=%d torn=%d broken=%v\n",
+					ir, iw, faulty.TornWriteCount(), faulty.Broken())
+			}
 		case "metrics":
 			if err := store.WriteReport(os.Stdout); err != nil {
 				fmt.Println("metrics:", err)
@@ -159,7 +196,11 @@ func main() {
 				fmt.Println("usage: checkpoint <dir>")
 				continue
 			}
+			// The shell's own idle session would pin the epoch and wedge
+			// the checkpoint's safe-RO shift, so drop it around the call.
+			sess.Close()
 			info, err := store.Checkpoint(fields[1])
+			sess = store.StartSession()
 			if err != nil {
 				fmt.Println("checkpoint:", err)
 				continue

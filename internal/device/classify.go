@@ -1,0 +1,56 @@
+package device
+
+import (
+	"errors"
+	"io/fs"
+
+	"repro/internal/retry"
+)
+
+// ErrPermanent marks device failures that retrying cannot fix: the device
+// is gone, closed, or structurally unable to serve the request. Fault
+// injectors and real devices wrap it (via fmt.Errorf("%w", ...) or
+// errors.Join) so errors.Is(err, ErrPermanent) classifies them.
+var ErrPermanent = errors.New("device: permanent failure")
+
+// Classifier is implemented by devices that know how to classify their own
+// errors (a cloud-storage device could map HTTP 503 to Transient and 404
+// to Permanent). Wrappers like Faulty forward to the inner device.
+type Classifier interface {
+	ClassifyError(err error) retry.Class
+}
+
+// Classify is the default error taxonomy for the built-in devices, and the
+// retry.Classifier used by the store when the device does not implement
+// Classifier:
+//
+//   - nil is not an error (Transient, never consulted on success)
+//   - ErrPermanent (and anything wrapping it), ErrClosed, ErrOutOfRange and
+//     filesystem existence errors are Permanent: retrying the same request
+//     cannot succeed
+//   - everything else — including ErrInjected transient faults and unknown
+//     device errors — is Transient; the bounded retry budget keeps
+//     misclassification cheap
+func Classify(err error) retry.Class {
+	switch {
+	case err == nil:
+		return retry.Transient
+	case errors.Is(err, ErrPermanent),
+		errors.Is(err, ErrClosed),
+		errors.Is(err, ErrOutOfRange),
+		errors.Is(err, fs.ErrNotExist),
+		errors.Is(err, fs.ErrClosed):
+		return retry.Permanent
+	default:
+		return retry.Transient
+	}
+}
+
+// ClassifierFor returns the retry.Classifier for dev: the device's own
+// ClassifyError when implemented, otherwise the default Classify taxonomy.
+func ClassifierFor(dev Device) retry.Classifier {
+	if c, ok := dev.(Classifier); ok {
+		return c.ClassifyError
+	}
+	return Classify
+}

@@ -1,0 +1,211 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+func newFaultyMem() (*Faulty, *Mem) {
+	mem := NewMem(MemConfig{})
+	return NewFaulty(mem), mem
+}
+
+func TestFaultyClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want retry.Class
+	}{
+		{ErrInjected, retry.Transient},
+		{ErrTornWrite, retry.Transient},
+		{ErrInjectedPermanent, retry.Permanent},
+		{ErrCrashPoint, retry.Permanent},
+		{ErrClosed, retry.Permanent},
+		{ErrOutOfRange, retry.Permanent},
+		{errors.New("mystery"), retry.Transient},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// All injected errors remain detectable as injected.
+	for _, err := range []error{ErrInjected, ErrTornWrite, ErrInjectedPermanent, ErrCrashPoint} {
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("%v does not wrap ErrInjected", err)
+		}
+	}
+}
+
+func TestFaultyBreakPermanentlyCoversAllOps(t *testing.T) {
+	d, mem := newFaultyMem()
+	defer mem.Close()
+	writeSync(t, d, make([]byte, 64), 0)
+
+	d.BreakPermanently()
+	if err := readSync(d, make([]byte, 8), 0); Classify(err) != retry.Permanent {
+		t.Fatalf("read after break: %v, want permanent", err)
+	}
+	done := make(chan error, 1)
+	d.WriteAsync(make([]byte, 8), 64, func(err error) { done <- err })
+	if err := <-done; Classify(err) != retry.Permanent {
+		t.Fatalf("write after break: %v, want permanent", err)
+	}
+	// Pre-hardening blind spots: Sync and Truncate ignored permanentBroken.
+	if err := d.Sync(); err == nil || Classify(err) != retry.Permanent {
+		t.Fatalf("Sync after break = %v, want permanent error", err)
+	}
+	if err := d.Truncate(32); err == nil || Classify(err) != retry.Permanent {
+		t.Fatalf("Truncate after break = %v, want permanent error", err)
+	}
+}
+
+func TestFaultySeededProbabilisticFaultsAreReproducible(t *testing.T) {
+	run := func(seed uint64) []bool {
+		d, mem := newFaultyMem()
+		defer mem.Close()
+		d.SeedFaults(seed, 0, 0.5)
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			done := make(chan error, 1)
+			d.WriteAsync(make([]byte, 8), uint64(i*8), func(err error) { done <- err })
+			outcomes = append(outcomes, <-done == nil)
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	fails := 0
+	for _, ok := range a {
+		if !ok {
+			fails++
+		}
+	}
+	if fails < 50 || fails > 150 {
+		t.Fatalf("p=0.5 injected %d/200 faults; probability wiring broken", fails)
+	}
+}
+
+func TestFaultyTornWriteLeavesPrefix(t *testing.T) {
+	d, mem := newFaultyMem()
+	defer mem.Close()
+	d.TornWrites(true)
+	d.FailEveryNthWrite(1) // every write fails, torn
+
+	buf := make([]byte, 256)
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	done := make(chan error, 1)
+	d.WriteAsync(buf, 0, func(err error) { done <- err })
+	if err := <-done; !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("torn write error = %v", err)
+	}
+	if Classify(ErrTornWrite) != retry.Transient {
+		t.Fatal("torn writes must classify transient (retry rewrites the extent)")
+	}
+	if d.TornWriteCount() == 0 {
+		t.Fatal("torn write not counted")
+	}
+	if got := mem.StoredBytes(); got == 0 || got >= 256 {
+		t.Fatalf("torn prefix stored %d bytes, want in (0, 256)", got)
+	}
+}
+
+func TestFaultyCrashAfterBytes(t *testing.T) {
+	d, mem := newFaultyMem()
+	defer mem.Close()
+	d.CrashAfterBytes(100)
+
+	write := func(n int, off uint64) error {
+		done := make(chan error, 1)
+		d.WriteAsync(make([]byte, n), off, func(err error) { done <- err })
+		return <-done
+	}
+	if err := write(64, 0); err != nil {
+		t.Fatalf("write within budget failed: %v", err)
+	}
+	// This write crosses byte 100: torn at the boundary, then dead.
+	if err := write(64, 64); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("boundary write = %v, want ErrCrashPoint", err)
+	}
+	if got := mem.StoredBytes(); got != 100 {
+		t.Fatalf("media holds %d bytes after crash, want exactly 100 (torn at boundary)", got)
+	}
+	if !d.Broken() {
+		t.Fatal("device not broken after crash point")
+	}
+	if err := write(8, 200); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("post-crash write = %v, want ErrCrashPoint", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("post-crash Sync = %v, want ErrCrashPoint", err)
+	}
+}
+
+func TestFaultyPerCallHook(t *testing.T) {
+	d, mem := newFaultyMem()
+	defer mem.Close()
+	hookErr := errors.New("hook says no")
+	var sawSync, sawTruncate bool
+	d.SetHook(func(op Op, offset uint64, length int) error {
+		switch op {
+		case OpWrite:
+			if offset == 64 {
+				return hookErr
+			}
+		case OpSync:
+			sawSync = true
+		case OpTruncate:
+			sawTruncate = true
+			if offset != 32 {
+				t.Errorf("truncate hook offset = %d, want 32", offset)
+			}
+		}
+		return nil
+	})
+	done := make(chan error, 2)
+	d.WriteAsync(make([]byte, 8), 0, func(err error) { done <- err })
+	if err := <-done; err != nil {
+		t.Fatalf("unhooked write failed: %v", err)
+	}
+	d.WriteAsync(make([]byte, 8), 64, func(err error) { done <- err })
+	if err := <-done; !errors.Is(err, hookErr) {
+		t.Fatalf("hooked write = %v, want hook error", err)
+	}
+	if err := d.Sync(); err != nil || !sawSync {
+		t.Fatalf("Sync: err=%v sawSync=%v", err, sawSync)
+	}
+	if err := d.Truncate(32); err != nil || !sawTruncate {
+		t.Fatalf("Truncate: err=%v sawTruncate=%v", err, sawTruncate)
+	}
+	_, w := d.InjectedFaults()
+	if w != 1 {
+		t.Fatalf("injected write faults = %d, want 1 (the hooked write)", w)
+	}
+}
+
+func TestFaultyLatencyInjectionIsAsync(t *testing.T) {
+	d, mem := newFaultyMem()
+	defer mem.Close()
+	d.InjectLatency(0, 20*time.Millisecond)
+
+	start := time.Now()
+	done := make(chan error, 1)
+	d.WriteAsync(make([]byte, 8), 0, func(err error) { done <- err })
+	if since := time.Since(start); since > 10*time.Millisecond {
+		t.Fatalf("WriteAsync blocked caller for %v; latency must be async", since)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("delayed write failed: %v", err)
+	}
+	if since := time.Since(start); since < 15*time.Millisecond {
+		t.Fatalf("write completed after %v; latency not injected", since)
+	}
+}

@@ -28,8 +28,20 @@ import (
 // affected entry to its newest record; the result is a consistent index
 // as of t2.
 //
-// The checkpoint directory holds two files: "index.ckpt" (the fuzzy index
-// image) and "meta.ckpt" (the bracket addresses).
+// The checkpoint directory holds "meta.ckpt" (the bracket addresses) and
+// one fuzzy index image per checkpoint generation, "index.<t1>.ckpt",
+// named by the t1 the meta records — so a meta always identifies exactly
+// the image captured with it.
+//
+// Checkpoints are crash-atomic: the index image is staged as .tmp, fsynced
+// and renamed into place (dir fsync), and only then does the meta commit
+// by rename — meta.ckpt rotates to meta.prev, meta.ckpt.tmp renames over
+// meta.ckpt, dir fsync. The meta rename is the single commit point: a
+// crash anywhere leaves either the new meta (whose index image is already
+// durable), the old meta, or no current meta with the old one intact as
+// meta.prev. Recover tries meta.ckpt first and falls back to meta.prev on
+// any read/CRC/magic failure; stale index generations are garbage-
+// collected on the next successful checkpoint.
 
 const metaMagic uint64 = 0xFA57E2C0FFEE0001
 
@@ -49,18 +61,29 @@ func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 	if s.log.Mode() == hlog.ModeInMemory {
 		return CheckpointInfo{}, errors.New("faster: in-memory stores cannot checkpoint (no device)")
 	}
+	// A checkpoint must advance the durability watermark; with the write
+	// path gone it can only hang on the flush, so fail fast.
+	if err := s.checkWritable(); err != nil {
+		return CheckpointInfo{}, err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return CheckpointInfo{}, err
 	}
 
 	t1 := s.log.TailAddress()
-	f, err := os.Create(filepath.Join(dir, "index.ckpt"))
+	indexPath := filepath.Join(dir, indexFileName(t1))
+	indexTmp := indexPath + ".tmp"
+	f, err := os.Create(indexTmp)
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
 	if err := s.idx.WriteCheckpoint(f); err != nil {
 		f.Close()
 		return CheckpointInfo{}, fmt.Errorf("faster: index checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return CheckpointInfo{}, err
 	}
 	if err := f.Close(); err != nil {
 		return CheckpointInfo{}, err
@@ -72,11 +95,80 @@ func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 		return CheckpointInfo{}, fmt.Errorf("faster: flush to t2: %w", err)
 	}
 
-	info := CheckpointInfo{T1: t1, T2: t2, Begin: s.log.BeginAddress()}
-	if err := writeMeta(filepath.Join(dir, "meta.ckpt"), info); err != nil {
+	// Publish the index image under its final name before the meta can
+	// reference it; the dir fsync orders the two commits on disk.
+	if err := os.Rename(indexTmp, indexPath); err != nil {
 		return CheckpointInfo{}, err
 	}
+	if err := syncDir(dir); err != nil {
+		return CheckpointInfo{}, err
+	}
+
+	info := CheckpointInfo{T1: t1, T2: t2, Begin: s.log.BeginAddress()}
+	metaTmp := filepath.Join(dir, "meta.ckpt.tmp")
+	if err := writeMeta(metaTmp, info); err != nil {
+		return CheckpointInfo{}, err
+	}
+	metaPath := filepath.Join(dir, "meta.ckpt")
+	if _, err := os.Stat(metaPath); err == nil {
+		if err := os.Rename(metaPath, filepath.Join(dir, "meta.prev")); err != nil {
+			return CheckpointInfo{}, err
+		}
+	} else if !os.IsNotExist(err) {
+		return CheckpointInfo{}, err
+	}
+	if err := os.Rename(metaTmp, metaPath); err != nil {
+		return CheckpointInfo{}, err
+	}
+	if err := syncDir(dir); err != nil {
+		return CheckpointInfo{}, err
+	}
+	gcIndexGenerations(dir)
 	return info, nil
+}
+
+// indexFileName names the fuzzy index image of the checkpoint generation
+// bracketed from t1.
+func indexFileName(t1 hlog.Address) string {
+	return fmt.Sprintf("index.%016x.ckpt", t1)
+}
+
+// gcIndexGenerations removes index images no meta references anymore —
+// best-effort cleanup after a committed checkpoint; failures are ignored
+// (an orphaned image costs space, never correctness).
+func gcIndexGenerations(dir string) {
+	keep := map[string]bool{}
+	for _, m := range []string{"meta.ckpt", "meta.prev"} {
+		if info, err := readMeta(filepath.Join(dir, m)); err == nil {
+			keep[indexFileName(info.T1)] = true
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if keep[name] {
+			continue
+		}
+		stale := (len(name) > 6 && name[:6] == "index." &&
+			(filepath.Ext(name) == ".ckpt" || filepath.Ext(name) == ".tmp")) ||
+			name == "meta.ckpt.tmp"
+		if stale {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// syncDir fsyncs a directory so the renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func writeMeta(path string, info CheckpointInfo) error {
@@ -128,23 +220,47 @@ func readMeta(path string) (CheckpointInfo, error) {
 	}, nil
 }
 
-// Recover opens a store from a checkpoint directory and the device that
-// holds the log contents. cfg plays the same role as in Open; its Device
-// must contain the flushed log (for the built-in device types, reopen the
-// same file or reuse the same Mem device).
-func Recover(cfg Config, dir string) (*Store, error) {
-	info, err := readMeta(filepath.Join(dir, "meta.ckpt"))
+// loadCheckpointPair reads a meta file and the index image it references.
+func loadCheckpointPair(dir, metaName string) (CheckpointInfo, *index.Index, error) {
+	info, err := readMeta(filepath.Join(dir, metaName))
 	if err != nil {
-		return nil, err
+		return CheckpointInfo{}, nil, err
 	}
-	f, err := os.Open(filepath.Join(dir, "index.ckpt"))
+	f, err := os.Open(filepath.Join(dir, indexFileName(info.T1)))
 	if err != nil {
-		return nil, err
+		return CheckpointInfo{}, nil, err
 	}
 	idx, err := index.ReadCheckpoint(f)
 	f.Close()
 	if err != nil {
-		return nil, fmt.Errorf("faster: index recovery: %w", err)
+		return CheckpointInfo{}, nil, fmt.Errorf("faster: index recovery: %w", err)
+	}
+	return info, idx, nil
+}
+
+// loadCheckpoint loads the newest recoverable checkpoint: the current meta
+// if it and its index image are intact, else the previous generation kept
+// as meta.prev (a crash can tear at most the in-flight generation).
+func loadCheckpoint(dir string) (CheckpointInfo, *index.Index, error) {
+	info, idx, err := loadCheckpointPair(dir, "meta.ckpt")
+	if err == nil {
+		return info, idx, nil
+	}
+	if pinfo, pidx, perr := loadCheckpointPair(dir, "meta.prev"); perr == nil {
+		return pinfo, pidx, nil
+	}
+	return CheckpointInfo{}, nil, err
+}
+
+// Recover opens a store from a checkpoint directory and the device that
+// holds the log contents. cfg plays the same role as in Open; its Device
+// must contain the flushed log (for the built-in device types, reopen the
+// same file or reuse the same Mem device). A torn or corrupt current
+// checkpoint falls back to the previous generation (meta.prev).
+func Recover(cfg Config, dir string) (*Store, error) {
+	info, idx, err := loadCheckpoint(dir)
+	if err != nil {
+		return nil, err
 	}
 
 	if err := cfg.setDefaults(); err != nil {

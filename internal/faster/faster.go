@@ -22,6 +22,7 @@ import (
 	"repro/internal/hlog"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/retry"
 	"repro/internal/xhash"
 )
 
@@ -88,6 +89,16 @@ type Config struct {
 	// RefreshInterval is the number of operations between automatic
 	// epoch refreshes (paper: 256).
 	RefreshInterval int
+
+	// ReadRetry bounds retries of pending record reads; the zero value
+	// selects retry.DefaultRead(). Set MaxAttempts to 1 to disable
+	// retries (every device error surfaces immediately).
+	ReadRetry retry.Policy
+	// WriteRetry bounds retries of page-flush writes; the zero value
+	// selects retry.DefaultWrite(). When the budget is exhausted (or a
+	// permanent failure is classified) the log tail is poisoned and the
+	// store degrades to read-only instead of hanging.
+	WriteRetry retry.Policy
 }
 
 func (c *Config) setDefaults() error {
@@ -112,6 +123,12 @@ func (c *Config) setDefaults() error {
 	if c.RefreshInterval == 0 {
 		c.RefreshInterval = 256
 	}
+	if c.ReadRetry == (retry.Policy{}) {
+		c.ReadRetry = retry.DefaultRead()
+	}
+	if c.WriteRetry == (retry.Policy{}) {
+		c.WriteRetry = retry.DefaultWrite()
+	}
 	if c.CRDT {
 		if _, ok := c.Ops.(MergeOps); !ok {
 			return errors.New("faster: CRDT requires Ops to implement MergeOps")
@@ -134,12 +151,16 @@ type Stats struct {
 
 // Store is a FASTER key-value store instance.
 type Store struct {
-	cfg   Config
-	em    *epoch.Manager
-	idx   *index.Index
-	log   *hlog.Log
-	ops   ValueOps
-	merge MergeOps // non-nil iff cfg.CRDT
+	cfg      Config
+	em       *epoch.Manager
+	idx      *index.Index
+	log      *hlog.Log
+	ops      ValueOps
+	merge    MergeOps // non-nil iff cfg.CRDT
+	classify retry.Classifier
+
+	health      atomic.Int32                // Health state machine (health.go)
+	healthCause atomic.Pointer[healthCause] // first ReadOnly/Failed cause
 
 	stats struct {
 		operations   atomic.Uint64
@@ -152,13 +173,15 @@ type Store struct {
 	}
 
 	mx struct {
-		reads          metrics.Counter   // Read calls
-		upserts        metrics.Counter   // Upsert calls
-		rmws           metrics.Counter   // RMW calls
-		deletes        metrics.Counter   // Delete calls
-		rcuCopies      metrics.Counter   // read-copy-update appends (old value copied forward)
-		pendingDepth   metrics.Gauge     // I/Os issued and not yet returned to the user
-		pendingLatency metrics.Histogram // issue -> completion-queue drain
+		reads             metrics.Counter   // Read calls
+		upserts           metrics.Counter   // Upsert calls
+		rmws              metrics.Counter   // RMW calls
+		deletes           metrics.Counter   // Delete calls
+		rcuCopies         metrics.Counter   // read-copy-update appends (old value copied forward)
+		pendingDepth      metrics.Gauge     // I/Os issued and not yet returned to the user
+		pendingLatency    metrics.Histogram // issue -> completion-queue drain
+		pendingRetries    metrics.Counter   // pending-read attempts retried after a transient fault
+		healthTransitions metrics.Counter   // health state machine transitions
 	}
 
 	closed atomic.Bool
@@ -174,6 +197,8 @@ func Open(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := &Store{cfg: cfg, em: em, idx: idx, ops: cfg.Ops}
+	s.classify = device.ClassifierFor(cfg.Device)
 	log, err := hlog.New(hlog.Config{
 		PageBits:        cfg.PageBits,
 		BufferPages:     cfg.BufferPages,
@@ -181,11 +206,18 @@ func Open(cfg Config) (*Store, error) {
 		Mode:            cfg.Mode,
 		Device:          cfg.Device,
 		Epoch:           em,
+		Retry:           cfg.WriteRetry,
+		Classify:        s.classify,
+		// Flush retries mean the write path is limping: Degraded. A
+		// poisoned tail means it is gone: ReadOnly. Reads keep serving
+		// the resident region and flushed pages either way.
+		OnFlushRetry:   func(_ int, err error) { s.raiseHealth(Degraded, err) },
+		OnWriteFailure: func(err error) { s.raiseHealth(ReadOnly, err) },
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{cfg: cfg, em: em, idx: idx, log: log, ops: cfg.Ops}
+	s.log = log
 	if cfg.CRDT {
 		s.merge = cfg.Ops.(MergeOps)
 	}

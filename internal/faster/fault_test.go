@@ -5,9 +5,13 @@ import (
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/retry"
 )
 
-// openFaultyStore builds a store over a fault-injecting device.
+// openFaultyStore builds a store over a fault-injecting device with read
+// retries disabled, so every injected read fault surfaces to the caller
+// (the default policy would heal sparse deterministic faults silently;
+// retry behavior has its own tests).
 func openFaultyStore(t *testing.T) (*Store, *device.Faulty) {
 	t.Helper()
 	mem := device.NewMem(device.MemConfig{})
@@ -15,6 +19,7 @@ func openFaultyStore(t *testing.T) (*Store, *device.Faulty) {
 	s, err := Open(Config{
 		Ops: SumOps{}, PageBits: 12, BufferPages: 8,
 		IndexBuckets: 1 << 10, Device: faulty,
+		ReadRetry: retry.Policy{MaxAttempts: 1},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,127 @@
+package faster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Health is the store's fault-domain state machine:
+//
+//	Healthy ──► Degraded ──► ReadOnly ──► Failed
+//
+// Transitions are monotone (a store never heals back automatically;
+// recovery is a restart via Recover) and are driven by classified I/O
+// failures:
+//
+//   - Healthy:  no faults observed.
+//   - Degraded: transient faults are being retried (flush retries,
+//     pending-read retries). All operations still succeed; latency may
+//     suffer.
+//   - ReadOnly: the write path is gone — a page flush exhausted its retry
+//     budget or failed permanently, poisoning the log tail. Reads keep
+//     serving the resident region and already-flushed pages; Upsert, RMW
+//     and Delete fail fast with ErrReadOnly instead of hanging on a dead
+//     device.
+//   - Failed:   the read path is gone too — record reads hit permanent
+//     device failures after the write path was already lost. Resident
+//     (in-memory) reads still work; anything needing the device errors.
+type Health int32
+
+const (
+	Healthy Health = iota
+	Degraded
+	ReadOnly
+	Failed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case ReadOnly:
+		return "read-only"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
+// ErrReadOnly is returned by write operations once the store has degraded
+// to read-only (the log tail is poisoned). The underlying cause is
+// available from HealthCause.
+var ErrReadOnly = errors.New("faster: store is read-only (write path lost)")
+
+// ErrStoreFailed is returned by write operations once the store has failed
+// entirely (write and read paths lost).
+var ErrStoreFailed = errors.New("faster: store failed (device lost)")
+
+// healthCause records the first error behind a ReadOnly/Failed transition.
+type healthCause struct{ err error }
+
+// Health returns the store's current fault-domain state.
+func (s *Store) Health() Health { return Health(s.health.Load()) }
+
+// HealthCause returns the first error that forced the store out of the
+// writable states, or nil while Healthy/Degraded.
+func (s *Store) HealthCause() error {
+	if c := s.healthCause.Load(); c != nil {
+		return c.err
+	}
+	return nil
+}
+
+// raiseHealth moves the state machine monotonically up to at least h,
+// recording cause on the first entry into ReadOnly or worse and counting
+// the transition.
+func (s *Store) raiseHealth(h Health, cause error) {
+	for {
+		cur := s.health.Load()
+		if int32(h) <= cur {
+			return
+		}
+		if s.health.CompareAndSwap(cur, int32(h)) {
+			if h >= ReadOnly && cause != nil {
+				s.healthCause.CompareAndSwap(nil, &healthCause{err: cause})
+			}
+			s.mx.healthTransitions.Inc()
+			return
+		}
+	}
+}
+
+// checkWritable gates the write path on the health state.
+func (s *Store) checkWritable() error {
+	switch s.Health() {
+	case ReadOnly:
+		if cause := s.HealthCause(); cause != nil {
+			return fmt.Errorf("%w: %w", ErrReadOnly, cause)
+		}
+		return ErrReadOnly
+	case Failed:
+		if cause := s.HealthCause(); cause != nil {
+			return fmt.Errorf("%w: %w", ErrStoreFailed, cause)
+		}
+		return ErrStoreFailed
+	default:
+		return nil
+	}
+}
+
+// noteReadFailure escalates the state machine for a pending read that
+// failed for good. A single failed read does not condemn the store — the
+// error may be scoped to one address — but a device-level permanent
+// failure after the write path is already gone means nothing on storage
+// is reachable: Failed.
+func (s *Store) noteReadFailure(err error) {
+	if err == nil {
+		return
+	}
+	if s.Health() >= ReadOnly && errors.Is(err, device.ErrPermanent) {
+		s.raiseHealth(Failed, err)
+	}
+}

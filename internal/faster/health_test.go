@@ -1,0 +1,247 @@
+package faster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/retry"
+)
+
+// openHardenedStore builds a store over a fault-injecting device with the
+// given retry policies (zero values select the defaults).
+func openHardenedStore(t *testing.T, readP, writeP retry.Policy) (*Store, *device.Faulty) {
+	t.Helper()
+	mem := device.NewMem(device.MemConfig{})
+	faulty := device.NewFaulty(mem)
+	s, err := Open(Config{
+		Ops: SumOps{}, PageBits: 12, BufferPages: 4, MutableFraction: 0.5,
+		IndexBuckets: 1 << 10, Device: faulty,
+		ReadRetry: readP, WriteRetry: writeP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close() // may error on a deliberately broken device
+		mem.Close()
+	})
+	return s, faulty
+}
+
+// degradeToReadOnly breaks the device and drives fresh-key inserts until
+// the write-path loss is classified, failing the test if the store hangs
+// instead of degrading (the acceptance bar: classified degradation within
+// the retry budget, no livelock).
+func degradeToReadOnly(t *testing.T, s *Store, sess *Session, faulty *device.Faulty) {
+	t.Helper()
+	faulty.BreakPermanently()
+	deadline := time.Now().Add(10 * time.Second)
+	for i := uint64(1 << 20); s.Health() < ReadOnly; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("store never transitioned to read-only after write-path loss")
+		}
+		sess.Upsert(key(i), u64(i)) // fresh keys: every one allocates
+	}
+}
+
+func TestWritePathLossFlipsStoreReadOnly(t *testing.T) {
+	s, faulty := openHardenedStore(t, retry.Policy{},
+		retry.Policy{MaxAttempts: 3, BaseDelay: 200 * time.Microsecond})
+	sess := s.StartSession()
+	defer sess.Close()
+
+	// Resident data while the device still works.
+	for i := uint64(0); i < 50; i++ {
+		if st, err := sess.Upsert(key(i), u64(i+1)); st != OK {
+			t.Fatalf("setup upsert: %v (%v)", st, err)
+		}
+	}
+
+	degradeToReadOnly(t, s, sess, faulty)
+
+	if cause := s.HealthCause(); cause == nil || !errors.Is(cause, device.ErrInjected) {
+		t.Fatalf("HealthCause = %v, want the injected device error", cause)
+	}
+
+	// Every write op fails fast with the classified sentinel.
+	if _, err := sess.Upsert(key(1), u64(9)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Upsert on read-only store: %v, want ErrReadOnly", err)
+	}
+	if _, err := sess.RMW(key(1), u64(9), nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("RMW on read-only store: %v, want ErrReadOnly", err)
+	}
+	if _, err := sess.Delete(key(1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete on read-only store: %v, want ErrReadOnly", err)
+	}
+	if _, err := s.Checkpoint(t.TempDir()); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Checkpoint on read-only store: %v, want ErrReadOnly", err)
+	}
+
+	// The resident mutable region still serves reads.
+	okReads := 0
+	for i := uint64(0); i < 50; i++ {
+		out := make([]byte, 8)
+		st, err := sess.Read(key(i), nil, out, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == Pending {
+			for _, r := range sess.CompletePending(true) {
+				st = r.Status
+			}
+		}
+		if st == OK {
+			okReads++
+		}
+	}
+	if okReads == 0 {
+		t.Fatal("read-only store served no resident reads")
+	}
+
+	// No busy-loop against the dead device: the retry counter is frozen.
+	m1 := s.Log().Metrics()
+	time.Sleep(50 * time.Millisecond)
+	m2 := s.Log().Metrics()
+	if m2.FlushRetries != m1.FlushRetries {
+		t.Fatalf("flush retries still growing on a poisoned store: %d -> %d",
+			m1.FlushRetries, m2.FlushRetries)
+	}
+
+	sm := s.Metrics()
+	if sm.Health < ReadOnly || sm.HealthTransitions == 0 {
+		t.Fatalf("metrics: health=%v transitions=%d", sm.Health, sm.HealthTransitions)
+	}
+	if v := sm.Series()["faster.health"]; v < 2 {
+		t.Fatalf("faster.health series = %v, want >= 2", v)
+	}
+}
+
+func TestReadPathLossEscalatesToFailed(t *testing.T) {
+	s, faulty := openHardenedStore(t, retry.Policy{},
+		retry.Policy{MaxAttempts: 2, BaseDelay: 100 * time.Microsecond})
+	sess := s.StartSession()
+	defer sess.Close()
+	spill(t, s, sess, 1500)
+
+	degradeToReadOnly(t, s, sess, faulty)
+
+	// An on-disk read now hits the dead device: the pending op must
+	// complete (not hang) with a classified, exhausted error.
+	out := make([]byte, 8)
+	st, err := sess.Read(key(0), nil, out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Pending {
+		t.Fatalf("Read(0) = %v, want Pending (key should be on disk)", st)
+	}
+	results, terr := sess.CompletePendingTimeout(5 * time.Second)
+	if terr != nil {
+		t.Fatalf("pending read did not complete on a dead device: %v", terr)
+	}
+	if len(results) != 1 || results[0].Status != Err {
+		t.Fatalf("results = %+v, want one Err", results)
+	}
+	if !errors.Is(results[0].Err, device.ErrInjected) || !retry.IsExhausted(results[0].Err) {
+		t.Fatalf("pending error = %v, want exhausted injected", results[0].Err)
+	}
+
+	// Write path already gone + permanent read loss: Failed.
+	if h := s.Health(); h != Failed {
+		t.Fatalf("health after read-path loss = %v, want failed", h)
+	}
+	if _, err := sess.Upsert(key(1), u64(1)); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("Upsert on failed store: %v, want ErrStoreFailed", err)
+	}
+}
+
+func TestPendingReadRetriesHealTransientFaults(t *testing.T) {
+	s, faulty := openHardenedStore(t, retry.Policy{}, retry.Policy{})
+	sess := s.StartSession()
+	defer sess.Close()
+	spill(t, s, sess, 1500)
+
+	faulty.FailEveryNthRead(2)
+	for i := uint64(0); i < 200; i += 7 {
+		out := make([]byte, 8)
+		st, err := sess.Read(key(i), nil, out, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == Pending {
+			for _, r := range sess.CompletePending(true) {
+				if r.Status != OK {
+					t.Fatalf("read of key %d failed despite retry budget: %v", i, r.Err)
+				}
+			}
+		}
+	}
+	faulty.FailEveryNthRead(0)
+
+	if s.Metrics().PendingRetries == 0 {
+		t.Fatal("no pending-read retries recorded; faults were never retried")
+	}
+	if h := s.Health(); h != Degraded {
+		t.Fatalf("health = %v, want degraded (retried but never lost a path)", h)
+	}
+}
+
+func TestCompletePendingTimeoutBoundsTheWait(t *testing.T) {
+	s, faulty := openHardenedStore(t, retry.Policy{}, retry.Policy{})
+	sess := s.StartSession()
+	defer sess.Close()
+	spill(t, s, sess, 1500)
+
+	faulty.InjectLatency(50*time.Millisecond, 0)
+	out := make([]byte, 8)
+	st, err := sess.Read(key(0), nil, out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Pending {
+		t.Fatalf("Read(0) = %v, want Pending (key should be on disk)", st)
+	}
+	results, terr := sess.CompletePendingTimeout(5 * time.Millisecond)
+	if !errors.Is(terr, ErrPendingTimeout) {
+		t.Fatalf("CompletePendingTimeout = %v, want ErrPendingTimeout", terr)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results before the 50ms read could finish", len(results))
+	}
+
+	// The op is still pending, not lost: an unbounded drain completes it.
+	faulty.InjectLatency(0, 0)
+	final := sess.CompletePending(true)
+	if len(final) != 1 || final[0].Status != OK {
+		t.Fatalf("after timeout, drain = %+v, want one OK", final)
+	}
+}
+
+func TestRebuildIndexSurvivesReadFaults(t *testing.T) {
+	s, faulty := openHardenedStore(t, retry.Policy{}, retry.Policy{})
+	sess := s.StartSession()
+	spill(t, s, sess, 1500)
+	sess.Close()
+
+	// Every 3rd device read fails; the scan's bounded retry must heal each
+	// one (the default budget of 4 attempts beats a period of 3).
+	faulty.FailEveryNthRead(3)
+	if err := s.RebuildIndex(); err != nil {
+		t.Fatalf("RebuildIndex under read faults: %v", err)
+	}
+	faulty.FailEveryNthRead(0)
+	if r, _ := faulty.InjectedFaults(); r == 0 {
+		t.Fatal("no read faults injected; rebuild exercised nothing")
+	}
+
+	rs := s.StartSession()
+	defer rs.Close()
+	for i := uint64(0); i < 1500; i += 97 {
+		got, st := readU64(t, rs, key(i))
+		if st != OK || got != i+1 {
+			t.Fatalf("rebuilt-under-fault index: key %d = (%d, %v), want (%d, OK)", i, got, st, i+1)
+		}
+	}
+}

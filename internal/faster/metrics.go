@@ -31,7 +31,13 @@ type StoreMetrics struct {
 
 	PendingDepth   int64                     // I/Os outstanding right now
 	PendingIssued  uint64                    // I/Os issued in total
+	PendingRetries uint64                    // pending-read attempts retried
 	PendingLatency metrics.HistogramSnapshot // issue -> completion drain
+
+	// Health is the fault-domain state machine (health.go);
+	// HealthTransitions counts its upward steps.
+	Health            Health
+	HealthTransitions uint64
 
 	Log   hlog.Metrics
 	Index index.Metrics
@@ -58,7 +64,11 @@ func (s *Store) Metrics() StoreMetrics {
 
 		PendingDepth:   s.mx.pendingDepth.Load(),
 		PendingIssued:  s.stats.pendingIOs.Load(),
+		PendingRetries: s.mx.pendingRetries.Load(),
 		PendingLatency: s.mx.pendingLatency.Snapshot(),
+
+		Health:            s.Health(),
+		HealthTransitions: s.mx.healthTransitions.Load(),
 
 		Log:   s.log.Metrics(),
 		Index: s.idx.Metrics(),
@@ -76,17 +86,21 @@ func (s *Store) Metrics() StoreMetrics {
 // histograms expand into .count/.mean_ns/.p50_ns/.p99_ns/.max_ns.
 func (m StoreMetrics) Series() metrics.Series {
 	s := metrics.Series{
-		"faster.reads":          float64(m.Reads),
-		"faster.upserts":        float64(m.Upserts),
-		"faster.rmws":           float64(m.RMWs),
-		"faster.deletes":        float64(m.Deletes),
-		"faster.rcu_copies":     float64(m.RCUCopies),
-		"faster.failed_cas":     float64(m.FailedCAS),
-		"faster.in_place":       float64(m.InPlace),
-		"faster.appends":        float64(m.Appends),
-		"faster.fuzzy_rmws":     float64(m.FuzzyRMWs),
-		"faster.pending_depth":  float64(m.PendingDepth),
-		"faster.pending_issued": float64(m.PendingIssued),
+		"faster.reads":           float64(m.Reads),
+		"faster.upserts":         float64(m.Upserts),
+		"faster.rmws":            float64(m.RMWs),
+		"faster.deletes":         float64(m.Deletes),
+		"faster.rcu_copies":      float64(m.RCUCopies),
+		"faster.failed_cas":      float64(m.FailedCAS),
+		"faster.in_place":        float64(m.InPlace),
+		"faster.appends":         float64(m.Appends),
+		"faster.fuzzy_rmws":      float64(m.FuzzyRMWs),
+		"faster.pending_depth":   float64(m.PendingDepth),
+		"faster.pending_issued":  float64(m.PendingIssued),
+		"faster.pending_retries": float64(m.PendingRetries),
+		// 0 healthy, 1 degraded, 2 read-only, 3 failed.
+		"faster.health":             float64(m.Health),
+		"faster.health_transitions": float64(m.HealthTransitions),
 	}
 	s.AddHistogram("faster.pending_latency", m.PendingLatency)
 
@@ -102,6 +116,13 @@ func (m StoreMetrics) Series() metrics.Series {
 	s["hlog.stable_bytes"] = float64(m.Log.StableBytes)
 	s["hlog.flushes_issued"] = float64(m.Log.FlushesIssued)
 	s["hlog.flush_retries"] = float64(m.Log.FlushRetries)
+	s["hlog.flush_failures"] = float64(m.Log.FlushFailures)
+	if m.Log.Poisoned {
+		s["hlog.poisoned"] = 1
+	} else {
+		s["hlog.poisoned"] = 0
+	}
+	s["hlog.retry_timers"] = float64(m.Log.RetryTimers)
 	s["hlog.flushed_bytes"] = float64(m.Log.FlushedBytes)
 	s["hlog.evicted_pages"] = float64(m.Log.EvictedPages)
 	s["hlog.ro_shifts"] = float64(m.Log.ROShifts)

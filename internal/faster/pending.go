@@ -2,12 +2,14 @@ package faster
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/hlog"
+	"repro/internal/retry"
 )
 
 // Operations go pending for two reasons (§5.3, §6.3): the record they need
@@ -139,10 +141,38 @@ func (sess *Session) ioDone() {
 	sess.s.mx.pendingDepth.Dec()
 }
 
+// readRetrying reads buf at addr, retrying transient failures under the
+// store's read policy with jittered backoff. done receives nil on success
+// or the final error wrapped as a retry.ExhaustedError (errors.Is on the
+// device cause still works). The retry chain is serial — one outstanding
+// read at a time — so failures needs no synchronization beyond the
+// happens-before edges of timer creation.
+func (s *Store) readRetrying(addr hlog.Address, buf []byte, done func(error)) {
+	var attempt func(error)
+	failures := 0
+	issue := func() { s.log.ReadAsync(addr, buf, attempt) }
+	attempt = func(err error) {
+		if err == nil {
+			done(nil)
+			return
+		}
+		failures++
+		if !s.cfg.ReadRetry.Budget(s.classify, err, failures) {
+			done(retry.Exhausted(s.classify, err, failures))
+			return
+		}
+		s.mx.pendingRetries.Inc()
+		s.raiseHealth(Degraded, err)
+		time.AfterFunc(s.cfg.ReadRetry.Delay(failures), issue)
+	}
+	issue()
+}
+
 // issueIO starts the asynchronous fetch of the record at op.addr: first
 // the 16-byte header (for the record's size), then the full record. The
 // final callback parks the op on the session's completion queue; no store
-// state is touched from the I/O callback goroutine.
+// state is touched from the I/O callback goroutine beyond the health
+// escalation for permanent device loss.
 func (sess *Session) issueIO(op *PendingOp) {
 	op.debugTrace("issue@%#x kind=%v", op.addr, op.kind)
 	if debugIssue != nil {
@@ -152,10 +182,12 @@ func (sess *Session) issueIO(op *PendingOp) {
 	sess.s.mx.pendingDepth.Inc()
 	sess.s.stats.pendingIOs.Add(1)
 	op.issuedNs = time.Now().UnixNano()
+	s := sess.s
 	hdr := make([]byte, recHeaderBytes)
-	sess.s.log.ReadAsync(op.addr, hdr, func(err error) {
+	s.readRetrying(op.addr, hdr, func(err error) {
 		if err != nil {
 			op.err = err
+			s.noteReadFailure(err)
 			sess.completed.push(op)
 			return
 		}
@@ -166,9 +198,10 @@ func (sess *Session) issueIO(op *PendingOp) {
 			return
 		}
 		buf := make([]byte, size)
-		sess.s.log.ReadAsync(op.addr, buf, func(err error) {
+		s.readRetrying(op.addr, buf, func(err error) {
 			if err != nil {
 				op.err = err
+				s.noteReadFailure(err)
 			} else {
 				op.buf = buf
 			}
@@ -177,11 +210,30 @@ func (sess *Session) issueIO(op *PendingOp) {
 	})
 }
 
+// ErrPendingTimeout is returned by CompletePendingTimeout when outstanding
+// operations did not finish within the deadline. The operations remain
+// pending and a later CompletePending call can still drain them.
+var ErrPendingTimeout = errors.New("faster: pending operations did not complete within the deadline")
+
 // CompletePending processes the session's completed asynchronous I/Os and
 // fuzzy-region retries, returning one Result per finished user operation.
 // With wait set it blocks (refreshing the epoch) until every outstanding
 // operation has finished.
 func (sess *Session) CompletePending(wait bool) []Result {
+	results, _ := sess.completePending(wait, time.Time{})
+	return results
+}
+
+// CompletePendingTimeout is CompletePending(true) with a deadline: it
+// returns ErrPendingTimeout (plus the results drained so far) if
+// outstanding operations are still unfinished when d elapses. This is the
+// bound that keeps a caller from hanging when the device degrades faster
+// than the health machine can classify it.
+func (sess *Session) CompletePendingTimeout(d time.Duration) ([]Result, error) {
+	return sess.completePending(true, time.Now().Add(d))
+}
+
+func (sess *Session) completePending(wait bool, deadline time.Time) ([]Result, error) {
 	var results []Result
 	spins := 0
 	for {
@@ -215,14 +267,18 @@ func (sess *Session) CompletePending(wait bool) []Result {
 		}
 
 		if !wait {
-			return results
+			return results, nil
 		}
 		if sess.inFlight == 0 && len(sess.retries) == 0 {
-			return results
+			return results, nil
 		}
 		if progressed {
 			spins = 0
 			continue
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return results, fmt.Errorf("%w (%d in flight, %d deferred)",
+				ErrPendingTimeout, sess.inFlight, len(sess.retries))
 		}
 		// Let flush/eviction trigger actions run so the fuzzy region
 		// shrinks and device callbacks land — and yield the processor so

@@ -83,9 +83,15 @@ func (s *Store) Scan(opts ScanOptions, fn func(r ScanRecord) bool) error {
 				end = to
 			}
 			buf := pageBuf[:end-pageStart]
-			errCh := make(chan error, 1)
-			s.log.ReadAsync(pageStart, buf, func(err error) { errCh <- err })
-			if err := <-errCh; err != nil {
+			// Page reads retry transient device faults under the read
+			// policy; this is what lets Recover and RebuildIndex survive a
+			// flaky device instead of aborting on the first hiccup.
+			err := s.cfg.ReadRetry.Do(s.classify, func() error {
+				errCh := make(chan error, 1)
+				s.log.ReadAsync(pageStart, buf, func(err error) { errCh <- err })
+				return <-errCh
+			})
+			if err != nil {
 				return fmt.Errorf("faster: scan read page at %#x: %w", pageStart, err)
 			}
 			page = buf

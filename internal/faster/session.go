@@ -206,6 +206,9 @@ func (sess *Session) Upsert(key, value []byte) (Status, error) {
 	sess.opStart()
 	s := sess.s
 	s.mx.upserts.Inc()
+	if err := s.checkWritable(); err != nil {
+		return Err, err
+	}
 	h := hashKey(key)
 
 	for {
@@ -268,9 +271,15 @@ func (sess *Session) RMW(key, input []byte, ctx any) (Status, error) {
 }
 
 // rmwInternal is the retryable core of RMW; CompletePending re-enters it
-// for fuzzy deferrals.
+// for fuzzy deferrals. The writability gate sits here rather than in RMW
+// so fuzzy deferrals stop re-queueing once the store is read-only: with a
+// poisoned tail the safe read-only offset can never advance, and an
+// ungated deferral would retry forever.
 func (sess *Session) rmwInternal(key, input []byte, ctx any) (Status, error) {
 	s := sess.s
+	if err := s.checkWritable(); err != nil {
+		return Err, err
+	}
 	h := hashKey(key)
 
 	for {
@@ -490,6 +499,9 @@ func (sess *Session) Delete(key []byte) (Status, error) {
 	sess.opStart()
 	s := sess.s
 	s.mx.deletes.Inc()
+	if err := s.checkWritable(); err != nil {
+		return Err, err
+	}
 	h := hashKey(key)
 
 	for {

@@ -1,0 +1,276 @@
+package faster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"maps"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/retry"
+)
+
+// Crash/torn-write torture harness.
+//
+// Each case runs a seeded workload of Upserts, RMWs, Deletes and verified
+// Reads against a Faulty-wrapped Mem device with a crash point armed at a
+// byte budget (CrashAfterBytes): the write crossing the budget is torn at
+// the boundary and the device dies permanently, exactly like a power cut
+// mid-sector-train. Half the cases additionally sprinkle seeded transient
+// read/write faults with torn-write prefixes, so the bounded-retry paths
+// run under the same scrutiny.
+//
+// The workload checkpoints periodically and clones its shadow map at every
+// checkpoint that COMMITS. Whatever happens afterwards — crash mid-append,
+// mid-flush, mid-checkpoint, or no crash at all — recovery from the
+// surviving media must reproduce the last committed snapshot exactly:
+//
+//   - every key in the snapshot reads back with its snapshot value
+//     (no acknowledged-then-committed operation is lost),
+//   - every key absent from the snapshot reads NotFound
+//     (nothing past t2 is resurrected, deletes stay deleted — §6.5),
+//   - the recovered tail sits at the committed t2 rounded up to a page,
+//   - and no pending operation may hang on the dead device: every drain
+//     runs under a deadline (the graceful-degradation guarantee).
+
+// tortureTotalPoints returns how many crash points the matrix spreads
+// across its seeds: FASTER_TORTURE_POINTS when set (the `make torture`
+// knob), else 100 — the acceptance bar — or a trimmed 16 under -short.
+func tortureTotalPoints(t *testing.T) int {
+	if v := os.Getenv("FASTER_TORTURE_POINTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad FASTER_TORTURE_POINTS %q: %v", v, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 16
+	}
+	return 100
+}
+
+func TestCrashRecoveryTorture(t *testing.T) {
+	seeds := []int64{0x5EED0001, 0x5EED0002, 0x5EED0003, 0x5EED0004}
+	perSeed := (tortureTotalPoints(t) + len(seeds) - 1) / len(seeds)
+
+	// Crash budgets sweep the whole log lifetime: from before the first
+	// checkpoint can commit (~8 KB of appends) to past the workload's
+	// total write volume (so some cases never crash and verify the plain
+	// close/recover path on the same harness).
+	const minBudget, maxBudget = 4 << 10, 96 << 10
+
+	var crashed, committed atomic.Int64
+	t.Run("matrix", func(t *testing.T) {
+		for _, seed := range seeds {
+			for p := 0; p < perSeed; p++ {
+				budget := int64(minBudget + p*(maxBudget-minBudget)/perSeed)
+				noisy := p%2 == 1 // odd points add transient fault noise
+				name := fmt.Sprintf("seed=%x/crash@%dK/noisy=%v", seed, budget>>10, noisy)
+				seed, budget := seed, budget
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					runTortureCase(t, seed, budget, noisy, &crashed, &committed)
+				})
+			}
+		}
+	})
+
+	// The matrix is only a torture test if it actually tortured: some
+	// cases must have died at their crash point, and some must have had a
+	// committed checkpoint to recover.
+	if crashed.Load() == 0 {
+		t.Error("no torture case reached its crash point; budgets are too large")
+	}
+	if committed.Load() == 0 {
+		t.Error("no torture case committed a checkpoint; budgets are too small")
+	}
+}
+
+func runTortureCase(t *testing.T, seed, crashBudget int64, noisy bool, crashed, committed *atomic.Int64) {
+	const (
+		tortureOps  = 3000
+		tortureKeys = 160
+		ckptEvery   = 500
+	)
+
+	mem := device.NewMem(device.MemConfig{})
+	defer mem.Close()
+	faulty := device.NewFaulty(mem)
+	dir := t.TempDir()
+	cfg := Config{
+		Ops: SumOps{}, PageBits: 12, BufferPages: 8, MutableFraction: 0.5,
+		IndexBuckets: 1 << 10, Device: faulty,
+		ReadRetry:  retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
+		WriteRetry: retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.StartSession()
+
+	faulty.CrashAfterBytes(crashBudget)
+	if noisy {
+		faulty.TornWrites(true)
+		faulty.SeedFaults(uint64(seed), 0.01, 0.01)
+	}
+
+	// mustDrain completes the single outstanding pending op. A hang here
+	// is itself an invariant violation: faults must surface as classified
+	// completions, never as a stall.
+	mustDrain := func() Result {
+		results, derr := sess.CompletePendingTimeout(10 * time.Second)
+		if derr != nil {
+			t.Fatalf("pending op hung instead of completing with an error: %v", derr)
+		}
+		if len(results) != 1 {
+			t.Fatalf("drained %d results, want 1", len(results))
+		}
+		return results[0]
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	model := map[uint64]uint64{}   // acked state, updated only on OK
+	var snapshot map[uint64]uint64 // model at the last committed checkpoint
+	var lastInfo CheckpointInfo
+	haveCkpt := false
+	dead := false
+
+	for i := 0; i < tortureOps && !dead; i++ {
+		k := uint64(rng.Intn(tortureKeys))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // blind upsert
+			v := rng.Uint64() >> 1
+			if st, _ := sess.Upsert(key(k), u64(v)); st == OK {
+				model[k] = v
+			} else {
+				dead = true
+			}
+		case 4, 5, 6: // read-modify-write: add
+			delta := uint64(rng.Intn(1000))
+			st, _ := sess.RMW(key(k), u64(delta), nil)
+			if st == Pending {
+				st = mustDrain().Status
+			}
+			if st == OK {
+				model[k] += delta
+			} else {
+				dead = true
+			}
+		case 7: // delete
+			switch st, _ := sess.Delete(key(k)); st {
+			case OK, NotFound:
+				delete(model, k)
+			default:
+				dead = true
+			}
+		default: // read, checked against the live model
+			out := make([]byte, 8)
+			st, rerr := sess.Read(key(k), nil, out, nil)
+			if rerr != nil {
+				dead = true
+				break
+			}
+			if st == Pending {
+				st = mustDrain().Status
+			}
+			want, ok := model[k]
+			switch {
+			case st == Err:
+				dead = true // device fault surfaced; state is untouched
+			case ok && st == NotFound:
+				t.Fatalf("op %d: acked key %d lost while the store was live", i, k)
+			case !ok && st == OK:
+				t.Fatalf("op %d: deleted key %d resurrected while the store was live", i, k)
+			case ok && binary.LittleEndian.Uint64(out) != want:
+				t.Fatalf("op %d: key %d = %d, want %d", i, k, binary.LittleEndian.Uint64(out), want)
+			}
+		}
+
+		if !dead && (i+1)%ckptEvery == 0 {
+			// An idle session pins the epoch and the checkpoint's safe-RO
+			// shift would wait on it forever, so drop the session around
+			// the checkpoint (its pendings are already drained).
+			sess.Close()
+			info, cerr := s.Checkpoint(dir)
+			sess = s.StartSession()
+			if cerr != nil {
+				dead = true // crash landed inside the checkpoint
+				continue
+			}
+			snapshot = maps.Clone(model)
+			lastInfo = info
+			haveCkpt = true
+		}
+	}
+
+	// Tear the store down. After a crash the device is permanently dead,
+	// so the drain and close may report errors — but they must return.
+	if _, derr := sess.CompletePendingTimeout(10 * time.Second); derr != nil {
+		t.Fatalf("post-workload drain hung: %v", derr)
+	}
+	sess.Close()
+	s.Close()
+	if dead {
+		crashed.Add(1)
+	}
+
+	// Recover from the surviving media: a fresh handle on the same Mem,
+	// as after a reboot.
+	rcfg := cfg
+	rcfg.Device = mem
+	if !haveCkpt {
+		// Crash before any commit: there is nothing to recover, and
+		// recovery must say so rather than conjure a store.
+		if r, rerr := Recover(rcfg, dir); rerr == nil {
+			r.Close()
+			t.Fatal("Recover succeeded with no committed checkpoint")
+		}
+		return
+	}
+	committed.Add(1)
+
+	r, err := Recover(rcfg, dir)
+	if err != nil {
+		t.Fatalf("recovery after crash@%d: %v", crashBudget, err)
+	}
+	defer r.Close()
+	if got := r.Log().TailAddress(); got != pageUp(lastInfo.T2) {
+		t.Fatalf("recovered tail = %#x, want committed t2 rounded up %#x", got, pageUp(lastInfo.T2))
+	}
+
+	rs := r.StartSession()
+	defer rs.Close()
+	for k := uint64(0); k < tortureKeys; k++ {
+		out := make([]byte, 8)
+		st, rerr := rs.Read(key(k), nil, out, nil)
+		if rerr != nil {
+			t.Fatalf("recovered read of key %d: %v", k, rerr)
+		}
+		if st == Pending {
+			results, derr := rs.CompletePendingTimeout(10 * time.Second)
+			if derr != nil || len(results) != 1 {
+				t.Fatalf("recovered read of key %d stalled: %v (%d results)", k, derr, len(results))
+			}
+			if results[0].Err != nil {
+				t.Fatalf("recovered read of key %d: %v", k, results[0].Err)
+			}
+			st = results[0].Status
+		}
+		want, ok := snapshot[k]
+		switch {
+		case ok && st != OK:
+			t.Errorf("committed key %d lost after recovery: status %v, want value %d", k, st, want)
+		case ok && binary.LittleEndian.Uint64(out) != want:
+			t.Errorf("committed key %d = %d after recovery, want %d", k, binary.LittleEndian.Uint64(out), want)
+		case !ok && st != NotFound:
+			t.Errorf("key %d resurrected past t2: status %v, want NotFound", k, st)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/epoch"
 	"repro/internal/metrics"
+	"repro/internal/retry"
 )
 
 // Address is a 48-bit logical address into the log.
@@ -96,6 +98,23 @@ type Config struct {
 	// MaxInMemoryPages bounds the growable frame table for ModeInMemory
 	// (default 1<<20 pages).
 	MaxInMemoryPages int
+
+	// Retry bounds the flush-write retry loop. The zero value selects
+	// retry.DefaultWrite(). Transient flush failures are retried with
+	// backoff up to the attempt budget; a Permanent classification or an
+	// exhausted budget poisons the log tail (see ErrPoisoned).
+	Retry retry.Policy
+	// Classify maps device errors to retry classes; defaults to the
+	// device's own taxonomy (device.ClassifierFor).
+	Classify retry.Classifier
+	// OnFlushRetry, if set, is observed on every retried flush write
+	// (attempt is the number of failures so far). Called from I/O
+	// callback goroutines; must not block.
+	OnFlushRetry func(attempt int, err error)
+	// OnWriteFailure, if set, is called exactly once when the flush path
+	// gives up and poisons the log tail. Called from an I/O callback
+	// goroutine; must not block.
+	OnWriteFailure func(err error)
 }
 
 // frame flush status values.
@@ -146,9 +165,23 @@ type Log struct {
 	frames    []*frame                // circular buffer (hybrid/append-only)
 	memFrames []atomic.Pointer[frame] // growable table (in-memory mode)
 
+	classify retry.Classifier
+
+	// failure is set once when the flush path exhausts its retry budget
+	// (or hits a Permanent error): the log tail is poisoned. Allocation
+	// and flush waits fail fast instead of hanging; already-flushed data
+	// and the resident region stay readable.
+	failure atomic.Pointer[logFailure]
+
+	// Outstanding flush-retry timers, cancelled on Close so a dead device
+	// cannot keep firing retries into a closed log.
+	retryMu     sync.Mutex
+	retryTimers map[*time.Timer]struct{}
+
 	mx struct {
 		flushesIssued  metrics.Counter   // page-granular flush writes issued
 		flushRetries   metrics.Counter   // failed flush writes re-issued
+		flushFailures  metrics.Counter   // flush spans abandoned (poisoned)
 		flushedBytes   metrics.Counter   // bytes durably flushed
 		flushLatency   metrics.Histogram // write issue -> durable callback
 		evictedPages   metrics.Counter   // frames closed by head advances
@@ -162,6 +195,9 @@ type Log struct {
 	closed atomic.Bool
 }
 
+// logFailure records the first unrecoverable flush error.
+type logFailure struct{ err error }
+
 // debugTrap reports whether internal invariant traps are enabled (the
 // process-wide FASTER_DEBUG_ASSERT switch shared with the faster layer).
 func debugTrap() bool { return metrics.DebugAsserts() }
@@ -171,6 +207,13 @@ var (
 	ErrRecordTooLarge = errors.New("hlog: record larger than page")
 	ErrClosed         = errors.New("hlog: closed")
 	ErrAddressEvicted = errors.New("hlog: address below head (evicted)")
+	// ErrPoisoned marks the log tail as unwritable: a page flush exhausted
+	// its retry budget (or failed permanently), so no further allocation
+	// can ever become durable. Reads of resident and already-flushed
+	// addresses remain valid. errors returned by Allocate and
+	// WaitUntilFlushed after poisoning wrap ErrPoisoned and the device
+	// cause.
+	ErrPoisoned = errors.New("hlog: log tail poisoned by write failure")
 )
 
 // New creates a Log from cfg.
@@ -208,12 +251,21 @@ func New(cfg Config) (*Log, error) {
 		}
 	}
 
+	if cfg.Retry == (retry.Policy{}) {
+		cfg.Retry = retry.DefaultWrite()
+	}
+	if cfg.Classify == nil {
+		cfg.Classify = device.ClassifierFor(cfg.Device)
+	}
+
 	l := &Log{
-		cfg:      cfg,
-		pageBits: cfg.PageBits,
-		pageSize: 1 << cfg.PageBits,
-		em:       cfg.Epoch,
-		dev:      cfg.Device,
+		cfg:         cfg,
+		pageBits:    cfg.PageBits,
+		pageSize:    1 << cfg.PageBits,
+		em:          cfg.Epoch,
+		dev:         cfg.Device,
+		classify:    cfg.Classify,
+		retryTimers: make(map[*time.Timer]struct{}),
 	}
 	l.flushed.init()
 
@@ -299,6 +351,32 @@ func (l *Log) FlushedUntilAddress() Address { return l.flushed.level() }
 // issued (diagnostics).
 func (l *Log) FlushIssuedAddress() Address { return l.flushIssue.Load() }
 
+// WriteFailure returns the error that poisoned the log tail (wrapping
+// ErrPoisoned and the device cause), or nil while the log is healthy.
+func (l *Log) WriteFailure() error {
+	if f := l.failure.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// Poisoned reports whether the log tail is poisoned (see ErrPoisoned).
+func (l *Log) Poisoned() bool { return l.failure.Load() != nil }
+
+// poison records the first unrecoverable flush error and notifies the
+// owner exactly once. Later flush give-ups are counted but keep the first
+// cause.
+func (l *Log) poison(err error) {
+	l.mx.flushFailures.Inc()
+	wrapped := fmt.Errorf("%w: %w", ErrPoisoned, err)
+	if !l.failure.CompareAndSwap(nil, &logFailure{err: wrapped}) {
+		return
+	}
+	if l.cfg.OnWriteFailure != nil {
+		l.cfg.OnWriteFailure(wrapped)
+	}
+}
+
 // pageOf returns the page number containing addr.
 func (l *Log) pageOf(addr Address) uint64 { return addr >> l.pageBits }
 
@@ -342,6 +420,12 @@ func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
 		if l.closed.Load() {
 			return InvalidAddress, ErrClosed
 		}
+		if err := l.WriteFailure(); err != nil {
+			// Poisoned tail: new records could never become durable, and
+			// eviction could never reclaim their frames. Fail fast so the
+			// store can degrade to read-only instead of hanging here.
+			return InvalidAddress, err
+		}
 		w := l.tailWord.Add(uint64(size))
 		page, off := unpack(w)
 		start := off - uint64(size)
@@ -360,7 +444,15 @@ func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
 			// so openPage is free to refresh the caller's epoch while
 			// it waits — a thread holding an old-page address across a
 			// refresh could otherwise race with the page's flush.
-			l.openPage(page+1, g)
+			if err := l.openPage(page+1, g); err != nil {
+				// The frame never became evictable (log closed or
+				// poisoned mid-wait). The tail word stays wedged past
+				// the page end on purpose: concurrent allocators spin
+				// on it, observe the closed/poisoned state below, and
+				// fail fast too. Reusing the frame here would overwrite
+				// an unflushed page that resident readers still need.
+				return InvalidAddress, err
+			}
 			// Any straddling space [start, pageSize) on the old page
 			// stays zero, which record scans recognise as padding.
 			// Allocate this request at the new page start.
@@ -390,6 +482,9 @@ func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
 			if l.closed.Load() {
 				return InvalidAddress, ErrClosed
 			}
+			if err := l.WriteFailure(); err != nil {
+				return InvalidAddress, err
+			}
 		}
 		l.mx.tailContention.Observe(time.Since(waitStart))
 	}
@@ -398,13 +493,13 @@ func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
 // openPage prepares the frame for newPage: advances the read-only and head
 // offsets if they lag (Alg 1 buffer_maintenance), waits until the target
 // frame is evictable, and claims it.
-func (l *Log) openPage(newPage uint64, g *epoch.Guard) {
+func (l *Log) openPage(newPage uint64, g *epoch.Guard) error {
 	if l.cfg.Mode == ModeInMemory {
 		if newPage >= uint64(len(l.memFrames)) {
 			panic("hlog: in-memory log exceeded MaxInMemoryPages")
 		}
 		l.memFrames[newPage].Store(newFrame(int(l.pageSize)))
-		return
+		return nil
 	}
 
 	// Advance the read-only offset to maintain its lag from the tail.
@@ -432,13 +527,20 @@ func (l *Log) openPage(newPage uint64, g *epoch.Guard) {
 				runtime.Gosched()
 			}
 			if l.closed.Load() {
-				return
+				return ErrClosed
+			}
+			if err := l.WriteFailure(); err != nil {
+				// The occupant page can never flush, so this frame can
+				// never be evicted: the wait would spin forever. Leave
+				// the frame untouched (resident readers still need it).
+				return err
 			}
 		}
 		l.mx.frameWait.Observe(time.Since(waitStart))
 	}
 	f.zero()
 	f.status.Store(frameOpen)
+	return nil
 }
 
 // maybeShiftReadOnly raises the read-only offset so it trails the new tail
@@ -513,7 +615,19 @@ func (l *Log) onSafeReadOnly(ro uint64) {
 }
 
 // issueFlush writes [from, to) to the device, splitting at page boundaries.
+//
+// A failed flush would lose data; the paper assumes reliable storage.
+// Completion is recorded only on success — eviction can never pass an
+// unflushed page — and failures are handled by classification: transient
+// errors retry with bounded exponential backoff and jitter so the
+// durability watermark is not wedged by one flaky write, while a
+// Permanent classification (or an exhausted attempt budget) poisons the
+// log tail so the store can degrade to read-only instead of retrying a
+// dead device every millisecond forever.
 func (l *Log) issueFlush(from, to uint64) {
+	if l.closed.Load() || l.Poisoned() {
+		return
+	}
 	for from < to {
 		page := l.pageOf(from)
 		pageEnd := (page + 1) << l.pageBits
@@ -522,13 +636,9 @@ func (l *Log) issueFlush(from, to uint64) {
 		off := from & (l.pageSize - 1)
 		buf := f.bytes[off : end-(page<<l.pageBits)]
 		start, stop := from, end
-		// A failed flush would lose data; the paper assumes reliable
-		// storage. Completion is recorded only on success — eviction can
-		// never pass an unflushed page — and transient failures retry
-		// with a small backoff so the durability watermark is not
-		// wedged forever by one bad write.
 		var attempt device.Callback
 		issued := time.Now()
+		failures := 0 // touched by one callback at a time (serial retries)
 		write := func() { l.dev.WriteAsync(buf, start, attempt) }
 		attempt = func(err error) {
 			if err == nil {
@@ -537,16 +647,56 @@ func (l *Log) issueFlush(from, to uint64) {
 				l.flushed.complete(start, stop)
 				return
 			}
-			if l.closed.Load() {
+			if l.closed.Load() || l.Poisoned() {
+				return
+			}
+			failures++
+			if l.classify.Classify(err) == retry.Permanent || failures >= l.cfg.Retry.Attempts() {
+				l.poison(fmt.Errorf("flush of [%#x,%#x): %w",
+					start, stop, retry.Exhausted(l.classify, err, failures)))
 				return
 			}
 			l.mx.flushRetries.Inc()
-			time.AfterFunc(time.Millisecond, write)
+			if l.cfg.OnFlushRetry != nil {
+				l.cfg.OnFlushRetry(failures, err)
+			}
+			l.scheduleRetry(l.cfg.Retry.Delay(failures), write)
 		}
 		l.mx.flushesIssued.Inc()
 		write()
 		from = end
 	}
+}
+
+// scheduleRetry re-issues a failed flush write after delay. The timer is
+// tracked so Close can cancel it: without the registry a permanently
+// failing device would keep firing retries into a closed log (the
+// pre-hardening AfterFunc leak).
+func (l *Log) scheduleRetry(delay time.Duration, write func()) {
+	l.retryMu.Lock()
+	defer l.retryMu.Unlock()
+	if l.closed.Load() {
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(delay, func() {
+		l.retryMu.Lock()
+		delete(l.retryTimers, t)
+		closed := l.closed.Load()
+		l.retryMu.Unlock()
+		if closed || l.Poisoned() {
+			return
+		}
+		write()
+	})
+	l.retryTimers[t] = struct{}{}
+}
+
+// retryTimerCount reports outstanding flush-retry timers (tests).
+func (l *Log) retryTimerCount() int {
+	l.retryMu.Lock()
+	defer l.retryMu.Unlock()
+	return len(l.retryTimers)
 }
 
 // maybeShiftHead raises the head offset toward desired, limited by the
@@ -603,6 +753,10 @@ func (l *Log) WaitUntilFlushed(addr Address) error {
 	for spins := 0; l.flushed.level() < addr; spins++ {
 		if l.closed.Load() {
 			return ErrClosed
+		}
+		if err := l.WriteFailure(); err != nil {
+			// The watermark can never reach addr: the flush path gave up.
+			return err
 		}
 		l.em.Drain()
 		if spins > 128 {
@@ -674,10 +828,17 @@ func (l *Log) Capacity() uint64 {
 }
 
 // Close flushes nothing and releases the log. In-flight device I/O is
-// allowed to finish; subsequent allocations fail.
+// allowed to finish; subsequent allocations fail. Outstanding flush-retry
+// timers are cancelled so nothing fires into the closed log.
 func (l *Log) Close() error {
 	if l.closed.Swap(true) {
 		return nil
 	}
+	l.retryMu.Lock()
+	for t := range l.retryTimers {
+		t.Stop()
+	}
+	clear(l.retryTimers)
+	l.retryMu.Unlock()
 	return l.dev.Sync()
 }

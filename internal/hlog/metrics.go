@@ -25,11 +25,17 @@ type Metrics struct {
 	// Flush and eviction activity.
 	FlushesIssued uint64
 	FlushRetries  uint64
+	FlushFailures uint64 // flush spans abandoned after the retry budget
 	FlushedBytes  uint64
 	FlushLatency  metrics.HistogramSnapshot
 	EvictedPages  uint64
 	ROShifts      uint64
 	HeadShifts    uint64
+
+	// Poisoned reports an unwritable log tail (see ErrPoisoned); Retry
+	// timers still pending are counted in RetryTimers.
+	Poisoned    bool
+	RetryTimers int
 
 	// Stall time distributions.
 	FrameWait      metrics.HistogramSnapshot // openPage blocked on eviction
@@ -66,11 +72,15 @@ func (l *Log) Metrics() Metrics {
 
 		FlushesIssued: l.mx.flushesIssued.Load(),
 		FlushRetries:  l.mx.flushRetries.Load(),
+		FlushFailures: l.mx.flushFailures.Load(),
 		FlushedBytes:  l.mx.flushedBytes.Load(),
 		FlushLatency:  l.mx.flushLatency.Snapshot(),
 		EvictedPages:  l.mx.evictedPages.Load(),
 		ROShifts:      l.mx.roShifts.Load(),
 		HeadShifts:    l.mx.headShifts.Load(),
+
+		Poisoned:    l.Poisoned(),
+		RetryTimers: l.retryTimerCount(),
 
 		FrameWait:      l.mx.frameWait.Snapshot(),
 		TailContention: l.mx.tailContention.Snapshot(),

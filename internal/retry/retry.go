@@ -1,0 +1,219 @@
+// Package retry is the store-wide failure-handling substrate: error
+// classification and bounded retry with exponential backoff and jitter.
+//
+// The FASTER paper assumes reliable storage (§5: eviction can never pass
+// an unflushed page), but a production store must survive the device
+// misbehaving. Every I/O path that can fail (hlog page flushes, pending
+// record reads, recovery scans) consults a Policy: transient errors are
+// retried a bounded number of times with growing, jittered delays;
+// permanent errors (and exhausted budgets) are surfaced immediately so the
+// store can degrade gracefully instead of busy-looping against a dead
+// device.
+//
+// The package is stdlib-only and dependency-free, like internal/metrics,
+// so every layer can import it.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Class partitions I/O errors by how the caller should react.
+type Class int
+
+const (
+	// Transient errors may succeed on retry (timeouts, injected flaky
+	// faults, spurious short reads). Unknown errors default to Transient:
+	// the bounded attempt budget keeps misclassification cheap.
+	Transient Class = iota
+	// Permanent errors will not be fixed by retrying (device gone, closed,
+	// out-of-range addressing). The caller should give up immediately and
+	// degrade.
+	Permanent
+)
+
+func (c Class) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classifier maps an error to its Class. A nil Classifier treats every
+// error as Transient.
+type Classifier func(error) Class
+
+// Classify applies c, defaulting to Transient for nil classifiers and nil
+// errors.
+func (c Classifier) Classify(err error) Class {
+	if err == nil || c == nil {
+		return Transient
+	}
+	return c(err)
+}
+
+// Policy bounds a retry loop. The zero value is usable and means "no
+// retries" (one attempt, fail on first error); use DefaultRead/DefaultWrite
+// for the store defaults.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Values below 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth. Zero means no cap.
+	MaxDelay time.Duration
+	// Multiplier scales the delay between consecutive retries; values
+	// below 1 mean 2 (plain exponential doubling).
+	Multiplier float64
+	// JitterFrac spreads each delay uniformly over ±JitterFrac of itself,
+	// decorrelating retry storms from many concurrent I/Os. Clamped to
+	// [0, 1].
+	JitterFrac float64
+}
+
+// DefaultRead is the store default for record-read paths: quick, short
+// retries — a pending operation is a user-visible latency.
+func DefaultRead() Policy {
+	return Policy{MaxAttempts: 4, BaseDelay: 100 * time.Microsecond, MaxDelay: 5 * time.Millisecond, Multiplier: 2, JitterFrac: 0.25}
+}
+
+// DefaultWrite is the store default for page-flush paths: more patient —
+// a failed flush wedges the durability watermark, so it is worth riding
+// out longer transient outages before poisoning the log tail.
+func DefaultWrite() Policy {
+	return Policy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 2, JitterFrac: 0.25}
+}
+
+// Attempts returns the normalized attempt budget (at least 1).
+func (p Policy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// jitterState is a process-wide xorshift state for jitter; a stateful PRNG
+// behind a single atomic is cheaper than seeding per call site and the
+// jitter needs no statistical quality beyond decorrelation.
+var jitterState atomic.Uint64
+
+func init() { jitterState.Store(uint64(time.Now().UnixNano()) | 1) }
+
+// nextRand returns a pseudo-random uint64 (xorshift64*).
+func nextRand() uint64 {
+	for {
+		old := jitterState.Load()
+		x := old
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		if jitterState.CompareAndSwap(old, x) {
+			return x * 0x2545F4914F6CDD1D
+		}
+	}
+}
+
+// Delay returns the backoff before retry number retryNo (1-based: the
+// delay between attempt retryNo and attempt retryNo+1), with jitter
+// applied.
+func (p Policy) Delay(retryNo int) time.Duration {
+	if retryNo < 1 {
+		retryNo = 1
+	}
+	d := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	for i := 1; i < retryNo; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	jf := p.JitterFrac
+	if jf < 0 {
+		jf = 0
+	}
+	if jf > 1 {
+		jf = 1
+	}
+	if jf > 0 && d > 0 {
+		// Uniform in [d*(1-jf), d*(1+jf)].
+		u := float64(nextRand()>>11) / float64(1<<53) // [0,1)
+		d = d * (1 - jf + 2*jf*u)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Budget combines err with the attempt count to decide whether another
+// try is allowed under the policy. attempt is 1-based (the attempt that
+// just failed).
+func (p Policy) Budget(classify Classifier, err error, attempt int) bool {
+	if err == nil {
+		return false
+	}
+	if classify.Classify(err) == Permanent {
+		return false
+	}
+	return attempt < p.Attempts()
+}
+
+// ExhaustedError wraps the final error of a retry loop with the attempt
+// count and class, preserving errors.Is/As on the cause.
+type ExhaustedError struct {
+	Attempts int
+	Class    Class
+	Err      error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("retry: gave up after %d attempt(s) (%v): %v", e.Attempts, e.Class, e.Err)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Exhausted wraps err as an ExhaustedError.
+func Exhausted(classify Classifier, err error, attempts int) error {
+	if err == nil {
+		return nil
+	}
+	return &ExhaustedError{Attempts: attempts, Class: classify.Classify(err), Err: err}
+}
+
+// IsExhausted reports whether err carries an ExhaustedError.
+func IsExhausted(err error) bool {
+	var e *ExhaustedError
+	return errors.As(err, &e)
+}
+
+// Do runs fn synchronously up to the policy's attempt budget, sleeping the
+// backoff between tries and stopping early on Permanent errors. It returns
+// nil on success, or the final error wrapped as an ExhaustedError.
+func (p Policy) Do(classify Classifier, fn func() error) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if !p.Budget(classify, err, attempt) {
+			return Exhausted(classify, err, attempt)
+		}
+		time.Sleep(p.Delay(attempt))
+	}
+}

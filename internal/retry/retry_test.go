@@ -1,0 +1,133 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var (
+	errFlaky = errors.New("flaky")
+	errDead  = errors.New("dead")
+)
+
+func classify(err error) Class {
+	if errors.Is(err, errDead) {
+		return Permanent
+	}
+	return Transient
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2}
+	prev := time.Duration(0)
+	for i := 1; i <= 6; i++ {
+		d := p.Delay(i)
+		if d < prev {
+			t.Fatalf("delay shrank: Delay(%d)=%v < %v", i, d, prev)
+		}
+		if d > 8*time.Millisecond {
+			t.Fatalf("Delay(%d)=%v exceeds cap", i, d)
+		}
+		prev = d
+	}
+	if p.Delay(6) != 8*time.Millisecond {
+		t.Fatalf("Delay(6)=%v, want cap 8ms", p.Delay(6))
+	}
+}
+
+func TestDelayJitterStaysInBounds(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, Multiplier: 2, JitterFrac: 0.5}
+	varied := false
+	first := p.Delay(1)
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1)
+		if d < 500*time.Microsecond || d > 1500*time.Microsecond {
+			t.Fatalf("jittered delay %v outside [0.5ms, 1.5ms]", d)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced identical delays 200 times")
+	}
+}
+
+func TestBudgetStopsOnPermanent(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	if p.Budget(classify, errDead, 1) {
+		t.Fatal("permanent error should not be retried")
+	}
+	if !p.Budget(classify, errFlaky, 1) {
+		t.Fatal("transient error within budget should be retried")
+	}
+	if p.Budget(classify, errFlaky, 5) {
+		t.Fatal("attempt 5 of 5 should exhaust the budget")
+	}
+	if p.Budget(classify, nil, 1) {
+		t.Fatal("nil error is success, not retryable")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(classify, func() error {
+		calls++
+		if calls < 3 {
+			return errFlaky
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoStopsEarlyOnPermanent(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(classify, func() error { calls++; return errDead })
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, errDead) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Class != Permanent || ex.Attempts != 1 {
+		t.Fatalf("wrong wrapper: %#v", err)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(classify, func() error { calls++; return errFlaky })
+	if calls != 3 {
+		t.Fatalf("budget of 3 made %d calls", calls)
+	}
+	if !IsExhausted(err) || !errors.Is(err, errFlaky) {
+		t.Fatalf("Do = %v, want exhausted wrapping errFlaky", err)
+	}
+}
+
+func TestZeroPolicyMeansOneAttempt(t *testing.T) {
+	var p Policy
+	if p.Attempts() != 1 {
+		t.Fatalf("zero policy attempts = %d, want 1", p.Attempts())
+	}
+	calls := 0
+	err := p.Do(nil, func() error { calls++; return errFlaky })
+	if calls != 1 || err == nil {
+		t.Fatalf("zero policy: %d calls, err=%v", calls, err)
+	}
+}
+
+func TestNilClassifierIsTransient(t *testing.T) {
+	var c Classifier
+	if c.Classify(errFlaky) != Transient {
+		t.Fatal("nil classifier must default to Transient")
+	}
+}

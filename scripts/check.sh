@@ -10,3 +10,7 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/...
+
+# Crash/torn-write torture matrix: fixed seeds, 100 crash points, race
+# detector on (the fault-domain hardening acceptance gate).
+FASTER_TORTURE_POINTS=100 go test -race -run TestCrashRecoveryTorture -count=1 ./internal/faster/
