@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race torture check bench fmt
+.PHONY: build test race torture soak check bench fmt
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ race:
 torture:
 	FASTER_TORTURE_POINTS=$${FASTER_TORTURE_POINTS:-100} \
 		$(GO) test -race -run TestCrashRecoveryTorture -count=1 ./internal/faster/
+
+# Seeded server chaos soak: overload shedding, read-only degradation, and
+# graceful drain against the RESP front-end under the race detector, with
+# goroutine-leak assertions.
+soak:
+	$(GO) test -race -run TestServerChaosSoak -count=1 -v ./internal/server/
 
 check:
 	./scripts/check.sh

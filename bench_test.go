@@ -363,6 +363,29 @@ func BenchmarkRedcachePipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkFasterServerPipeline is the FASTER half of §7.2.4: the same
+// pipelined loopback workload as BenchmarkRedcachePipeline, driven
+// against the faster-server RESP front-end instead of the Redis
+// stand-in. Compare the two side by side to see how much of the gap the
+// network stack erases at depth 1 and how batching reopens it.
+func BenchmarkFasterServerPipeline(b *testing.B) {
+	var buf nullWriter
+	for _, depth := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			o := bench.Options{Keys: benchKeys, Duration: time.Duration(b.N) * 20 * time.Microsecond, Out: buf, Seed: benchSeed}
+			if o.Duration < 50*time.Millisecond {
+				o.Duration = 50 * time.Millisecond
+			}
+			rows, err := bench.NetPipeline(o, 4, []int{depth})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rows[0].GetsPerS, "gets/s")
+			b.ReportMetric(rows[0].SetsPerS, "sets/s")
+		})
+	}
+}
+
 // BenchmarkLogWriteBandwidth is the §7.3 closing measurement: sequential
 // log write bandwidth under a blind-update workload with a mostly
 // read-only region.

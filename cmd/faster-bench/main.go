@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "experiment: 8, 9a, 9b, 10, 11, 12, 13, tag, redis, bw, all")
+		fig      = flag.String("fig", "all", "experiment: 8, 9a, 9b, 10, 11, 12, 13, tag, redis, net, netvs, bw, all")
 		keys     = flag.Uint64("keys", 100_000, "dataset size in keys (paper: 250M)")
 		duration = flag.Duration("duration", 2*time.Second, "measurement window per cell (paper: 30s)")
 		threads  = flag.Int("threads", 0, "max threads (default 2*GOMAXPROCS; paper: 56)")
@@ -58,5 +58,11 @@ func main() {
 	run("13", func() error { _, err := bench.Fig13(o); return err })
 	run("tag", func() error { _, err := bench.TagAblation(o); return err })
 	run("redis", func() error { _, err := bench.RedisPipeline(o, 10, nil); return err })
+	run("net", func() error { _, err := bench.NetPipeline(o, 10, nil); return err })
+	// netvs reruns both halves to print the ratio table, so it is
+	// explicit-only: "all" already covers redis and net separately.
+	if *fig == "netvs" {
+		run("netvs", func() error { return bench.NetVsRedis(o, 10, nil) })
+	}
 	run("bw", func() error { _, err := bench.LogBandwidth(o); return err })
 }

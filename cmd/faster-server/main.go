@@ -1,0 +1,176 @@
+// Command faster-server serves a FASTER store over RESP2 TCP — the
+// network front-end with overload robustness (connection caps, bounded
+// admission, deadlines, health-aware shedding, graceful drain).
+//
+// Speak to it with any Redis client or redis-cli:
+//
+//	faster-server -addr :6379 -admin :8080
+//	redis-cli -p 6379 SET greeting hello
+//	redis-cli -p 6379 GET greeting
+//	curl localhost:8080/healthz
+//
+// Supported commands: GET, SET, DEL, INCRBY, PING, ECHO, QUIT. Under
+// overload the server replies -OVERLOADED instead of queueing; with the
+// store degraded to read-only, writes get -READONLY while reads keep
+// serving. SIGINT/SIGTERM trigger a graceful drain: accepting stops,
+// in-flight commands finish under -drain-timeout, and (with -checkpoint)
+// a final checkpoint is taken.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:6379", "RESP listen address")
+		admin = flag.String("admin", "", "admin HTTP address for /healthz and /metrics (empty: disabled)")
+
+		dataDir = flag.String("data", "", "data directory for the log device (empty: in-memory device)")
+		doRecov = flag.Bool("recover", false, "recover from the newest checkpoint in -data/checkpoints before serving")
+		doCkpt  = flag.Bool("checkpoint", false, "take a final checkpoint into -data/checkpoints during graceful drain")
+
+		indexBuckets = flag.Uint64("index-buckets", 1<<16, "initial hash-index buckets")
+		pageBits     = flag.Uint("page-bits", 22, "log page size as a power of two")
+		bufferPages  = flag.Int("buffer-pages", 32, "in-memory log buffer pages")
+
+		sessions  = flag.Int("sessions", 16, "FASTER session-pool size")
+		maxConns  = flag.Int("max-conns", 256, "connection cap (excess shed with -OVERLOADED)")
+		maxInFl   = flag.Int("max-inflight", 0, "in-flight command cap (default 4*sessions)")
+		idleTO    = flag.Duration("idle-timeout", 5*time.Minute, "per-connection idle timeout")
+		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
+		maxValue  = flag.Int("max-value-bytes", 512<<10, "largest accepted SET value")
+		ioWorkers = flag.Int("io-workers", 4, "device I/O workers for the file device")
+	)
+	flag.Parse()
+
+	if (*doRecov || *doCkpt) && *dataDir == "" {
+		fatal("-recover/-checkpoint require -data")
+	}
+
+	// Device: file-backed under -data, else a process-lifetime Mem device
+	// (useful for benchmarking the network path without a disk).
+	var dev device.Device
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			fatal("create data dir: %v", err)
+		}
+		f, err := device.OpenFile(filepath.Join(*dataDir, "hlog"), *ioWorkers)
+		if err != nil {
+			fatal("open log device: %v", err)
+		}
+		dev = f
+	} else {
+		dev = device.NewMem(device.MemConfig{})
+	}
+	defer dev.Close()
+
+	cfg := faster.Config{
+		Ops:          faster.VarLenOps{},
+		IndexBuckets: *indexBuckets,
+		PageBits:     *pageBits,
+		BufferPages:  *bufferPages,
+		Device:       dev,
+		MaxSessions:  *sessions + 8, // pool + admin/recovery headroom
+	}
+
+	var ckptDir string
+	if *dataDir != "" {
+		ckptDir = filepath.Join(*dataDir, "checkpoints")
+	}
+
+	var store *faster.Store
+	var err error
+	if *doRecov {
+		store, err = faster.Recover(cfg, ckptDir)
+		if err != nil {
+			fatal("recover: %v", err)
+		}
+		fmt.Printf("faster-server: recovered from %s\n", ckptDir)
+	} else {
+		store, err = faster.Open(cfg)
+		if err != nil {
+			fatal("open store: %v", err)
+		}
+	}
+	defer store.Close()
+
+	scfg := server.Config{
+		MaxConns:     *maxConns,
+		MaxInFlight:  *maxInFl,
+		Sessions:     *sessions,
+		IdleTimeout:  *idleTO,
+		DrainTimeout: *drainTO,
+		MaxValueBytes: func() int {
+			if *maxValue > 0 {
+				return *maxValue
+			}
+			return 512 << 10
+		}(),
+	}
+	if *doCkpt {
+		scfg.CheckpointDir = ckptDir
+	}
+
+	srv, err := server.ListenAndServe(store, *addr, scfg)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	inflight := scfg.MaxInFlight
+	if inflight <= 0 {
+		inflight = 4 * *sessions
+	}
+	fmt.Printf("faster-server: serving RESP on %s (sessions=%d conns<=%d inflight<=%d)\n",
+		srv.Addr(), *sessions, *maxConns, inflight)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminSrv = &http.Server{Addr: *admin, Handler: srv.AdminHandler()}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "faster-server: admin: %v\n", err)
+			}
+		}()
+		fmt.Printf("faster-server: admin on %s (/healthz, /metrics)\n", *admin)
+	}
+
+	// Graceful drain on SIGINT/SIGTERM: stop accepting, finish in-flight
+	// work under the deadline, optionally checkpoint, then exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("faster-server: %v: draining (deadline %v)\n", got, *drainTO)
+
+	start := time.Now()
+	drainErr := srv.Close()
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "faster-server: drain: %v\n", drainErr)
+		store.Close()
+		os.Exit(1)
+	}
+	if err := store.Close(); err != nil {
+		fatal("close store: %v", err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("faster-server: drained in %v (%d commands served, %d sheds, %d evictions)\n",
+		time.Since(start).Round(time.Millisecond), m.Commands, m.OverloadSheds, m.DeadlineEvictions)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "faster-server: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"sync"
 	"testing"
+
+	"repro/internal/resp"
 )
 
 func startServer(t *testing.T) *Server {
@@ -185,4 +187,35 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// TestRESPInterop drives the server with a raw RESP client: the baseline
+// and the FASTER front-end share one wire protocol, so generic RESP
+// tooling must work against both.
+func TestRESPInterop(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rc, err := resp.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	key := make([]byte, 8)
+	binary.LittleEndian.PutUint64(key, 99)
+	if v, err := rc.Do([]byte("SET"), key, []byte("val")); err != nil || v.Kind != resp.SimpleString {
+		t.Fatalf("SET = %+v, %v", v, err)
+	}
+	if v, err := rc.Do([]byte("GET"), key); err != nil || string(v.Str) != "val" {
+		t.Fatalf("GET = %+v, %v", v, err)
+	}
+	if v, err := rc.Do([]byte("FLUSHALL")); err != nil || !v.IsError() {
+		t.Fatalf("unknown command = %+v, %v", v, err)
+	}
+	if v, err := rc.Do([]byte("GET"), []byte("short")); err != nil || !v.IsError() {
+		t.Fatalf("bad key width = %+v, %v", v, err)
+	}
 }

@@ -201,3 +201,21 @@ func TestRedisPipelineSmoke(t *testing.T) {
 			rows[1].GetsPerS, rows[0].GetsPerS)
 	}
 }
+
+func TestNetPipelineSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Duration = 20 * time.Millisecond
+	rows, err := NetPipeline(o, 2, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SetsPerS <= 0 || r.GetsPerS <= 0 {
+			t.Fatalf("zero throughput at depth %d: %+v", r.Pipeline, r)
+		}
+	}
+}

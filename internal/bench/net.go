@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+	"repro/internal/resp"
+	"repro/internal/server"
+)
+
+// NetPipeline is the FASTER half of the §7.2.4 comparison: the same
+// pipelined loopback workload that RedisPipeline drives against redcache,
+// here driven against the faster-server RESP front-end (internal/server)
+// over a memory-device store. Reading the two tables side by side shows
+// how much of redcache's throughput gap survives once FASTER is put
+// behind the identical network stack — per the paper, the answer at
+// depth 1 is "the network dominates both", and the gap reopens as
+// batching amortises the syscalls.
+func NetPipeline(o Options, clients int, depths []int) ([]RedisRow, error) {
+	o.defaults()
+	if clients == 0 {
+		clients = 10 // redis-benchmark -c 10, as in the paper
+	}
+	if len(depths) == 0 {
+		depths = []int{1, 10, 50, 100, 200}
+	}
+
+	dev := device.NewMem(device.MemConfig{})
+	store, err := faster.Open(faster.Config{
+		Ops:          faster.VarLenOps{},
+		IndexBuckets: 1 << 14,
+		PageBits:     22,
+		BufferPages:  32,
+		Device:       dev,
+		MaxSessions:  clients + 8,
+	})
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	defer dev.Close()
+	defer store.Close()
+
+	srv, err := server.ListenAndServe(store, "127.0.0.1:0", server.Config{
+		Sessions:    clients,
+		MaxInFlight: 2 * clients,
+		// The sweep is throughput-bound, not robustness-bound: a shed
+		// would silently deflate a row, so size admission above the
+		// offered load and let deadlines stay at their defaults.
+		MaxConns: 2 * clients,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	var rows []RedisRow
+	fmt.Fprintf(o.Out, "\n--- §7.2.4 faster-server pipelining (clients=%d, keys=%d) ---\n", clients, o.Keys)
+	for _, depth := range depths {
+		sets, err := netPhase(srv.Addr(), clients, depth, o, false)
+		if err != nil {
+			return nil, err
+		}
+		gets, err := netPhase(srv.Addr(), clients, depth, o, true)
+		if err != nil {
+			return nil, err
+		}
+		row := RedisRow{Pipeline: depth, SetsPerS: sets, GetsPerS: gets}
+		rows = append(rows, row)
+		fmt.Fprintf(o.Out, "pipeline=%-4d  %10.0f sets/s  %10.0f gets/s\n", depth, sets, gets)
+	}
+	if m := srv.Metrics(); m.OverloadSheds > 0 || m.DeadlineEvictions > 0 {
+		fmt.Fprintf(o.Out, "WARNING: server shed load during sweep (%d sheds, %d evictions); rows understate throughput\n",
+			m.OverloadSheds, m.DeadlineEvictions)
+	}
+	return rows, nil
+}
+
+// NetVsRedis runs both halves of §7.2.4 back to back and prints the
+// ratio table: FASTER-over-TCP throughput relative to redcache at each
+// pipeline depth.
+func NetVsRedis(o Options, clients int, depths []int) error {
+	o.defaults()
+	if len(depths) == 0 {
+		depths = []int{1, 10, 50, 100, 200}
+	}
+	redis, err := RedisPipeline(o, clients, depths)
+	if err != nil {
+		return err
+	}
+	net, err := NetPipeline(o, clients, depths)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "\n--- §7.2.4 faster-server / redcache throughput ratio ---\n")
+	for i := range depths {
+		fmt.Fprintf(o.Out, "pipeline=%-4d  %6.2fx sets  %6.2fx gets\n",
+			depths[i], ratio(net[i].SetsPerS, redis[i].SetsPerS), ratio(net[i].GetsPerS, redis[i].GetsPerS))
+	}
+	return nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// netPhase mirrors redisPhase: `clients` goroutines issuing fixed-depth
+// pipelined batches against a RESP address until the measurement window
+// closes, returning ops/sec. It uses the shared internal/resp client so
+// both systems pay the same protocol cost.
+func netPhase(addr string, clients, depth int, o Options, get bool) (float64, error) {
+	var (
+		wg    sync.WaitGroup
+		total uint64
+		mu    sync.Mutex
+		errs  []error
+	)
+	setCmd, getCmd := []byte("SET"), []byte("GET")
+	val := []byte("8bytes!!")
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := resp.Dial(addr)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			cl.Timeout = 30 * time.Second
+			cmds := make([][][]byte, depth)
+			keys := make([][]byte, depth) // reused buffers, one per slot
+			var done uint64
+			k := uint64(id)
+			for time.Now().Before(deadline) {
+				for i := range cmds {
+					keys[i] = strconv.AppendUint(keys[i][:0], k%o.Keys, 10)
+					if get {
+						cmds[i] = [][]byte{getCmd, keys[i]}
+					} else {
+						cmds[i] = [][]byte{setCmd, keys[i], val}
+					}
+					k += 7919
+				}
+				replies, err := cl.Pipeline(cmds)
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				for _, r := range replies {
+					if r.IsError() {
+						mu.Lock()
+						errs = append(errs, fmt.Errorf("server error reply: %s", r.Str))
+						mu.Unlock()
+						return
+					}
+				}
+				done += uint64(depth)
+			}
+			mu.Lock()
+			total += done
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return 0, errs[0]
+	}
+	return float64(total) / time.Since(start).Seconds(), nil
+}

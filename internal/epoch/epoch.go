@@ -155,6 +155,27 @@ func (g *Guard) Refresh() {
 	}
 }
 
+// parkedEpoch is the sentinel a parked guard publishes: distinct from
+// Unprotected (so Acquire cannot steal the slot) and high enough that
+// computeSafeAndDrain never treats it as pinning an epoch.
+const parkedEpoch = math.MaxUint64
+
+// Park keeps the guard's slot reserved but stops pinning any epoch, and
+// then attempts a drain so actions this thread was blocking can run.
+// A parked thread holds no protection whatsoever: it must not touch any
+// epoch-protected memory until it calls Unpark. Park is what lets a
+// session pool hold idle sessions without stalling flushes, evictions
+// and safe-read-only advancement for everyone else.
+func (g *Guard) Park() {
+	g.m.table[g.slot].localEpoch.Store(parkedEpoch)
+	if g.m.drainCnt.Load() > 0 {
+		g.m.computeSafeAndDrain(g.m.current.Load())
+	}
+}
+
+// Unpark rejoins the current epoch after a Park.
+func (g *Guard) Unpark() { g.Refresh() }
+
 // Epoch returns the epoch currently published by this guard.
 func (g *Guard) Epoch() uint64 { return g.m.table[g.slot].localEpoch.Load() }
 

@@ -99,6 +99,60 @@ func TestTriggerActionRunsOnRelease(t *testing.T) {
 	}
 }
 
+func TestParkStopsPinning(t *testing.T) {
+	m := New(4)
+	idle := m.Acquire()
+	active := m.Acquire()
+
+	// An idle (but registered) thread blocks trigger actions...
+	var ran atomic.Bool
+	m.BumpWith(func() { ran.Store(true) })
+	active.Refresh()
+	if ran.Load() {
+		t.Fatal("action ran while the idle thread pinned its epoch")
+	}
+
+	// ...until it parks: parked threads pin nothing.
+	idle.Park()
+	active.Refresh()
+	if !ran.Load() {
+		t.Fatal("action did not run after the idle thread parked")
+	}
+
+	// A parked slot is still reserved: new acquires must not steal it.
+	others := make([]*Guard, 0, 2)
+	for i := 0; i < 2; i++ {
+		others = append(others, m.Acquire())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("acquire beyond capacity did not panic: parked slot was stolen")
+			}
+		}()
+		m.Acquire()
+	}()
+	for _, g := range others {
+		g.Release()
+	}
+
+	// Unpark rejoins the current epoch and pins again.
+	idle.Unpark()
+	var ran2 atomic.Bool
+	m.BumpWith(func() { ran2.Store(true) })
+	active.Refresh()
+	if ran2.Load() {
+		t.Fatal("action ran while the unparked thread lagged")
+	}
+	idle.Refresh()
+	if !ran2.Load() {
+		t.Fatal("action did not run after the unparked thread refreshed")
+	}
+
+	idle.Release()
+	active.Release()
+}
+
 func TestActionsRunExactlyOnce(t *testing.T) {
 	m := New(8)
 	var count atomic.Int64

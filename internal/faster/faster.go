@@ -227,6 +227,11 @@ func Open(cfg Config) (*Store, error) {
 // Log exposes the underlying HybridLog (log analytics, experiments).
 func (s *Store) Log() *hlog.Log { return s.log }
 
+// MaxSessions returns the configured session cap (epoch-table slots).
+// Callers that pool sessions — the network front-end — size their pools
+// against this so StartSession can never exhaust the epoch table.
+func (s *Store) MaxSessions() int { return s.cfg.MaxSessions }
+
 // Index exposes the underlying hash index (experiments, tests).
 func (s *Store) Index() *index.Index { return s.idx }
 

@@ -59,6 +59,17 @@ func (sess *Session) Close() error {
 // Refresh publishes the session into the current epoch immediately.
 func (sess *Session) Refresh() { sess.g.Refresh() }
 
+// Park marks the session idle: its epoch-table slot stays reserved, but
+// it stops pinning the safe epoch, so log flushes, evictions and
+// safe-read-only advancement keep making progress while the session
+// waits in a pool. The caller must have drained all pending operations
+// first and must call Unpark before issuing the next operation — a
+// parked session holds no epoch protection.
+func (sess *Session) Park() { sess.g.Park() }
+
+// Unpark rejoins the current epoch after a Park.
+func (sess *Session) Unpark() { sess.g.Unpark() }
+
 // FuzzyOps returns (fuzzy, total) operation counts for this session.
 func (sess *Session) FuzzyOps() (fuzzy, total uint64) {
 	return sess.fuzzyOps, sess.totalOps

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/retry"
+	"repro/internal/testutil"
 )
 
 // Crash/torn-write torture harness.
@@ -56,6 +57,10 @@ func tortureTotalPoints(t *testing.T) int {
 }
 
 func TestCrashRecoveryTorture(t *testing.T) {
+	// Every store, session and device in the matrix must be fully torn
+	// down by the end: a drain that strands a flush-retry timer or a
+	// device callback goroutine is as much a failure as lost data.
+	testutil.CheckGoroutines(t)
 	seeds := []int64{0x5EED0001, 0x5EED0002, 0x5EED0003, 0x5EED0004}
 	perSeed := (tortureTotalPoints(t) + len(seeds) - 1) / len(seeds)
 

@@ -1,0 +1,140 @@
+package faster
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// VarLenOps is the operation set behind the network front-end
+// (internal/server): variable-length opaque values with an
+// INCRBY-flavoured RMW.
+//
+// Record allocations are sized by the caller, so a variable-length value
+// carries its own length: every stored value is framed as
+//
+//	[8-byte LE payload length][payload bytes]
+//
+// The 8-byte header keeps the payload 8-aligned (value slices are always
+// 8-aligned), which lets the counter fast path use sync/atomic. Callers
+// frame with VarLenEncode before Upsert and decode reads with
+// VarLenDecode.
+//
+// RMW treats the value as a signed 64-bit counter and the 8-byte LE
+// input as a delta:
+//
+//   - absent key: the counter is created holding the delta;
+//   - 8-byte payload: the delta is added, in place when possible
+//     (fetch-and-add, full concurrency) or via copy-update when the
+//     record is sealed or read-only;
+//   - any other payload length: the value is not a counter; the RMW
+//     resets it to a counter holding the delta. Redis would error here —
+//     ValueOps has no error channel, so the front-end pre-checks the
+//     type and rejects non-counter INCRBY before issuing the RMW (a
+//     concurrent SET can still race the check; the reset keeps that race
+//     well-defined).
+//
+// In-place upserts accept any new framed value that fits the existing
+// allocation (header included), so shrinking values update in place and
+// growing values fall back to RCU, exactly the Table 1 regime. As with
+// BlobOps, concurrent access is torn only at 8-byte-word granularity; a
+// reader may observe a mix of two complete writes, never a torn word.
+type VarLenOps struct{}
+
+var _ ValueOps = VarLenOps{}
+
+// varLenHeader is the frame header size.
+const varLenHeader = 8
+
+// VarLenEncode frames payload for storage: [8-byte LE length][payload].
+func VarLenEncode(payload []byte) []byte {
+	buf := make([]byte, varLenHeader+len(payload))
+	binary.LittleEndian.PutUint64(buf, uint64(len(payload)))
+	copy(buf[varLenHeader:], payload)
+	return buf
+}
+
+// VarLenDecode extracts the payload from a framed value previously read
+// into buf (which may be longer than the frame: read output buffers are
+// sized for the largest value). ok is false if the buffer is too short
+// or the header is inconsistent — a truncated read of an oversized
+// value.
+func VarLenDecode(buf []byte) (payload []byte, ok bool) {
+	if len(buf) < varLenHeader {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	if n > uint64(len(buf)-varLenHeader) {
+		return nil, false
+	}
+	return buf[varLenHeader : varLenHeader+n], true
+}
+
+// VarLenCounter decodes a framed counter value. ok is false when the
+// value is not an 8-byte counter payload.
+func VarLenCounter(buf []byte) (int64, bool) {
+	p, ok := VarLenDecode(buf)
+	if !ok || len(p) != 8 {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(p)), true
+}
+
+// frameLen reads the frame header of a live record value atomically (an
+// in-place upsert may be rewriting it concurrently).
+func frameLen(value []byte) uint64 {
+	return atomic.LoadUint64(AtomicU64(value))
+}
+
+// SingleReader implements ValueOps: exclusive copy of the frame.
+func (VarLenOps) SingleReader(_, value, _, output []byte) { copy(output, value) }
+
+// ConcurrentReader implements ValueOps: wordwise-atomic copy.
+func (VarLenOps) ConcurrentReader(_, value, _, output []byte) { readWordsAtomic(output, value) }
+
+// SingleWriter implements ValueOps: src is already framed.
+func (VarLenOps) SingleWriter(_, dst, src []byte) { copy(dst, src) }
+
+// ConcurrentWriter implements ValueOps: in-place when the framed src fits
+// the existing allocation, declining (RCU) otherwise.
+func (VarLenOps) ConcurrentWriter(_, dst, src []byte) bool {
+	if len(src) > len(dst) {
+		return false
+	}
+	copyWordsAtomic(dst, src)
+	return true
+}
+
+// InitialUpdater implements ValueOps: an RMW insert creates a counter
+// holding the delta.
+func (VarLenOps) InitialUpdater(_, value, input []byte) {
+	binary.LittleEndian.PutUint64(value, 8)
+	copy(value[varLenHeader:], input[:8])
+}
+
+// InPlaceUpdater implements ValueOps: fetch-and-add on a counter payload;
+// non-counter payloads decline to the sealed copy-update path.
+func (VarLenOps) InPlaceUpdater(_, value, input []byte) bool {
+	if len(value) < varLenHeader+8 || frameLen(value) != 8 {
+		return false
+	}
+	atomic.AddUint64(AtomicU64(value[varLenHeader:]), binary.LittleEndian.Uint64(input))
+	return true
+}
+
+// CopyUpdater implements ValueOps: counter += delta, or reset to the
+// delta when the old value was not a counter.
+func (VarLenOps) CopyUpdater(_, oldValue, newValue, input []byte) {
+	delta := binary.LittleEndian.Uint64(input)
+	var old uint64
+	if p, ok := VarLenDecode(oldValue); ok && len(p) == 8 {
+		old = binary.LittleEndian.Uint64(p)
+	}
+	binary.LittleEndian.PutUint64(newValue, 8)
+	binary.LittleEndian.PutUint64(newValue[varLenHeader:], old+delta)
+}
+
+// InitialValueLen implements ValueOps: header + 8-byte counter.
+func (VarLenOps) InitialValueLen(_, _ []byte) int { return varLenHeader + 8 }
+
+// CopyValueLen implements ValueOps: the updated value is always a counter.
+func (VarLenOps) CopyValueLen(_, _, _ []byte) int { return varLenHeader + 8 }

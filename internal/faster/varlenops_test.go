@@ -1,0 +1,184 @@
+package faster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func varLenStore(t *testing.T) *Store {
+	t.Helper()
+	dev := device.NewMem(device.MemConfig{})
+	s, err := Open(Config{
+		Ops: VarLenOps{}, IndexBuckets: 1 << 10,
+		PageBits: 14, BufferPages: 16, MutableFraction: 0.75,
+		Device: dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); dev.Close() })
+	return s
+}
+
+func delta(d int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(d))
+	return b
+}
+
+func TestVarLenEncodeDecode(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), []byte("hello world"), bytes.Repeat([]byte{7}, 100)} {
+		buf := VarLenEncode(payload)
+		// Decode from an oversized buffer, as reads do.
+		big := make([]byte, len(buf)+32)
+		copy(big, buf)
+		got, ok := VarLenDecode(big)
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("decode(%q) = %q, %v", payload, got, ok)
+		}
+	}
+	// Truncated / inconsistent frames must fail closed.
+	if _, ok := VarLenDecode([]byte{1, 2, 3}); ok {
+		t.Fatal("short buffer decoded")
+	}
+	if _, ok := VarLenDecode(VarLenEncode(make([]byte, 64))[:32]); ok {
+		t.Fatal("truncated frame decoded")
+	}
+}
+
+func TestVarLenUpsertReadDelete(t *testing.T) {
+	s := varLenStore(t)
+	sess := s.StartSession()
+	defer sess.Close()
+	out := make([]byte, varLenHeader+256)
+
+	for i, val := range []string{"short", "a considerably longer value", ""} {
+		key := []byte(fmt.Sprintf("k%d", i))
+		if st, err := sess.Upsert(key, VarLenEncode([]byte(val))); st != OK || err != nil {
+			t.Fatalf("upsert: %v %v", st, err)
+		}
+		st, err := sess.Read(key, nil, out, nil)
+		if st != OK || err != nil {
+			t.Fatalf("read: %v %v", st, err)
+		}
+		got, ok := VarLenDecode(out)
+		if !ok || string(got) != val {
+			t.Fatalf("read %q = %q (%v)", key, got, ok)
+		}
+	}
+
+	// Overwrite with a shorter value (in place) and a longer one (RCU).
+	key := []byte("k0")
+	for _, val := range []string{"s", "much much much longer than before, forcing an RCU append"} {
+		if st, err := sess.Upsert(key, VarLenEncode([]byte(val))); st != OK || err != nil {
+			t.Fatalf("overwrite: %v %v", st, err)
+		}
+		if st, _ := sess.Read(key, nil, out, nil); st != OK {
+			t.Fatalf("read after overwrite: %v", st)
+		}
+		if got, ok := VarLenDecode(out); !ok || string(got) != val {
+			t.Fatalf("overwrite read = %q (%v)", got, ok)
+		}
+	}
+
+	if st, err := sess.Delete(key); st != OK || err != nil {
+		t.Fatalf("delete: %v %v", st, err)
+	}
+	if st, _ := sess.Read(key, nil, out, nil); st != NotFound {
+		t.Fatalf("read after delete = %v, want NotFound", st)
+	}
+}
+
+func TestVarLenCounterRMW(t *testing.T) {
+	s := varLenStore(t)
+	sess := s.StartSession()
+	defer sess.Close()
+	key := []byte("ctr")
+	out := make([]byte, varLenHeader+8)
+
+	// Insert via RMW, then accumulate.
+	for i, d := range []int64{5, 10, -3} {
+		if st, err := sess.RMW(key, delta(d), nil); st != OK || err != nil {
+			t.Fatalf("rmw %d: %v %v", i, st, err)
+		}
+	}
+	if st, _ := sess.Read(key, nil, out, nil); st != OK {
+		t.Fatal("read counter")
+	}
+	if n, ok := VarLenCounter(out); !ok || n != 12 {
+		t.Fatalf("counter = %d (%v), want 12", n, ok)
+	}
+
+	// RMW over a non-counter value resets it to the delta.
+	if st, _ := sess.Upsert(key, VarLenEncode([]byte("not a number"))); st != OK {
+		t.Fatal("upsert blob")
+	}
+	if n, ok := VarLenCounter(VarLenEncode([]byte("not a number"))); ok {
+		t.Fatalf("non-counter decoded as %d", n)
+	}
+	if st, err := sess.RMW(key, delta(7), nil); st != OK || err != nil {
+		t.Fatalf("rmw over blob: %v %v", st, err)
+	}
+	if st, _ := sess.Read(key, nil, out, nil); st != OK {
+		t.Fatal("read reset counter")
+	}
+	if n, ok := VarLenCounter(out); !ok || n != 7 {
+		t.Fatalf("reset counter = %d (%v), want 7", n, ok)
+	}
+}
+
+func TestVarLenConcurrentCounters(t *testing.T) {
+	s := varLenStore(t)
+	const (
+		workers = 8
+		perW    = 2000
+		keys    = 4
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sess := s.StartSession()
+			defer sess.Close()
+			for i := 0; i < perW; i++ {
+				key := []byte(fmt.Sprintf("c%d", i%keys))
+				if st, err := sess.RMW(key, delta(1), nil); st == Pending {
+					sess.CompletePending(true)
+				} else if st != OK || err != nil {
+					panic(fmt.Sprintf("rmw: %v %v", st, err))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sess := s.StartSession()
+	defer sess.Close()
+	out := make([]byte, varLenHeader+8)
+	var total int64
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("c%d", i))
+		st, err := sess.Read(key, nil, out, nil)
+		if st == Pending {
+			for _, r := range sess.CompletePending(true) {
+				st, err = r.Status, r.Err
+			}
+		}
+		if st != OK || err != nil {
+			t.Fatalf("read %q: %v %v", key, st, err)
+		}
+		n, ok := VarLenCounter(out)
+		if !ok {
+			t.Fatalf("key %q is not a counter", key)
+		}
+		total += n
+	}
+	if total != workers*perW {
+		t.Fatalf("total = %d, want %d", total, workers*perW)
+	}
+}

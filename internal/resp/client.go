@@ -1,0 +1,83 @@
+package resp
+
+import (
+	"net"
+	"time"
+)
+
+// Client is a pipelining RESP client connection: write any number of
+// commands, flush once, then read the replies in order. It is the shared
+// transport for the §7.2.4 loopback benchmarks against both redcache and
+// the FASTER front-end. A Client is not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	r    *Reader
+	w    *Writer
+
+	// Timeout, when nonzero, bounds each batch: it is applied as a read
+	// and write deadline around Pipeline and Do.
+	Timeout time.Duration
+}
+
+// Dial connects to a RESP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: NewReader(conn), w: NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Conn exposes the underlying connection (tests kill it mid-pipeline).
+func (c *Client) Conn() net.Conn { return c.conn }
+
+func (c *Client) deadline() error {
+	if c.Timeout <= 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.Timeout))
+}
+
+// Pipeline sends all commands in one flush and reads one reply per
+// command — the batching whose depth §7.2.4 sweeps from 1 to 200. Error
+// replies are returned as Values (check Value.IsError), not Go errors;
+// only transport or protocol failures error.
+func (c *Client) Pipeline(cmds [][][]byte) ([]Value, error) {
+	if err := c.deadline(); err != nil {
+		return nil, err
+	}
+	for _, cmd := range cmds {
+		if err := c.w.WriteCommand(cmd...); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]Value, len(cmds))
+	for i := range out {
+		v, err := c.r.ReadReply()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Do sends one command and reads its reply.
+func (c *Client) Do(args ...[]byte) (Value, error) {
+	vs, err := c.Pipeline([][][]byte{args})
+	if err != nil {
+		return Value{}, err
+	}
+	return vs[0], nil
+}

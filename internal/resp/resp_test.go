@@ -1,0 +1,211 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+func reader(s string) *Reader { return NewReader(strings.NewReader(s)) }
+
+func TestReadCommandArray(t *testing.T) {
+	r := reader("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n")
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("SET"), []byte("k"), []byte("hello")}
+	if len(args) != len(want) {
+		t.Fatalf("args = %d, want %d", len(args), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(args[i], want[i]) {
+			t.Fatalf("arg %d = %q, want %q", i, args[i], want[i])
+		}
+	}
+	if _, err := r.ReadCommand(); err != io.EOF {
+		t.Fatalf("second read err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadCommandBinarySafe(t *testing.T) {
+	// Keys with embedded CR/LF/NUL must round-trip: bulk strings are
+	// length-prefixed, not delimiter-framed.
+	key := []byte{0x00, '\r', '\n', 0xff, 'k'}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteCommand([]byte("GET"), key); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	args, err := NewReader(&buf).ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(args[1], key) {
+		t.Fatalf("key = %x, want %x", args[1], key)
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	r := reader("PING\r\n  GET   key1 \r\n\r\nDEL k\r\n")
+	for _, want := range [][]string{{"PING"}, {"GET", "key1"}, {"DEL", "k"}} {
+		args, err := r.ReadCommand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(args) != len(want) {
+			t.Fatalf("args = %q, want %q", args, want)
+		}
+		for i := range want {
+			if string(args[i]) != want[i] {
+				t.Fatalf("args = %q, want %q", args, want)
+			}
+		}
+	}
+}
+
+func TestReadCommandMalformed(t *testing.T) {
+	cases := []string{
+		"*2\r\n$3\r\nGET\r\n:5\r\n", // non-bulk element
+		"*1\r\n$-1\r\n",             // null bulk inside command
+		"*1\r\n$3\r\nGETx\n",        // bad bulk terminator
+		"*x\r\n",                    // bad array count
+		"*1\r\n$2\r\nab",            // torn frame
+		"*1\nxx",                    // missing CR
+	}
+	for _, c := range cases {
+		if _, err := reader(c).ReadCommand(); err == nil {
+			t.Errorf("ReadCommand(%q) succeeded, want error", c)
+		} else if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("ReadCommand(%q) returned clean EOF for torn input", c)
+		}
+	}
+}
+
+func TestReadCommandLimits(t *testing.T) {
+	lim := Limits{MaxArgs: 2, MaxBulk: 4}
+	r := NewReaderLimits(strings.NewReader("*3\r\n$1\r\na\r\n$1\r\nb\r\n$1\r\nc\r\n"), lim)
+	if _, err := r.ReadCommand(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	r = NewReaderLimits(strings.NewReader("*1\r\n$5\r\nhello\r\n"), lim)
+	if _, err := r.ReadCommand(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteSimple("OK")
+	w.WriteError("READONLY store is read-only")
+	w.WriteInt(-42)
+	w.WriteBulk([]byte("payload\r\nwith crlf"))
+	w.WriteNil()
+	w.WriteArrayHeader(2)
+	w.WriteInt(1)
+	w.WriteBulk(nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	v, _ := r.ReadReply()
+	if v.Kind != SimpleString || string(v.Str) != "OK" {
+		t.Fatalf("simple = %+v", v)
+	}
+	v, _ = r.ReadReply()
+	if !v.IsError() || !strings.HasPrefix(string(v.Str), "READONLY") || v.Err() == nil {
+		t.Fatalf("error = %+v", v)
+	}
+	v, _ = r.ReadReply()
+	if v.Kind != Integer || v.Int != -42 {
+		t.Fatalf("int = %+v", v)
+	}
+	v, _ = r.ReadReply()
+	if v.Kind != BulkString || string(v.Str) != "payload\r\nwith crlf" {
+		t.Fatalf("bulk = %+v", v)
+	}
+	v, _ = r.ReadReply()
+	if v.Kind != Nil {
+		t.Fatalf("nil = %+v", v)
+	}
+	v, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != Array || len(v.Elems) != 2 || v.Elems[0].Int != 1 || v.Elems[1].Kind != BulkString || len(v.Elems[1].Str) != 0 {
+		t.Fatalf("array = %+v", v)
+	}
+}
+
+func TestWriteErrorSanitisesCRLF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteError("bad\r\ninjection")
+	w.Flush()
+	v, err := NewReader(&buf).ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsError() || strings.ContainsAny(string(v.Str), "\r\n") {
+		t.Fatalf("error reply = %+v", v)
+	}
+}
+
+func TestClientPipeline(t *testing.T) {
+	// A trivial echo-ish server: replies +OK to every command.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r, w := NewReader(conn), NewWriter(conn)
+		for {
+			args, err := r.ReadCommand()
+			if err != nil {
+				return
+			}
+			w.WriteBulk(args[len(args)-1])
+			if r.Buffered() == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cmds := [][][]byte{
+		{[]byte("ECHO"), []byte("a")},
+		{[]byte("ECHO"), []byte("b")},
+		{[]byte("ECHO"), []byte("c")},
+	}
+	vs, err := c.Pipeline(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if string(vs[i].Str) != want {
+			t.Fatalf("reply %d = %q, want %q", i, vs[i].Str, want)
+		}
+	}
+	c.Close()
+	<-done
+}

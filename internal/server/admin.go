@@ -1,0 +1,64 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/faster"
+)
+
+// AdminHandler returns the front-end's admin surface, for serving on a
+// separate (never the data) listener:
+//
+//   - /healthz — readiness probe: 200 while the store can serve and the
+//     server is not draining, 503 otherwise, with a JSON body naming the
+//     health state. Load balancers use this to pull a draining or
+//     degraded node out of rotation before it starts shedding.
+//   - /metrics — the store's and the server's flattened metric series
+//     merged into one JSON object.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	health := s.store.Health()
+	draining := s.draining.Load()
+	body := map[string]any{
+		"health":      health.String(),
+		"draining":    draining,
+		"conns":       s.mx.connsActive.Load(),
+		"in_flight":   s.mx.inflightDepth.Load(),
+		"ready":       false,
+		"addr":        s.Addr(),
+		"health_code": int(health),
+	}
+	if cause := s.store.HealthCause(); cause != nil {
+		body["health_cause"] = cause.Error()
+	}
+	code := http.StatusServiceUnavailable
+	// ReadOnly is deliberately not ready: a balancer that can't route by
+	// command type must stop sending this node writes.
+	if health <= faster.Degraded && !draining {
+		body["ready"] = true
+		code = http.StatusOK
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	series := s.store.Metrics().Series()
+	for k, v := range s.Metrics().Series() {
+		series[k] = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(series)
+}

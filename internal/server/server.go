@@ -1,0 +1,823 @@
+// Package server is the FASTER network front-end: a RESP2-speaking TCP
+// server over a *faster.Store, designed around failure from day one.
+//
+// The ROADMAP's north star is a store "serving heavy traffic from
+// millions of users"; what turns a storage engine into such a service is
+// not the happy path but the overload and failure behaviour of the layer
+// in front of it. Skewed workloads concentrate load on hot keys and hot
+// connections (F2, Kanellis et al.), so shedding and bounded queueing
+// are correctness concerns; unbounded per-request threading stalls the
+// whole store (Lomet & Wang), so work is admitted through a bounded
+// session pool in front of FASTER's epoch-slot sessions. Concretely:
+//
+//   - Connection cap: beyond Config.MaxConns, new connections receive
+//     "-OVERLOADED max connections" and are closed — shed, not queued.
+//   - Admission semaphore: at most Config.MaxInFlight commands execute
+//     at once; excess requests are answered "-OVERLOADED" immediately
+//     instead of queueing unboundedly.
+//   - Bounded session pool: Config.Sessions FASTER sessions are created
+//     up front and multiplexed across connections, so connection churn
+//     can never exhaust the store's epoch-table slots.
+//   - Deadlines: idle/read and write deadlines evict slow or wedged
+//     clients instead of parking handler goroutines forever.
+//   - Accept-loop backoff: transient accept errors retry under a bounded
+//     internal/retry policy with the device-style error classification.
+//   - Panic recovery: a panicking handler closes its connection and is
+//     counted; the server keeps serving.
+//   - Health ladder: with the store ReadOnly, writes fail fast with
+//     "-READONLY" while reads keep serving; with the store Failed, data
+//     commands are shed with "-FAILED" and the connection is closed.
+//   - Graceful drain: Close (or SIGTERM in cmd/faster-server) stops
+//     accepting, lets in-flight commands finish under a deadline, drains
+//     every pooled session via CompletePendingTimeout, and optionally
+//     takes a final checkpoint — provably leak-free (the chaos soak
+//     asserts zero leaked goroutines under -race).
+//
+// Protocol: GET/SET/DEL return Redis-shaped replies; INCRBY maps onto
+// FASTER's RMW with faster.VarLenOps counter semantics (the store must
+// be opened with Ops: faster.VarLenOps{}); PING/ECHO/QUIT/COMMAND cover
+// interop. Values are framed server-side with faster.VarLenEncode.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/resp"
+	"repro/internal/retry"
+)
+
+// Config tunes the front-end's robustness surface. The zero value of
+// every field selects a sensible default.
+type Config struct {
+	// MaxConns caps concurrently served connections (default 256).
+	// Excess connections are shed with -OVERLOADED at accept time.
+	MaxConns int
+	// MaxInFlight caps commands executing at once across all
+	// connections (default 4*Sessions). Excess requests are shed with
+	// -OVERLOADED, never queued unboundedly.
+	MaxInFlight int
+	// Sessions is the FASTER session-pool size (default 16). It must not
+	// exceed the store's MaxSessions.
+	Sessions int
+
+	// IdleTimeout bounds the wait for the first byte of the next command
+	// on a connection (default 5m); ReadTimeout bounds every subsequent
+	// read once bytes have started flowing, so a client cannot stall
+	// half-way through a command and pin a handler (default 10s);
+	// WriteTimeout bounds flushing replies (default 10s). Deadline hits
+	// evict the client.
+	IdleTimeout  time.Duration
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// AcquireTimeout bounds the wait for a pooled session (default
+	// 100ms); on expiry the request is shed with -OVERLOADED.
+	AcquireTimeout time.Duration
+	// OpTimeout bounds CompletePendingTimeout for one command's
+	// asynchronous I/O (default 5s).
+	OpTimeout time.Duration
+	// DrainTimeout bounds the graceful drain in Close (default 10s).
+	DrainTimeout time.Duration
+
+	// MaxValueBytes rejects oversized SET values (default 512 KiB).
+	MaxValueBytes int
+
+	// AcceptRetry bounds accept-loop backoff on transient errors; the
+	// zero value selects a patient default (~1s cumulative).
+	AcceptRetry retry.Policy
+
+	// CheckpointDir, when set, makes the graceful drain finish with a
+	// store checkpoint into this directory (skipped when the store's
+	// write path is already gone).
+	CheckpointDir string
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 16
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * c.Sessions
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.AcquireTimeout <= 0 {
+		c.AcquireTimeout = 100 * time.Millisecond
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxValueBytes <= 0 {
+		c.MaxValueBytes = 512 << 10
+	}
+	if c.AcceptRetry == (retry.Policy{}) {
+		c.AcceptRetry = retry.Policy{MaxAttempts: 8, BaseDelay: time.Millisecond,
+			MaxDelay: 250 * time.Millisecond, Multiplier: 2, JitterFrac: 0.25}
+	}
+}
+
+// ErrDrainTimeout reports that graceful drain hit its deadline and had
+// to force-close connections or abandon session drains.
+var ErrDrainTimeout = errors.New("server: graceful drain exceeded its deadline")
+
+// Server is a running front-end.
+type Server struct {
+	store *faster.Store
+	cfg   Config
+	ln    net.Listener
+
+	sessions chan *faster.Session
+	inflight chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	wg        sync.WaitGroup
+	done      chan struct{}
+	draining  atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+
+	abandoned atomic.Int64 // sessions whose pendings never drained
+
+	mx serverMetrics
+}
+
+// ListenAndServe starts a front-end for store on addr ("127.0.0.1:0"
+// picks a free port; see Addr).
+func ListenAndServe(store *faster.Store, addr string, cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	if cfg.Sessions > store.MaxSessions() {
+		return nil, fmt.Errorf("server: %d sessions exceed the store's cap of %d",
+			cfg.Sessions, store.MaxSessions())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		store:    store,
+		cfg:      cfg,
+		ln:       ln,
+		sessions: make(chan *faster.Session, cfg.Sessions),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.Sessions; i++ {
+		// Pooled sessions are parked while idle: they keep their
+		// epoch-table slot but pin no epoch, so an idle pool never stalls
+		// the store's flush/eviction machinery for active sessions.
+		sess := store.StartSession()
+		sess.Park()
+		s.sessions <- sess
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Store exposes the store being served (admin handler, tests).
+func (s *Server) Store() *faster.Store { return s.store }
+
+// ---------------------------------------------------------------------------
+// Accept loop
+// ---------------------------------------------------------------------------
+
+// classifyAcceptErr maps accept errors onto the retry taxonomy: a closed
+// listener is permanent (shutdown); timeouts, EMFILE bursts and other
+// transient conditions are retried under the bounded policy.
+func classifyAcceptErr(err error) retry.Class {
+	if errors.Is(err, net.ErrClosed) {
+		return retry.Permanent
+	}
+	return retry.Transient
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	failures := 0
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			failures++
+			s.mx.acceptRetries.Inc()
+			if !s.cfg.AcceptRetry.Budget(classifyAcceptErr, err, failures) {
+				return
+			}
+			select {
+			case <-time.After(s.cfg.AcceptRetry.Delay(failures)):
+			case <-s.done:
+				return
+			}
+			continue
+		}
+		failures = 0
+
+		if !s.trackConn(conn) {
+			// Connection cap: shed with an explicit error, never queue.
+			s.mx.connsRejected.Inc()
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			w := resp.NewWriter(conn)
+			w.WriteError("OVERLOADED max connections")
+			w.Flush()
+			conn.Close()
+			continue
+		}
+		s.mx.connsAccepted.Inc()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// trackConn registers conn, failing when the cap is reached or the
+// server is draining.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining.Load() || len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.mx.connsActive.Inc()
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		delete(s.conns, conn)
+		s.mx.connsActive.Dec()
+	}
+	s.connMu.Unlock()
+}
+
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Connection handler
+// ---------------------------------------------------------------------------
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrackConn(conn)
+	defer conn.Close()
+	// Panic recovery: one handler's bug (or a poisoned input) costs one
+	// connection, not the process.
+	defer func() {
+		if r := recover(); r != nil {
+			s.mx.panics.Inc()
+		}
+	}()
+
+	c := &connState{
+		s:    s,
+		conn: conn,
+		r: resp.NewReaderLimits(&slowConn{Conn: conn, per: s.cfg.ReadTimeout},
+			resp.Limits{MaxBulk: s.cfg.MaxValueBytes + 1}),
+		w:   resp.NewWriter(conn),
+		out: make([]byte, 8+s.cfg.MaxValueBytes),
+	}
+	for {
+		// The idle deadline bounds the wait for the command's first byte;
+		// slowConn then bumps the deadline to the tighter ReadTimeout on
+		// every delivering read, so a half-sent command cannot pin this
+		// handler past ReadTimeout (slowloris defence).
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		args, err := c.r.ReadCommand()
+		if err != nil {
+			if isTimeout(err) {
+				s.mx.deadlineEvictions.Inc()
+			}
+			return
+		}
+		if !c.dispatch(args) {
+			// Flush whatever the handler wrote (QUIT's +OK, a -FAILED
+			// shed) before closing.
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			c.w.Flush()
+			return
+		}
+		// Batch replies across a pipelined burst: flush only when no
+		// further input is already buffered.
+		if c.r.Buffered() == 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := c.w.Flush(); err != nil {
+				if isTimeout(err) {
+					s.mx.deadlineEvictions.Inc()
+				}
+				return
+			}
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// slowConn is the read side of a connection with per-read deadline
+// renewal: every read that delivers bytes pushes the deadline out by
+// per. The handler's idle deadline governs the silent wait before a
+// command; this governs the flow once bytes started arriving.
+type slowConn struct {
+	net.Conn
+	per time.Duration
+}
+
+func (c *slowConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.per > 0 {
+		c.Conn.SetReadDeadline(time.Now().Add(c.per))
+	}
+	return n, err
+}
+
+// connState is one connection's parsing and reply state.
+type connState struct {
+	s    *Server
+	conn net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+	out  []byte // read output buffer: 8-byte frame header + max value
+}
+
+// testPanicCommand, when set (tests only, before serving starts), makes
+// dispatch panic on that command — the recovery tests use it to prove a
+// handler panic costs one connection, not the process.
+var testPanicCommand string
+
+// dispatch executes one command; false means the connection must close.
+func (c *connState) dispatch(args [][]byte) bool {
+	s := c.s
+	s.mx.commands.Inc()
+	if testPanicCommand != "" && len(args) > 0 && commandName(args[0]) == testPanicCommand {
+		panic("injected handler panic: " + testPanicCommand)
+	}
+	if len(args) == 0 {
+		c.w.WriteError("ERR empty command")
+		return true
+	}
+	name := commandName(args[0])
+	switch name {
+	case "PING":
+		if len(args) > 1 {
+			c.w.WriteBulk(args[1])
+		} else {
+			c.w.WriteSimple("PONG")
+		}
+		return true
+	case "ECHO":
+		if len(args) != 2 {
+			c.w.WriteError("ERR wrong number of arguments for 'echo'")
+			return true
+		}
+		c.w.WriteBulk(args[1])
+		return true
+	case "COMMAND":
+		// Enough for redis-cli's handshake.
+		c.w.WriteArrayHeader(0)
+		return true
+	case "QUIT":
+		c.w.WriteSimple("OK")
+		return false
+	case "GET", "SET", "DEL", "INCRBY":
+		return c.dataCommand(name, args)
+	default:
+		s.mx.unknownCommands.Inc()
+		c.w.WriteError(fmt.Sprintf("ERR unknown command '%s'", name))
+		return true
+	}
+}
+
+// commandName upper-cases an ASCII command word without allocating for
+// the already-uppercase common case.
+func commandName(b []byte) string {
+	for _, ch := range b {
+		if 'a' <= ch && ch <= 'z' {
+			up := make([]byte, len(b))
+			for i, c := range b {
+				if 'a' <= c && c <= 'z' {
+					c -= 'a' - 'A'
+				}
+				up[i] = c
+			}
+			return string(up)
+		}
+	}
+	return string(b)
+}
+
+// dataCommand runs a store-touching command under the health gate, the
+// admission semaphore and the session pool. Returns false to close the
+// connection (Failed sheds).
+func (c *connState) dataCommand(name string, args [][]byte) bool {
+	s := c.s
+	isWrite := name != "GET"
+
+	// Health ladder. ReadOnly: writes fail fast, reads keep serving.
+	// Failed: shed the connection — nothing behind us can serve it.
+	switch s.store.Health() {
+	case faster.Failed:
+		s.mx.failedRejects.Inc()
+		c.w.WriteError("FAILED store failed (device lost)")
+		return false
+	case faster.ReadOnly:
+		if isWrite {
+			s.mx.readonlyRejects.Inc()
+			c.w.WriteError("READONLY store is read-only (write path lost)")
+			return true
+		}
+	}
+
+	// Admission: a full semaphore sheds immediately — the explicit
+	// -OVERLOADED contract, never an unbounded queue.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.mx.overloadSheds.Inc()
+		c.w.WriteError("OVERLOADED too many requests in flight")
+		return true
+	}
+	defer func() { <-s.inflight }()
+	s.mx.inflightDepth.Inc()
+	defer s.mx.inflightDepth.Dec()
+
+	// Session pool: bounded wait, then shed. Fast path first.
+	var sess *faster.Session
+	select {
+	case sess = <-s.sessions:
+	default:
+		t := time.NewTimer(s.cfg.AcquireTimeout)
+		select {
+		case sess = <-s.sessions:
+			t.Stop()
+		case <-t.C:
+			s.mx.overloadSheds.Inc()
+			c.w.WriteError("OVERLOADED no session available")
+			return true
+		case <-s.done:
+			t.Stop()
+			c.w.WriteError("ERR server shutting down")
+			return false
+		}
+	}
+	sess.Unpark()
+	healthy := true
+	defer func() {
+		if healthy {
+			sess.Park()
+			s.sessions <- sess
+		} else {
+			s.retireSession(sess)
+		}
+	}()
+
+	start := time.Now()
+	defer func() { s.mx.cmdLatency.Observe(time.Since(start)) }()
+
+	switch name {
+	case "GET":
+		healthy = c.doGet(sess, args)
+	case "SET":
+		healthy = c.doSet(sess, args)
+	case "DEL":
+		healthy = c.doDel(sess, args)
+	case "INCRBY":
+		healthy = c.doIncrBy(sess, args)
+	}
+	return true
+}
+
+// retireSession handles a session whose pending operations outlived the
+// per-op deadline: it is pulled from rotation and drained off the hot
+// path; if the drain completes the session rejoins the pool, otherwise
+// it is abandoned (counted — its epoch slot is lost until restart, which
+// is the correct trade against a handler goroutine wedged forever).
+func (s *Server) retireSession(sess *faster.Session) {
+	s.mx.sessionsRetired.Inc()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				s.mx.panics.Inc()
+				s.abandoned.Add(1)
+			}
+		}()
+		if _, err := sess.CompletePendingTimeout(2 * s.cfg.OpTimeout); err == nil {
+			sess.Park()
+			s.sessions <- sess
+			return
+		}
+		// Abandoned: never Close (it would block on the wedged op), but
+		// park it so the dead session at least stops pinning the epoch —
+		// otherwise one wedged client request would stall flushes and
+		// evictions for every other session until restart.
+		sess.Park()
+		s.abandoned.Add(1)
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// Command execution
+// ---------------------------------------------------------------------------
+
+// opToken is the ctx attached to asynchronous operations so their
+// results can be matched out of CompletePending.
+type opToken struct{}
+
+// drainPending completes one Pending operation under the op deadline.
+func (c *connState) drainPending(sess *faster.Session, token *opToken) (faster.Result, bool) {
+	results, err := sess.CompletePendingTimeout(c.s.cfg.OpTimeout)
+	if err != nil {
+		c.s.mx.pendingTimeouts.Inc()
+		c.w.WriteError("TIMEOUT operation did not complete in time")
+		return faster.Result{}, false
+	}
+	for _, r := range results {
+		if r.Ctx == token {
+			return r, true
+		}
+	}
+	// The session had no foreign work (one command at a time), so a
+	// missing result is a bug worth surfacing loudly.
+	c.w.WriteError("ERR internal: pending result lost")
+	return faster.Result{}, false
+}
+
+// writeStoreErr renders a store error as a RESP error reply.
+func (c *connState) writeStoreErr(err error) {
+	switch {
+	case errors.Is(err, faster.ErrReadOnly):
+		c.s.mx.readonlyRejects.Inc()
+		c.w.WriteError("READONLY store is read-only (write path lost)")
+	case errors.Is(err, faster.ErrStoreFailed):
+		c.s.mx.failedRejects.Inc()
+		c.w.WriteError("FAILED store failed (device lost)")
+	default:
+		c.w.WriteError("ERR " + err.Error())
+	}
+}
+
+func (c *connState) doGet(sess *faster.Session, args [][]byte) bool {
+	if len(args) != 2 || len(args[1]) == 0 {
+		c.w.WriteError("ERR wrong number of arguments for 'get'")
+		return true
+	}
+	st, err, ok := c.readValue(sess, args[1])
+	if !ok {
+		return false
+	}
+	switch st {
+	case faster.OK:
+		payload, ok := faster.VarLenDecode(c.out)
+		if !ok {
+			c.w.WriteError("ERR stored value exceeds server read buffer")
+			return true
+		}
+		c.w.WriteBulk(payload)
+	case faster.NotFound:
+		c.w.WriteNil()
+	default:
+		c.writeStoreErr(err)
+	}
+	return true
+}
+
+// readValue reads args key into c.out, draining a Pending completion.
+// ok=false means the session must be retired (pending timeout).
+func (c *connState) readValue(sess *faster.Session, key []byte) (faster.Status, error, bool) {
+	token := &opToken{}
+	st, err := sess.Read(key, nil, c.out, token)
+	if st == faster.Pending {
+		r, ok := c.drainPending(sess, token)
+		if !ok {
+			return faster.Err, nil, false
+		}
+		st, err = r.Status, r.Err
+	}
+	return st, err, true
+}
+
+func (c *connState) doSet(sess *faster.Session, args [][]byte) bool {
+	if len(args) != 3 || len(args[1]) == 0 {
+		c.w.WriteError("ERR wrong number of arguments for 'set'")
+		return true
+	}
+	if len(args[2]) > c.s.cfg.MaxValueBytes {
+		c.w.WriteError(fmt.Sprintf("ERR value exceeds %d bytes", c.s.cfg.MaxValueBytes))
+		return true
+	}
+	st, err := sess.Upsert(args[1], faster.VarLenEncode(args[2]))
+	if st == faster.OK {
+		c.w.WriteSimple("OK")
+	} else {
+		c.writeStoreErr(err)
+	}
+	return true
+}
+
+func (c *connState) doDel(sess *faster.Session, args [][]byte) bool {
+	if len(args) < 2 {
+		c.w.WriteError("ERR wrong number of arguments for 'del'")
+		return true
+	}
+	deleted := int64(0)
+	for _, key := range args[1:] {
+		if len(key) == 0 {
+			continue
+		}
+		st, err := sess.Delete(key)
+		switch st {
+		case faster.OK:
+			deleted++
+		case faster.NotFound:
+		default:
+			c.writeStoreErr(err)
+			return true
+		}
+	}
+	c.w.WriteInt(deleted)
+	return true
+}
+
+func (c *connState) doIncrBy(sess *faster.Session, args [][]byte) bool {
+	if len(args) != 3 || len(args[1]) == 0 {
+		c.w.WriteError("ERR wrong number of arguments for 'incrby'")
+		return true
+	}
+	delta, perr := strconv.ParseInt(string(args[2]), 10, 64)
+	if perr != nil {
+		c.w.WriteError("ERR value is not an integer or out of range")
+		return true
+	}
+	key := args[1]
+
+	// Type pre-check: INCRBY on a non-counter value is a client error,
+	// not a reset. (A concurrent SET can still race this check; the ops'
+	// reset semantics keep that race well-defined.)
+	st, err, ok := c.readValue(sess, key)
+	if !ok {
+		return false
+	}
+	if st == faster.OK {
+		if _, isCtr := faster.VarLenCounter(c.out); !isCtr {
+			c.w.WriteError("ERR value is not an integer or out of range")
+			return true
+		}
+	} else if st == faster.Err {
+		c.writeStoreErr(err)
+		return true
+	}
+
+	var input [8]byte
+	binary.LittleEndian.PutUint64(input[:], uint64(delta))
+	token := &opToken{}
+	st, err = sess.RMW(key, input[:], token)
+	if st == faster.Pending {
+		r, rok := c.drainPending(sess, token)
+		if !rok {
+			return false
+		}
+		st, err = r.Status, r.Err
+	}
+	if st != faster.OK {
+		c.writeStoreErr(err)
+		return true
+	}
+
+	// Report the updated counter. Under concurrent INCRBY of the same
+	// key the read may observe later increments — the reply is a recent
+	// value, not a linearisation point (documented deviation).
+	st, err, ok = c.readValue(sess, key)
+	if !ok {
+		return false
+	}
+	if st != faster.OK {
+		c.writeStoreErr(fmt.Errorf("counter vanished: %v %v", st, err))
+		return true
+	}
+	n, isCtr := faster.VarLenCounter(c.out)
+	if !isCtr {
+		c.w.WriteError("ERR value is not an integer or out of range")
+		return true
+	}
+	c.w.WriteInt(n)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+// Close gracefully drains the server: stop accepting, let in-flight
+// commands finish under the drain deadline, evict what remains, drain
+// and close every pooled session, and (when configured) take a final
+// checkpoint. Safe to call multiple times.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.drain() })
+	return s.closeErr
+}
+
+func (s *Server) drain() error {
+	start := time.Now()
+	deadline := start.Add(s.cfg.DrainTimeout)
+	s.draining.Store(true)
+	close(s.done)
+	s.ln.Close()
+
+	var err error
+
+	// Phase 1: let in-flight commands complete. New commands are still
+	// parsed on open connections but data commands will shed once the
+	// drain closes their conns; we give the ones already executing their
+	// chance to finish and be acknowledged.
+	for len(s.inflight) > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if len(s.inflight) > 0 {
+		err = ErrDrainTimeout
+	}
+
+	// Phase 2: evict remaining connections (idle readers unblock with an
+	// error; slow writers hit their write deadline) and wait for every
+	// handler and retirer goroutine.
+	s.closeConns()
+	s.wg.Wait()
+
+	// Phase 3: drain the session pool. Every handler has exited, so all
+	// live sessions are in the channel; each is completed under the
+	// remaining deadline and closed.
+	drained := 0
+	for {
+		select {
+		case sess := <-s.sessions:
+			sess.Unpark()
+			left := time.Until(deadline)
+			if left < 100*time.Millisecond {
+				left = 100 * time.Millisecond
+			}
+			if _, derr := sess.CompletePendingTimeout(left); derr != nil {
+				s.abandoned.Add(1)
+				if err == nil {
+					err = ErrDrainTimeout
+				}
+				continue // do not Close: it would block on the wedged op
+			}
+			sess.Close()
+			drained++
+		default:
+			goto donePool
+		}
+	}
+donePool:
+
+	// Phase 4: optional final checkpoint — only when the write path is
+	// alive and no abandoned session can pin the epoch.
+	if s.cfg.CheckpointDir != "" && s.store.Health() <= faster.Degraded && s.abandoned.Load() == 0 {
+		if _, cerr := s.store.Checkpoint(s.cfg.CheckpointDir); cerr != nil && err == nil {
+			err = fmt.Errorf("server: drain checkpoint: %w", cerr)
+		}
+	}
+
+	s.mx.drains.Inc()
+	s.mx.drainNs.Set(time.Since(start).Nanoseconds())
+	return err
+}

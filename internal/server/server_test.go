@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+	"repro/internal/resp"
+	"repro/internal/testutil"
+)
+
+// newTestServer opens a Mem-backed VarLenOps store and a front-end on a
+// loopback port, torn down (drain first, then store) via t.Cleanup.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	dev := device.NewMem(device.MemConfig{})
+	s, err := faster.Open(faster.Config{
+		Ops: faster.VarLenOps{}, IndexBuckets: 1 << 10,
+		PageBits: 14, BufferPages: 16, MutableFraction: 0.75,
+		Device: dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenAndServe(s, "127.0.0.1:0", cfg)
+	if err != nil {
+		s.Close()
+		dev.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+		dev.Close()
+	})
+	return srv
+}
+
+func dialT(t *testing.T, srv *Server) *resp.Client {
+	t.Helper()
+	c, err := resp.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServerRoundTrips(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{})
+	c := dialT(t, srv)
+
+	check := func(v resp.Value, err error, kind resp.Kind, str string, n int64) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Kind != kind {
+			t.Fatalf("kind = %c, want %c (%q)", v.Kind, kind, v.Str)
+		}
+		if str != "" && string(v.Str) != str {
+			t.Fatalf("str = %q, want %q", v.Str, str)
+		}
+		if kind == resp.Integer && v.Int != n {
+			t.Fatalf("int = %d, want %d", v.Int, n)
+		}
+	}
+
+	v, err := c.Do([]byte("PING"))
+	check(v, err, resp.SimpleString, "PONG", 0)
+	v, err = c.Do([]byte("ECHO"), []byte("hello"))
+	check(v, err, resp.BulkString, "hello", 0)
+
+	v, err = c.Do([]byte("SET"), []byte("k1"), []byte("v1"))
+	check(v, err, resp.SimpleString, "OK", 0)
+	v, err = c.Do([]byte("GET"), []byte("k1"))
+	check(v, err, resp.BulkString, "v1", 0)
+	v, err = c.Do([]byte("GET"), []byte("missing"))
+	check(v, err, resp.Nil, "", 0)
+
+	// Binary-safe value.
+	blob := []byte{0, 1, '\r', '\n', 255, 0}
+	v, err = c.Do([]byte("SET"), []byte("bin"), blob)
+	check(v, err, resp.SimpleString, "OK", 0)
+	v, err = c.Do([]byte("GET"), []byte("bin"))
+	if err != nil || !bytes.Equal(v.Str, blob) {
+		t.Fatalf("binary round-trip: %q %v", v.Str, err)
+	}
+
+	v, err = c.Do([]byte("DEL"), []byte("k1"), []byte("missing"))
+	check(v, err, resp.Integer, "", 1)
+	v, err = c.Do([]byte("GET"), []byte("k1"))
+	check(v, err, resp.Nil, "", 0)
+
+	v, err = c.Do([]byte("INCRBY"), []byte("ctr"), []byte("5"))
+	check(v, err, resp.Integer, "", 5)
+	v, err = c.Do([]byte("INCRBY"), []byte("ctr"), []byte("-2"))
+	check(v, err, resp.Integer, "", 3)
+
+	// INCRBY over a blob is a type error, not a reset.
+	c.Do([]byte("SET"), []byte("blob"), []byte("not a number"))
+	v, err = c.Do([]byte("INCRBY"), []byte("blob"), []byte("1"))
+	if err != nil || !v.IsError() || !strings.Contains(string(v.Str), "not an integer") {
+		t.Fatalf("INCRBY over blob = %q %v", v.Str, err)
+	}
+	v, _ = c.Do([]byte("GET"), []byte("blob"))
+	if string(v.Str) != "not a number" {
+		t.Fatalf("blob clobbered by rejected INCRBY: %q", v.Str)
+	}
+
+	// Errors that keep the connection alive.
+	v, err = c.Do([]byte("NOSUCH"))
+	if err != nil || !v.IsError() {
+		t.Fatalf("unknown command: %v %v", v, err)
+	}
+	v, err = c.Do([]byte("SET"), []byte("k"))
+	if err != nil || !v.IsError() {
+		t.Fatalf("bad arity: %v %v", v, err)
+	}
+	v, err = c.Do([]byte("PING"))
+	check(v, err, resp.SimpleString, "PONG", 0)
+}
+
+func TestServerPipelining(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{})
+	c := dialT(t, srv)
+
+	const n = 500
+	cmds := make([][][]byte, 0, 2*n)
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		v := []byte(fmt.Sprintf("val-%d", i))
+		cmds = append(cmds, [][]byte{[]byte("SET"), k, v})
+	}
+	for i := 0; i < n; i++ {
+		cmds = append(cmds, [][]byte{[]byte("GET"), []byte(fmt.Sprintf("key-%d", i))})
+	}
+	replies, err := c.Pipeline(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 2*n {
+		t.Fatalf("%d replies, want %d", len(replies), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if replies[i].Kind != resp.SimpleString {
+			t.Fatalf("SET %d: %v", i, replies[i])
+		}
+		got := replies[n+i]
+		if got.Kind != resp.BulkString || string(got.Str) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("GET %d = %q", i, got.Str)
+		}
+	}
+}
+
+func TestServerValueTooLarge(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{MaxValueBytes: 64})
+	c := dialT(t, srv)
+
+	v, err := c.Do([]byte("SET"), []byte("k"), bytes.Repeat([]byte("x"), 65))
+	if err != nil || !v.IsError() || !strings.Contains(string(v.Str), "exceeds") {
+		t.Fatalf("oversized SET = %q %v", v.Str, err)
+	}
+	// Connection still healthy, and a max-sized value fits exactly.
+	v, err = c.Do([]byte("SET"), []byte("k"), bytes.Repeat([]byte("y"), 64))
+	if err != nil || v.Kind != resp.SimpleString {
+		t.Fatalf("max-sized SET = %v %v", v, err)
+	}
+	v, err = c.Do([]byte("GET"), []byte("k"))
+	if err != nil || len(v.Str) != 64 {
+		t.Fatalf("max-sized GET = %d bytes, %v", len(v.Str), err)
+	}
+}
+
+func TestServerConnectionCap(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{MaxConns: 1})
+
+	c1 := dialT(t, srv)
+	if v, err := c1.Do([]byte("PING")); err != nil || v.Kind != resp.SimpleString {
+		t.Fatalf("first conn: %v %v", v, err)
+	}
+
+	// The second connection is shed at accept with an explicit error.
+	c2, err := resp.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	v, err := c2.Do([]byte("PING"))
+	if err == nil {
+		if !v.IsError() || !strings.Contains(string(v.Str), "OVERLOADED") {
+			t.Fatalf("second conn reply = %v, want -OVERLOADED", v)
+		}
+	}
+	// Either way the connection must be closed promptly.
+	c2.Conn().SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c2.Conn().Read(make([]byte, 1)); err == nil {
+		t.Fatal("shed connection left open")
+	}
+
+	if got := srv.Metrics().ConnsRejected; got != 1 {
+		t.Fatalf("ConnsRejected = %d, want 1", got)
+	}
+
+	// Dropping the first connection frees the slot.
+	c1.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c3, err := resp.Dial(srv.Addr())
+		if err == nil {
+			v, err := c3.Do([]byte("PING"))
+			c3.Close()
+			if err == nil && v.Kind == resp.SimpleString {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerIdleEviction(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{IdleTimeout: 100 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing; the server must hang up on us.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle connection not evicted")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Metrics().DeadlineEvictions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("eviction not counted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerPanicRecovery(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	testPanicCommand = "BOOM"
+	defer func() { testPanicCommand = "" }()
+	srv := newTestServer(t, Config{})
+
+	// The panicking handler loses its connection...
+	c1 := dialT(t, srv)
+	if _, err := c1.Do([]byte("BOOM")); err == nil {
+		t.Fatal("poisoned command got a reply")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Metrics().Panics == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("panic not counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ...and the server keeps serving everyone else.
+	c2 := dialT(t, srv)
+	if v, err := c2.Do([]byte("PING")); err != nil || v.Kind != resp.SimpleString {
+		t.Fatalf("server dead after handler panic: %v %v", v, err)
+	}
+
+	// Malformed-but-legal requests keep the connection alive.
+	v, err := c2.Do([]byte("GET"), []byte{})
+	if err != nil || !v.IsError() {
+		t.Fatalf("empty key = %v %v", v, err)
+	}
+	if v, err := c2.Do([]byte("PING")); err != nil || v.Kind != resp.SimpleString {
+		t.Fatalf("connection dead after bad request: %v %v", v, err)
+	}
+}
+
+func TestServerAdminEndpoints(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{})
+	c := dialT(t, srv)
+	if _, err := c.Do([]byte("SET"), []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	admin := httptest.NewServer(srv.AdminHandler())
+	defer admin.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		res, err := admin.Client().Get(admin.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := res.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return res.StatusCode, sb.String()
+	}
+
+	code, body := get("/healthz")
+	if code != 200 || !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	code, body = get("/metrics")
+	if code != 200 || !strings.Contains(body, "server.commands") || !strings.Contains(body, "faster.reads") {
+		t.Fatalf("metrics = %d %q", code, body[:min(len(body), 200)])
+	}
+
+	// Draining flips readiness.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	code, body = get("/healthz")
+	if code != 503 || !strings.Contains(body, `"draining": true`) {
+		t.Fatalf("healthz after drain = %d %q", code, body)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{})
+	c := dialT(t, srv)
+	if _, err := c.Do([]byte("SET"), []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// New connections are refused after drain.
+	if c, err := resp.Dial(srv.Addr()); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded after close")
+	}
+}
+
+func TestServerSessionCapValidated(t *testing.T) {
+	dev := device.NewMem(device.MemConfig{})
+	defer dev.Close()
+	s, err := faster.Open(faster.Config{
+		Ops: faster.VarLenOps{}, IndexBuckets: 1 << 10,
+		PageBits: 14, BufferPages: 16, MutableFraction: 0.75,
+		Device: dev, MaxSessions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := ListenAndServe(s, "127.0.0.1:0", Config{Sessions: 8}); err == nil {
+		t.Fatal("oversized session pool accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

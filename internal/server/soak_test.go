@@ -1,0 +1,382 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+	"repro/internal/resp"
+	"repro/internal/retry"
+	"repro/internal/testutil"
+)
+
+// TestServerChaosSoak is the front-end's robustness gate (`make soak`):
+// seeded chaos scenarios driven over real TCP connections under -race,
+// each asserting the explicit failure contract and zero leaked
+// goroutines.
+//
+//   - overload: a cold-key GET parks on injected device latency while
+//     holding the single admission token; a second client must be shed
+//     with -OVERLOADED immediately, and the parked request must still
+//     complete correctly.
+//   - readonly: the device dies mid-run; writes must start failing with
+//     -READONLY while resident reads keep succeeding and /healthz goes
+//     503.
+//   - drain: pipelined clients are killed mid-burst, a slowloris client
+//     stalls half-way through a command, and the server is drained;
+//     every acknowledged SET must be readable from the store afterwards.
+func TestServerChaosSoak(t *testing.T) {
+	t.Run("overload", soakOverload)
+	t.Run("readonly", soakReadOnly)
+	t.Run("drain", soakDrain)
+}
+
+func soakOverload(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	mem := device.NewMem(device.MemConfig{})
+	defer mem.Close()
+	faulty := device.NewFaulty(mem)
+	store, err := faster.Open(faster.Config{
+		Ops: faster.VarLenOps{}, IndexBuckets: 1 << 10,
+		PageBits: 12, BufferPages: 8, MutableFraction: 0.5,
+		Device: faulty,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	// Fill past the resident region so early keys are evicted to the
+	// device, then find one that actually reads cold (Pending).
+	const keys = 400
+	val := func(i int) []byte { return []byte(fmt.Sprintf("cold-val-%03d-%s", i, strings.Repeat("x", 40))) }
+	sess := store.StartSession()
+	for i := 0; i < keys; i++ {
+		if st, err := sess.Upsert([]byte(fmt.Sprintf("cold-%03d", i)), faster.VarLenEncode(val(i))); st != faster.OK {
+			t.Fatalf("fill %d: %v %v", i, st, err)
+		}
+	}
+	var coldKey []byte
+	coldIdx := -1
+	out := make([]byte, 8+128)
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("cold-%03d", i))
+		st, err := sess.Read(key, nil, out, nil)
+		if st == faster.Pending {
+			if _, err := sess.CompletePendingTimeout(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			coldKey, coldIdx = key, i
+			break
+		}
+		if st != faster.OK || err != nil {
+			t.Fatalf("probe %d: %v %v", i, st, err)
+		}
+	}
+	sess.Close()
+	if coldIdx < 0 {
+		t.Fatal("no key was evicted; shrink the buffer")
+	}
+
+	srv, err := ListenAndServe(store, "127.0.0.1:0", Config{
+		Sessions: 2, MaxInFlight: 1, OpTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Park the only admission token on a cold read that now takes ≥250ms.
+	faulty.InjectLatency(250*time.Millisecond, 0)
+	conn1, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	w1, r1 := resp.NewWriter(conn1), resp.NewReader(conn1)
+	w1.WriteCommand([]byte("GET"), coldKey)
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().InflightDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cold GET never occupied the admission token")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A second client must be shed immediately, not queued.
+	c2, err := resp.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.Timeout = 5 * time.Second
+	v, err := c2.Do([]byte("GET"), []byte(fmt.Sprintf("cold-%03d", keys-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsError() || !strings.Contains(string(v.Str), "OVERLOADED") {
+		t.Fatalf("under load got %q, want -OVERLOADED", v.Str)
+	}
+
+	// The parked request completes correctly once the device delivers.
+	conn1.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got, err := r1.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != resp.BulkString || !bytes.Equal(got.Str, val(coldIdx)) {
+		t.Fatalf("cold GET = %q (%c), want %q", got.Str, got.Kind, val(coldIdx))
+	}
+	if sheds := srv.Metrics().OverloadSheds; sheds == 0 {
+		t.Fatal("OverloadSheds not counted")
+	}
+
+	faulty.InjectLatency(0, 0)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func soakReadOnly(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	mem := device.NewMem(device.MemConfig{})
+	defer mem.Close()
+	faulty := device.NewFaulty(mem)
+	store, err := faster.Open(faster.Config{
+		Ops: faster.VarLenOps{}, IndexBuckets: 1 << 10,
+		PageBits: 12, BufferPages: 8, MutableFraction: 0.5,
+		Device:     faulty,
+		WriteRetry: retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		ReadRetry:  retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv, err := ListenAndServe(store, "127.0.0.1:0", Config{Sessions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := mustDial(t, srv)
+
+	// A hot key written and confirmed while healthy.
+	if v, err := c.Do([]byte("SET"), []byte("hot"), []byte("alive")); err != nil || v.Kind != resp.SimpleString {
+		t.Fatalf("hot SET: %v %v", v, err)
+	}
+	if v, err := c.Do([]byte("GET"), []byte("hot")); err != nil || string(v.Str) != "alive" {
+		t.Fatalf("hot GET: %v %v", v, err)
+	}
+
+	// Kill the device mid-run and keep writing until the health ladder
+	// surfaces as -READONLY on the wire.
+	faulty.BreakPermanently()
+	payload := bytes.Repeat([]byte("z"), 128)
+	sawReadOnly := false
+	deadline := time.Now().Add(15 * time.Second)
+	for i := 0; !sawReadOnly; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("no -READONLY after %d writes; health=%v", i, store.Health())
+		}
+		v, err := c.Do([]byte("SET"), []byte(fmt.Sprintf("fill-%05d", i)), payload)
+		if err != nil {
+			t.Fatalf("write %d transport error: %v", i, err)
+		}
+		if v.IsError() && strings.Contains(string(v.Str), "READONLY") {
+			sawReadOnly = true
+		}
+	}
+
+	// Reads of the resident region keep serving.
+	v, err := c.Do([]byte("GET"), []byte("hot"))
+	if err != nil || v.Kind != resp.BulkString || string(v.Str) != "alive" {
+		t.Fatalf("resident GET under READONLY = %q %v", v.Str, err)
+	}
+	if got := srv.Metrics().ReadonlyRejects; got == 0 {
+		t.Fatal("ReadonlyRejects not counted")
+	}
+
+	// The readiness probe pulls the node out of rotation.
+	admin := httptest.NewServer(srv.AdminHandler())
+	defer admin.Close()
+	res, err := admin.Client().Get(admin.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 503 {
+		t.Fatalf("healthz under READONLY = %d, want 503", res.StatusCode)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("drain with dead device: %v", err)
+	}
+}
+
+func soakDrain(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	mem := device.NewMem(device.MemConfig{})
+	defer mem.Close()
+	store, err := faster.Open(faster.Config{
+		Ops: faster.VarLenOps{}, IndexBuckets: 1 << 12,
+		PageBits: 14, BufferPages: 16, MutableFraction: 0.75,
+		Device: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv, err := ListenAndServe(store, "127.0.0.1:0", Config{
+		Sessions: 4, ReadTimeout: 200 * time.Millisecond,
+		IdleTimeout: 10 * time.Second, DrainTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Acked SETs: key -> value for every +OK reply actually read back by
+	// a client. The drain contract is that each survives in the store.
+	var (
+		ackMu sync.Mutex
+		acked = map[string]string{}
+	)
+
+	const (
+		workers = 6
+		iters   = 30
+		burst   = 10
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(0x50AC + int64(w)))
+			killer := w >= workers-2 // the last two die mid-pipeline
+			killAt := -1
+			if killer {
+				killAt = 5 + rng.Intn(iters-10)
+			}
+			c, err := resp.Dial(srv.Addr())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			c.Timeout = 5 * time.Second
+			for i := 0; i < iters; i++ {
+				cmds := make([][][]byte, 0, burst)
+				keys := make([]string, 0, burst)
+				vals := make([]string, 0, burst)
+				for j := 0; j < burst; j++ {
+					k := fmt.Sprintf("w%d-i%d-j%d", w, i, j)
+					v := fmt.Sprintf("v-%d-%d-%d-%d", w, i, j, rng.Int63())
+					keys, vals = append(keys, k), append(vals, v)
+					cmds = append(cmds, [][]byte{[]byte("SET"), []byte(k), []byte(v)})
+				}
+				if killer && i == killAt {
+					// Die mid-pipeline: the connection is torn down while
+					// replies are in flight, so nothing from this burst is
+					// acked (and the server must just clean up).
+					go func() {
+						time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+						c.Conn().Close()
+					}()
+					c.Pipeline(cmds)
+					return
+				}
+				replies, err := c.Pipeline(cmds)
+				if err != nil {
+					return
+				}
+				ackMu.Lock()
+				for j, r := range replies {
+					if r.Kind == resp.SimpleString {
+						acked[keys[j]] = vals[j]
+					}
+				}
+				ackMu.Unlock()
+			}
+		}(w)
+	}
+
+	// A slowloris client: half a command, then silence. It must be
+	// evicted by the per-read deadline, not pin a handler until the
+	// drain.
+	stall, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+	if _, err := stall.Write([]byte("*3\r\n$3\r\nSET\r\n$9\r\nstall-key\r\n$5\r\nhe")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().DeadlineEvictions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slowloris client never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+	m := srv.Metrics()
+	if m.ConnsActive != 0 {
+		t.Fatalf("%d connections still tracked after drain", m.ConnsActive)
+	}
+	if m.SessionsAbandoned != 0 {
+		t.Fatalf("%d sessions abandoned on a healthy store", m.SessionsAbandoned)
+	}
+
+	// Every acknowledged write must be readable straight from the store.
+	sess := store.StartSession()
+	defer sess.Close()
+	out := make([]byte, 8+256)
+	checked := 0
+	for k, want := range acked {
+		st, err := sess.Read([]byte(k), nil, out, nil)
+		if st == faster.Pending {
+			results, derr := sess.CompletePendingTimeout(5 * time.Second)
+			if derr != nil || len(results) != 1 {
+				t.Fatalf("read %q stalled: %v", k, derr)
+			}
+			st, err = results[0].Status, results[0].Err
+		}
+		if st != faster.OK || err != nil {
+			t.Fatalf("acked key %q lost: %v %v", k, st, err)
+		}
+		got, ok := faster.VarLenDecode(out)
+		if !ok || string(got) != want {
+			t.Fatalf("acked key %q = %q, want %q", k, got, want)
+		}
+		checked++
+	}
+	if checked < workers/2*iters*burst {
+		t.Fatalf("only %d acked writes to verify; chaos killed too much", checked)
+	}
+}
+
+func mustDial(t *testing.T, srv *Server) *resp.Client {
+	t.Helper()
+	c, err := resp.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.Timeout = 10 * time.Second
+	return c
+}

@@ -1,0 +1,150 @@
+// Package testutil holds shared test helpers. Its centrepiece is the
+// goroutine-leak assertion used by the network front-end tests and the
+// crash-recovery torture harness: a drain or close that strands a
+// goroutine is a bug even when every byte of data survived.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix scopes the leak check: only goroutines whose stack
+// mentions this module are attributed to the code under test. Runtime,
+// testing-framework and third-party service goroutines (there are none
+// in this stdlib-only repo, but the filter is cheap insurance) are
+// ignored.
+const modulePrefix = "repro/"
+
+// CheckGoroutines snapshots the goroutines alive now and registers a
+// cleanup that fails t if, at the end of the test, goroutines running
+// this module's code exist that were not in the snapshot. The check
+// polls for a grace period first, so goroutines that are merely slow to
+// exit (device callbacks, retry backoff sleeps) do not false-positive.
+//
+// Call it at the top of a test, before starting servers or stores:
+//
+//	func TestDrain(t *testing.T) {
+//		testutil.CheckGoroutines(t)
+//		...
+//	}
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := goroutineSnapshot()
+	t.Cleanup(func() {
+		const grace = 5 * time.Second
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			leaked = leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("%d goroutine(s) leaked after %v grace:\n\n%s",
+			len(leaked), grace, strings.Join(leaked, "\n\n"))
+	})
+}
+
+// NoLeakedGoroutines asserts immediately (with the same grace loop) that
+// no module goroutines beyond those in base are running. It is the
+// non-deferred form, for asserting mid-test — e.g. right after a drain
+// completes, before the next chaos phase starts.
+func NoLeakedGoroutines(t testing.TB, base map[string]string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leaked := leakedSince(base)
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			sort.Strings(leaked)
+			t.Fatalf("%d goroutine(s) leaked:\n\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Snapshot captures the current goroutines for NoLeakedGoroutines.
+func Snapshot() map[string]string { return goroutineSnapshot() }
+
+// goroutineSnapshot returns the current goroutines keyed by goroutine id
+// line ("goroutine N [state]:" with the state stripped, so a goroutine
+// that merely changed state is not treated as new).
+func goroutineSnapshot() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	snap := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		id, ok := goroutineID(g)
+		if !ok {
+			continue
+		}
+		snap[id] = g
+	}
+	return snap
+}
+
+// goroutineID extracts "goroutine N" from a stack dump section.
+func goroutineID(stack string) (string, bool) {
+	if !strings.HasPrefix(stack, "goroutine ") {
+		return "", false
+	}
+	rest := stack[len("goroutine "):]
+	i := strings.IndexByte(rest, ' ')
+	if i <= 0 {
+		return "", false
+	}
+	return fmt.Sprintf("goroutine %s", rest[:i]), true
+}
+
+// leakedSince returns the stacks of module goroutines not present in
+// base. The calling goroutine is never reported.
+func leakedSince(base map[string]string) []string {
+	var leaked []string
+	self := fmt.Sprintf("goroutine %d", curGoroutineID())
+	for id, stack := range goroutineSnapshot() {
+		if _, ok := base[id]; ok {
+			continue
+		}
+		if id == self {
+			continue
+		}
+		if !strings.Contains(stack, modulePrefix) {
+			continue
+		}
+		// The leak checker's own polling machinery.
+		if strings.Contains(stack, "testutil.goroutineSnapshot") {
+			continue
+		}
+		leaked = append(leaked, stack)
+	}
+	return leaked
+}
+
+// curGoroutineID parses this goroutine's id from its own stack header.
+func curGoroutineID() int {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	s := strings.TrimPrefix(string(buf), "goroutine ")
+	var id int
+	fmt.Sscanf(s, "%d", &id)
+	return id
+}

@@ -1,0 +1,67 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnapshotFindsSelf(t *testing.T) {
+	snap := goroutineSnapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	for id := range snap {
+		if _, ok := goroutineID(snap[id]); !ok {
+			t.Fatalf("bad snapshot entry key %q", id)
+		}
+	}
+}
+
+func TestNoLeakWhenGoroutineExits(t *testing.T) {
+	base := Snapshot()
+	done := make(chan struct{})
+	go func() { // exits almost immediately: not a leak
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	NoLeakedGoroutines(t, base)
+}
+
+func TestLeakDetected(t *testing.T) {
+	base := Snapshot()
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go leakyGoroutine(started, stop)
+	<-started
+
+	// Use a throwaway recorder so the expected failure doesn't fail this
+	// test run.
+	rec := &recorder{}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for {
+		leaked := leakedSince(base)
+		if len(leaked) > 0 || time.Now().After(deadline) {
+			if len(leaked) == 0 {
+				rec.Fatalf("leak not detected")
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rec.failed {
+		t.Fatal("leaked goroutine was not detected")
+	}
+}
+
+// leakyGoroutine parks on stop; it lives in this module, so the detector
+// must attribute it.
+func leakyGoroutine(started chan<- struct{}, stop <-chan struct{}) {
+	close(started)
+	<-stop
+}
+
+type recorder struct{ failed bool }
+
+func (r *recorder) Fatalf(string, ...any) { r.failed = true }

@@ -14,3 +14,8 @@ go test -race ./internal/...
 # Crash/torn-write torture matrix: fixed seeds, 100 crash points, race
 # detector on (the fault-domain hardening acceptance gate).
 FASTER_TORTURE_POINTS=100 go test -race -run TestCrashRecoveryTorture -count=1 ./internal/faster/
+
+# Server chaos soak: seeded overload/read-only/drain scenarios against
+# the RESP front-end under the race detector, asserting zero leaked
+# goroutines (the network fault-domain acceptance gate).
+go test -race -run TestServerChaosSoak -count=1 ./internal/server/
