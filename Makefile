@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race torture soak check bench fmt
+.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench fmt
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,32 @@ torture:
 soak:
 	$(GO) test -race -run TestServerChaosSoak -count=1 -v ./internal/server/
 
+# Linearizability scenario matrix: seeded concurrent schedules across the
+# store's hot paths (in-memory, read-only copy, fuzzy-region RMW, pending
+# I/O, index resize, checkpoint/recover), history-checked under the race
+# detector inside the wall-clock budget below.
+linearize:
+	$(GO) test -race -run 'TestLinearizable' -count=1 -v -timeout 300s ./internal/linearize/
+
+# Mutation gate: compile the seeded bugs in (-tags mutate) and prove the
+# linearizability harness flags each one with a minimized counterexample.
+# Runs WITHOUT -race: the seeded bugs are value-level concurrency faults
+# expressed through atomics, invisible to the race detector by design.
+mutation-gate:
+	$(GO) test -tags mutate -run 'TestMutationGate' -count=1 -v -timeout 600s ./internal/faster/
+
+# Short coverage-guided fuzz of the wire codecs past the committed seed
+# corpora. Crashers land in testdata/fuzz/ and replay as regressions.
+fuzz:
+	$(GO) test -fuzz FuzzReadCommand -fuzztime 30s -run '^$$' ./internal/resp/
+	$(GO) test -fuzz FuzzReadReply -fuzztime 30s -run '^$$' ./internal/resp/
+	$(GO) test -fuzz FuzzVarLenFraming -fuzztime 30s -run '^$$' ./internal/faster/
+
 check:
 	./scripts/check.sh
+
+verify:
+	./scripts/verify.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/

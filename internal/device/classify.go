@@ -1,6 +1,7 @@
 package device
 
 import (
+	"context"
 	"errors"
 	"io/fs"
 
@@ -28,6 +29,10 @@ type Classifier interface {
 //   - ErrPermanent (and anything wrapping it), ErrClosed, ErrOutOfRange and
 //     filesystem existence errors are Permanent: retrying the same request
 //     cannot succeed
+//   - context.Canceled is Permanent: the caller abandoned the operation,
+//     so retrying it runs I/O nobody is waiting for. A deadline timeout
+//     (context.DeadlineExceeded) stays Transient — the next attempt may
+//     land inside the budget
 //   - everything else — including ErrInjected transient faults and unknown
 //     device errors — is Transient; the bounded retry budget keeps
 //     misclassification cheap
@@ -39,7 +44,8 @@ func Classify(err error) retry.Class {
 		errors.Is(err, ErrClosed),
 		errors.Is(err, ErrOutOfRange),
 		errors.Is(err, fs.ErrNotExist),
-		errors.Is(err, fs.ErrClosed):
+		errors.Is(err, fs.ErrClosed),
+		errors.Is(err, context.Canceled):
 		return retry.Permanent
 	default:
 		return retry.Transient

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func TestAcquireReleaseBasics(t *testing.T) {
@@ -240,12 +242,14 @@ func TestConcurrentRefreshAndBump(t *testing.T) {
 	for i := 0; i < bumps; i++ {
 		m.BumpWith(func() { executed.Add(1) })
 	}
-	// Give refreshers a moment to drain everything, then stop them.
-	deadline := time.Now().Add(5 * time.Second)
-	for executed.Load() != bumps && time.Now().Before(deadline) {
+	// Give refreshers a bounded window to drain everything, then stop
+	// them. Eventually (not WaitUntil): on timeout the refresher
+	// goroutines must still be stopped before the final assertion fails
+	// the test with the real counts.
+	testutil.Eventually(5*time.Second, func() bool {
 		m.Drain()
-		time.Sleep(time.Millisecond)
-	}
+		return executed.Load() == bumps
+	})
 	close(stop)
 	wg.Wait()
 	m.Drain()

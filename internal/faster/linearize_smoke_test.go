@@ -1,0 +1,46 @@
+package faster_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/linearize"
+)
+
+// TestHistoryLinearizable is the in-tree smoke for the linearize harness:
+// every `go test ./internal/faster` run checks one small concurrent
+// schedule against a hybrid store. The full scenario matrix (read-only
+// copies, fuzzy deferrals, faulty devices, resize, checkpoint/recover)
+// lives in internal/linearize and runs via `make linearize`.
+func TestHistoryLinearizable(t *testing.T) {
+	dev := device.NewMem(device.MemConfig{})
+	s, err := faster.Open(faster.Config{
+		Ops:          faster.SumOps{},
+		Mode:         hlog.ModeHybrid,
+		PageBits:     12,
+		BufferPages:  8,
+		IndexBuckets: 1 << 9,
+		Device:       dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	history, _ := linearize.RunWorkload(s, linearize.Workload{
+		Clients: 4, Ops: 60, Keys: 4, Seed: 7,
+		Interleave: func(client, n int) {
+			if client == 0 && n%8 == 0 {
+				s.Log().ShiftReadOnlyToTail()
+			}
+		},
+	})
+	r := linearize.CheckKV(history, 10*time.Second)
+	if r.Outcome != linearize.Ok {
+		t.Fatalf("history is not linearizable (outcome %v):\n%s",
+			r.Outcome, linearize.Format(linearize.KVModel(), r.Counterexample))
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !mutate
+
+package faster
+
+// Mutation switches for the linearizability gate (see
+// internal/faster/mutation_gate_test.go). Normal builds compile with
+// mutationsEnabled == false, so every mutated branch is dead code the
+// compiler removes; the seeded-bug variants exist only under -tags mutate.
+const mutationsEnabled = false
+
+func mutTornWrite() bool { return false }
+func mutDoubleRMW() bool { return false }
+
+// tornAddU64 is never reachable when mutationsEnabled is false; the stub
+// keeps the !mutate build compiling.
+func tornAddU64(p *uint64, delta uint64) { _ = p; _ = delta }

@@ -1,0 +1,61 @@
+//go:build mutate
+
+package faster
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Seeded-bug variants for the linearizability mutation gate. Building
+// with -tags mutate compiles these switches in; the gate then enables one
+// mutation at a time and asserts the checker flags the resulting history
+// as non-linearizable. If a seeded bug ever checks green, the harness has
+// lost its teeth.
+const mutationsEnabled = true
+
+var (
+	mutTorn   atomic.Bool
+	mutDouble atomic.Bool
+)
+
+func mutTornWrite() bool { return mutTorn.Load() }
+func mutDoubleRMW() bool { return mutDouble.Load() }
+
+// EnableMutation turns on one seeded bug by name: "torn-write" (SumOps
+// in-place adds become a non-atomic two-half write) or "double-rmw"
+// (SumOps copy-updates apply the input twice).
+func EnableMutation(name string) {
+	switch name {
+	case "torn-write":
+		mutTorn.Store(true)
+	case "double-rmw":
+		mutDouble.Store(true)
+	default:
+		panic(fmt.Sprintf("faster: unknown mutation %q", name))
+	}
+}
+
+// DisableMutations turns every seeded bug off.
+func DisableMutations() {
+	mutTorn.Store(false)
+	mutDouble.Store(false)
+}
+
+// tornAddU64 is the torn-write variant of atomic.AddUint64: it loads the
+// counter, then publishes the sum as two independent 32-bit halves with a
+// scheduling point in between. Concurrent adders lose updates (the load
+// and the stores no longer form one atomic RMW) and concurrent readers
+// can observe a half-written value. The halves are stored with 32-bit
+// atomics so the race detector stays quiet — the bug is torn/lost
+// *values*, which only a history checker can see.
+func tornAddU64(p *uint64, delta uint64) {
+	sum := atomic.LoadUint64(p) + delta
+	lo := (*uint32)(unsafe.Pointer(p))
+	hi := (*uint32)(unsafe.Pointer(uintptr(unsafe.Pointer(p)) + 4))
+	atomic.StoreUint32(lo, uint32(sum))
+	runtime.Gosched() // widen the torn window
+	atomic.StoreUint32(hi, uint32(sum>>32))
+}

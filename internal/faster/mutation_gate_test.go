@@ -1,0 +1,210 @@
+//go:build mutate
+
+package faster_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/linearize"
+)
+
+// The mutation gate proves the linearizability harness has teeth: each
+// test enables one seeded bug (compiled in under -tags mutate), replays
+// seeded schedules until the checker returns Illegal, and prints the
+// minimized counterexample. A gate test that times out means the harness
+// can no longer see that class of bug — which is a harness regression,
+// not a store regression.
+//
+// Run via `make mutation-gate` (without -race: the seeded bugs are
+// deliberate concurrency faults, and the interesting signal is the torn
+// or lost *values* in the history, not the memory-model violation).
+
+// detectMutation replays seeds until the checker flags a history, or the
+// budget expires.
+func detectMutation(t *testing.T, budget time.Duration, run func(seed int64) ([]linearize.Op, *faster.Store)) {
+	t.Helper()
+	start := time.Now()
+	for seed := int64(1); ; seed++ {
+		if time.Since(start) > budget {
+			t.Fatalf("seeded bug NOT detected within %v (%d schedules) — the harness lost its teeth", budget, seed-1)
+		}
+		h, s := run(seed)
+		r := linearize.CheckKV(h, 10*time.Second)
+		s.Close()
+		if r.Outcome == linearize.Illegal {
+			t.Logf("seeded bug detected on schedule %d (%d states explored)\nminimized counterexample:\n%s",
+				seed, r.States, linearize.Format(linearize.KVModel(), r.Counterexample))
+			return
+		}
+	}
+}
+
+func openGateStore(t *testing.T, cfg faster.Config) *faster.Store {
+	t.Helper()
+	cfg.Ops = faster.SumOps{}
+	if cfg.IndexBuckets == 0 {
+		cfg.IndexBuckets = 1 << 9
+	}
+	s, err := faster.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMutationGateBaseline checks that the mutate-tagged build with every
+// mutation switched off still produces linearizable histories — guarding
+// against a switch that leaks into the clean path.
+func TestMutationGateBaseline(t *testing.T) {
+	faster.DisableMutations()
+	hlog.DisableMutations()
+	for _, seed := range []int64{1, 2} {
+		s := openGateStore(t, faster.Config{Mode: hlog.ModeInMemory, PageBits: 12})
+		h, _ := linearize.RunWorkload(s, linearize.Workload{
+			Clients: 6, Ops: 60, Keys: 3, Seed: seed, RMWPct: 60, ReadPct: 30, UpsertPct: 8, DeletePct: 2,
+		})
+		r := linearize.CheckKV(h, 10*time.Second)
+		s.Close()
+		if r.Outcome != linearize.Ok {
+			t.Fatalf("baseline (mutations off) not linearizable (outcome %v):\n%s",
+				r.Outcome, linearize.Format(linearize.KVModel(), r.Counterexample))
+		}
+	}
+	// The skip-epoch-bump scenario's exact configuration — pausing value
+	// ops, constant read-only shifts — must be green with the bug off,
+	// or the gate's red signal means nothing.
+	for _, seed := range []int64{1, 2, 3} {
+		s, err := faster.Open(faster.Config{
+			Ops:          pausingSumOps{},
+			Mode:         hlog.ModeHybrid,
+			PageBits:     12,
+			BufferPages:  8,
+			IndexBuckets: 1 << 9,
+			Device:       device.NewMem(device.MemConfig{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := linearize.RunWorkload(s, linearize.Workload{
+			Clients: 6, Ops: 60, Keys: 2, Seed: seed,
+			ReadPct: 25, UpsertPct: 15, RMWPct: 60, DeletePct: 0,
+			Interleave: func(client, n int) {
+				if n%2 == 0 {
+					s.Log().ShiftReadOnlyToTail()
+				}
+			},
+		})
+		// Legal histories from this scenario are expensive to verify
+		// (dense concurrency on two keys), so give the checker room.
+		r := linearize.CheckKV(h, 60*time.Second)
+		s.Close()
+		if r.Outcome != linearize.Ok {
+			t.Fatalf("baseline (pausing ops, mutations off) not linearizable (outcome %v):\n%s",
+				r.Outcome, linearize.Format(linearize.KVModel(), r.Counterexample))
+		}
+	}
+}
+
+// TestMutationGateTornWrite seeds a torn 64-bit counter write into
+// SumOps.InPlaceUpdater: the fetch-and-add becomes load + two half-word
+// stores. Concurrent RMWs lose updates and readers observe half-written
+// values; deltas above 1<<32 make every torn observation wildly wrong.
+func TestMutationGateTornWrite(t *testing.T) {
+	faster.EnableMutation("torn-write")
+	defer faster.DisableMutations()
+	detectMutation(t, 60*time.Second, func(seed int64) ([]linearize.Op, *faster.Store) {
+		s := openGateStore(t, faster.Config{Mode: hlog.ModeInMemory, PageBits: 12})
+		h, _ := linearize.RunWorkload(s, linearize.Workload{
+			Clients: 6, Ops: 40, Keys: 2, Seed: seed,
+			ReadPct: 30, RMWPct: 70, UpsertPct: 0, DeletePct: 0,
+			RMWMax: 1 << 40,
+		})
+		return h, s
+	})
+}
+
+// TestMutationGateDoubleRMW seeds a double-applied update into
+// SumOps.CopyUpdater (old + 2*input). Append-only mode routes every RMW
+// of an existing key through the copy path, so a single client's
+// rmw-then-read already refutes linearizability.
+func TestMutationGateDoubleRMW(t *testing.T) {
+	faster.EnableMutation("double-rmw")
+	defer faster.DisableMutations()
+	detectMutation(t, 60*time.Second, func(seed int64) ([]linearize.Op, *faster.Store) {
+		s := openGateStore(t, faster.Config{
+			Mode:        hlog.ModeAppendOnly,
+			PageBits:    12,
+			BufferPages: 8,
+			Device:      device.NewMem(device.MemConfig{}),
+		})
+		h, _ := linearize.RunWorkload(s, linearize.Workload{
+			Clients: 2, Ops: 40, Keys: 2, Seed: seed,
+			ReadPct: 35, UpsertPct: 15, RMWPct: 50, DeletePct: 0,
+		})
+		return h, s
+	})
+}
+
+// pausingSumOps is SumOps with a scheduling point inside the in-place
+// updater, modelling the arbitrary-duration user code the ValueOps
+// contract permits. The yield sits exactly in the window the epoch bump
+// protects: between an operation's read-only-offset check and its
+// in-place write. The shadowed Merge drops the MergeOps interface so the
+// store takes the plain copy-update path rather than CRDT deltas.
+type pausingSumOps struct{ faster.SumOps }
+
+func (pausingSumOps) Merge() {}
+
+func (p pausingSumOps) InPlaceUpdater(key, value, input []byte) bool {
+	runtime.Gosched()
+	return p.SumOps.InPlaceUpdater(key, value, input)
+}
+
+func (p pausingSumOps) ConcurrentWriter(key, dst, src []byte) bool {
+	runtime.Gosched()
+	return p.SumOps.ConcurrentWriter(key, dst, src)
+}
+
+// TestMutationGateSkipEpochBump seeds the classic epoch-protection bug:
+// read-only shifts publish the safe read-only offset immediately instead
+// of waiting (via epoch bump) for every session to observe the shift.
+// A session paused between its read-only-offset check and its in-place
+// write can then update a record that a faster session is concurrently
+// copy-updating past (the fuzzy region the bump exists to create is
+// gone), losing the acknowledged update.
+func TestMutationGateSkipEpochBump(t *testing.T) {
+	hlog.EnableMutation("skip-epoch-bump")
+	defer hlog.DisableMutations()
+	detectMutation(t, 120*time.Second, func(seed int64) ([]linearize.Op, *faster.Store) {
+		s, err := faster.Open(faster.Config{
+			Ops:          pausingSumOps{},
+			Mode:         hlog.ModeHybrid,
+			PageBits:     12,
+			BufferPages:  8,
+			IndexBuckets: 1 << 9,
+			Device:       device.NewMem(device.MemConfig{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := linearize.RunWorkload(s, linearize.Workload{
+			// 6*60/2 keys ≈ 180 ops per partition, safely inside the
+			// checker's 256-op partition limit.
+			Clients: 6, Ops: 60, Keys: 2, Seed: seed,
+			ReadPct: 25, UpsertPct: 15, RMWPct: 60, DeletePct: 0,
+			// Shift constantly so updates keep straddling the
+			// read-only boundary while other sessions are mid-operation.
+			Interleave: func(client, n int) {
+				if n%2 == 0 {
+					s.Log().ShiftReadOnlyToTail()
+				}
+			},
+		})
+		return h, s
+	})
+}

@@ -76,11 +76,25 @@ func (r *record) sealed() bool       { return r.header&flagSealed != 0 }
 
 // parseRecord decodes the record at the start of b. It returns false if b
 // is too short or holds a zero header-and-length prefix (page padding).
+// b must be private memory (an I/O buffer): for records in live log
+// memory the header word is concurrently CASed (tombstone/seal/invalid
+// bits) and must be loaded atomically — use parseRecordHeader with the
+// atomically loaded header instead.
 func parseRecord(b []byte) (record, bool) {
 	if len(b) < recHeaderBytes {
 		return record{}, false
 	}
-	header := binary.LittleEndian.Uint64(b)
+	return parseRecordHeader(b, binary.LittleEndian.Uint64(b))
+}
+
+// parseRecordHeader decodes the record at the start of b using an
+// already-loaded header word. Lengths, key bytes and the value layout are
+// immutable once a record is reachable, so plain reads of them are safe
+// even in live log memory.
+func parseRecordHeader(b []byte, header uint64) (record, bool) {
+	if len(b) < recHeaderBytes {
+		return record{}, false
+	}
 	keyLen := int(binary.LittleEndian.Uint32(b[8:]))
 	valueLen := int(binary.LittleEndian.Uint32(b[12:]))
 	if keyLen == 0 {
@@ -180,14 +194,13 @@ func (s *Store) setOverwritten(addr hlog.Address) {
 }
 
 // recordAt decodes the in-memory record at addr. The caller must hold
-// epoch protection and have checked addr >= head.
+// epoch protection and have checked addr >= head. The header word is
+// loaded atomically: concurrent operations CAS flag bits into it, and a
+// plain read would race (the linearize harness caught exactly this).
 func (s *Store) recordAt(addr hlog.Address) (record, bool) {
 	b := s.log.Slice(addr)
-	rec, ok := parseRecord(b)
-	if !ok {
-		return rec, false
+	if len(b) < recHeaderBytes {
+		return record{}, false
 	}
-	// Reload the header atomically: flag bits may be concurrently set.
-	rec.header = atomic.LoadUint64(s.headerPtr(addr))
-	return rec, true
+	return parseRecordHeader(b, atomic.LoadUint64(s.headerPtr(addr)))
 }

@@ -2,6 +2,7 @@ package faster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/hlog"
 )
@@ -96,13 +97,23 @@ func (s *Store) Scan(opts ScanOptions, fn func(r ScanRecord) bool) error {
 			}
 			page = buf
 		}
+		inMemory := s.log.InMemory(pageStart)
 		// Walk records within the page.
 		for addr < to && addr < pageEnd {
 			off := addr - pageStart
 			if uint64(len(page)) <= off {
 				break
 			}
-			rec, ok := parseRecord(page[off:])
+			// Resident pages are live memory whose header words may be
+			// concurrently CASed; load them atomically. Fetched pages
+			// are private buffers.
+			var rec record
+			var ok bool
+			if inMemory && uint64(len(page)) >= off+recHeaderBytes {
+				rec, ok = parseRecordHeader(page[off:], atomic.LoadUint64(s.log.Uint64Ptr(addr)))
+			} else {
+				rec, ok = parseRecord(page[off:])
+			}
 			if !ok {
 				break // padding: rest of page is empty
 			}

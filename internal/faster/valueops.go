@@ -115,6 +115,10 @@ func (SumOps) InitialUpdater(_, value, input []byte) {
 
 // InPlaceUpdater adds input with fetch-and-add.
 func (SumOps) InPlaceUpdater(_, value, input []byte) bool {
+	if mutationsEnabled && mutTornWrite() {
+		tornAddU64(AtomicU64(value), binary.LittleEndian.Uint64(input))
+		return true
+	}
 	atomic.AddUint64(AtomicU64(value), binary.LittleEndian.Uint64(input))
 	return true
 }
@@ -122,7 +126,11 @@ func (SumOps) InPlaceUpdater(_, value, input []byte) bool {
 // CopyUpdater writes old+input into the new value.
 func (SumOps) CopyUpdater(_, oldValue, newValue, input []byte) {
 	old := binary.LittleEndian.Uint64(oldValue)
-	binary.LittleEndian.PutUint64(newValue, old+binary.LittleEndian.Uint64(input))
+	in := binary.LittleEndian.Uint64(input)
+	if mutationsEnabled && mutDoubleRMW() {
+		in += in // seeded bug: the update applied twice
+	}
+	binary.LittleEndian.PutUint64(newValue, old+in)
 }
 
 // InitialValueLen implements ValueOps.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/epoch"
 	"repro/internal/retry"
+	"repro/internal/testutil"
 )
 
 // faultyLog builds a hybrid log over a Faulty(Mem) device with a small,
@@ -66,13 +67,7 @@ func fillPages(t *testing.T, l *Log, em *epoch.Manager, n int) {
 
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, cond, "%s", what)
 }
 
 func TestPermanentWriteFailurePoisonsWithoutRetrying(t *testing.T) {

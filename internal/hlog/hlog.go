@@ -559,7 +559,11 @@ func (l *Log) maybeShiftReadOnly(tailPage uint64) {
 		}
 		if l.readOnly.CompareAndSwap(cur, desired) {
 			l.mx.roShifts.Inc()
-			l.em.BumpWith(func() { l.onSafeReadOnly(desired) })
+			if mutationsEnabled && mutSkipEpochBump() {
+				l.onSafeReadOnly(desired) // seeded bug: no epoch wait
+			} else {
+				l.em.BumpWith(func() { l.onSafeReadOnly(desired) })
+			}
 			return
 		}
 	}
@@ -579,7 +583,11 @@ func (l *Log) ShiftReadOnlyToTail() Address {
 		}
 		if l.readOnly.CompareAndSwap(cur, tail) {
 			l.mx.roShifts.Inc()
-			l.em.BumpWith(func() { l.onSafeReadOnly(tail) })
+			if mutationsEnabled && mutSkipEpochBump() {
+				l.onSafeReadOnly(tail) // seeded bug: no epoch wait
+			} else {
+				l.em.BumpWith(func() { l.onSafeReadOnly(tail) })
+			}
 			return tail
 		}
 	}

@@ -1,0 +1,11 @@
+//go:build !mutate
+
+package hlog
+
+// Mutation switch for the linearizability gate (see
+// internal/faster/mutation_gate_test.go). Normal builds compile with
+// mutationsEnabled == false, so the mutated branch is dead code; the
+// seeded-bug variant exists only under -tags mutate.
+const mutationsEnabled = false
+
+func mutSkipEpochBump() bool { return false }

@@ -1,0 +1,33 @@
+//go:build mutate
+
+package hlog
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Seeded-bug variant for the linearizability mutation gate: skipping the
+// epoch bump that gates the safe read-only shift. See
+// internal/faster/mutation_gate_test.go.
+const mutationsEnabled = true
+
+var mutSkipBump atomic.Bool
+
+func mutSkipEpochBump() bool { return mutSkipBump.Load() }
+
+// EnableMutation turns on one seeded bug by name: "skip-epoch-bump"
+// (read-only shifts publish the safe read-only offset immediately instead
+// of waiting for every session to observe the shift, so lagging in-place
+// updaters race copy-updates and flushes).
+func EnableMutation(name string) {
+	switch name {
+	case "skip-epoch-bump":
+		mutSkipBump.Store(true)
+	default:
+		panic(fmt.Sprintf("hlog: unknown mutation %q", name))
+	}
+}
+
+// DisableMutations turns every seeded bug off.
+func DisableMutations() { mutSkipBump.Store(false) }

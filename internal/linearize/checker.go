@@ -1,0 +1,355 @@
+// Package linearize is a stdlib-only linearizability checker and a
+// history-recording harness for the FASTER store.
+//
+// The checker implements the Wing–Gong algorithm with Lowe's
+// just-in-time linearization refinements ("Testing for linearizability",
+// CCPE 2017): a depth-first search over the choices of which pending
+// operation takes effect next, pruned by a memoization cache keyed on
+// (set of linearized operations, model state). Histories are first split
+// into independent sub-histories by the model's partition function (for a
+// key-value store: per key), which is what keeps checking tractable —
+// the search is exponential in the width of a single partition, not of
+// the whole run.
+//
+// Histories may contain incomplete operations (an invoke with no
+// response, e.g. an operation in flight at a crash): the checker allows
+// them to take effect at any point after their invoke, or never.
+package linearize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Incomplete marks an operation that never received a response. It may
+// linearize anywhere after its call, or not at all.
+const Incomplete = int64(math.MaxInt64)
+
+// Op is one recorded operation: an invoke/response event pair bracketing
+// the window in which the operation took effect.
+type Op struct {
+	// ClientID identifies the session that issued the operation.
+	ClientID int
+	// Call and Return are logical timestamps from a shared monotone
+	// clock. Return is Incomplete for operations that never completed.
+	Call, Return int64
+	// Input and Output are interpreted by the Model.
+	Input, Output any
+}
+
+// Model is a sequential specification. State values must be treated as
+// immutable: Step returns a fresh successor rather than mutating.
+type Model struct {
+	// Name labels the model in reports.
+	Name string
+	// Init returns the initial state of one partition.
+	Init func() any
+	// Step decides whether applying input to state can produce output,
+	// and returns the successor state. It must not mutate state.
+	Step func(state, input, output any) (ok bool, next any)
+	// Key returns a deterministic memoization key for state. Two states
+	// with the same key must be interchangeable.
+	Key func(state any) string
+	// Partition splits a history into independent sub-histories checked
+	// in isolation. Nil means the history is one partition.
+	Partition func(ops []Op) [][]Op
+	// Describe renders an operation for counterexample reports.
+	Describe func(input, output any) string
+}
+
+func (m *Model) describe(input, output any) string {
+	if m.Describe != nil {
+		return m.Describe(input, output)
+	}
+	return fmt.Sprintf("%v -> %v", input, output)
+}
+
+// Outcome classifies a check result.
+type Outcome int
+
+const (
+	// Ok: the history is linearizable.
+	Ok Outcome = iota
+	// Illegal: the history is NOT linearizable; Result carries a
+	// counterexample.
+	Illegal
+	// Unknown: the search exceeded its deadline before deciding.
+	Unknown
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Ok:
+		return "ok"
+	case Illegal:
+		return "illegal"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result reports a Check.
+type Result struct {
+	Outcome Outcome
+	// Partition is the index of the first partition that failed (or
+	// timed out). -1 when Outcome is Ok.
+	Partition int
+	// Counterexample is the failing partition's history, minimized: no
+	// single operation can be removed and keep it non-linearizable
+	// (within the minimizer's time budget).
+	Counterexample []Op
+	// LongestPrefix is the largest number of operations the search
+	// managed to linearize in the failing partition before getting
+	// stuck, with Witness the corresponding order (reports only).
+	LongestPrefix int
+	Witness       []Op
+	// States counts distinct (linearized-set, state) pairs explored.
+	States int
+}
+
+// Check decides whether history is linearizable with respect to model,
+// spending at most timeout per partition (0 means no limit). On failure
+// the counterexample is minimized with the same per-attempt budget.
+func Check(model Model, history []Op, timeout time.Duration) Result {
+	parts := [][]Op{history}
+	if model.Partition != nil {
+		parts = model.Partition(history)
+	}
+	total := Result{Outcome: Ok, Partition: -1}
+	for i, part := range parts {
+		r := checkPartition(model, part, timeout)
+		total.States += r.States
+		if r.Outcome == Ok {
+			continue
+		}
+		total.Outcome = r.Outcome
+		total.Partition = i
+		total.LongestPrefix = r.LongestPrefix
+		total.Witness = r.Witness
+		if r.Outcome == Illegal {
+			total.Counterexample = Minimize(model, part, timeout)
+		}
+		return total
+	}
+	return total
+}
+
+// entry is one operation in the search's working set.
+type entry struct {
+	op  Op
+	idx int // bit position in the linearized-set mask
+}
+
+// frame is one level of the DFS stack: the candidate list at that level
+// and which candidate was taken.
+type frame struct {
+	cands []int  // entry indices that were linearizable candidates
+	next  int    // next candidate to try
+	state any    // model state before this level's choice
+	key   string // memo key of state
+}
+
+// checkPartition runs the WGL search on one partition.
+func checkPartition(model Model, ops []Op, timeout time.Duration) Result {
+	n := len(ops)
+	if n == 0 {
+		return Result{Outcome: Ok, Partition: -1}
+	}
+	if n > 256 {
+		// The linearized-set mask is 4 words; keep partitions small by
+		// construction (more keys, fewer ops per key) rather than
+		// scaling the mask.
+		panic(fmt.Sprintf("linearize: partition of %d ops exceeds the 256-op limit; use more partitions", n))
+	}
+	entries := make([]entry, n)
+	for i, op := range ops {
+		entries[i] = entry{op: op, idx: i}
+	}
+	// Deterministic order: by call time (the recorder's clock never
+	// ties, but break ties stably anyway).
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].op.Call < entries[j].op.Call })
+
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+
+	var linearized opSet
+	completeLeft := 0 // complete ops not yet linearized
+	for _, e := range entries {
+		if e.op.Return != Incomplete {
+			completeLeft++
+		}
+	}
+
+	state := model.Init()
+	cache := map[string]struct{}{}
+	var stack []frame
+	best := 0
+	var bestOrder []Op
+	var order []Op
+
+	// candidates returns the entries that may linearize next: not yet
+	// linearized, and invoked before every un-linearized operation's
+	// response (an op that responded before another was invoked must
+	// linearize first).
+	candidates := func() []int {
+		minReturn := int64(math.MaxInt64)
+		for i := range entries {
+			if !linearized.has(entries[i].idx) && entries[i].op.Return < minReturn {
+				minReturn = entries[i].op.Return
+			}
+		}
+		var cands []int
+		for i := range entries {
+			if !linearized.has(entries[i].idx) && entries[i].op.Call <= minReturn {
+				cands = append(cands, i)
+			}
+		}
+		return cands
+	}
+
+	states := 0
+	checkDeadline := 0
+	stack = append(stack, frame{cands: candidates(), state: state, key: model.Key(state)})
+	for {
+		if completeLeft == 0 {
+			return Result{Outcome: Ok, Partition: -1, States: states}
+		}
+		checkDeadline++
+		if timeout > 0 && checkDeadline%1024 == 0 && time.Now().After(deadline) {
+			return Result{Outcome: Unknown, LongestPrefix: best, Witness: bestOrder, States: states}
+		}
+		top := &stack[len(stack)-1]
+		advanced := false
+		for top.next < len(top.cands) {
+			ei := top.cands[top.next]
+			top.next++
+			e := &entries[ei]
+			ok, next := model.Step(top.state, e.op.Input, e.op.Output)
+			if !ok {
+				continue
+			}
+			linearized.set(e.idx)
+			memo := linearized.key() + model.Key(next)
+			if _, seen := cache[memo]; seen {
+				linearized.clear(e.idx)
+				continue
+			}
+			cache[memo] = struct{}{}
+			states++
+			// Take the step.
+			if e.op.Return != Incomplete {
+				completeLeft--
+			}
+			order = append(order, e.op)
+			if lin := linearized.count(); lin > best {
+				best = lin
+				bestOrder = append(bestOrder[:0], order...)
+			}
+			stack = append(stack, frame{cands: candidates(), state: next, key: model.Key(next)})
+			advanced = true
+			break
+		}
+		if advanced {
+			continue
+		}
+		// Dead end at this level: backtrack.
+		if len(stack) == 1 {
+			return Result{Outcome: Illegal, LongestPrefix: best, Witness: bestOrder, States: states}
+		}
+		stack = stack[:len(stack)-1]
+		parent := &stack[len(stack)-1]
+		// Undo the choice the parent made to get here: it is the
+		// candidate just before parent.next.
+		undone := entries[parent.cands[parent.next-1]]
+		linearized.clear(undone.idx)
+		if undone.op.Return != Incomplete {
+			completeLeft++
+		}
+		order = order[:len(order)-1]
+	}
+}
+
+// opSet is a 256-bit set of operation indices.
+type opSet [4]uint64
+
+func (s *opSet) set(i int)      { s[i>>6] |= 1 << (uint(i) & 63) }
+func (s *opSet) clear(i int)    { s[i>>6] &^= 1 << (uint(i) & 63) }
+func (s *opSet) has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (s *opSet) count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *opSet) key() string {
+	var b [33]byte
+	for i, w := range s {
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	b[32] = '|'
+	return string(b[:])
+}
+
+// Minimize greedily shrinks a non-linearizable history: it repeatedly
+// removes any single operation whose removal keeps the history
+// non-linearizable, until the history is 1-minimal or the time budget
+// (3x timeout, min 2s) runs out. The result is always a genuine
+// counterexample: every removal is re-verified.
+func Minimize(model Model, ops []Op, timeout time.Duration) []Op {
+	budget := 3 * timeout
+	if budget < 2*time.Second {
+		budget = 2 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	cur := append([]Op(nil), ops...)
+	for {
+		shrunk := false
+		for i := 0; i < len(cur); i++ {
+			if time.Now().After(deadline) {
+				return cur
+			}
+			trial := make([]Op, 0, len(cur)-1)
+			trial = append(trial, cur[:i]...)
+			trial = append(trial, cur[i+1:]...)
+			if r := checkPartition(model, trial, timeout); r.Outcome == Illegal {
+				cur = trial
+				shrunk = true
+				i--
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// Format renders a history as one line per operation, sorted by call
+// time, for counterexample reports.
+func Format(model Model, ops []Op) string {
+	sorted := append([]Op(nil), ops...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Call < sorted[j].Call })
+	var b strings.Builder
+	for _, op := range sorted {
+		ret := "never"
+		if op.Return != Incomplete {
+			ret = fmt.Sprintf("%d", op.Return)
+		}
+		fmt.Fprintf(&b, "  [client %d] %-36s @ [%d, %s]\n",
+			op.ClientID, model.describe(op.Input, op.Output), op.Call, ret)
+	}
+	return b.String()
+}

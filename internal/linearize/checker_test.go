@@ -1,0 +1,284 @@
+package linearize
+
+import (
+	"testing"
+	"time"
+)
+
+// op builds a complete KV op.
+func op(client int, call, ret int64, in KVInput, out KVOutput) Op {
+	return Op{ClientID: client, Call: call, Return: ret, Input: in, Output: out}
+}
+
+func read(k, v uint64) (KVInput, KVOutput) {
+	return KVInput{Kind: KVRead, Key: k}, KVOutput{Found: true, Val: v}
+}
+
+func readMiss(k uint64) (KVInput, KVOutput) {
+	return KVInput{Kind: KVRead, Key: k}, KVOutput{}
+}
+
+func upsert(k, v uint64) (KVInput, KVOutput) {
+	return KVInput{Kind: KVUpsert, Key: k, Arg: v}, KVOutput{Found: true}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	ui, uo := upsert(1, 10)
+	ri, ro := read(1, 10)
+	h := []Op{
+		op(0, 1, 2, ui, uo),
+		op(0, 3, 4, ri, ro),
+	}
+	if r := CheckKV(h, time.Second); r.Outcome != Ok {
+		t.Fatalf("sequential history = %v", r.Outcome)
+	}
+}
+
+func TestStaleReadIsIllegal(t *testing.T) {
+	// upsert(10) completes, then upsert(20) completes, then a read that
+	// starts after both returns 10: not linearizable.
+	u1i, u1o := upsert(1, 10)
+	u2i, u2o := upsert(1, 20)
+	ri, ro := read(1, 10)
+	h := []Op{
+		op(0, 1, 2, u1i, u1o),
+		op(0, 3, 4, u2i, u2o),
+		op(1, 5, 6, ri, ro),
+	}
+	r := CheckKV(h, time.Second)
+	if r.Outcome != Illegal {
+		t.Fatalf("stale read = %v, want Illegal", r.Outcome)
+	}
+	if len(r.Counterexample) == 0 || len(r.Counterexample) > 3 {
+		t.Fatalf("counterexample size = %d", len(r.Counterexample))
+	}
+	t.Logf("minimized:\n%s", Format(KVModel(), r.Counterexample))
+}
+
+func TestConcurrentReadMayseeEitherValue(t *testing.T) {
+	// A read overlapping an upsert may see the old or the new value.
+	u1i, u1o := upsert(1, 10)
+	u2i, u2o := upsert(1, 20)
+	for _, val := range []uint64{10, 20} {
+		ri, ro := read(1, val)
+		h := []Op{
+			op(0, 1, 2, u1i, u1o),
+			op(0, 4, 7, u2i, u2o),
+			op(1, 3, 6, ri, ro),
+		}
+		if r := CheckKV(h, time.Second); r.Outcome != Ok {
+			t.Fatalf("concurrent read of %d = %v, want Ok", val, r.Outcome)
+		}
+	}
+	// But not a value never written.
+	ri, ro := read(1, 15)
+	h := []Op{
+		op(0, 1, 2, u1i, u1o),
+		op(0, 4, 7, u2i, u2o),
+		op(1, 3, 6, ri, ro),
+	}
+	if r := CheckKV(h, time.Second); r.Outcome != Illegal {
+		t.Fatalf("phantom value read = %v, want Illegal", r.Outcome)
+	}
+}
+
+func TestRMWCountsExactlyOnce(t *testing.T) {
+	// Two concurrent rmw(+1) from an absent key, then a read. Sum must
+	// be 2; 1 (lost update) and 3 (double apply) are illegal.
+	r1 := KVInput{Kind: KVRMW, Key: 1, Arg: 1}
+	for want, outcome := range map[uint64]Outcome{1: Illegal, 2: Ok, 3: Illegal} {
+		ri, ro := read(1, want)
+		h := []Op{
+			op(0, 1, 4, r1, KVOutput{}),
+			op(1, 2, 5, r1, KVOutput{}),
+			op(2, 6, 7, ri, ro),
+		}
+		if r := CheckKV(h, time.Second); r.Outcome != outcome {
+			t.Fatalf("sum %d = %v, want %v", want, r.Outcome, outcome)
+		}
+	}
+}
+
+func TestDeleteObservationsConstrain(t *testing.T) {
+	// delete -> NOT_FOUND completing entirely after an upsert completed
+	// (and nothing else touching the key) is illegal.
+	ui, uo := upsert(1, 10)
+	di := KVInput{Kind: KVDelete, Key: 1}
+	h := []Op{
+		op(0, 1, 2, ui, uo),
+		op(1, 3, 4, di, KVOutput{Found: false}),
+	}
+	if r := CheckKV(h, time.Second); r.Outcome != Illegal {
+		t.Fatalf("phantom NOT_FOUND delete = %v, want Illegal", r.Outcome)
+	}
+	// delete -> OK then read -> NOT_FOUND is the legal counterpart.
+	ri, ro := readMiss(1)
+	h = []Op{
+		op(0, 1, 2, ui, uo),
+		op(1, 3, 4, di, KVOutput{Found: true}),
+		op(1, 5, 6, ri, ro),
+	}
+	if r := CheckKV(h, time.Second); r.Outcome != Ok {
+		t.Fatalf("delete/read-miss = %v, want Ok", r.Outcome)
+	}
+}
+
+func TestIncompleteOpsMayApplyOrNot(t *testing.T) {
+	// An upsert with no response: a later read may see it or miss it.
+	ui, _ := upsert(1, 10)
+	for _, h := range [][]Op{
+		{
+			{ClientID: 0, Call: 1, Return: Incomplete, Input: ui},
+			op(1, 2, 3, KVInput{Kind: KVRead, Key: 1}, KVOutput{Found: true, Val: 10}),
+		},
+		{
+			{ClientID: 0, Call: 1, Return: Incomplete, Input: ui},
+			op(1, 2, 3, KVInput{Kind: KVRead, Key: 1}, KVOutput{}),
+		},
+	} {
+		if r := CheckKV(h, time.Second); r.Outcome != Ok {
+			t.Fatalf("incomplete upsert variant = %v, want Ok", r.Outcome)
+		}
+	}
+	// But it cannot un-apply: seen by one read, missed by a later one.
+	h := []Op{
+		{ClientID: 0, Call: 1, Return: Incomplete, Input: ui},
+		op(1, 2, 3, KVInput{Kind: KVRead, Key: 1}, KVOutput{Found: true, Val: 10}),
+		op(1, 4, 5, KVInput{Kind: KVRead, Key: 1}, KVOutput{}),
+	}
+	if r := CheckKV(h, time.Second); r.Outcome != Illegal {
+		t.Fatalf("un-applied incomplete upsert = %v, want Illegal", r.Outcome)
+	}
+}
+
+func TestRealTimeOrderAcrossClients(t *testing.T) {
+	// Client 0's upsert(20) returned before client 1's read invoked;
+	// the read must not see the earlier value even though a third
+	// client's upsert(10) is still open (incomplete ops can linearize
+	// late, but a read after upsert(20) seeing 10 requires the open
+	// upsert(10) to linearize between them — which IS legal. Pin it
+	// with a second read: 10 then 20 again would need upsert(20) twice.)
+	u20i, u20o := upsert(1, 20)
+	u10i := KVInput{Kind: KVUpsert, Key: 1, Arg: 10}
+	h := []Op{
+		op(0, 1, 2, u20i, u20o),
+		{ClientID: 2, Call: 1, Return: Incomplete, Input: u10i},
+		op(1, 3, 4, KVInput{Kind: KVRead, Key: 1}, KVOutput{Found: true, Val: 10}),
+		op(1, 5, 6, KVInput{Kind: KVRead, Key: 1}, KVOutput{Found: true, Val: 20}),
+	}
+	if r := CheckKV(h, time.Second); r.Outcome != Illegal {
+		t.Fatalf("resurrected value = %v, want Illegal", r.Outcome)
+	}
+}
+
+func TestPartitionIndependence(t *testing.T) {
+	// A violation on key 2 is found even with clean traffic on key 1.
+	u1i, u1o := upsert(1, 1)
+	u2i, u2o := upsert(2, 5)
+	ri, ro := read(2, 99)
+	h := []Op{
+		op(0, 1, 2, u1i, u1o),
+		op(0, 3, 4, u2i, u2o),
+		op(1, 5, 6, ri, ro),
+	}
+	r := CheckKV(h, time.Second)
+	if r.Outcome != Illegal {
+		t.Fatalf("cross-key violation = %v", r.Outcome)
+	}
+	for _, op := range r.Counterexample {
+		if op.Input.(KVInput).Key != 2 {
+			t.Fatalf("counterexample leaked another key: %+v", op)
+		}
+	}
+}
+
+func TestMinimizeShrinksToCore(t *testing.T) {
+	// 20 irrelevant upsert/read pairs plus a 3-op violation: the
+	// minimized counterexample must not contain the noise.
+	var h []Op
+	ts := int64(1)
+	next := func() int64 { ts++; return ts }
+	for i := 0; i < 20; i++ {
+		ui, uo := upsert(1, uint64(i))
+		c := next()
+		h = append(h, op(0, c, next(), ui, uo))
+		ri, ro := read(1, uint64(i))
+		c = next()
+		h = append(h, op(0, c, next(), ri, ro))
+	}
+	u1i, u1o := upsert(1, 100)
+	c := next()
+	h = append(h, op(0, c, next(), u1i, u1o))
+	ri, ro := read(1, 7) // stale: 7 was overwritten long ago
+	c = next()
+	h = append(h, op(1, c, next(), ri, ro))
+
+	r := CheckKV(h, time.Second)
+	if r.Outcome != Illegal {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	if len(r.Counterexample) > 4 {
+		t.Fatalf("minimized to %d ops, want <= 4:\n%s",
+			len(r.Counterexample), Format(KVModel(), r.Counterexample))
+	}
+}
+
+func TestCheckerScalesToWideConcurrency(t *testing.T) {
+	// 8 clients x 16 rmw(+1) each, fully overlapping windows, one final
+	// read of the exact sum: legal, and must finish fast thanks to the
+	// memoized state cache.
+	var h []Op
+	in := KVInput{Kind: KVRMW, Key: 1, Arg: 1}
+	for c := 0; c < 8; c++ {
+		for i := 0; i < 16; i++ {
+			h = append(h, op(c, int64(2*i+1), int64(2*i+1000), in, KVOutput{}))
+		}
+	}
+	ri, ro := read(1, 8*16)
+	h = append(h, op(9, 5000, 5001, ri, ro))
+	start := time.Now()
+	r := CheckKV(h, 10*time.Second)
+	if r.Outcome != Ok {
+		t.Fatalf("wide rmw history = %v", r.Outcome)
+	}
+	t.Logf("checked %d ops, %d states, in %v", len(h), r.States, time.Since(start))
+}
+
+func TestRecorderProducesWellFormedHistory(t *testing.T) {
+	rec := NewRecorder()
+	c0, c1 := rec.Client(0), rec.Client(1)
+	in, out := upsert(1, 1)
+	id := c0.Begin(in)
+	c0.End(id, out)
+	id2 := c1.Begin(KVInput{Kind: KVRead, Key: 1})
+	c1.End(id2, KVOutput{Found: true, Val: 1})
+	open := c0.Begin(KVInput{Kind: KVRMW, Key: 1, Arg: 1}) // never ends
+	_ = open
+	dropped := c1.Begin(KVInput{Kind: KVRead, Key: 1})
+	c1.Drop(dropped)
+
+	h := rec.History()
+	if len(h) != 3 {
+		t.Fatalf("history has %d ops, want 3 (dropped op filtered)", len(h))
+	}
+	seen := map[int64]bool{}
+	incomplete := 0
+	for _, op := range h {
+		if op.Call <= 0 || (op.Return != Incomplete && op.Return <= op.Call) {
+			t.Fatalf("bad timestamps: %+v", op)
+		}
+		if seen[op.Call] {
+			t.Fatalf("duplicate timestamp %d", op.Call)
+		}
+		seen[op.Call] = true
+		if op.Return == Incomplete {
+			incomplete++
+		}
+	}
+	if incomplete != 1 {
+		t.Fatalf("incomplete ops = %d, want 1", incomplete)
+	}
+	if r := CheckKV(h, time.Second); r.Outcome != Ok {
+		t.Fatalf("recorded history = %v", r.Outcome)
+	}
+}

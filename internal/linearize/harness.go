@@ -1,0 +1,257 @@
+package linearize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/faster"
+)
+
+// The harness drives seeded pseudo-random concurrent workloads against a
+// faster.Store, recording every Read/Upsert/RMW/Delete invoke/response
+// pair (including operations that go Pending and complete later via
+// CompletePending) into a history the checker can verify. Values are the
+// 8-byte counters of faster.SumOps.
+
+// Workload describes one concurrent run.
+type Workload struct {
+	// Clients is the number of concurrent sessions (default 4).
+	Clients int
+	// Ops is the number of operations each client issues (default 64).
+	Ops int
+	// Keys is the size of the key space; keys are drawn uniformly from
+	// [1, Keys] (default 4). Keep Clients*Ops/Keys comfortably under the
+	// checker's 256-op partition limit.
+	Keys uint64
+	// Seed makes the schedule reproducible; client i derives its own rng
+	// from Seed+i.
+	Seed int64
+	// ReadPct, UpsertPct, RMWPct and DeletePct weight the op mix; all
+	// zero selects 40/25/25/10.
+	ReadPct, UpsertPct, RMWPct, DeletePct int
+	// RMWMax bounds the random RMW delta, drawn from [1, RMWMax]
+	// (default 100). The mutation gate raises it past 1<<32 so a torn
+	// 64-bit write changes both halves of the counter.
+	RMWMax uint64
+	// PendingBatch is how many operations may be in flight before the
+	// client drains completions (default 4). Batching is what lets
+	// pending I/Os and fuzzy deferrals overlap with later operations.
+	PendingBatch int
+	// Chaos, if non-nil, runs on its own goroutine for the duration of
+	// the workload (read-only shifts, index growth, ...). It must return
+	// promptly when stop closes. The goroutine holds no session.
+	Chaos func(stop <-chan struct{})
+	// Interleave, if non-nil, is called by every client goroutine before
+	// its n-th operation (n counts from 0). Unlike Chaos it is
+	// synchronous with the schedule, so triggers it fires (read-only
+	// shifts, flush kicks) interleave with operations by construction
+	// rather than by racing the clock. It runs on a session goroutine:
+	// it must not call anything that requires holding no session (e.g.
+	// GrowIndex).
+	Interleave func(client, n int)
+}
+
+func (w *Workload) defaults() {
+	if w.Clients == 0 {
+		w.Clients = 4
+	}
+	if w.Ops == 0 {
+		w.Ops = 64
+	}
+	if w.Keys == 0 {
+		w.Keys = 4
+	}
+	if w.ReadPct+w.UpsertPct+w.RMWPct+w.DeletePct == 0 {
+		w.ReadPct, w.UpsertPct, w.RMWPct, w.DeletePct = 40, 25, 25, 10
+	}
+	if w.PendingBatch == 0 {
+		w.PendingBatch = 4
+	}
+	if w.RMWMax == 0 {
+		w.RMWMax = 100
+	}
+}
+
+// RunWorkload executes the workload against store and returns the
+// recorded history. The recorder is returned too so callers can extend
+// the history on the same clock (checkpoint/recover scenarios).
+func RunWorkload(store *faster.Store, w Workload) ([]Op, *Recorder) {
+	w.defaults()
+	rec := NewRecorder()
+	RecordWorkload(store, rec, w)
+	return rec.History(), rec
+}
+
+// RecordWorkload runs the workload, recording into rec (which may
+// already hold history from an earlier phase on the same clock).
+func RecordWorkload(store *faster.Store, rec *Recorder, w Workload) {
+	w.defaults()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	if w.Chaos != nil {
+		chaos := w.Chaos
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chaos(stop)
+		}()
+	}
+	var clients sync.WaitGroup
+	for i := 0; i < w.Clients; i++ {
+		clients.Add(1)
+		go func(id int) {
+			defer clients.Done()
+			runClient(store, id, rec.Client(id), rand.New(rand.NewSource(w.Seed+int64(id))), w)
+		}(i)
+	}
+	clients.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// pendingCtx travels through the store as the operation's user context
+// and comes back on the Result, matching the completion to its history
+// entry. out is the read's output buffer.
+type pendingCtx struct {
+	id  OpID
+	out []byte
+}
+
+// runClient issues one session's operations, recording each into log.
+func runClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
+	sess := store.StartSession()
+	inFlight := 0
+
+	drain := func(wait bool) {
+		for _, res := range sess.CompletePending(wait) {
+			pc, ok := res.Ctx.(*pendingCtx)
+			if !ok {
+				continue // not one of ours (defensive)
+			}
+			inFlight--
+			finishPending(log, pc, res)
+		}
+	}
+
+	total := w.ReadPct + w.UpsertPct + w.RMWPct + w.DeletePct
+	for n := 0; n < w.Ops; n++ {
+		if w.Interleave != nil {
+			w.Interleave(clientID, n)
+		}
+		k := uint64(rng.Int63n(int64(w.Keys))) + 1
+		key := make([]byte, 8)
+		binary.LittleEndian.PutUint64(key, k)
+		roll := rng.Intn(total)
+		switch {
+		case roll < w.ReadPct:
+			out := make([]byte, 8)
+			id := log.Begin(KVInput{Kind: KVRead, Key: k})
+			st, err := sess.Read(key, nil, out, &pendingCtx{id: id, out: out})
+			switch {
+			case st == faster.Pending:
+				inFlight++
+			case st == faster.OK:
+				log.End(id, KVOutput{Found: true, Val: binary.LittleEndian.Uint64(out)})
+			case st == faster.NotFound:
+				log.End(id, KVOutput{})
+			case err != nil || st == faster.Err:
+				// The read observed nothing and changed nothing.
+				log.Drop(id)
+			}
+		case roll < w.ReadPct+w.UpsertPct:
+			v := rng.Uint64()%1000 + 1
+			id := log.Begin(KVInput{Kind: KVUpsert, Key: k, Arg: v})
+			st, _ := sess.Upsert(key, u64le(v))
+			if st == faster.OK {
+				log.End(id, KVOutput{Found: true})
+			}
+			// On Err the write may or may not have taken effect: leave
+			// the op incomplete, which permits both.
+		case roll < w.ReadPct+w.UpsertPct+w.RMWPct:
+			d := rng.Uint64()%w.RMWMax + 1
+			id := log.Begin(KVInput{Kind: KVRMW, Key: k, Arg: d})
+			st, _ := sess.RMW(key, u64le(d), &pendingCtx{id: id})
+			switch st {
+			case faster.Pending:
+				inFlight++
+			case faster.OK:
+				log.End(id, KVOutput{})
+			}
+		default:
+			id := log.Begin(KVInput{Kind: KVDelete, Key: k})
+			st, _ := sess.Delete(key)
+			switch st {
+			case faster.OK:
+				log.End(id, KVOutput{Found: true})
+			case faster.NotFound:
+				log.End(id, KVOutput{})
+			}
+		}
+		if inFlight >= w.PendingBatch {
+			drain(true)
+		} else if inFlight > 0 && rng.Intn(4) == 0 {
+			drain(false)
+		}
+	}
+	drain(true)
+	sess.Close()
+}
+
+// finishPending records the completion of an asynchronous operation.
+func finishPending(log *ClientLog, pc *pendingCtx, res faster.Result) {
+	switch res.Kind {
+	case "read", "read-merge":
+		switch res.Status {
+		case faster.OK:
+			out := res.Output
+			if out == nil {
+				out = pc.out
+			}
+			log.End(pc.id, KVOutput{Found: true, Val: binary.LittleEndian.Uint64(out)})
+		case faster.NotFound:
+			log.End(pc.id, KVOutput{})
+		default:
+			log.Drop(pc.id) // failed read: observed nothing
+		}
+	case "rmw", "rmw-retry", "rmw-verify":
+		if res.Status == faster.OK {
+			log.End(pc.id, KVOutput{})
+		}
+		// Err: leave incomplete (the update may have been published).
+	default:
+		panic(fmt.Sprintf("linearize: unexpected pending result kind %q", res.Kind))
+	}
+}
+
+func u64le(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// MarkCrashWindow rewrites a pre-crash history for a checkpoint/recover
+// check: every operation whose response was observed at or after
+// checkpointStart (the recorder timestamp drawn just before Checkpoint
+// was invoked) is re-marked Incomplete, because the checkpoint's t2 cut
+// may or may not contain its effect. Operations acknowledged before the
+// checkpoint began are strictly below t2 on the log and must survive.
+//
+// Post-recovery observations are then appended on the same recorder
+// clock; checking the combined history verifies the recovered state is a
+// prefix-consistent cut of some linearization, per key. (Cross-key cut
+// atomicity is not asserted — per-key partitioning cannot see it — which
+// matches the store's guarantee: the cut point t2 is a single log
+// address, but per-key verification is what stays tractable.)
+func MarkCrashWindow(history []Op, checkpointStart int64) []Op {
+	out := make([]Op, len(history))
+	for i, op := range history {
+		if op.Return >= checkpointStart {
+			op.Return = Incomplete
+			op.Output = nil
+		}
+		out[i] = op
+	}
+	return out
+}

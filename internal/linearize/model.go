@@ -1,0 +1,170 @@
+package linearize
+
+import (
+	"fmt"
+	"time"
+)
+
+// The store's sequential specification, per key: a register that holds a
+// uint64 (absent until created), with the four operations the harness
+// drives. Values are the 8-byte counters of faster.SumOps, so Upsert
+// stores, RMW adds, Read observes, Delete removes — and the NotFound /
+// OK statuses of Read and Delete are observations the linearization must
+// explain, not just the values.
+
+// KVKind enumerates the store operations the model understands.
+type KVKind int
+
+const (
+	KVRead KVKind = iota
+	KVUpsert
+	KVRMW
+	KVDelete
+)
+
+func (k KVKind) String() string {
+	switch k {
+	case KVRead:
+		return "read"
+	case KVUpsert:
+		return "upsert"
+	case KVRMW:
+		return "rmw+"
+	case KVDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("KVKind(%d)", int(k))
+	}
+}
+
+// KVInput is the invocation half of a store operation.
+type KVInput struct {
+	Kind KVKind
+	Key  uint64
+	// Arg is the upsert value or the RMW addend.
+	Arg uint64
+}
+
+// KVOutput is the response half. Found reports OK vs NotFound (reads and
+// deletes); Val is the value a read observed.
+type KVOutput struct {
+	Found bool
+	Val   uint64
+}
+
+// kvState is one key's sequential state.
+type kvState struct {
+	exists bool
+	val    uint64
+}
+
+// KVModel returns the per-key counter specification.
+func KVModel() Model {
+	return Model{
+		Name: "kv-counter",
+		Init: func() any { return kvState{} },
+		Step: func(state, input, output any) (bool, any) {
+			st := state.(kvState)
+			in := input.(KVInput)
+			out, observed := output.(KVOutput)
+			// A nil output is an operation whose response was never
+			// observed (incomplete). It is free to linearize against any
+			// state; only its state transition matters.
+			switch in.Kind {
+			case KVRead:
+				if !observed {
+					return true, st
+				}
+				if out.Found != st.exists {
+					return false, st
+				}
+				if st.exists && out.Val != st.val {
+					return false, st
+				}
+				return true, st
+			case KVUpsert:
+				return true, kvState{exists: true, val: in.Arg}
+			case KVRMW:
+				if st.exists {
+					return true, kvState{exists: true, val: st.val + in.Arg}
+				}
+				return true, kvState{exists: true, val: in.Arg}
+			case KVDelete:
+				// Delete's OK is blind: when the key's hash chain
+				// descends to storage the store appends a tombstone
+				// without proving the key exists (a tag-colliding chain
+				// suffices), so OK carries no existence information.
+				// NOT_FOUND, by contrast, is only returned on proof of
+				// absence and is a real observation.
+				if observed && !out.Found && st.exists {
+					return false, st
+				}
+				return true, kvState{}
+			default:
+				return false, st
+			}
+		},
+		Key: func(state any) string {
+			st := state.(kvState)
+			if !st.exists {
+				return "-"
+			}
+			return fmt.Sprintf("%d", st.val)
+		},
+		Partition: PartitionByKey,
+		Describe: func(input, output any) string {
+			in := input.(KVInput)
+			out, complete := output.(KVOutput)
+			res := "?"
+			if complete {
+				switch {
+				case in.Kind == KVRead && out.Found:
+					res = fmt.Sprintf("OK(%d)", out.Val)
+				case in.Kind == KVRead || in.Kind == KVDelete:
+					if out.Found {
+						res = "OK"
+					} else {
+						res = "NOT_FOUND"
+					}
+				default:
+					res = "OK"
+				}
+			}
+			switch in.Kind {
+			case KVUpsert:
+				return fmt.Sprintf("upsert(k%d, %d) -> %s", in.Key, in.Arg, res)
+			case KVRMW:
+				return fmt.Sprintf("rmw(k%d, +%d) -> %s", in.Key, in.Arg, res)
+			case KVRead:
+				return fmt.Sprintf("read(k%d) -> %s", in.Key, res)
+			default:
+				return fmt.Sprintf("delete(k%d) -> %s", in.Key, res)
+			}
+		},
+	}
+}
+
+// PartitionByKey splits a history of KVInput operations into independent
+// per-key sub-histories.
+func PartitionByKey(ops []Op) [][]Op {
+	byKey := map[uint64][]Op{}
+	var keys []uint64
+	for _, op := range ops {
+		k := op.Input.(KVInput).Key
+		if _, seen := byKey[k]; !seen {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], op)
+	}
+	parts := make([][]Op, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, byKey[k])
+	}
+	return parts
+}
+
+// CheckKV is Check with the KV model and a counterexample-bearing error
+// message, the common call in store tests.
+func CheckKV(history []Op, timeout time.Duration) Result {
+	return Check(KVModel(), history, timeout)
+}

@@ -1,0 +1,93 @@
+package linearize
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder collects invoke/response events from concurrent clients into
+// a single history, ordered by a shared logical clock. Each client owns
+// a private event log (no contention beyond the clock increment); Merge
+// combines them after the run.
+type Recorder struct {
+	clock   atomic.Int64
+	mu      sync.Mutex
+	clients []*ClientLog
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Now draws the next logical timestamp. Every call returns a distinct,
+// strictly increasing value, so histories never contain ties.
+func (r *Recorder) Now() int64 { return r.clock.Add(1) }
+
+// Peek returns the current clock value without advancing it — a progress
+// signal for chaos goroutines that want to fire mid-workload.
+func (r *Recorder) Peek() int64 { return r.clock.Load() }
+
+// Client registers a new client log. id labels the ops it records.
+func (r *Recorder) Client(id int) *ClientLog {
+	c := &ClientLog{rec: r, id: id}
+	r.mu.Lock()
+	r.clients = append(r.clients, c)
+	r.mu.Unlock()
+	return c
+}
+
+// History merges all client logs. Ops still open (Begin without End) are
+// recorded as Incomplete. Not safe to call concurrently with recording.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ops []Op
+	for _, c := range r.clients {
+		for _, op := range c.ops {
+			if op.Input == nil { // Drop tombstone
+				continue
+			}
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// ClientLog records one client's operations. Exactly one goroutine may
+// drive a ClientLog, mirroring the session contract.
+type ClientLog struct {
+	rec *Recorder
+	id  int
+	ops []Op
+}
+
+// OpID names a Begin'd operation within its client log.
+type OpID int
+
+// Begin records an invoke event and returns a handle for End.
+func (c *ClientLog) Begin(input any) OpID {
+	c.ops = append(c.ops, Op{
+		ClientID: c.id,
+		Call:     c.rec.Now(),
+		Return:   Incomplete,
+		Input:    input,
+	})
+	return OpID(len(c.ops) - 1)
+}
+
+// End records the response event for id. The timestamp is drawn at call
+// time, so End must be called only after the operation's effect is
+// known (e.g. after CompletePending surfaced its Result).
+func (c *ClientLog) End(id OpID, output any) {
+	c.ops[id].Return = c.rec.Now()
+	c.ops[id].Output = output
+}
+
+// Drop removes a recorded operation from the history (an operation that
+// provably had no effect and observed nothing, e.g. a failed read).
+func (c *ClientLog) Drop(id OpID) {
+	c.ops[id].Input = nil // tombstone; filtered by History via Client merge
+	c.ops[id].Return = -1
+}
+
+// History returns this client's ops (recorded order).
+func (c *ClientLog) History() []Op { return c.ops }

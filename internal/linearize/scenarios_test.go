@@ -1,0 +1,313 @@
+package linearize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+)
+
+// The scenarios below replay seeded pseudo-random schedules against real
+// stores configured so that specific interleaving machinery is on the hot
+// path: the pure in-memory region, read-only copy-to-tail (RCU),
+// fuzzy-region RMW deferral, pending-I/O continuations on a faulty
+// device, concurrent index resize, and checkpoint/recover. Every history
+// must check linearizable. `make linearize` runs them under -race.
+
+const checkBudget = 20 * time.Second
+
+// seeds gives each scenario a few independent schedules. Keep the list
+// short: the Makefile budget covers seeds x scenarios under -race.
+var seeds = []int64{1, 42, 777}
+
+func checkHistory(t *testing.T, store *faster.Store, history []Op) {
+	t.Helper()
+	r := CheckKV(history, checkBudget)
+	switch r.Outcome {
+	case Illegal:
+		t.Fatalf("history is NOT linearizable (partition %d, %d states explored)\nminimized counterexample:\n%s",
+			r.Partition, r.States, Format(KVModel(), r.Counterexample))
+	case Unknown:
+		t.Fatalf("checker exceeded its %v budget (partition %d, longest prefix %d/%d)",
+			checkBudget, r.Partition, r.LongestPrefix, len(history))
+	}
+	if store != nil {
+		st := store.Stats()
+		t.Logf("ops=%d inPlace=%d appends=%d fuzzy=%d pendingIO=%d failedCAS=%d states=%d",
+			st.Operations, st.InPlace, st.Appends, st.FuzzyRMWs, st.PendingIOs, st.FailedCAS, r.States)
+	}
+}
+
+func openScenarioStore(t *testing.T, cfg faster.Config) *faster.Store {
+	t.Helper()
+	if cfg.Ops == nil {
+		cfg.Ops = faster.SumOps{}
+	}
+	if cfg.IndexBuckets == 0 {
+		cfg.IndexBuckets = 1 << 9
+	}
+	s, err := faster.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestLinearizableMemory exercises the pure in-memory allocator: every
+// update is in-place or an in-memory RCU, nothing flushes or evicts.
+func TestLinearizableMemory(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := openScenarioStore(t, faster.Config{
+				Mode:     hlog.ModeInMemory,
+				PageBits: 12,
+			})
+			h, _ := RunWorkload(s, Workload{
+				Clients: 6, Ops: 80, Keys: 5, Seed: seed,
+			})
+			checkHistory(t, s, h)
+		})
+	}
+}
+
+// TestLinearizableReadOnlyCopy keeps shifting the read-only offset to the
+// tail, so updates constantly land on read-only records and take the
+// copy-to-tail (RCU) path while readers race the copies.
+func TestLinearizableReadOnlyCopy(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := openScenarioStore(t, faster.Config{
+				Mode:        hlog.ModeHybrid,
+				PageBits:    12,
+				BufferPages: 8,
+				Device:      device.NewMem(device.MemConfig{}),
+			})
+			h, _ := RunWorkload(s, Workload{
+				Clients: 6, Ops: 80, Keys: 5, Seed: seed,
+				// Every client shifts the read-only offset to the tail
+				// every few operations, so updates keep landing on
+				// read-only records and must copy to the tail.
+				Interleave: func(client, n int) {
+					if n%4 == 0 {
+						s.Log().ShiftReadOnlyToTail()
+					}
+				},
+			})
+			if st := s.Stats(); st.Appends < 100 {
+				t.Errorf("scenario did not force copy-to-tail (stats: %+v)", st)
+			}
+			checkHistory(t, s, h)
+		})
+	}
+}
+
+// TestLinearizableFuzzyRMW drives an RMW-heavy mix while the read-only
+// offset races ahead of the safe read-only offset, forcing RMWs into the
+// fuzzy region where they must defer (opRMWRetry) rather than update a
+// record that might be mid-flush.
+func TestLinearizableFuzzyRMW(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := openScenarioStore(t, faster.Config{
+				Mode:        hlog.ModeHybrid,
+				PageBits:    12,
+				BufferPages: 8,
+				Device:      device.NewMem(device.MemConfig{}),
+				// A long refresh interval widens the window between the
+				// read-only shift and every session observing it — the
+				// fuzzy region lives in that window.
+				RefreshInterval: 1 << 20,
+			})
+			h, _ := RunWorkload(s, Workload{
+				Clients: 6, Ops: 80, Keys: 5, Seed: seed,
+				ReadPct: 20, UpsertPct: 8, RMWPct: 70, DeletePct: 2,
+				// Shifting from inside the schedule leaves the other
+				// five sessions unrefreshed, so the safe read-only
+				// offset trails the shift and their next RMWs land in
+				// the fuzzy region and must defer.
+				Interleave: func(client, n int) {
+					if n%8 == 0 {
+						s.Log().ShiftReadOnlyToTail()
+					}
+				},
+			})
+			if st := s.Stats(); st.FuzzyRMWs == 0 {
+				t.Errorf("scenario produced no fuzzy deferrals (stats: %+v)", st)
+			}
+			checkHistory(t, s, h)
+		})
+	}
+}
+
+// TestLinearizablePendingIO uses an append-only log with a tiny buffer
+// over a fault-injecting device, so every update appends, pages evict
+// constantly, and reads/RMWs chase records onto storage and complete
+// asynchronously — some after transparent retries of injected transient
+// faults, some failing outright (recorded as incomplete/no-ops).
+func TestLinearizablePendingIO(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dev := device.NewFaulty(device.NewMem(device.MemConfig{}))
+			dev.SeedFaults(uint64(seed), 0.05, 0)
+			s := openScenarioStore(t, faster.Config{
+				Mode:        hlog.ModeAppendOnly,
+				PageBits:    9, // 512-byte pages: records spill to storage fast
+				BufferPages: 4,
+				Device:      dev,
+			})
+			// The wide key space leaves keys cold long enough to evict
+			// before they are read again.
+			h, _ := RunWorkload(s, Workload{
+				Clients: 4, Ops: 150, Keys: 24, Seed: seed,
+				PendingBatch: 6,
+			})
+			if st := s.Stats(); st.PendingIOs == 0 {
+				t.Errorf("scenario did not exercise pending I/O (stats: %+v)", st)
+			}
+			checkHistory(t, s, h)
+		})
+	}
+}
+
+// TestLinearizableResize doubles the hash index repeatedly while traffic
+// runs, exercising the split-chain rehash against concurrent CAS
+// publishes.
+func TestLinearizableResize(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := openScenarioStore(t, faster.Config{
+				Mode:         hlog.ModeHybrid,
+				PageBits:     12,
+				BufferPages:  8,
+				Device:       device.NewMem(device.MemConfig{}),
+				IndexBuckets: 1 << 3, // tiny: long chains, real rehash work
+			})
+			rec := NewRecorder()
+			// Each grow fires once the recorder clock shows another
+			// quarter of the run's ~2*Clients*Ops events, so the grows
+			// interleave with live traffic regardless of how fast the
+			// schedule executes. (GrowIndex must run off-session, hence
+			// Chaos rather than Interleave.)
+			RecordWorkload(s, rec, Workload{
+				Clients: 6, Ops: 80, Keys: 5, Seed: seed,
+				Chaos: func(stop <-chan struct{}) {
+					events := int64(2 * 6 * 80)
+					for i := int64(1); i <= 4; i++ {
+						for rec.Peek() < i*events/5 {
+							select {
+							case <-stop:
+								return
+							default:
+								runtime.Gosched()
+							}
+						}
+						if err := s.GrowIndex(); err != nil {
+							t.Errorf("GrowIndex: %v", err)
+							return
+						}
+					}
+				},
+			})
+			checkHistory(t, s, rec.History())
+		})
+	}
+}
+
+// TestLinearizableCheckpointRecover takes a checkpoint in the middle of
+// concurrent traffic, "crashes" (abandons the store), recovers from the
+// checkpoint directory and the surviving device, and verifies the
+// recovered state is a prefix-consistent cut of some linearization:
+// everything acknowledged before the checkpoint began must survive;
+// operations in flight across it may land on either side.
+func TestLinearizableCheckpointRecover(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dev := device.NewMem(device.MemConfig{})
+			dir := t.TempDir()
+			cfg := faster.Config{
+				Mode:        hlog.ModeHybrid,
+				PageBits:    12,
+				BufferPages: 8,
+				Device:      dev,
+				Ops:         faster.SumOps{},
+			}
+			s, err := faster.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rec := NewRecorder()
+			var ckptStart int64
+			ckptDone := make(chan error, 1)
+			RecordWorkload(s, rec, Workload{
+				Clients: 4, Ops: 80, Keys: 5, Seed: seed,
+				Chaos: func(stop <-chan struct{}) {
+					// Fire mid-workload: wait until the recorder clock
+					// shows roughly a third of the run's events. If the
+					// workload outruns us the checkpoint still commits
+					// after the last op, which only strengthens the check
+					// (everything must survive).
+					for rec.Peek() < 4*80*2/3 {
+						select {
+						case <-stop:
+							goto checkpoint
+						default:
+							runtime.Gosched()
+						}
+					}
+				checkpoint:
+					ckptStart = rec.Now()
+					_, err := s.Checkpoint(dir)
+					ckptDone <- err
+				},
+			})
+			if err := <-ckptDone; err != nil {
+				t.Fatal(err)
+			}
+			pre := MarkCrashWindow(rec.History(), ckptStart)
+			s.Close() // the "crash": recovery trusts only the checkpoint cut
+
+			r, err := faster.Recover(cfg, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			// Observe the recovered state of every key, on the same
+			// logical clock (all post-crash timestamps sort last).
+			c := rec.Client(99)
+			sess := r.StartSession()
+			for k := uint64(1); k <= 5; k++ {
+				key := make([]byte, 8)
+				binary.LittleEndian.PutUint64(key, k)
+				out := make([]byte, 8)
+				id := c.Begin(KVInput{Kind: KVRead, Key: k})
+				st, err := sess.Read(key, nil, out, nil)
+				if st == faster.Pending {
+					results := sess.CompletePending(true)
+					if len(results) != 1 {
+						t.Fatalf("CompletePending: %d results", len(results))
+					}
+					st, err = results[0].Status, results[0].Err
+				}
+				switch st {
+				case faster.OK:
+					c.End(id, KVOutput{Found: true, Val: binary.LittleEndian.Uint64(out)})
+				case faster.NotFound:
+					c.End(id, KVOutput{})
+				default:
+					t.Fatalf("post-recovery read of key %d: %v %v", k, st, err)
+				}
+			}
+			sess.Close()
+
+			checkHistory(t, r, append(pre, c.History()...))
+		})
+	}
+}

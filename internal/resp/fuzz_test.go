@@ -1,0 +1,178 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzLimits are deliberately small so the fuzzer reaches the limit
+// branches (MaxArgs, MaxBulk, MaxInline) with short inputs.
+var fuzzLimits = Limits{MaxArgs: 64, MaxBulk: 4096, MaxInline: 1024}
+
+// classified reports whether err belongs to one of the reader's declared
+// failure families. Anything else escaping the parser is a bug: callers
+// branch on these to decide between "drop the connection" and "reply
+// with an error".
+func classified(err error) bool {
+	return errors.Is(err, ErrProtocol) || errors.Is(err, ErrTooLarge) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// FuzzReadCommand feeds arbitrary bytes to the command parser (both the
+// array form and the inline form): it must never panic, every failure
+// must be a classified error, and every accepted command must re-encode
+// and re-parse to the same argument vector.
+func FuzzReadCommand(f *testing.F) {
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"))
+	f.Add([]byte("GET k\r\n"))
+	f.Add([]byte("  \r\nPING\r\n")) // blank inline line skipped
+	f.Add([]byte("*0\r\n"))
+	f.Add([]byte("*2\r\n$-1\r\n$1\r\nx\r\n")) // null bulk inside a command
+	f.Add([]byte("*65\r\n"))                  // over MaxArgs
+	f.Add([]byte("$5\r\nhello\r\n"))
+	f.Add([]byte("*1\r\n$4096\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReaderLimits(bytes.NewReader(data), fuzzLimits)
+		args, err := r.ReadCommand()
+		if err != nil {
+			if !classified(err) {
+				t.Fatalf("unclassified parse error: %v", err)
+			}
+			return
+		}
+		if len(args) > fuzzLimits.MaxArgs {
+			t.Fatalf("parser returned %d args past MaxArgs=%d", len(args), fuzzLimits.MaxArgs)
+		}
+		for _, a := range args {
+			if len(a) > fuzzLimits.MaxBulk && len(a) > fuzzLimits.MaxInline {
+				t.Fatalf("parser returned a %d-byte argument past the limits", len(a))
+			}
+		}
+		// Round-trip: the canonical re-encoding must parse back to the
+		// same argument vector.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteCommand(args...); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := NewReaderLimits(bytes.NewReader(buf.Bytes()), fuzzLimits).ReadCommand()
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", buf.Bytes(), err)
+		}
+		if len(again) != len(args) {
+			t.Fatalf("round-trip arg count %d != %d", len(again), len(args))
+		}
+		for i := range args {
+			if !bytes.Equal(again[i], args[i]) {
+				t.Fatalf("round-trip arg %d: %q != %q", i, again[i], args[i])
+			}
+		}
+	})
+}
+
+// writeValue re-encodes a parsed reply through the Writer.
+func writeValue(w *Writer, v Value) error {
+	switch v.Kind {
+	case SimpleString:
+		return w.WriteSimple(string(v.Str))
+	case Error:
+		return w.WriteError(string(v.Str))
+	case Integer:
+		return w.WriteInt(v.Int)
+	case BulkString:
+		return w.WriteBulk(v.Str)
+	case Nil:
+		return w.WriteNil()
+	case Array:
+		if err := w.WriteArrayHeader(len(v.Elems)); err != nil {
+			return err
+		}
+		for _, e := range v.Elems {
+			if err := writeValue(w, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return errors.New("unknown kind")
+	}
+}
+
+func valuesEqual(a, b Value) bool {
+	if a.Kind != b.Kind || a.Int != b.Int || !bytes.Equal(a.Str, b.Str) ||
+		len(a.Elems) != len(b.Elems) {
+		return false
+	}
+	for i := range a.Elems {
+		if !valuesEqual(a.Elems[i], b.Elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// lineSafe reports whether every line-framed payload in v survives
+// re-encoding byte-for-byte. WriteError replaces CR/LF to preserve
+// framing, and a simple string containing a bare CR would change the
+// parse, so those values round-trip only semantically, not literally.
+func lineSafe(v Value) bool {
+	switch v.Kind {
+	case SimpleString, Error:
+		return !bytes.ContainsAny(v.Str, "\r\n")
+	case Array:
+		for _, e := range v.Elems {
+			if !lineSafe(e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzReadReply feeds arbitrary bytes to the reply parser: no panics, no
+// unclassified errors, bounded recursion, and accepted replies re-encode
+// to an equal value.
+func FuzzReadReply(f *testing.F) {
+	f.Add([]byte("+OK\r\n"))
+	f.Add([]byte("-ERR nope\r\n"))
+	f.Add([]byte(":42\r\n"))
+	f.Add([]byte("$5\r\nhello\r\n"))
+	f.Add([]byte("$-1\r\n"))
+	f.Add([]byte("*2\r\n:1\r\n$1\r\nx\r\n"))
+	f.Add([]byte("*-1\r\n"))
+	f.Add(bytes.Repeat([]byte("*1\r\n"), 20)) // nesting past maxReplyDepth
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReaderLimits(bytes.NewReader(data), fuzzLimits)
+		v, err := r.ReadReply()
+		if err != nil {
+			if !classified(err) {
+				t.Fatalf("unclassified parse error: %v", err)
+			}
+			return
+		}
+		if !lineSafe(v) {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := writeValue(w, v); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := NewReaderLimits(bytes.NewReader(buf.Bytes()), fuzzLimits).ReadReply()
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", buf.Bytes(), err)
+		}
+		if !valuesEqual(v, again) {
+			t.Fatalf("round-trip mismatch: %+v != %+v (encoding %q)", v, again, buf.Bytes())
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayClampsDegenerateInputs pins the normalization rules: retry
+// numbers below 1, multipliers below 1, and jitter fractions outside
+// [0, 1] must all clamp rather than produce nonsense delays.
+func TestDelayClampsDegenerateInputs(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, Multiplier: 2}
+	if got, want := p.Delay(0), p.Delay(1); got != want {
+		t.Fatalf("Delay(0)=%v, want Delay(1)=%v", got, want)
+	}
+	if got, want := p.Delay(-5), p.Delay(1); got != want {
+		t.Fatalf("Delay(-5)=%v, want Delay(1)=%v", got, want)
+	}
+
+	// Multiplier below 1 normalizes to doubling, never a shrinking ladder.
+	shrink := Policy{BaseDelay: time.Millisecond, Multiplier: 0.5}
+	if d1, d2 := shrink.Delay(1), shrink.Delay(2); d2 != 2*d1 {
+		t.Fatalf("Multiplier<1: Delay(2)=%v, want %v (doubling)", d2, 2*d1)
+	}
+
+	// JitterFrac outside [0, 1] clamps: 2.0 behaves like 1.0 (delays in
+	// [0, 2d]), -1 like 0 (no jitter).
+	wild := Policy{BaseDelay: time.Millisecond, JitterFrac: 2}
+	for i := 0; i < 200; i++ {
+		if d := wild.Delay(1); d < 0 || d > 2*time.Millisecond {
+			t.Fatalf("JitterFrac=2 delay %v outside [0, 2ms]", d)
+		}
+	}
+	flat := Policy{BaseDelay: time.Millisecond, JitterFrac: -1}
+	for i := 0; i < 20; i++ {
+		if d := flat.Delay(1); d != time.Millisecond {
+			t.Fatalf("JitterFrac=-1 delay %v, want exactly 1ms", d)
+		}
+	}
+}
+
+// TestDelayJitterBoundsAcrossLadder checks the ±JitterFrac envelope at
+// every rung of the backoff ladder, not just the first.
+func TestDelayJitterBoundsAcrossLadder(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, MaxDelay: 64 * time.Millisecond, Multiplier: 2, JitterFrac: 0.25}
+	for retryNo := 1; retryNo <= 8; retryNo++ {
+		base := float64(time.Millisecond) * float64(int(1)<<(retryNo-1))
+		if capd := float64(64 * time.Millisecond); base > capd {
+			base = capd
+		}
+		lo, hi := time.Duration(0.75*base), time.Duration(1.25*base)
+		for i := 0; i < 100; i++ {
+			if d := p.Delay(retryNo); d < lo || d > hi {
+				t.Fatalf("Delay(%d)=%v outside [%v, %v]", retryNo, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestDelayUncappedGrowth confirms MaxDelay==0 really means unbounded
+// exponential growth.
+func TestDelayUncappedGrowth(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, Multiplier: 2}
+	if got, want := p.Delay(11), 1024*time.Millisecond; got != want {
+		t.Fatalf("Delay(11)=%v, want %v", got, want)
+	}
+}
+
+// TestDefaultsAreSane pins the store default policies: both retry, both
+// back off, both bound the worst-case delay.
+func TestDefaultsAreSane(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Policy
+	}{{"read", DefaultRead()}, {"write", DefaultWrite()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.p.Attempts() < 2 {
+				t.Fatalf("default policy never retries: %+v", tc.p)
+			}
+			if tc.p.MaxDelay == 0 {
+				t.Fatalf("default policy has unbounded backoff: %+v", tc.p)
+			}
+			if tc.p.JitterFrac <= 0 {
+				t.Fatalf("default policy has no jitter (retry storms sync up): %+v", tc.p)
+			}
+			// Worst case: cap plus full jitter.
+			worst := time.Duration(float64(tc.p.MaxDelay) * (1 + tc.p.JitterFrac))
+			for i := 1; i <= tc.p.Attempts(); i++ {
+				if d := tc.p.Delay(i); d > worst {
+					t.Fatalf("Delay(%d)=%v beyond worst case %v", i, d, worst)
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustedWrapping pins the error-chain contract: the wrapper
+// preserves errors.Is/errors.As to the cause, Exhausted(nil) is nil, and
+// IsExhausted sees through further wrapping.
+func TestExhaustedWrapping(t *testing.T) {
+	if Exhausted(classify, nil, 3) != nil {
+		t.Fatal("Exhausted(nil) != nil")
+	}
+	err := Exhausted(classify, errDead, 2)
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 2 || ex.Class != Permanent {
+		t.Fatalf("Exhausted = %#v", err)
+	}
+	if !errors.Is(err, errDead) {
+		t.Fatal("cause lost through ExhaustedError")
+	}
+	wrapped := errors.Join(errors.New("outer context"), err)
+	if !IsExhausted(wrapped) {
+		t.Fatal("IsExhausted lost through errors.Join")
+	}
+	if IsExhausted(errDead) {
+		t.Fatal("IsExhausted on a bare cause")
+	}
+}

@@ -214,21 +214,15 @@ func TestServerConnectionCap(t *testing.T) {
 
 	// Dropping the first connection frees the slot.
 	c1.Close()
-	deadline := time.Now().Add(2 * time.Second)
-	for {
+	testutil.WaitUntil(t, 2*time.Second, func() bool {
 		c3, err := resp.Dial(srv.Addr())
-		if err == nil {
-			v, err := c3.Do([]byte("PING"))
-			c3.Close()
-			if err == nil && v.Kind == resp.SimpleString {
-				break
-			}
+		if err != nil {
+			return false
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("slot never freed after close")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+		v, err := c3.Do([]byte("PING"))
+		c3.Close()
+		return err == nil && v.Kind == resp.SimpleString
+	}, "slot to free after close")
 }
 
 func TestServerIdleEviction(t *testing.T) {
@@ -245,13 +239,9 @@ func TestServerIdleEviction(t *testing.T) {
 	if _, err := conn.Read(make([]byte, 1)); err == nil {
 		t.Fatal("idle connection not evicted")
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for srv.Metrics().DeadlineEvictions == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("eviction not counted")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitUntil(t, 2*time.Second,
+		func() bool { return srv.Metrics().DeadlineEvictions > 0 },
+		"eviction to be counted")
 }
 
 func TestServerPanicRecovery(t *testing.T) {
@@ -265,13 +255,9 @@ func TestServerPanicRecovery(t *testing.T) {
 	if _, err := c1.Do([]byte("BOOM")); err == nil {
 		t.Fatal("poisoned command got a reply")
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for srv.Metrics().Panics == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("panic not counted")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.WaitUntil(t, 2*time.Second,
+		func() bool { return srv.Metrics().Panics > 0 },
+		"panic to be counted")
 
 	// ...and the server keeps serving everyone else.
 	c2 := dialT(t, srv)

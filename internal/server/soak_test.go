@@ -106,13 +106,9 @@ func soakOverload(t *testing.T) {
 	if err := w1.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Metrics().InflightDepth == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("cold GET never occupied the admission token")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second,
+		func() bool { return srv.Metrics().InflightDepth > 0 },
+		"cold GET to occupy the admission token")
 
 	// A second client must be shed immediately, not queued.
 	c2, err := resp.Dial(srv.Addr())
@@ -322,13 +318,9 @@ func soakDrain(t *testing.T) {
 	if _, err := stall.Write([]byte("*3\r\n$3\r\nSET\r\n$9\r\nstall-key\r\n$5\r\nhe")); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Metrics().DeadlineEvictions == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("slowloris client never evicted")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second,
+		func() bool { return srv.Metrics().DeadlineEvictions > 0 },
+		"slowloris client to be evicted")
 
 	wg.Wait()
 	if err := srv.Close(); err != nil {

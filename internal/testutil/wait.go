@@ -1,0 +1,45 @@
+package testutil
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// WaitUntil polls cond until it returns true, failing t if timeout
+// elapses first. It is the sanctioned way for tests to wait on
+// asynchronous state (a metric crossing a threshold, a background
+// goroutine finishing): unlike a bare time.Sleep it is deterministic on
+// success — the test proceeds the moment the condition holds — and
+// reports what it was waiting for on failure. See DESIGN.md, "Testing
+// strategy": sleeps in tests are reserved for negative assertions over a
+// bounded window and for injected chaos timing, never for
+// synchronization.
+func WaitUntil(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if !Eventually(timeout, cond) {
+		t.Fatalf("timed out after %v waiting for %s", timeout, fmt.Sprintf(format, args...))
+	}
+}
+
+// Eventually is the non-fatal form of WaitUntil: it polls cond until it
+// returns true or timeout elapses, and reports whether the condition was
+// met. Use it when the caller needs to run cleanup before failing.
+func Eventually(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	// Back off geometrically: fast enough to catch quick transitions,
+	// cheap enough to poll for seconds.
+	interval := 100 * time.Microsecond
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(interval)
+		if interval < 5*time.Millisecond {
+			interval *= 2
+		}
+	}
+}

@@ -19,3 +19,13 @@ FASTER_TORTURE_POINTS=100 go test -race -run TestCrashRecoveryTorture -count=1 .
 # the RESP front-end under the race detector, asserting zero leaked
 # goroutines (the network fault-domain acceptance gate).
 go test -race -run TestServerChaosSoak -count=1 ./internal/server/
+
+# Linearizability scenario matrix: seeded concurrent schedules across
+# the store's hot paths, history-checked under the race detector.
+go test -race -run 'TestLinearizable' -count=1 -timeout 300s ./internal/linearize/
+
+# Fuzz smoke over the wire codecs: a few seconds per target beyond the
+# committed seed corpora. `make fuzz` / `make verify` run longer.
+go test -fuzz FuzzReadCommand -fuzztime 5s -run '^$' ./internal/resp/
+go test -fuzz FuzzReadReply -fuzztime 5s -run '^$' ./internal/resp/
+go test -fuzz FuzzVarLenFraming -fuzztime 5s -run '^$' ./internal/faster/
