@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench fmt
+.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench bench-paper fmt
 
 build:
 	$(GO) build ./...
@@ -50,7 +50,16 @@ check:
 verify:
 	./scripts/verify.sh
 
+# Hot-path micro-benchmarks (single-op vs batched, -cpu 1,4,16) with a
+# machine-readable report: BENCH_05.json gets ns/op, ops/sec, allocs/op
+# per scenario and the batched-vs-single speedup ratios.
 bench:
+	$(GO) test -run '^$$' -bench 'U64$$' -benchmem -cpu 1,4,16 -count=1 \
+		./internal/faster/ | $(GO) run ./cmd/benchreport -out BENCH_05.json
+
+# The paper-figure experiment micro-benchmarks (see cmd/faster-bench for
+# the full tables).
+bench-paper:
 	$(GO) test -bench=. -benchmem ./internal/bench/
 
 fmt:

@@ -1,0 +1,151 @@
+// Command benchreport turns `go test -bench` output into a JSON report.
+// It echoes its stdin through unchanged (so `make bench` stays watchable)
+// while parsing every benchmark result line, then writes one JSON file
+// with ns/op, ops/sec, and allocs/op per scenario plus the batched-vs-
+// single-op speedups the hot-path work is gated on.
+//
+// Usage:
+//
+//	go test -run '^$' -bench U64 -benchmem -cpu 1,4,16 ./internal/faster/ |
+//	    go run ./cmd/benchreport -out BENCH_05.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type scenario struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Batch       int     `json:"batch"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Note      string             `json:"note"`
+	Scenarios []scenario         `json:"scenarios"`
+	Speedups  map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_05.json", "JSON report path")
+	flag.Parse()
+
+	var scenarios []scenario
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			failed = true
+		}
+		if s, ok := parseBenchLine(line); ok {
+			scenarios = append(scenarios, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if failed {
+		fatal("benchmark run failed; no report written")
+	}
+	if len(scenarios) == 0 {
+		fatal("no benchmark result lines found on stdin")
+	}
+
+	rep := report{
+		Note:      "ns_per_op and allocs_per_op are per operation (batched scenarios already divide by the ops in each window)",
+		Scenarios: scenarios,
+		Speedups:  speedups(scenarios),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Printf("benchreport: wrote %s (%d scenarios)\n", *out, len(scenarios))
+}
+
+// parseBenchLine parses one `go test -bench -benchmem` result line:
+//
+//	BenchmarkReadU64-16   5226902   221.4 ns/op   0 B/op   0 allocs/op
+//
+// (the "-16" proc suffix is absent when the benchmark ran at -cpu 1).
+func parseBenchLine(line string) (scenario, bool) {
+	f := strings.Fields(line)
+	if len(f) < 8 || !strings.HasPrefix(f[0], "Benchmark") ||
+		f[3] != "ns/op" || f[5] != "B/op" || f[7] != "allocs/op" {
+		return scenario{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs, name = p, name[:i]
+		}
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	bytes, err3 := strconv.ParseInt(f[4], 10, 64)
+	allocs, err4 := strconv.ParseInt(f[6], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || ns <= 0 {
+		return scenario{}, false
+	}
+	batch := 1
+	if strings.Contains(name, "Batch") {
+		batch = 64 // window size of the Batch* hot-path benchmarks
+	}
+	return scenario{
+		Name: name, Procs: procs, Batch: batch,
+		Iterations: iters, NsPerOp: ns, OpsPerSec: 1e9 / ns,
+		BytesPerOp: bytes, AllocsPerOp: allocs,
+	}, true
+}
+
+// speedups pairs each Batch<X> scenario with its single-op <X> twin at
+// the same proc count: speedup = single ns/op ÷ batched ns/op.
+func speedups(scenarios []scenario) map[string]float64 {
+	byKey := make(map[string]scenario)
+	for _, s := range scenarios {
+		byKey[fmt.Sprintf("%s-%d", s.Name, s.Procs)] = s
+	}
+	out := make(map[string]float64)
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := byKey[k]
+		if !strings.HasPrefix(s.Name, "Batch") {
+			continue
+		}
+		single, ok := byKey[fmt.Sprintf("%s-%d", strings.TrimPrefix(s.Name, "Batch"), s.Procs)]
+		if !ok {
+			continue
+		}
+		out[fmt.Sprintf("%s_cpu%d", strings.ToLower(s.Name), s.Procs)] = single.NsPerOp / s.NsPerOp
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

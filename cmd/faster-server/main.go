@@ -34,8 +34,9 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:6379", "RESP listen address")
-		admin = flag.String("admin", "", "admin HTTP address for /healthz and /metrics (empty: disabled)")
+		addr    = flag.String("addr", "127.0.0.1:6379", "RESP listen address")
+		admin   = flag.String("admin", "", "admin HTTP address for /healthz and /metrics (empty: disabled)")
+		doPprof = flag.Bool("pprof", false, "expose /debug/pprof/ on the admin address (requires -admin)")
 
 		dataDir = flag.String("data", "", "data directory for the log device (empty: in-memory device)")
 		doRecov = flag.Bool("recover", false, "recover from the newest checkpoint in -data/checkpoints before serving")
@@ -57,6 +58,9 @@ func main() {
 
 	if (*doRecov || *doCkpt) && *dataDir == "" {
 		fatal("-recover/-checkpoint require -data")
+	}
+	if *doPprof && *admin == "" {
+		fatal("-pprof requires -admin")
 	}
 
 	// Device: file-backed under -data, else a process-lifetime Mem device
@@ -122,6 +126,7 @@ func main() {
 	if *doCkpt {
 		scfg.CheckpointDir = ckptDir
 	}
+	scfg.EnablePprof = *doPprof
 
 	srv, err := server.ListenAndServe(store, *addr, scfg)
 	if err != nil {
@@ -142,7 +147,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "faster-server: admin: %v\n", err)
 			}
 		}()
-		fmt.Printf("faster-server: admin on %s (/healthz, /metrics)\n", *admin)
+		surfaces := "/healthz, /metrics"
+		if *doPprof {
+			surfaces += ", /debug/pprof"
+		}
+		fmt.Printf("faster-server: admin on %s (%s)\n", *admin, surfaces)
 	}
 
 	// Graceful drain on SIGINT/SIGTERM: stop accepting, finish in-flight

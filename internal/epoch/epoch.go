@@ -70,9 +70,17 @@ type Action = func()
 // A Manager must be created with New. All methods are safe for concurrent
 // use. Guard methods take a *Guard obtained from Acquire.
 type Manager struct {
-	current   atomic.Uint64 // the current epoch E
-	safe      atomic.Uint64 // cached maximal safe epoch Es
-	drainCnt  atomic.Int64  // number of occupied drain-list slots
+	// current is read by every Refresh but written only on bumps; the
+	// padding keeps the write-hot words below (safe, drainCnt) off its
+	// cache line, so routine refreshes across sessions never invalidate
+	// each other's cached copy.
+	current atomic.Uint64 // the current epoch E
+	_       [cacheLineBytes - 8]byte
+
+	safe     atomic.Uint64 // cached maximal safe epoch Es
+	drainCnt atomic.Int64  // number of occupied drain-list slots
+	_        [cacheLineBytes - 16]byte
+
 	table     []entry
 	drainList [drainListSize]drainItem
 

@@ -95,7 +95,7 @@ func SetDebugSpinHook(fn func(inFlight, retries, completed int, pendingIOs uint6
 		pathMu.Lock()
 		desc += fmt.Sprintf(" paths=%v", paths)
 		pathMu.Unlock()
-		fn(sess.inFlight, len(sess.retries), c, sess.s.stats.pendingIOs.Load(), desc)
+		fn(sess.inFlight, len(sess.retries), c, sess.stat.pendingIOs.Load(), desc)
 	}
 }
 

@@ -15,6 +15,7 @@ package faster
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/device"
@@ -149,6 +150,80 @@ type Stats struct {
 	FailedCAS    uint64 // lost index compare-and-swaps (retries)
 }
 
+// sessionStats is one session's block of hot-path counters. Every
+// operation bumps at least two counters; when they were store-global
+// atomics the resulting cache-line ping-pong dominated multi-core
+// scaling (-cpu 16), so each live session gets a private block and is
+// its only writer. The fields are still atomics because Stats() and
+// the metrics scrapers read them from other goroutines.
+//
+// Blocks are recycled across sessions without zeroing: all counters
+// are monotone, so aggregation sums every block ever handed out (the
+// registry is bounded by the peak number of concurrent sessions).
+type sessionStats struct {
+	operations   atomic.Uint64
+	reads        atomic.Uint64
+	upserts      atomic.Uint64
+	rmws         atomic.Uint64
+	deletes      atomic.Uint64
+	inPlace      atomic.Uint64
+	appends      atomic.Uint64
+	rcuCopies    atomic.Uint64
+	failedCAS    atomic.Uint64
+	fuzzyRMWs    atomic.Uint64
+	deltaRecords atomic.Uint64
+	pendingIOs   atomic.Uint64
+	_            [128 - 12*8]byte // round up to two cache lines
+}
+
+// statTotals is the sum of every sessionStats block.
+type statTotals struct {
+	operations, reads, upserts, rmws, deletes uint64
+	inPlace, appends, rcuCopies, failedCAS    uint64
+	fuzzyRMWs, deltaRecords, pendingIOs       uint64
+}
+
+func (s *Store) acquireSessionStats() *sessionStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if n := len(s.statsFree); n > 0 {
+		b := s.statsFree[n-1]
+		s.statsFree = s.statsFree[:n-1]
+		return b
+	}
+	b := new(sessionStats)
+	s.statsAll = append(s.statsAll, b)
+	return b
+}
+
+func (s *Store) releaseSessionStats(b *sessionStats) {
+	s.statsMu.Lock()
+	s.statsFree = append(s.statsFree, b)
+	s.statsMu.Unlock()
+}
+
+func (s *Store) sumStats() statTotals {
+	var t statTotals
+	s.statsMu.Lock()
+	blocks := s.statsAll
+	s.statsMu.Unlock()
+	for _, b := range blocks {
+		t.operations += b.operations.Load()
+		t.reads += b.reads.Load()
+		t.upserts += b.upserts.Load()
+		t.rmws += b.rmws.Load()
+		t.deletes += b.deletes.Load()
+		t.inPlace += b.inPlace.Load()
+		t.appends += b.appends.Load()
+		t.rcuCopies += b.rcuCopies.Load()
+		t.failedCAS += b.failedCAS.Load()
+		t.fuzzyRMWs += b.fuzzyRMWs.Load()
+		t.deltaRecords += b.deltaRecords.Load()
+		t.pendingIOs += b.pendingIOs.Load()
+	}
+	return t
+}
+
 // Store is a FASTER key-value store instance.
 type Store struct {
 	cfg      Config
@@ -162,22 +237,13 @@ type Store struct {
 	health      atomic.Int32                // Health state machine (health.go)
 	healthCause atomic.Pointer[healthCause] // first ReadOnly/Failed cause
 
-	stats struct {
-		operations   atomic.Uint64
-		fuzzyRMWs    atomic.Uint64
-		pendingIOs   atomic.Uint64
-		deltaRecords atomic.Uint64
-		inPlace      atomic.Uint64
-		appends      atomic.Uint64
-		failedCAS    atomic.Uint64
-	}
+	// Per-session counter blocks (see sessionStats): statsAll holds every
+	// block ever handed out, statsFree the ones whose session closed.
+	statsMu   sync.Mutex
+	statsAll  []*sessionStats
+	statsFree []*sessionStats
 
 	mx struct {
-		reads             metrics.Counter   // Read calls
-		upserts           metrics.Counter   // Upsert calls
-		rmws              metrics.Counter   // RMW calls
-		deletes           metrics.Counter   // Delete calls
-		rcuCopies         metrics.Counter   // read-copy-update appends (old value copied forward)
 		pendingDepth      metrics.Gauge     // I/Os issued and not yet returned to the user
 		pendingLatency    metrics.Histogram // issue -> completion-queue drain
 		pendingRetries    metrics.Counter   // pending-read attempts retried after a transient fault
@@ -238,16 +304,18 @@ func (s *Store) Index() *index.Index { return s.idx }
 // Epoch exposes the store's epoch manager.
 func (s *Store) Epoch() *epoch.Manager { return s.em }
 
-// Stats returns a snapshot of the store counters.
+// Stats returns a snapshot of the store counters (summed across every
+// session's counter block, live and closed).
 func (s *Store) Stats() Stats {
+	t := s.sumStats()
 	return Stats{
-		Operations:   s.stats.operations.Load(),
-		FuzzyRMWs:    s.stats.fuzzyRMWs.Load(),
-		PendingIOs:   s.stats.pendingIOs.Load(),
-		DeltaRecords: s.stats.deltaRecords.Load(),
-		InPlace:      s.stats.inPlace.Load(),
-		Appends:      s.stats.appends.Load(),
-		FailedCAS:    s.stats.failedCAS.Load(),
+		Operations:   t.operations,
+		FuzzyRMWs:    t.fuzzyRMWs,
+		PendingIOs:   t.pendingIOs,
+		DeltaRecords: t.deltaRecords,
+		InPlace:      t.inPlace,
+		Appends:      t.appends,
+		FailedCAS:    t.failedCAS,
 	}
 }
 

@@ -51,19 +51,20 @@ type StoreMetrics struct {
 
 // Metrics returns a snapshot of all store instrumentation.
 func (s *Store) Metrics() StoreMetrics {
+	t := s.sumStats()
 	m := StoreMetrics{
-		Reads:     s.mx.reads.Load(),
-		Upserts:   s.mx.upserts.Load(),
-		RMWs:      s.mx.rmws.Load(),
-		Deletes:   s.mx.deletes.Load(),
-		RCUCopies: s.mx.rcuCopies.Load(),
-		FailedCAS: s.stats.failedCAS.Load(),
-		InPlace:   s.stats.inPlace.Load(),
-		Appends:   s.stats.appends.Load(),
-		FuzzyRMWs: s.stats.fuzzyRMWs.Load(),
+		Reads:     t.reads,
+		Upserts:   t.upserts,
+		RMWs:      t.rmws,
+		Deletes:   t.deletes,
+		RCUCopies: t.rcuCopies,
+		FailedCAS: t.failedCAS,
+		InPlace:   t.inPlace,
+		Appends:   t.appends,
+		FuzzyRMWs: t.fuzzyRMWs,
 
 		PendingDepth:   s.mx.pendingDepth.Load(),
-		PendingIssued:  s.stats.pendingIOs.Load(),
+		PendingIssued:  t.pendingIOs,
 		PendingRetries: s.mx.pendingRetries.Load(),
 		PendingLatency: s.mx.pendingLatency.Snapshot(),
 

@@ -69,6 +69,8 @@ type PendingOp struct {
 
 	issuedNs int64 // set by issueIO; feeds the pending-latency histogram
 
+	hdr [recHeaderBytes]byte // header-probe buffer (avoids a per-I/O alloc)
+
 	trace []string // debug instrumentation (debugTraceOps)
 }
 
@@ -124,14 +126,63 @@ func (q *completionQueue) drain() []*PendingOp {
 	return ops
 }
 
-// newPendingOp builds a continuation with owned copies of key and input.
+// newPendingOp builds a continuation with owned copies of key and input,
+// recycling a struct from the session's free list when one is available.
+// The key copy is always fresh: its ownership transfers to the Result
+// when the op completes (callers may hold Result.Key indefinitely).
 func (sess *Session) newPendingOp(kind opKind, key, input, output []byte, ctx any) *PendingOp {
-	op := &PendingOp{kind: kind, output: output, ctx: ctx}
+	var op *PendingOp
+	if n := len(sess.opFree); n > 0 {
+		op = sess.opFree[n-1]
+		sess.opFree[n-1] = nil
+		sess.opFree = sess.opFree[:n-1]
+		in := op.input[:0]
+		*op = PendingOp{input: in}
+	} else {
+		op = &PendingOp{}
+	}
+	op.kind, op.output, op.ctx = kind, output, ctx
 	op.key = append([]byte(nil), key...)
 	if input != nil {
-		op.input = append([]byte(nil), input...)
+		op.input = append(op.input[:0], input...)
+	} else {
+		op.input = nil
 	}
 	return op
+}
+
+// recycleOp returns a finished op to the session free list. The caller
+// must have built the op's Result already: the key buffer stays with the
+// Result, the accumulator and fetch buffers return to the scratch pools.
+func (sess *Session) recycleOp(op *PendingOp) {
+	sess.releaseAcc(op.acc)
+	if op.buf != nil {
+		sess.putIOBuf(op.buf)
+	}
+	in := op.input[:0]
+	*op = PendingOp{input: in}
+	if len(sess.opFree) < 32 {
+		sess.opFree = append(sess.opFree, op)
+	}
+}
+
+// getIOBuf returns a fetch buffer of length n from the session pool.
+func (sess *Session) getIOBuf(n int) []byte {
+	if m := len(sess.ioBufs); m > 0 {
+		buf := sess.ioBufs[m-1]
+		sess.ioBufs[m-1] = nil
+		sess.ioBufs = sess.ioBufs[:m-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (sess *Session) putIOBuf(buf []byte) {
+	if len(sess.ioBufs) < 16 {
+		sess.ioBufs = append(sess.ioBufs, buf[:0])
+	}
 }
 
 // ioDone pairs an issueIO: the op's current I/O round has been consumed
@@ -180,10 +231,14 @@ func (sess *Session) issueIO(op *PendingOp) {
 	}
 	sess.inFlight++
 	sess.s.mx.pendingDepth.Inc()
-	sess.s.stats.pendingIOs.Add(1)
+	sess.stat.pendingIOs.Add(1)
 	op.issuedNs = time.Now().UnixNano()
 	s := sess.s
-	hdr := make([]byte, recHeaderBytes)
+	hdr := op.hdr[:]
+	// The record buffer is allocated on the issuing (session) goroutine —
+	// the device callback below runs elsewhere and must not touch the
+	// session's buffer pool.
+	buf := sess.getIOBuf(0)
 	s.readRetrying(op.addr, hdr, func(err error) {
 		if err != nil {
 			op.err = err
@@ -197,7 +252,11 @@ func (sess *Session) issueIO(op *PendingOp) {
 			sess.completed.push(op)
 			return
 		}
-		buf := make([]byte, size)
+		if cap(buf) >= int(size) {
+			buf = buf[:size]
+		} else {
+			buf = make([]byte, size)
+		}
 		s.readRetrying(op.addr, buf, func(err error) {
 			if err != nil {
 				op.err = err
@@ -245,15 +304,18 @@ func (sess *Session) completePending(wait bool, deadline time.Time) ([]Result, e
 			retries := sess.retries
 			sess.retries = nil
 			for _, op := range retries {
-				st, err := sess.rmwInternal(op.key, op.input, op.ctx)
+				st, err := sess.rmwInternal(op.key, op.input, op.ctx, hashKey(op.key))
 				if st == Pending {
-					// Re-queued (still fuzzy, or now on storage).
+					// Re-queued (still fuzzy, or now on storage) as a
+					// fresh op; this one is done with.
+					sess.recycleOp(op)
 					continue
 				}
 				progressed = true
 				results = append(results, Result{
 					Kind: op.kind.String(), Key: op.key, Status: st, Err: err, Ctx: op.ctx,
 				})
+				sess.recycleOp(op)
 			}
 		}
 
@@ -263,6 +325,7 @@ func (sess *Session) completePending(wait bool, deadline time.Time) ([]Result, e
 			if res, done := sess.continueOp(op); done {
 				sess.ioDone()
 				results = append(results, res)
+				sess.recycleOp(op)
 			}
 		}
 
@@ -329,7 +392,7 @@ func (sess *Session) continueOp(op *PendingOp) (Result, bool) {
 			// The newest on-disk record is a delta: switch to a merge
 			// fold from here down.
 			op.kind = opReadMerge
-			op.acc = make([]byte, len(op.output))
+			op.acc = sess.acquireAcc(len(op.output))
 			return sess.mergeAndDescend(op, rec)
 		}
 		s.ops.SingleReader(op.key, rec.value, op.input, op.output)
@@ -380,6 +443,9 @@ func (sess *Session) followChain(op *PendingOp, next hlog.Address) (Result, bool
 		debugPath("follow-chain")
 	}
 	op.addr = next
+	if op.buf != nil && (op.fetchedBuf == nil || &op.buf[0] != &op.fetchedBuf[0]) {
+		sess.putIOBuf(op.buf)
+	}
 	op.buf = nil
 	sess.ioDone()
 	sess.issueIO(op)
@@ -555,7 +621,7 @@ func (sess *Session) publishFetched(h uint64, op *PendingOp, old record, chainHe
 // reissueRMW re-executes a lost-CAS RMW via the normal path.
 func (sess *Session) reissueRMW(op *PendingOp) (Result, bool) {
 	op.debugTrace("reissue")
-	st, err := sess.rmwInternal(op.key, op.input, op.ctx)
+	st, err := sess.rmwInternal(op.key, op.input, op.ctx, hashKey(op.key))
 	if st == Pending {
 		sess.ioDone()
 		return Result{}, false

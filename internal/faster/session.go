@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/epoch"
 	"repro/internal/hlog"
+	"repro/internal/index"
 )
 
 // Session is a registered FASTER thread (§2.5). Exactly one goroutine may
@@ -17,6 +18,7 @@ import (
 type Session struct {
 	s        *Store
 	g        *epoch.Guard
+	stat     *sessionStats // private counter block (see faster.go)
 	opsSince int
 
 	completed completionQueue // async I/O completions land here
@@ -28,6 +30,22 @@ type Session struct {
 	fuzzyOps  uint64
 	totalOps  uint64
 	spinDebug uint64 // test instrumentation
+
+	// Pooled scratch for the slow paths. The session is single-goroutine,
+	// so plain free lists suffice: accScratch is the CRDT read
+	// accumulator (ownership follows the op while it is pending), opFree
+	// recycles continuation structs, ioBufs recycles fetch buffers.
+	accScratch []byte
+	opFree     []*PendingOp
+	ioBufs     [][]byte
+
+	// Batch scratch (batch.go), reused across ExecBatch calls.
+	batchHash  []uint64
+	batchPlan  []batchAppend
+	batchDefer []int
+	batchOps   []BatchOp
+	batchEntry []index.Entry
+	batchAddr  []hlog.Address
 
 	closed bool
 }
@@ -41,7 +59,7 @@ var errKeyEmpty = errors.New("faster: empty key")
 
 // StartSession registers a new session (the paper's Acquire).
 func (s *Store) StartSession() *Session {
-	return &Session{s: s, g: s.em.Acquire()}
+	return &Session{s: s, g: s.em.Acquire(), stat: s.acquireSessionStats()}
 }
 
 // Close deregisters the session (the paper's Release). Pending operations
@@ -53,6 +71,7 @@ func (sess *Session) Close() error {
 	sess.CompletePending(true)
 	sess.closed = true
 	sess.g.Release()
+	sess.s.releaseSessionStats(sess.stat)
 	return nil
 }
 
@@ -79,11 +98,32 @@ func (sess *Session) FuzzyOps() (fuzzy, total uint64) {
 // and counters.
 func (sess *Session) opStart() {
 	sess.totalOps++
-	sess.s.stats.operations.Add(1)
+	sess.stat.operations.Add(1)
 	sess.opsSince++
 	if sess.opsSince >= sess.s.cfg.RefreshInterval {
 		sess.opsSince = 0
 		sess.g.Refresh()
+	}
+}
+
+// acquireAcc returns a zeroed accumulator of length n, reusing the
+// session's scratch buffer when it is large enough. Ownership moves to
+// the caller; recycleOp (or an inline release) hands it back.
+func (sess *Session) acquireAcc(n int) []byte {
+	buf := sess.accScratch
+	sess.accScratch = nil
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// releaseAcc returns an accumulator to the session scratch slot.
+func (sess *Session) releaseAcc(buf []byte) {
+	if buf != nil && cap(buf) > cap(sess.accScratch) {
+		sess.accScratch = buf
 	}
 }
 
@@ -125,14 +165,25 @@ func (sess *Session) Read(key, input, output []byte, ctx any) (Status, error) {
 		return Err, errKeyEmpty
 	}
 	sess.opStart()
-	s := sess.s
-	s.mx.reads.Inc()
+	sess.stat.reads.Add(1)
+	return sess.readInternal(key, input, output, ctx, hashKey(key))
+}
 
-	h := hashKey(key)
-	entry, addr, ok := s.idx.FindEntry(h)
+// readInternal is Read with the per-op bookkeeping hoisted out, so
+// ExecBatch can pre-hash a whole batch and amortize the counters.
+func (sess *Session) readInternal(key, input, output []byte, ctx any, h uint64) (Status, error) {
+	entry, addr, ok := sess.s.idx.FindEntry(h)
 	if !ok {
 		return NotFound, nil
 	}
+	return sess.readAt(key, input, output, ctx, entry, addr)
+}
+
+// readAt finishes a read whose index probe already happened. ExecBatch
+// probes a whole run of reads back-to-back (the probes are independent
+// loads, so their cache misses overlap) and then completes each one here.
+func (sess *Session) readAt(key, input, output []byte, ctx any, entry index.Entry, addr hlog.Address) (Status, error) {
+	s := sess.s
 	if addr < s.log.BeginAddress() {
 		// Dangling entry below the truncation point: lazy GC (App. C).
 		entry.CompareAndDelete(addr)
@@ -169,13 +220,14 @@ func (sess *Session) Read(key, input, output []byte, ctx any) (Status, error) {
 // chain descends to storage the fold continues asynchronously.
 func (sess *Session) readReconcile(key, input, output []byte, ctx any, addr hlog.Address, rec record) (Status, error) {
 	s := sess.s
-	acc := make([]byte, len(output))
+	acc := sess.acquireAcc(len(output))
 	head := s.log.HeadAddress()
 	begin := s.log.BeginAddress()
 	for {
 		s.merge.Merge(key, rec.value, acc)
 		if !rec.delta() {
 			copy(output, acc)
+			sess.releaseAcc(acc)
 			return OK, nil
 		}
 		addr = rec.prev()
@@ -185,12 +237,14 @@ func (sess *Session) readReconcile(key, input, output []byte, ctx any, addr hlog
 		if found {
 			if rec.tombstone() {
 				copy(output, acc)
+				sess.releaseAcc(acc)
 				return OK, nil
 			}
 			continue
 		}
 		if addr == hlog.InvalidAddress || addr < begin {
 			copy(output, acc)
+			sess.releaseAcc(acc)
 			return OK, nil
 		}
 		// Continue the fold on storage.
@@ -215,13 +269,17 @@ func (sess *Session) Upsert(key, value []byte) (Status, error) {
 		return Err, errKeyEmpty
 	}
 	sess.opStart()
-	s := sess.s
-	s.mx.upserts.Inc()
-	if err := s.checkWritable(); err != nil {
+	sess.stat.upserts.Add(1)
+	if err := sess.s.checkWritable(); err != nil {
 		return Err, err
 	}
-	h := hashKey(key)
+	return sess.upsertInternal(key, value, hashKey(key))
+}
 
+// upsertInternal is Upsert past the bookkeeping and writability gate;
+// ExecBatch re-enters it when a planned batch append loses its CAS.
+func (sess *Session) upsertInternal(key, value []byte, h uint64) (Status, error) {
+	s := sess.s
 	for {
 		entry, chainHead := s.idx.FindOrCreateEntry(h)
 		if chainHead != 0 && chainHead < s.log.BeginAddress() {
@@ -237,7 +295,7 @@ func (sess *Session) Upsert(key, value []byte) (Status, error) {
 				panic("in-place upsert below safeRO")
 			}
 			if s.ops.ConcurrentWriter(key, rec.value, value) {
-				s.stats.inPlace.Add(1)
+				sess.stat.inPlace.Add(1)
 				return OK, nil
 			}
 			// The writer declined (value must grow): seal the record so
@@ -255,7 +313,7 @@ func (sess *Session) Upsert(key, value []byte) (Status, error) {
 			continue
 		}
 		if found {
-			s.mx.rcuCopies.Inc()
+			sess.stat.rcuCopies.Add(1)
 			s.setOverwritten(laddr)
 		}
 		return OK, nil
@@ -277,8 +335,8 @@ func (sess *Session) RMW(key, input []byte, ctx any) (Status, error) {
 		return Err, errKeyEmpty
 	}
 	sess.opStart()
-	sess.s.mx.rmws.Inc()
-	return sess.rmwInternal(key, input, ctx)
+	sess.stat.rmws.Add(1)
+	return sess.rmwInternal(key, input, ctx, hashKey(key))
 }
 
 // rmwInternal is the retryable core of RMW; CompletePending re-enters it
@@ -286,12 +344,11 @@ func (sess *Session) RMW(key, input []byte, ctx any) (Status, error) {
 // so fuzzy deferrals stop re-queueing once the store is read-only: with a
 // poisoned tail the safe read-only offset can never advance, and an
 // ungated deferral would retry forever.
-func (sess *Session) rmwInternal(key, input []byte, ctx any) (Status, error) {
+func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, error) {
 	s := sess.s
 	if err := s.checkWritable(); err != nil {
 		return Err, err
 	}
-	h := hashKey(key)
 
 	for {
 		entry, chainHead := s.idx.FindOrCreateEntry(h)
@@ -339,7 +396,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any) (Status, error) {
 					}
 				}
 				if s.ops.InPlaceUpdater(key, rec.value, input) {
-					s.stats.inPlace.Add(1)
+					sess.stat.inPlace.Add(1)
 					return OK, nil
 				}
 				// The updater declined (value must grow): seal the
@@ -377,7 +434,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any) (Status, error) {
 					return OK, nil
 				}
 				sess.fuzzyOps++
-				s.stats.fuzzyRMWs.Add(1)
+				sess.stat.fuzzyRMWs.Add(1)
 				op := sess.newPendingOp(opRMWRetry, key, input, nil, ctx)
 				sess.retries = append(sess.retries, op)
 				return Pending, nil
@@ -449,10 +506,10 @@ func (sess *Session) appendRecord(h uint64, key []byte, chainHead, srcAddr hlog.
 	e, cur := s.idx.FindOrCreateEntry(h)
 	if cur != chainHead || !e.CompareAndSwapAddress(chainHead, newAddr) {
 		s.setInvalid(newAddr)
-		s.stats.failedCAS.Add(1)
+		sess.stat.failedCAS.Add(1)
 		return 0, statusRetry, nil
 	}
-	s.stats.appends.Add(1)
+	sess.stat.appends.Add(1)
 	return newAddr, statusDone, nil
 }
 
@@ -474,7 +531,7 @@ func (sess *Session) rmwCreate(h uint64, key, input []byte, chainHead, srcAddr h
 		}
 	})
 	if haveOld && st == statusDone && err == nil {
-		s.mx.rcuCopies.Inc()
+		sess.stat.rcuCopies.Add(1)
 	}
 	return st, err
 }
@@ -488,7 +545,7 @@ func (sess *Session) rmwAppendDelta(h uint64, key, input []byte, chainHead hlog.
 		s.ops.InitialUpdater(key, dst.value, input)
 	})
 	if st == statusDone && err == nil {
-		s.stats.deltaRecords.Add(1)
+		sess.stat.deltaRecords.Add(1)
 	}
 	return st, err
 }
@@ -508,13 +565,16 @@ func (sess *Session) Delete(key []byte) (Status, error) {
 		return Err, errKeyEmpty
 	}
 	sess.opStart()
-	s := sess.s
-	s.mx.deletes.Inc()
-	if err := s.checkWritable(); err != nil {
+	sess.stat.deletes.Add(1)
+	if err := sess.s.checkWritable(); err != nil {
 		return Err, err
 	}
-	h := hashKey(key)
+	return sess.deleteInternal(key, hashKey(key))
+}
 
+// deleteInternal is Delete past the bookkeeping and writability gate.
+func (sess *Session) deleteInternal(key []byte, h uint64) (Status, error) {
+	s := sess.s
 	for {
 		entry, chainHead, ok := s.idx.FindEntry(h)
 		if !ok {

@@ -53,6 +53,16 @@ func VarLenEncode(payload []byte) []byte {
 	return buf
 }
 
+// VarLenAppend appends the framed form of payload to dst and returns
+// the extended slice — VarLenEncode for callers that pool the backing
+// storage.
+func VarLenAppend(dst, payload []byte) []byte {
+	var hdr [varLenHeader]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
 // VarLenDecode extracts the payload from a framed value previously read
 // into buf (which may be longer than the frame: read output buffers are
 // sized for the largest value). ok is false if the buffer is too short

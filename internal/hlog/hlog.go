@@ -139,6 +139,11 @@ func newFrame(pageSize int) *frame {
 
 func (f *frame) zero() { clear(f.words) }
 
+// cacheLineBytes is the assumed cache line size, matching the epoch
+// package; the padding in Log isolates the allocator's write-hot tail
+// word from the per-operation marker loads.
+const cacheLineBytes = 64
+
 // Log is the HybridLog allocator.
 type Log struct {
 	cfg       Config
@@ -152,8 +157,14 @@ type Log struct {
 	dev device.Device
 
 	// Packed tail word: high 32 bits page number, low 32 bits offset
-	// within the page. See Allocate.
+	// within the page. See Allocate. Every allocation writes this word,
+	// so it gets a cache line to itself: the fields before it are
+	// read-only after Open, and the marker words after it are loaded on
+	// every operation — sharing a line would put the allocator's store
+	// traffic on the read hot path of every session.
+	_        [cacheLineBytes - 8]byte
 	tailWord atomic.Uint64
+	_        [cacheLineBytes - 8]byte
 
 	head       atomic.Uint64 // lowest address resident in memory
 	readOnly   atomic.Uint64 // mutable/read-only boundary target

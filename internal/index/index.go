@@ -59,6 +59,14 @@ const (
 // overflow word holds 1+index into the overflow arena (0 = none).
 type bucket [8]uint64
 
+// A bucket must stay exactly one 64-byte cache line: neighboring
+// buckets sharing a line would false-share their CAS traffic. Both
+// arrays are unsatisfiable if the size drifts.
+var (
+	_ [64 - len(bucket{})*8]byte
+	_ [len(bucket{})*8 - 64]byte
+)
+
 // table is one version of the hash table (resizing keeps two).
 type table struct {
 	size    uint64 // number of main buckets, power of two
@@ -239,6 +247,19 @@ func (e Entry) CompareAndSwapAddress(oldAddr, newAddr uint64) bool {
 func (e Entry) CompareAndDelete(oldAddr uint64) bool {
 	oldWord := e.meta | (oldAddr & AddressMask)
 	return atomic.CompareAndSwapUint64(e.slot, oldWord, 0)
+}
+
+// Prefetch touches the bucket cache line for each hash, back-to-back.
+// The loads carry no dependencies on one another, so on a table larger
+// than cache their misses overlap in the memory system; the FindEntry
+// calls that follow hit warm lines. It is purely a performance hint:
+// during a resize a touch may land in the table about to be retired,
+// which costs nothing but the load.
+func (idx *Index) Prefetch(hashes []uint64) {
+	t := idx.activeTable()
+	for _, h := range hashes {
+		_ = atomic.LoadUint64(&t.buckets[offsetOf(t, h)][0])
+	}
 }
 
 // FindEntry locates the live entry for hash, returning it and its current

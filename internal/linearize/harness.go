@@ -39,6 +39,13 @@ type Workload struct {
 	// client drains completions (default 4). Batching is what lets
 	// pending I/Os and fuzzy deferrals overlap with later operations.
 	PendingBatch int
+	// Batch, when >1, issues each client's operations through
+	// Session.ExecBatch in mixed-kind windows of this size instead of one
+	// call per operation. Every slot is still recorded as an individual
+	// operation whose invoke/response interval spans the whole batch
+	// call — exactly the API's guarantee: a batch amortizes bookkeeping,
+	// it is not a transaction.
+	Batch int
 	// Chaos, if non-nil, runs on its own goroutine for the duration of
 	// the workload (read-only shifts, index growth, ...). It must return
 	// promptly when stop closes. The goroutine holds no session.
@@ -121,6 +128,10 @@ type pendingCtx struct {
 
 // runClient issues one session's operations, recording each into log.
 func runClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
+	if w.Batch > 1 {
+		runBatchClient(store, clientID, log, rng, w)
+		return
+	}
 	sess := store.StartSession()
 	inFlight := 0
 
@@ -195,6 +206,130 @@ func runClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand
 			drain(false)
 		}
 	}
+	drain(true)
+	sess.Close()
+}
+
+// runBatchClient is runClient for Workload.Batch > 1: the same seeded
+// op mix, issued through ExecBatch in mixed-kind windows. Each slot is
+// Begin'd as the window is assembled and End'd from its per-slot
+// Status after the batch call, so its history interval brackets the
+// batch execution; slots that go Pending complete through the ordinary
+// CompletePending drain, matched by the same pendingCtx.
+func runBatchClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
+	sess := store.StartSession()
+	inFlight := 0
+
+	drain := func(wait bool) {
+		for _, res := range sess.CompletePending(wait) {
+			pc, ok := res.Ctx.(*pendingCtx)
+			if !ok {
+				continue // not one of ours (defensive)
+			}
+			inFlight--
+			finishPending(log, pc, res)
+		}
+	}
+
+	ops := make([]faster.BatchOp, 0, w.Batch)
+	kinds := make([]KVKind, 0, w.Batch)
+
+	flush := func() {
+		if len(ops) == 0 {
+			return
+		}
+		err := sess.ExecBatch(ops)
+		for i := range ops {
+			op := &ops[i]
+			pc := op.Ctx.(*pendingCtx)
+			if err != nil {
+				// Whole-batch failure: reads observed nothing; writes are
+				// left incomplete (either outcome is legal).
+				if kinds[i] == KVRead {
+					log.Drop(pc.id)
+				}
+				continue
+			}
+			switch kinds[i] {
+			case KVRead:
+				switch {
+				case op.Status == faster.Pending:
+					inFlight++
+				case op.Status == faster.OK:
+					log.End(pc.id, KVOutput{Found: true, Val: binary.LittleEndian.Uint64(pc.out)})
+				case op.Status == faster.NotFound:
+					log.End(pc.id, KVOutput{})
+				default:
+					log.Drop(pc.id) // failed read: observed nothing
+				}
+			case KVUpsert:
+				if op.Status == faster.OK {
+					log.End(pc.id, KVOutput{Found: true})
+				}
+				// Err: the write may or may not have landed — incomplete.
+			case KVRMW:
+				switch op.Status {
+				case faster.Pending:
+					inFlight++
+				case faster.OK:
+					log.End(pc.id, KVOutput{})
+				}
+			case KVDelete:
+				switch op.Status {
+				case faster.OK:
+					log.End(pc.id, KVOutput{Found: true})
+				case faster.NotFound:
+					log.End(pc.id, KVOutput{})
+				}
+			}
+		}
+		ops, kinds = ops[:0], kinds[:0]
+	}
+
+	total := w.ReadPct + w.UpsertPct + w.RMWPct + w.DeletePct
+	for n := 0; n < w.Ops; n++ {
+		if w.Interleave != nil {
+			w.Interleave(clientID, n)
+		}
+		k := uint64(rng.Int63n(int64(w.Keys))) + 1
+		key := make([]byte, 8)
+		binary.LittleEndian.PutUint64(key, k)
+		roll := rng.Intn(total)
+		switch {
+		case roll < w.ReadPct:
+			out := make([]byte, 8)
+			id := log.Begin(KVInput{Kind: KVRead, Key: k})
+			ops = append(ops, faster.BatchOp{Kind: faster.BatchRead, Key: key,
+				Output: out, Ctx: &pendingCtx{id: id, out: out}})
+			kinds = append(kinds, KVRead)
+		case roll < w.ReadPct+w.UpsertPct:
+			v := rng.Uint64()%1000 + 1
+			id := log.Begin(KVInput{Kind: KVUpsert, Key: k, Arg: v})
+			ops = append(ops, faster.BatchOp{Kind: faster.BatchUpsert, Key: key,
+				Value: u64le(v), Ctx: &pendingCtx{id: id}})
+			kinds = append(kinds, KVUpsert)
+		case roll < w.ReadPct+w.UpsertPct+w.RMWPct:
+			d := rng.Uint64()%w.RMWMax + 1
+			id := log.Begin(KVInput{Kind: KVRMW, Key: k, Arg: d})
+			ops = append(ops, faster.BatchOp{Kind: faster.BatchRMW, Key: key,
+				Value: u64le(d), Ctx: &pendingCtx{id: id}})
+			kinds = append(kinds, KVRMW)
+		default:
+			id := log.Begin(KVInput{Kind: KVDelete, Key: k})
+			ops = append(ops, faster.BatchOp{Kind: faster.BatchDelete, Key: key,
+				Ctx: &pendingCtx{id: id}})
+			kinds = append(kinds, KVDelete)
+		}
+		if len(ops) >= w.Batch {
+			flush()
+		}
+		if inFlight >= w.PendingBatch {
+			drain(true)
+		} else if inFlight > 0 && rng.Intn(4) == 0 {
+			drain(false)
+		}
+	}
+	flush()
 	drain(true)
 	sess.Close()
 }

@@ -311,3 +311,40 @@ func TestLinearizableCheckpointRecover(t *testing.T) {
 		})
 	}
 }
+
+// TestLinearizableBatch drives the mixed-kind ExecBatch path: every
+// client issues its operations in windows of 7 (reads, upserts, RMWs
+// and deletes interleaved) against a tiny hybrid log whose read-only
+// offset keeps shifting to the tail. Batched upserts therefore land on
+// read-only records and copy to the tail inside a shared reservation,
+// while batched reads chase evicted records into pending I/O — the two
+// regions the batch planner must cross without losing per-op
+// linearizability.
+func TestLinearizableBatch(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := openScenarioStore(t, faster.Config{
+				Mode:        hlog.ModeHybrid,
+				PageBits:    9, // 512-byte pages: records spill to storage fast
+				BufferPages: 4,
+				Device:      device.NewMem(device.MemConfig{}),
+			})
+			// The wide key space leaves keys cold long enough to evict
+			// before a batched read chases them onto storage.
+			h, _ := RunWorkload(s, Workload{
+				Clients: 4, Ops: 200, Keys: 32, Seed: seed,
+				Batch: 7, PendingBatch: 6,
+				Interleave: func(client, n int) {
+					if n%4 == 0 {
+						s.Log().ShiftReadOnlyToTail()
+					}
+				},
+			})
+			st := s.Stats()
+			if st.Appends == 0 || st.PendingIOs == 0 {
+				t.Errorf("scenario did not span copy-to-tail and pending I/O (stats: %+v)", st)
+			}
+			checkHistory(t, s, h)
+		})
+	}
+}

@@ -414,3 +414,157 @@ func (w *Writer) WriteCommand(args ...[]byte) error {
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Pooled command decode
+// ---------------------------------------------------------------------------
+
+// Command is a client command decoded into reusable storage: every
+// argument lives in one flat backing buffer, so a connection loop that
+// decodes into the same Command over and over allocates nothing in
+// steady state. Args are views into that buffer and are invalidated by
+// the next ReadCommandInto with the same Command; callers that hand an
+// argument to longer-lived code must copy it first.
+type Command struct {
+	Args [][]byte // views into buf, valid until the next decode
+
+	buf  []byte
+	offs []int // flat (start, end) pairs; offsets survive buf regrowth
+}
+
+// Is reports whether the command name (Args[0]) equals name,
+// ASCII-case-insensitively, without allocating.
+func (c *Command) Is(name string) bool {
+	if len(c.Args) == 0 || len(c.Args[0]) != len(name) {
+		return false
+	}
+	for i, b := range c.Args[0] {
+		if b|0x20 != name[i]|0x20 {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total decoded argument bytes — the measure a server
+// uses to budget how many commands a pipeline window may pin.
+func (c *Command) Size() int { return len(c.buf) }
+
+// ReadCommandInto reads one client command (array or inline form, as
+// ReadCommand) into c, reusing its backing storage. The arguments are
+// recorded as offsets while the flat buffer grows, then materialized as
+// slices once the frame is complete, so regrowth mid-command cannot
+// leave an argument pointing into a stale allocation.
+func (r *Reader) ReadCommandInto(c *Command) error {
+	c.Args = c.Args[:0]
+	c.buf = c.buf[:0]
+	c.offs = c.offs[:0]
+	prefix, err := r.br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if prefix != '*' {
+		if err := r.br.UnreadByte(); err != nil {
+			return err
+		}
+		return r.readInlineInto(c)
+	}
+	header, err := r.readLine()
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	n, err := parseInt(header)
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > int64(r.lim.MaxArgs) {
+		return fmt.Errorf("%w: %d command arguments", ErrTooLarge, n)
+	}
+	for i := int64(0); i < n; i++ {
+		if err := r.readBulkInto(c); err != nil {
+			return unexpectedEOF(err)
+		}
+	}
+	c.materialize()
+	return nil
+}
+
+// readBulkInto appends one bulk-string payload to c's flat buffer and
+// records its offsets.
+func (r *Reader) readBulkInto(c *Command) error {
+	line, err := r.readLine()
+	if err != nil {
+		return err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return fmt.Errorf("%w: expected bulk string, got %q", ErrProtocol, line)
+	}
+	n, err := parseInt(line[1:])
+	if err != nil {
+		return err
+	}
+	if n == -1 {
+		return fmt.Errorf("%w: null bulk inside command", ErrProtocol)
+	}
+	if n < 0 || n > int64(r.lim.MaxBulk) {
+		return fmt.Errorf("%w: bulk of %d bytes", ErrTooLarge, n)
+	}
+	start := len(c.buf)
+	end := start + int(n)
+	if cap(c.buf) < end+2 {
+		grown := make([]byte, start, max(end+2, 2*cap(c.buf)))
+		copy(grown, c.buf)
+		c.buf = grown
+	}
+	c.buf = c.buf[:end+2]
+	if _, err := io.ReadFull(r.br, c.buf[start:end+2]); err != nil {
+		return unexpectedEOF(err)
+	}
+	if c.buf[end] != '\r' || c.buf[end+1] != '\n' {
+		return fmt.Errorf("%w: bulk missing CRLF", ErrProtocol)
+	}
+	c.buf = c.buf[:end]
+	c.offs = append(c.offs, start, end)
+	return nil
+}
+
+// readInlineInto parses the inline form into c's flat buffer.
+func (r *Reader) readInlineInto(c *Command) error {
+	for {
+		line, err := r.readLine()
+		if err != nil {
+			return err
+		}
+		if len(line) > r.lim.MaxInline {
+			return fmt.Errorf("%w: inline command", ErrTooLarge)
+		}
+		for i := 0; i < len(line); {
+			for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+				i++
+			}
+			start := i
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+			if i > start {
+				o := len(c.buf)
+				c.buf = append(c.buf, line[start:i]...)
+				c.offs = append(c.offs, o, len(c.buf))
+			}
+		}
+		if len(c.offs) > 0 {
+			c.materialize()
+			return nil
+		}
+	}
+}
+
+// materialize turns the recorded offset pairs into Args views.
+func (c *Command) materialize() {
+	if cap(c.Args) < len(c.offs)/2 {
+		c.Args = make([][]byte, 0, len(c.offs)/2)
+	}
+	for i := 0; i < len(c.offs); i += 2 {
+		c.Args = append(c.Args, c.buf[c.offs[i]:c.offs[i+1]:c.offs[i+1]])
+	}
+}

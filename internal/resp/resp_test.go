@@ -209,3 +209,126 @@ func TestClientPipeline(t *testing.T) {
 	c.Close()
 	<-done
 }
+
+func TestReadCommandInto(t *testing.T) {
+	const stream = "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n" +
+		"PING\r\n" +
+		"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"
+	r := reader(stream)
+	var c Command
+
+	if err := r.ReadCommandInto(&c); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("SET"), []byte("k"), []byte("hello")}
+	if len(c.Args) != len(want) {
+		t.Fatalf("args = %d, want %d", len(c.Args), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(c.Args[i], want[i]) {
+			t.Fatalf("arg %d = %q, want %q", i, c.Args[i], want[i])
+		}
+	}
+	if !c.Is("set") || !c.Is("SET") || c.Is("GET") || c.Is("SE") {
+		t.Fatal("Is: case-insensitive name match broken")
+	}
+
+	// Inline form reuses the same storage.
+	if err := r.ReadCommandInto(&c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Args) != 1 || !c.Is("PING") {
+		t.Fatalf("inline decode = %q", c.Args)
+	}
+
+	if err := r.ReadCommandInto(&c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Args) != 2 || !c.Is("GET") || !bytes.Equal(c.Args[1], []byte("k")) {
+		t.Fatalf("third decode = %q", c.Args)
+	}
+	if err := r.ReadCommandInto(&c); err != io.EOF {
+		t.Fatalf("end of stream err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadCommandIntoRegrowth forces the flat buffer to regrow while a
+// command is mid-decode; earlier arguments must survive because they are
+// tracked as offsets, not pointers.
+func TestReadCommandIntoRegrowth(t *testing.T) {
+	big := strings.Repeat("x", 64<<10)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteCommand([]byte("SET"), []byte("key-1"), []byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var c Command
+	if err := r.ReadCommandInto(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Args[0], []byte("SET")) || !bytes.Equal(c.Args[1], []byte("key-1")) {
+		t.Fatalf("early args corrupted by regrowth: %q %q", c.Args[0], c.Args[1])
+	}
+	if len(c.Args[2]) != len(big) || !bytes.Equal(c.Args[2], []byte(big)) {
+		t.Fatal("big arg corrupted")
+	}
+}
+
+// TestReadCommandIntoParity checks the pooled decoder accepts and
+// rejects the same inputs as ReadCommand.
+func TestReadCommandIntoParity(t *testing.T) {
+	cases := []string{
+		"*1\r\n$4\r\nPING\r\n",
+		"*2\r\n$3\r\nGET\r\n$0\r\n\r\n",
+		"  INCR   counter  \r\n",
+		"*1\r\n$-1\r\n",       // null bulk inside command
+		"*2\r\n$3\r\nGET\r\n", // torn frame
+		"*-1\r\n",
+		"$3\r\nGET\r\n",
+	}
+	for _, in := range cases {
+		args, err1 := reader(in).ReadCommand()
+		var c Command
+		err2 := reader(in).ReadCommandInto(&c)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%q: ReadCommand err %v, ReadCommandInto err %v", in, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if len(args) != len(c.Args) {
+			t.Fatalf("%q: %d vs %d args", in, len(args), len(c.Args))
+		}
+		for i := range args {
+			if !bytes.Equal(args[i], c.Args[i]) {
+				t.Fatalf("%q arg %d: %q vs %q", in, i, args[i], c.Args[i])
+			}
+		}
+	}
+}
+
+// TestReadCommandIntoZeroAlloc: steady-state pooled decode must not
+// touch the heap once the Command's storage has warmed up.
+func TestReadCommandIntoZeroAlloc(t *testing.T) {
+	frame := []byte("*3\r\n$3\r\nSET\r\n$5\r\nkey-7\r\n$8\r\nvalue-42\r\n")
+	src := bytes.NewReader(nil)
+	r := NewReader(src)
+	var c Command
+	src.Reset(frame)
+	if err := r.ReadCommandInto(&c); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		src.Reset(frame)
+		if err := r.ReadCommandInto(&c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("ReadCommandInto: %.1f allocs/op, want 0", got)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/faster"
 )
@@ -16,10 +17,22 @@ import (
 //     degraded node out of rotation before it starts shedding.
 //   - /metrics — the store's and the server's flattened metric series
 //     merged into one JSON object.
+//   - /debug/pprof/ — Go profiling endpoints, only with
+//     Config.EnablePprof set.
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		// net/http/pprof registers on DefaultServeMux in init; mirror its
+		// routes here so the default mux (and whatever else registered
+		// there) is never exposed.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -98,6 +98,11 @@ type Config struct {
 	// store checkpoint into this directory (skipped when the store's
 	// write path is already gone).
 	CheckpointDir string
+
+	// EnablePprof mounts net/http/pprof profiling handlers under
+	// /debug/pprof/ on the admin mux. The admin listener is expected to
+	// be private; still, profiling is off unless asked for.
+	EnablePprof bool
 }
 
 func (c *Config) setDefaults() {
@@ -310,32 +315,42 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn: conn,
 		r: resp.NewReaderLimits(&slowConn{Conn: conn, per: s.cfg.ReadTimeout},
 			resp.Limits{MaxBulk: s.cfg.MaxValueBytes + 1}),
-		w:   resp.NewWriter(conn),
-		out: make([]byte, 8+s.cfg.MaxValueBytes),
+		w:    resp.NewWriter(conn),
+		out:  make([]byte, 8+s.cfg.MaxValueBytes),
+		cmds: make([]resp.Command, maxWindowCmds),
 	}
-	for {
+	closing := false
+	for !closing {
 		// The idle deadline bounds the wait for the command's first byte;
 		// slowConn then bumps the deadline to the tighter ReadTimeout on
 		// every delivering read, so a half-sent command cannot pin this
 		// handler past ReadTimeout (slowloris defence).
 		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		args, err := c.r.ReadCommand()
-		if err != nil {
+		if err := c.r.ReadCommandInto(&c.cmds[0]); err != nil {
 			if isTimeout(err) {
 				s.mx.deadlineEvictions.Inc()
 			}
 			return
 		}
-		if !c.dispatch(args) {
-			// Flush whatever the handler wrote (QUIT's +OK, a -FAILED
-			// shed) before closing.
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			c.w.Flush()
-			return
+		// Extend the window while pipelined input is already buffered, so
+		// a burst executes as batches instead of one command at a time.
+		// The byte budget bounds the decoded arguments a window may pin.
+		n, window := 1, c.cmds[0].Size()
+		for n < maxWindowCmds && window < windowByteBudget && c.r.Buffered() > 0 {
+			if err := c.r.ReadCommandInto(&c.cmds[n]); err != nil {
+				// Framing is lost: serve what was decoded, then close.
+				closing = true
+				break
+			}
+			window += c.cmds[n].Size()
+			n++
+		}
+		if !c.processWindow(c.cmds[:n]) {
+			closing = true
 		}
 		// Batch replies across a pipelined burst: flush only when no
 		// further input is already buffered.
-		if c.r.Buffered() == 0 {
+		if closing || c.r.Buffered() == 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			if err := c.w.Flush(); err != nil {
 				if isTimeout(err) {
@@ -345,6 +360,52 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// processWindow executes a decoded window in order: maximal runs of
+// batchable commands go through dataBatch, everything else through the
+// single-command dispatch. Returns false when the connection must close.
+func (c *connState) processWindow(cmds []resp.Command) bool {
+	for i := 0; i < len(cmds); {
+		if !c.batchable(&cmds[i]) {
+			if !c.dispatch(cmds[i].Args) {
+				return false
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cmds) && c.batchable(&cmds[j]) {
+			j++
+		}
+		if j-i == 1 {
+			if !c.dispatch(cmds[i].Args) {
+				return false
+			}
+		} else if !c.dataBatch(cmds[i:j]) {
+			return false
+		}
+		i = j
+	}
+	return true
+}
+
+// batchable reports whether cmd can join a store batch: a well-formed
+// GET or SET. Malformed forms keep their single-command error replies,
+// and everything else (DEL, INCRBY, PING, QUIT, ...) is a barrier the
+// window executes in place.
+func (c *connState) batchable(cmd *resp.Command) bool {
+	if testPanicCommand != "" {
+		return false // preserve injected-panic semantics in tests
+	}
+	if cmd.Is("GET") {
+		return len(cmd.Args) == 2 && len(cmd.Args[1]) > 0
+	}
+	if cmd.Is("SET") {
+		return len(cmd.Args) == 3 && len(cmd.Args[1]) > 0 &&
+			len(cmd.Args[2]) <= c.s.cfg.MaxValueBytes
+	}
+	return false
 }
 
 func isTimeout(err error) bool {
@@ -369,13 +430,47 @@ func (c *slowConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// connState is one connection's parsing and reply state.
+// Pipelining window shape: a burst of buffered commands is decoded into
+// pooled per-slot storage and executed as store batches.
+const (
+	// maxWindowCmds caps commands decoded per window (the ExecBatch size).
+	maxWindowCmds = 64
+	// windowByteBudget caps the decoded argument bytes a window may pin.
+	windowByteBudget = 256 << 10
+	// slotOutBytes sizes the pooled per-slot GET output (frame header +
+	// payload); larger stored values take the exact-size fallback re-read.
+	slotOutBytes = 8 + 4096
+	// inlineReplyMax is the largest GET payload copied into the reply
+	// scratch; larger payloads ride as their own vectored-write element,
+	// straight from the slot buffer.
+	inlineReplyMax = 512
+)
+
+// replySeg marks a boundary in the batched reply scratch: everything up
+// to end is one net.Buffers element, followed by payload (when non-nil)
+// as a zero-copy element of its own.
+type replySeg struct {
+	end     int
+	payload []byte
+}
+
+// connState is one connection's parsing and reply state. The batch
+// fields are pooled per connection so a steady pipelined workload
+// decodes, executes and replies without per-command allocations.
 type connState struct {
 	s    *Server
 	conn net.Conn
 	r    *resp.Reader
 	w    *resp.Writer
 	out  []byte // read output buffer: 8-byte frame header + max value
+
+	cmds  []resp.Command   // per-slot pooled command decode storage
+	bops  []faster.BatchOp // batch ops, 1:1 with the run's commands
+	outs  [][]byte         // per-slot pooled GET outputs (lazily allocated)
+	val   []byte           // arena for the run's framed SET values
+	reply []byte           // reply scratch for the vectored write
+	segs  []replySeg
+	vecs  net.Buffers
 }
 
 // testPanicCommand, when set (tests only, before serving starts), makes
@@ -480,23 +575,14 @@ func (c *connState) dataCommand(name string, args [][]byte) bool {
 	defer s.mx.inflightDepth.Dec()
 
 	// Session pool: bounded wait, then shed. Fast path first.
-	var sess *faster.Session
-	select {
-	case sess = <-s.sessions:
-	default:
-		t := time.NewTimer(s.cfg.AcquireTimeout)
-		select {
-		case sess = <-s.sessions:
-			t.Stop()
-		case <-t.C:
-			s.mx.overloadSheds.Inc()
-			c.w.WriteError("OVERLOADED no session available")
-			return true
-		case <-s.done:
-			t.Stop()
-			c.w.WriteError("ERR server shutting down")
-			return false
-		}
+	sess, shed, down := s.acquireSession()
+	if down {
+		c.w.WriteError("ERR server shutting down")
+		return false
+	}
+	if shed {
+		c.w.WriteError("OVERLOADED no session available")
+		return true
 	}
 	sess.Unpark()
 	healthy := true
@@ -523,6 +609,29 @@ func (c *connState) dataCommand(name string, args [][]byte) bool {
 		healthy = c.doIncrBy(sess, args)
 	}
 	return true
+}
+
+// acquireSession takes a pooled session under the acquire timeout.
+// shed means the pool stayed empty past the timeout (-OVERLOADED);
+// down means the server is shutting down (close the connection).
+func (s *Server) acquireSession() (sess *faster.Session, shed, down bool) {
+	select {
+	case sess = <-s.sessions:
+		return sess, false, false
+	default:
+	}
+	t := time.NewTimer(s.cfg.AcquireTimeout)
+	select {
+	case sess = <-s.sessions:
+		t.Stop()
+		return sess, false, false
+	case <-t.C:
+		s.mx.overloadSheds.Inc()
+		return nil, true, false
+	case <-s.done:
+		t.Stop()
+		return nil, false, true
+	}
 }
 
 // retireSession handles a session whose pending operations outlived the
@@ -624,8 +733,13 @@ func (c *connState) doGet(sess *faster.Session, args [][]byte) bool {
 // readValue reads args key into c.out, draining a Pending completion.
 // ok=false means the session must be retired (pending timeout).
 func (c *connState) readValue(sess *faster.Session, key []byte) (faster.Status, error, bool) {
+	return c.readInto(sess, key, c.out)
+}
+
+// readInto is readValue with an explicit output buffer.
+func (c *connState) readInto(sess *faster.Session, key, out []byte) (faster.Status, error, bool) {
 	token := &opToken{}
-	st, err := sess.Read(key, nil, c.out, token)
+	st, err := sess.Read(key, nil, out, token)
 	if st == faster.Pending {
 		r, ok := c.drainPending(sess, token)
 		if !ok {
@@ -741,6 +855,279 @@ func (c *connState) doIncrBy(sess *faster.Session, args [][]byte) bool {
 	}
 	c.w.WriteInt(n)
 	return true
+}
+
+// ---------------------------------------------------------------------------
+// Batched execution (pipelined GET/SET windows)
+// ---------------------------------------------------------------------------
+
+// dataBatch executes a run of well-formed GET/SET commands as one store
+// batch: the health gate, admission token and pooled session are paid
+// once for the run, the operations go through Session.ExecBatch, and the
+// replies leave in a single vectored write. Per-command semantics match
+// the single-op path; only the bookkeeping is amortized. Returns false
+// when the connection must close.
+func (c *connState) dataBatch(cmds []resp.Command) bool {
+	s := c.s
+
+	// Health ladder, once per run. ReadOnly degrades to the single-op
+	// path so SETs get their -READONLY replies while GETs keep serving;
+	// batching is a fast-path concern, not a degraded-mode one.
+	switch s.store.Health() {
+	case faster.Failed:
+		s.mx.commands.Inc()
+		s.mx.failedRejects.Inc()
+		c.w.WriteError("FAILED store failed (device lost)")
+		return false
+	case faster.ReadOnly:
+		for i := range cmds {
+			if !c.dispatch(cmds[i].Args) {
+				return false
+			}
+		}
+		return true
+	}
+	s.mx.commands.Add(uint64(len(cmds)))
+
+	// Admission: one token per run — a batch is one unit of store work.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.mx.overloadSheds.Inc()
+		for range cmds {
+			c.w.WriteError("OVERLOADED too many requests in flight")
+		}
+		return true
+	}
+	defer func() { <-s.inflight }()
+	s.mx.inflightDepth.Inc()
+	defer s.mx.inflightDepth.Dec()
+
+	sess, shed, down := s.acquireSession()
+	if down {
+		c.w.WriteError("ERR server shutting down")
+		return false
+	}
+	if shed {
+		for range cmds {
+			c.w.WriteError("OVERLOADED no session available")
+		}
+		return true
+	}
+	sess.Unpark()
+	healthy := true
+	defer func() {
+		if healthy {
+			sess.Park()
+			s.sessions <- sess
+		} else {
+			s.retireSession(sess)
+		}
+	}()
+
+	start := time.Now()
+	defer func() { s.mx.cmdLatency.Observe(time.Since(start)) }()
+
+	healthy = c.execBatch(sess, cmds)
+	return c.flushBatchReplies(cmds)
+}
+
+// execBatch builds the BatchOps for a run, executes them, drains any
+// pending completions and resolves oversized GETs. Outcomes land in
+// c.bops[i].Status/Err with outputs filled; the return value is the
+// session's health (false retires it).
+func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
+	s := c.s
+	if cap(c.bops) < len(cmds) {
+		c.bops = make([]faster.BatchOp, 0, maxWindowCmds)
+	}
+	c.bops = c.bops[:0]
+
+	// The SET arena is sized up front so appends cannot regrow it and
+	// invalidate the value slices already handed to earlier ops.
+	need := 0
+	for i := range cmds {
+		if cmds[i].Is("SET") {
+			need += 8 + len(cmds[i].Args[2])
+		}
+	}
+	if cap(c.val) < need {
+		c.val = make([]byte, 0, need)
+	}
+	val := c.val[:0]
+
+	for i := range cmds {
+		cmd := &cmds[i]
+		if cmd.Is("GET") {
+			c.bops = append(c.bops, faster.BatchOp{
+				Kind: faster.BatchRead, Key: cmd.Args[1],
+				Output: c.slotOut(i), Ctx: i,
+			})
+			continue
+		}
+		frame := faster.VarLenAppend(val, cmd.Args[2])
+		c.bops = append(c.bops, faster.BatchOp{
+			Kind: faster.BatchUpsert, Key: cmd.Args[1],
+			Value: frame[len(val):], Ctx: i,
+		})
+		val = frame
+	}
+
+	if err := sess.ExecBatch(c.bops); err != nil {
+		for i := range c.bops {
+			c.bops[i].Status, c.bops[i].Err = faster.Err, err
+		}
+		return true
+	}
+
+	// Drain pending completions (cold GETs) once for the whole run.
+	healthy := true
+	pending := 0
+	for i := range c.bops {
+		if c.bops[i].Status == faster.Pending {
+			pending++
+		}
+	}
+	if pending > 0 {
+		results, err := sess.CompletePendingTimeout(s.cfg.OpTimeout)
+		if err != nil {
+			s.mx.pendingTimeouts.Inc()
+			healthy = false // unresolved slots reply -TIMEOUT below
+		} else {
+			for _, r := range results {
+				if k, ok := r.Ctx.(int); ok && k >= 0 && k < len(c.bops) {
+					c.bops[k].Status, c.bops[k].Err = r.Status, r.Err
+				}
+			}
+		}
+	}
+
+	// Oversized values: the pooled slot buffer was too small, so re-read
+	// through an exact-size buffer (rare path; the allocation is the
+	// price of not sizing every slot for the maximum value).
+	for i := range c.bops {
+		op := &c.bops[i]
+		if !healthy || op.Kind != faster.BatchRead || op.Status != faster.OK {
+			continue
+		}
+		if _, ok := faster.VarLenDecode(op.Output); !ok {
+			big := make([]byte, 8+s.cfg.MaxValueBytes)
+			st, err, ok := c.readInto(sess, op.Key, big)
+			if !ok {
+				healthy = false
+				op.Status = faster.Pending // renders as -TIMEOUT
+				continue
+			}
+			op.Status, op.Err, op.Output = st, err, big
+		}
+	}
+	return healthy
+}
+
+// slotOut returns slot i's pooled GET output buffer.
+func (c *connState) slotOut(i int) []byte {
+	for len(c.outs) <= i {
+		c.outs = append(c.outs, nil)
+	}
+	if c.outs[i] == nil {
+		c.outs[i] = make([]byte, slotOutBytes)
+	}
+	return c.outs[i]
+}
+
+// flushBatchReplies renders the run's replies into the pooled reply
+// scratch — large GET payloads ride as zero-copy elements — and sends
+// everything with one vectored write. The resp.Writer is flushed first
+// so earlier single-command replies keep their place in the stream.
+func (c *connState) flushBatchReplies(cmds []resp.Command) bool {
+	c.reply = c.reply[:0]
+	c.segs = c.segs[:0]
+	for i := range cmds {
+		op := &c.bops[i]
+		if op.Kind == faster.BatchUpsert {
+			if op.Status == faster.OK {
+				c.reply = append(c.reply, "+OK\r\n"...)
+			} else {
+				c.appendErrReply(op.Err)
+			}
+			continue
+		}
+		switch op.Status {
+		case faster.OK:
+			payload, ok := faster.VarLenDecode(op.Output)
+			if !ok {
+				c.reply = append(c.reply, "-ERR stored value exceeds server read buffer\r\n"...)
+				continue
+			}
+			c.reply = append(c.reply, '$')
+			c.reply = strconv.AppendInt(c.reply, int64(len(payload)), 10)
+			c.reply = append(c.reply, '\r', '\n')
+			if len(payload) <= inlineReplyMax {
+				c.reply = append(c.reply, payload...)
+			} else {
+				c.segs = append(c.segs, replySeg{end: len(c.reply), payload: payload})
+			}
+			c.reply = append(c.reply, '\r', '\n')
+		case faster.NotFound:
+			c.reply = append(c.reply, "$-1\r\n"...)
+		case faster.Pending:
+			c.s.mx.pendingTimeouts.Inc()
+			c.reply = append(c.reply, "-TIMEOUT operation did not complete in time\r\n"...)
+		default:
+			c.appendErrReply(op.Err)
+		}
+	}
+	c.segs = append(c.segs, replySeg{end: len(c.reply)})
+
+	c.conn.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
+	if err := c.w.Flush(); err != nil {
+		if isTimeout(err) {
+			c.s.mx.deadlineEvictions.Inc()
+		}
+		return false
+	}
+	c.vecs = c.vecs[:0]
+	prev := 0
+	for _, seg := range c.segs {
+		if seg.end > prev {
+			c.vecs = append(c.vecs, c.reply[prev:seg.end])
+		}
+		prev = seg.end
+		if seg.payload != nil {
+			c.vecs = append(c.vecs, seg.payload)
+		}
+	}
+	if _, err := c.vecs.WriteTo(c.conn); err != nil {
+		if isTimeout(err) {
+			c.s.mx.deadlineEvictions.Inc()
+		}
+		return false
+	}
+	return true
+}
+
+// appendErrReply renders a store error into the batched reply scratch,
+// mirroring writeStoreErr.
+func (c *connState) appendErrReply(err error) {
+	switch {
+	case errors.Is(err, faster.ErrReadOnly):
+		c.s.mx.readonlyRejects.Inc()
+		c.reply = append(c.reply, "-READONLY store is read-only (write path lost)\r\n"...)
+	case errors.Is(err, faster.ErrStoreFailed):
+		c.s.mx.failedRejects.Inc()
+		c.reply = append(c.reply, "-FAILED store failed (device lost)\r\n"...)
+	case err != nil:
+		c.reply = append(c.reply, "-ERR "...)
+		for _, b := range []byte(err.Error()) {
+			if b == '\r' || b == '\n' {
+				b = ' '
+			}
+			c.reply = append(c.reply, b)
+		}
+		c.reply = append(c.reply, '\r', '\n')
+	default:
+		c.reply = append(c.reply, "-ERR unknown store error\r\n"...)
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -367,3 +367,128 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestServerPipelinedBatchMixed drives the batched window path with
+// everything it has to get right at once: GET/SET runs split by barrier
+// commands (DEL, INCRBY, PING), duplicate keys inside a run, payloads
+// large enough to ride the vectored-write path, values too big for the
+// pooled slot buffer (exact-size fallback re-read), and missing keys —
+// all in one pipeline, with reply order checked slot by slot.
+func TestServerPipelinedBatchMixed(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{})
+	c := dialT(t, srv)
+
+	medium := bytes.Repeat([]byte("m"), 2000) // > inlineReplyMax, fits the slot buffer
+	large := bytes.Repeat([]byte("L"), 8000)  // > slotOutBytes: fallback re-read
+	cmds := [][][]byte{
+		{[]byte("SET"), []byte("bk-1"), []byte("v1")},
+		{[]byte("SET"), []byte("bk-2"), medium},
+		{[]byte("SET"), []byte("bk-3"), large},
+		{[]byte("SET"), []byte("bk-1"), []byte("v1b")}, // dup key, last write wins
+		{[]byte("GET"), []byte("bk-1")},
+		{[]byte("GET"), []byte("bk-2")},
+		{[]byte("GET"), []byte("bk-3")},
+		{[]byte("GET"), []byte("bk-none")},
+		{[]byte("PING")}, // barrier mid-window
+		{[]byte("SET"), []byte("ctr"), []byte("\x08\x00\x00\x00\x00\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00")},
+		{[]byte("DEL"), []byte("bk-2")}, // barrier
+		{[]byte("GET"), []byte("bk-2")},
+		{[]byte("GET"), []byte("bk-1")},
+	}
+	replies, err := c.Pipeline(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != len(cmds) {
+		t.Fatalf("%d replies, want %d", len(replies), len(cmds))
+	}
+	expectBulk := func(i int, want []byte) {
+		t.Helper()
+		if replies[i].Kind != resp.BulkString || !bytes.Equal(replies[i].Str, want) {
+			t.Fatalf("reply %d = kind %c, %d bytes; want bulk %d bytes", i,
+				replies[i].Kind, len(replies[i].Str), len(want))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if replies[i].Kind != resp.SimpleString {
+			t.Fatalf("SET %d: %v", i, replies[i])
+		}
+	}
+	expectBulk(4, []byte("v1b"))
+	expectBulk(5, medium)
+	expectBulk(6, large)
+	if replies[7].Kind != resp.Nil {
+		t.Fatalf("missing key reply = %v, want nil", replies[7])
+	}
+	if replies[8].Kind != resp.SimpleString || string(replies[8].Str) != "PONG" {
+		t.Fatalf("PING reply = %v", replies[8])
+	}
+	if replies[9].Kind != resp.SimpleString {
+		t.Fatalf("counter SET reply = %v", replies[9])
+	}
+	if replies[10].Kind != resp.Integer || replies[10].Int != 1 {
+		t.Fatalf("DEL reply = %v, want :1", replies[10])
+	}
+	if replies[11].Kind != resp.Nil {
+		t.Fatalf("GET after DEL = %v, want nil", replies[11])
+	}
+	expectBulk(12, []byte("v1b"))
+
+	// The store agrees with the replies after the batch.
+	if v, err := c.Do([]byte("GET"), []byte("bk-3")); err != nil || !bytes.Equal(v.Str, large) {
+		t.Fatalf("post-batch GET: %v %v", v.Kind, err)
+	}
+}
+
+// TestServerPipelinedBatchDeep exercises window chunking: a pipeline far
+// longer than one window must produce every reply, in order.
+func TestServerPipelinedBatchDeep(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{})
+	c := dialT(t, srv)
+
+	const n = 300 // several windows of 64
+	cmds := make([][][]byte, 0, 2*n)
+	for i := 0; i < n; i++ {
+		cmds = append(cmds, [][]byte{[]byte("SET"),
+			[]byte(fmt.Sprintf("deep-%d", i)), []byte(fmt.Sprintf("dv-%d", i))})
+	}
+	for i := n - 1; i >= 0; i-- {
+		cmds = append(cmds, [][]byte{[]byte("GET"), []byte(fmt.Sprintf("deep-%d", i))})
+	}
+	replies, err := c.Pipeline(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if replies[i].Kind != resp.SimpleString {
+			t.Fatalf("SET %d: %v", i, replies[i])
+		}
+		want := fmt.Sprintf("dv-%d", n-1-i)
+		if got := replies[n+i]; got.Kind != resp.BulkString || string(got.Str) != want {
+			t.Fatalf("GET %d = %q, want %q", i, got.Str, want)
+		}
+	}
+}
+
+func TestServerAdminPprofGated(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	get := func(srv *Server, path string) int {
+		t.Helper()
+		admin := httptest.NewServer(srv.AdminHandler())
+		defer admin.Close()
+		res, err := admin.Client().Get(admin.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		return res.StatusCode
+	}
+	if code := get(newTestServer(t, Config{}), "/debug/pprof/heap"); code != 404 {
+		t.Fatalf("pprof without EnablePprof = %d, want 404", code)
+	}
+	if code := get(newTestServer(t, Config{EnablePprof: true}), "/debug/pprof/heap"); code != 200 {
+		t.Fatalf("pprof with EnablePprof = %d, want 200", code)
+	}
+}

@@ -29,3 +29,7 @@ go test -race -run 'TestLinearizable' -count=1 -timeout 300s ./internal/lineariz
 go test -fuzz FuzzReadCommand -fuzztime 5s -run '^$' ./internal/resp/
 go test -fuzz FuzzReadReply -fuzztime 5s -run '^$' ./internal/resp/
 go test -fuzz FuzzVarLenFraming -fuzztime 5s -run '^$' ./internal/faster/
+
+# Allocation-regression gate: the uint64 fast paths (Read, Upsert,
+# in-place RMW, ExecBatch) must stay at 0 allocs/op in steady state.
+go test -run TestHotPathZeroAlloc -count=1 ./internal/faster/
