@@ -57,6 +57,13 @@ bench:
 	$(GO) test -run '^$$' -bench 'U64$$' -benchmem -cpu 1,4,16 -count=1 \
 		./internal/faster/ | $(GO) run ./cmd/benchreport -out BENCH_05.json
 
+# Compaction economics: bytes reclaimed and write amplification of a
+# copy-forward pass, plus read throughput while compactions run in the
+# background. BENCH_06.json carries the custom units in "extra".
+bench-compact:
+	$(GO) test -run '^$$' -bench 'Compaction$$' -benchmem -count=1 \
+		./internal/faster/ | $(GO) run ./cmd/benchreport -out BENCH_06.json
+
 # The paper-figure experiment micro-benchmarks (see cmd/faster-bench for
 # the full tables).
 bench-paper:

@@ -30,6 +30,9 @@ type scenario struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra carries custom b.ReportMetric units (e.g. "reclaimed-B/op",
+	// "write-amp") keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -87,10 +90,12 @@ func main() {
 //	BenchmarkReadU64-16   5226902   221.4 ns/op   0 B/op   0 allocs/op
 //
 // (the "-16" proc suffix is absent when the benchmark ran at -cpu 1).
+// Everything after the iteration count is (value, unit) pairs; ns/op,
+// B/op and allocs/op land in the named fields, and any custom
+// b.ReportMetric units (write-amp, reclaimed-B/op, ...) land in Extra.
 func parseBenchLine(line string) (scenario, bool) {
 	f := strings.Fields(line)
-	if len(f) < 8 || !strings.HasPrefix(f[0], "Benchmark") ||
-		f[3] != "ns/op" || f[5] != "B/op" || f[7] != "allocs/op" {
+	if len(f) < 4 || len(f)%2 != 0 || !strings.HasPrefix(f[0], "Benchmark") {
 		return scenario{}, false
 	}
 	name := strings.TrimPrefix(f[0], "Benchmark")
@@ -100,22 +105,38 @@ func parseBenchLine(line string) (scenario, bool) {
 			procs, name = p, name[:i]
 		}
 	}
-	iters, err1 := strconv.ParseInt(f[1], 10, 64)
-	ns, err2 := strconv.ParseFloat(f[2], 64)
-	bytes, err3 := strconv.ParseInt(f[4], 10, 64)
-	allocs, err4 := strconv.ParseInt(f[6], 10, 64)
-	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || ns <= 0 {
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
 		return scenario{}, false
 	}
-	batch := 1
-	if strings.Contains(name, "Batch") {
-		batch = 64 // window size of the Batch* hot-path benchmarks
+	s := scenario{Name: name, Procs: procs, Batch: 1, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return scenario{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			s.NsPerOp = v
+		case "B/op":
+			s.BytesPerOp = int64(v)
+		case "allocs/op":
+			s.AllocsPerOp = int64(v)
+		default:
+			if s.Extra == nil {
+				s.Extra = make(map[string]float64)
+			}
+			s.Extra[unit] = v
+		}
 	}
-	return scenario{
-		Name: name, Procs: procs, Batch: batch,
-		Iterations: iters, NsPerOp: ns, OpsPerSec: 1e9 / ns,
-		BytesPerOp: bytes, AllocsPerOp: allocs,
-	}, true
+	if s.NsPerOp <= 0 {
+		return scenario{}, false
+	}
+	s.OpsPerSec = 1e9 / s.NsPerOp
+	if strings.Contains(name, "Batch") {
+		s.Batch = 64 // window size of the Batch* hot-path benchmarks
+	}
+	return s, true
 }
 
 // speedups pairs each Batch<X> scenario with its single-op <X> twin at

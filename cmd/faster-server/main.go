@@ -53,6 +53,8 @@ func main() {
 		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 		maxValue  = flag.Int("max-value-bytes", 512<<10, "largest accepted SET value")
 		ioWorkers = flag.Int("io-workers", 4, "device I/O workers for the file device")
+
+		compactAt = flag.Uint64("compact-threshold", 0, "compact when the stable log region exceeds this many bytes (0: manual COMPACT only)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,8 @@ func main() {
 		BufferPages:  *bufferPages,
 		Device:       dev,
 		MaxSessions:  *sessions + 8, // pool + admin/recovery headroom
+
+		CompactionThreshold: *compactAt,
 	}
 
 	var ckptDir string

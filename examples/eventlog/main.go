@@ -54,14 +54,18 @@ func main() {
 	fmt.Printf("before compaction: log spans [%#x, %#x), %d KB on device\n",
 		l.BeginAddress(), l.TailAddress(), l.HeadAddress()>>10)
 
-	// Roll the stable prefix forward and truncate it.
+	// Roll the stable prefix forward and truncate it. Compact drives its
+	// own session and waits for an epoch drain, so our session parks while
+	// it runs.
 	cut := l.SafeReadOnlyAddress()
-	copied, reclaimed, err := store.Compact(cut, sess)
+	sess.Park()
+	stats, err := store.Compact(cut)
+	sess.Unpark()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("compaction: %d live users rolled to the tail, %d KB reclaimed\n",
-		copied, reclaimed>>10)
+		stats.Copied, stats.ReclaimedBytes>>10)
 	fmt.Printf("after compaction: log spans [%#x, %#x)\n",
 		l.BeginAddress(), l.TailAddress())
 

@@ -123,6 +123,13 @@ func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 	if err := syncDir(dir); err != nil {
 		return CheckpointInfo{}, err
 	}
+	// The committed meta pins recovery at info.Begin: device truncations
+	// deferred because they would have outrun the previous checkpoint's
+	// Begin can catch up to this one now. Best-effort — a failure here is
+	// retried by the next truncation or checkpoint from the monotone
+	// watermark.
+	s.ckptBegin.Store(info.Begin)
+	_ = s.log.ApplyDeviceTruncation(info.Begin)
 	gcIndexGenerations(dir)
 	return info, nil
 }
@@ -275,6 +282,9 @@ func Recover(cfg Config, dir string) (*Store, error) {
 		s.Close()
 		return nil, err
 	}
+	// Future device truncations may free everything below this
+	// checkpoint's Begin without waiting for the next one.
+	s.ckptBegin.Store(info.Begin)
 
 	// Repair the fuzzy index: replay [t1, t2). Records in the window are
 	// newer than anything the fuzzy capture could have seen for their

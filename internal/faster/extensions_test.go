@@ -157,14 +157,17 @@ func TestCompactRollsLiveKeysForward(t *testing.T) {
 	if cut <= s.Log().BeginAddress() {
 		t.Skip("nothing became read-only; buffer too large for this test")
 	}
-	copied, reclaimed, err := s.Compact(cut, sess)
+	// Compact waits for an epoch drain; our session must not pin it.
+	sess.Park()
+	stats, err := s.Compact(cut)
+	sess.Unpark()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reclaimed == 0 {
+	if stats.ReclaimedBytes == 0 {
 		t.Fatal("compaction reclaimed nothing")
 	}
-	t.Logf("compacted: %d keys copied, %d bytes reclaimed", copied, reclaimed)
+	t.Logf("compacted: %d keys copied, %d bytes reclaimed", stats.Copied, stats.ReclaimedBytes)
 	if s.Log().BeginAddress() != cut {
 		t.Fatalf("begin = %#x, want %#x", s.Log().BeginAddress(), cut)
 	}
@@ -190,7 +193,9 @@ func TestCompactBeyondSafeROFails(t *testing.T) {
 	sess := s.StartSession()
 	defer sess.Close()
 	sess.RMW(key(1), u64(1), nil)
-	if _, _, err := s.Compact(s.Log().TailAddress()+4096, sess); err == nil {
+	sess.Park()
+	defer sess.Unpark()
+	if _, err := s.Compact(s.Log().TailAddress() + 4096); err == nil {
 		t.Fatal("compacting beyond safeRO should fail")
 	}
 }
@@ -199,9 +204,11 @@ func TestCompactEmptyRangeIsNoop(t *testing.T) {
 	s, _ := openTestStore(t, Config{})
 	sess := s.StartSession()
 	defer sess.Close()
-	copied, reclaimed, err := s.Compact(s.Log().BeginAddress(), sess)
-	if err != nil || copied != 0 || reclaimed != 0 {
-		t.Fatalf("noop compact = (%d, %d, %v)", copied, reclaimed, err)
+	sess.Park()
+	defer sess.Unpark()
+	stats, err := s.Compact(s.Log().BeginAddress())
+	if err != nil || stats.Copied != 0 || stats.ReclaimedBytes != 0 {
+		t.Fatalf("noop compact = (%+v, %v)", stats, err)
 	}
 }
 

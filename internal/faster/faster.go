@@ -91,6 +91,13 @@ type Config struct {
 	// epoch refreshes (paper: 256).
 	RefreshInterval int
 
+	// CompactionThreshold, when > 0, enables background compaction: a
+	// maintenance goroutine watches the reclaimable region
+	// [BeginAddress, SafeReadOnlyAddress) and, once it exceeds this many
+	// bytes, compacts roughly the older half of it (see Store.Compact).
+	// Ignored by in-memory stores (nothing on a device to reclaim).
+	CompactionThreshold uint64
+
 	// ReadRetry bounds retries of pending record reads; the zero value
 	// selects retry.DefaultRead(). Set MaxAttempts to 1 to disable
 	// retries (every device error surfaces immediately).
@@ -243,11 +250,26 @@ type Store struct {
 	statsAll  []*sessionStats
 	statsFree []*sessionStats
 
+	// compactMu serializes compactions (manual and background); ckptBegin
+	// is the Begin address of the newest committed checkpoint (0 until
+	// one commits) — device truncation never passes it, so recovery can
+	// always read every address its checkpoint needs (compact.go).
+	compactMu sync.Mutex
+	ckptBegin atomic.Uint64
+
+	// Background compaction maintainer (Config.CompactionThreshold).
+	maintStop chan struct{}
+	maintWG   sync.WaitGroup
+
 	mx struct {
 		pendingDepth      metrics.Gauge     // I/Os issued and not yet returned to the user
 		pendingLatency    metrics.Histogram // issue -> completion-queue drain
 		pendingRetries    metrics.Counter   // pending-read attempts retried after a transient fault
 		healthTransitions metrics.Counter   // health state machine transitions
+		compactions       metrics.Counter   // completed Compact runs
+		compactedRecords  metrics.Counter   // live records copied forward
+		compactedBytes    metrics.Counter   // bytes re-appended by compaction
+		reclaimedBytes    metrics.Counter   // log bytes logically reclaimed (begin advances)
 	}
 
 	closed atomic.Bool
@@ -287,6 +309,11 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.CRDT {
 		s.merge = cfg.Ops.(MergeOps)
 	}
+	if cfg.CompactionThreshold > 0 && cfg.Mode != hlog.ModeInMemory {
+		s.maintStop = make(chan struct{})
+		s.maintWG.Add(1)
+		go s.maintainerLoop()
+	}
 	return s, nil
 }
 
@@ -325,9 +352,41 @@ func (s *Store) GrowIndex() error { return s.idx.Grow(s.em) }
 
 // TruncateUntil garbage-collects the log prefix below addr
 // (expiration-based GC, Appendix C). Index entries pointing below the new
-// begin address are dropped lazily as operations encounter them.
+// begin address are dropped lazily as operations encounter them. The
+// begin advance is epoch-safe (no thread can still issue reads below it
+// when the device range is freed), and device truncation is held back to
+// the newest committed checkpoint's Begin so recovery stays possible; the
+// deferred range is freed when the next checkpoint commits. addr should
+// be a record boundary (page-aligned addresses always are) or future
+// scans and compactions from the new begin will misparse. The calling
+// goroutine must not hold an active (unparked) session.
 func (s *Store) TruncateUntil(addr hlog.Address) error {
-	return s.log.TruncateUntil(addr)
+	if _, err := s.log.ShiftBeginAddress(addr, nil); err != nil {
+		return err
+	}
+	return s.log.ApplyDeviceTruncation(s.deviceTruncateLimit(addr))
+}
+
+// deviceTruncateLimit clamps a device truncation target to the newest
+// committed checkpoint's Begin (no checkpoint yet = unconstrained):
+// recovery reads the log from its checkpoint's Begin, so storage below
+// that must survive until a newer checkpoint commits.
+func (s *Store) deviceTruncateLimit(addr hlog.Address) hlog.Address {
+	if cb := s.ckptBegin.Load(); cb != 0 && cb < addr {
+		return cb
+	}
+	return addr
+}
+
+// DeviceStoredBytes reports how many bytes the configured device
+// currently retains, when the device can tell (the in-memory device
+// frees truncated extents; file devices only track a watermark). ok is
+// false when the device has no such notion.
+func (s *Store) DeviceStoredBytes() (uint64, bool) {
+	if src, can := s.cfg.Device.(interface{ StoredBytes() uint64 }); can {
+		return src.StoredBytes(), true
+	}
+	return 0, false
 }
 
 // hashKey computes the index hash for key.
@@ -337,6 +396,10 @@ func hashKey(key []byte) uint64 { return xhash.Bytes(key) }
 func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
+	}
+	if s.maintStop != nil {
+		close(s.maintStop)
+		s.maintWG.Wait()
 	}
 	s.em.Drain()
 	return s.log.Close()

@@ -34,6 +34,13 @@ type StoreMetrics struct {
 	PendingRetries uint64                    // pending-read attempts retried
 	PendingLatency metrics.HistogramSnapshot // issue -> completion drain
 
+	// Compaction activity (compact.go). CompactedBytes over ReclaimedBytes
+	// is the compaction write amplification.
+	Compactions      uint64
+	CompactedRecords uint64
+	CompactedBytes   uint64
+	ReclaimedBytes   uint64
+
 	// Health is the fault-domain state machine (health.go);
 	// HealthTransitions counts its upward steps.
 	Health            Health
@@ -67,6 +74,11 @@ func (s *Store) Metrics() StoreMetrics {
 		PendingIssued:  t.pendingIOs,
 		PendingRetries: s.mx.pendingRetries.Load(),
 		PendingLatency: s.mx.pendingLatency.Snapshot(),
+
+		Compactions:      s.mx.compactions.Load(),
+		CompactedRecords: s.mx.compactedRecords.Load(),
+		CompactedBytes:   s.mx.compactedBytes.Load(),
+		ReclaimedBytes:   s.mx.reclaimedBytes.Load(),
 
 		Health:            s.Health(),
 		HealthTransitions: s.mx.healthTransitions.Load(),
@@ -102,6 +114,16 @@ func (m StoreMetrics) Series() metrics.Series {
 		// 0 healthy, 1 degraded, 2 read-only, 3 failed.
 		"faster.health":             float64(m.Health),
 		"faster.health_transitions": float64(m.HealthTransitions),
+
+		"faster.compactions":       float64(m.Compactions),
+		"faster.compacted_records": float64(m.CompactedRecords),
+		"faster.compacted_bytes":   float64(m.CompactedBytes),
+		"faster.reclaimed_bytes":   float64(m.ReclaimedBytes),
+	}
+	if m.ReclaimedBytes > 0 {
+		s["faster.compaction_write_amp"] = float64(m.CompactedBytes) / float64(m.ReclaimedBytes)
+	} else {
+		s["faster.compaction_write_amp"] = 0
 	}
 	s.AddHistogram("faster.pending_latency", m.PendingLatency)
 
@@ -128,6 +150,10 @@ func (m StoreMetrics) Series() metrics.Series {
 	s["hlog.evicted_pages"] = float64(m.Log.EvictedPages)
 	s["hlog.ro_shifts"] = float64(m.Log.ROShifts)
 	s["hlog.head_shifts"] = float64(m.Log.HeadShifts)
+	s["hlog.begin_shifts"] = float64(m.Log.BeginShifts)
+	s["hlog.truncations"] = float64(m.Log.Truncations)
+	s["hlog.truncated_bytes"] = float64(m.Log.TruncatedBytes)
+	s["hlog.truncated_until"] = float64(m.Log.TruncatedUntil)
 	s.AddHistogram("hlog.flush_latency", m.Log.FlushLatency)
 	s.AddHistogram("hlog.frame_wait", m.Log.FrameWait)
 	s.AddHistogram("hlog.tail_contention", m.Log.TailContention)

@@ -27,6 +27,7 @@ const (
 	opRMW                     // storage read, then copy-update at the tail
 	opRMWRetry                // fuzzy-region deferral, re-execute
 	opRMWVerify               // verify no newer version in an evicted span
+	opCompact                 // compaction span check (compact.go)
 )
 
 func (k opKind) String() string {
@@ -41,6 +42,8 @@ func (k opKind) String() string {
 		return "rmw-retry"
 	case opRMWVerify:
 		return "rmw-verify"
+	case opCompact:
+		return "compact"
 	default:
 		return "unknown"
 	}
@@ -67,6 +70,11 @@ type PendingOp struct {
 	verifyStop hlog.Address
 	verifyCur  hlog.Address
 
+	// compactVal is the value a compaction descent (opCompact) will copy
+	// forward if its span proves clean. Owned by the Compact driver, which
+	// drains all pending ops before returning.
+	compactVal []byte
+
 	issuedNs int64 // set by issueIO; feeds the pending-latency histogram
 
 	hdr [recHeaderBytes]byte // header-probe buffer (avoids a per-I/O alloc)
@@ -86,10 +94,16 @@ func (op *PendingOp) debugTrace(format string, args ...any) {
 
 // Result reports the completion of a pending operation.
 type Result struct {
-	// Kind is "read", "read-merge", "rmw" or "rmw-retry".
+	// Kind is "read", "read-merge", "rmw", "rmw-retry" or "compact".
 	Kind string
 	// Key is the operation's key (the session's owned copy).
 	Key []byte
+	// Input is the session's owned copy of the operation's input. RMW
+	// updaters that feed status back through the input (the counter
+	// overflow flag) write into this copy on the pending path, so callers
+	// must inspect it here, not their original buffer. Valid until the
+	// session reuses the op; copy to retain.
+	Input []byte
 	// Output is the caller's output buffer, now filled (reads).
 	Output []byte
 	// Status is the final status: OK, NotFound or Err.
@@ -207,6 +221,15 @@ func (s *Store) readRetrying(addr hlog.Address, buf []byte, done func(error)) {
 			done(nil)
 			return
 		}
+		if addr < s.log.BeginAddress() {
+			// The fetch raced a truncation: the record is provably dead
+			// (it sat below a begin address some caller advanced past).
+			// Deliver the raw error without burning retry budget or
+			// touching the health ladder — the continuation resolves it
+			// as NotFound, not as device degradation.
+			done(err)
+			return
+		}
 		failures++
 		if !s.cfg.ReadRetry.Budget(s.classify, err, failures) {
 			done(retry.Exhausted(s.classify, err, failures))
@@ -242,7 +265,12 @@ func (sess *Session) issueIO(op *PendingOp) {
 	s.readRetrying(op.addr, hdr, func(err error) {
 		if err != nil {
 			op.err = err
-			s.noteReadFailure(err)
+			// A read below a moving begin address is a truncation race,
+			// not a device failure; only genuine losses feed the health
+			// escalation.
+			if op.addr >= s.log.BeginAddress() {
+				s.noteReadFailure(err)
+			}
 			sess.completed.push(op)
 			return
 		}
@@ -260,7 +288,9 @@ func (sess *Session) issueIO(op *PendingOp) {
 		s.readRetrying(op.addr, buf, func(err error) {
 			if err != nil {
 				op.err = err
-				s.noteReadFailure(err)
+				if op.addr >= s.log.BeginAddress() {
+					s.noteReadFailure(err)
+				}
 			} else {
 				op.buf = buf
 			}
@@ -313,7 +343,8 @@ func (sess *Session) completePending(wait bool, deadline time.Time) ([]Result, e
 				}
 				progressed = true
 				results = append(results, Result{
-					Kind: op.kind.String(), Key: op.key, Status: st, Err: err, Ctx: op.ctx,
+					Kind: op.kind.String(), Key: op.key, Input: op.input,
+					Status: st, Err: err, Ctx: op.ctx,
 				})
 				sess.recycleOp(op)
 			}
@@ -366,14 +397,22 @@ func (sess *Session) completePending(wait bool, deadline time.Time) ([]Result, e
 func (sess *Session) continueOp(op *PendingOp) (Result, bool) {
 	s := sess.s
 	fail := func(st Status, err error) (Result, bool) {
-		return Result{Kind: op.kind.String(), Key: op.key, Output: op.output,
-			Status: st, Err: err, Ctx: op.ctx}, true
+		return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+			Output: op.output, Status: st, Err: err, Ctx: op.ctx}, true
 	}
 	if op.err != nil {
+		if op.addr < s.log.BeginAddress() {
+			return sess.resumeTruncated(op)
+		}
 		return fail(Err, op.err)
 	}
 	rec, ok := parseRecord(op.buf)
 	if !ok {
+		if op.addr < s.log.BeginAddress() {
+			// A truncated range can read back as zeros rather than an
+			// error (file devices only move a watermark); same race.
+			return sess.resumeTruncated(op)
+		}
 		return fail(Err, errCorruptRecord)
 	}
 
@@ -414,8 +453,43 @@ func (sess *Session) continueOp(op *PendingOp) (Result, bool) {
 		// The span record matched our key (checked above): a newer
 		// version exists, so the fetched value is stale.
 		return sess.reissueRMW(op)
+
+	case opCompact:
+		// A version of the key exists above the cut (even a tombstone
+		// supersedes the scanned copy): the candidate is stale, skip it.
+		return fail(NotFound, nil)
 	}
 	return fail(Err, errCorruptRecord)
+}
+
+// resumeTruncated re-executes an operation whose storage fetch was
+// overtaken by a begin-address truncation. The address it was reading is
+// provably reclaimed, so the failure carries no information about the
+// key; the op restarts from the index, where post-truncation state
+// (including any compaction copy rolled forward to the tail) is visible.
+func (sess *Session) resumeTruncated(op *PendingOp) (Result, bool) {
+	op.debugTrace("resume-truncated@%#x", op.addr)
+	op.err = nil
+	switch op.kind {
+	case opRead, opReadMerge:
+		// A partial CRDT fold below the truncation point is worthless;
+		// restart the read from scratch.
+		sess.releaseAcc(op.acc)
+		op.acc = nil
+		st, err := sess.readInternal(op.key, op.input, op.output, op.ctx, hashKey(op.key))
+		if st == Pending {
+			sess.ioDone()
+			return Result{}, false
+		}
+		return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+			Output: op.output, Status: st, Err: err, Ctx: op.ctx}, true
+	case opCompact:
+		// The span being verified was truncated out from under the
+		// descent; re-verify against the current index state.
+		return sess.republishCompact(op)
+	default: // opRMW, opRMWRetry, opRMWVerify
+		return sess.reissueRMW(op)
+	}
 }
 
 // followChain either issues the next fetch or finishes the op when the
@@ -427,7 +501,26 @@ func (sess *Session) followChain(op *PendingOp, next hlog.Address) (Result, bool
 		// observed when the verification started.
 		return sess.republishVerified(op)
 	}
-	if next == hlog.InvalidAddress || next < s.log.BeginAddress() {
+	if op.kind == opCompact && next <= op.verifyStop {
+		// The descent passed below the compaction cut without meeting the
+		// key: nothing above the cut supersedes the scanned copy. (This
+		// also covers a chain that ended or dropped below begin — both
+		// are below the cut.)
+		return sess.republishCompact(op)
+	}
+	if next != hlog.InvalidAddress && next < s.log.BeginAddress() {
+		// The chain descends below the begin address: a truncation (or a
+		// compaction) advanced begin mid-descent. If the index entry has
+		// moved since the op issued, a copy-forward may have rolled the
+		// key's live version to the tail — restart from the index. If the
+		// entry is unchanged (or gone), no copy rescued this key, so the
+		// truncated tail of the chain is dead and the descent is over.
+		if _, cur, ok := s.idx.FindEntry(hashKey(op.key)); ok && cur != op.entryAddr {
+			return sess.resumeTruncated(op)
+		}
+		return sess.chainExhausted(op)
+	}
+	if next == hlog.InvalidAddress {
 		return sess.chainExhausted(op)
 	}
 	if s.log.InMemory(next) {
@@ -456,7 +549,8 @@ func (sess *Session) followChain(op *PendingOp, next hlog.Address) (Result, bool
 // newer versions of the op's key.
 func (sess *Session) republishVerified(op *PendingOp) (Result, bool) {
 	finish := func(st Status, err error) (Result, bool) {
-		return Result{Kind: "rmw", Key: op.key, Status: st, Err: err, Ctx: op.ctx}, true
+		return Result{Kind: "rmw", Key: op.key, Input: op.input,
+			Status: st, Err: err, Ctx: op.ctx}, true
 	}
 	rec, ok := parseRecord(op.fetchedBuf)
 	if !ok {
@@ -482,13 +576,18 @@ func (sess *Session) chainExhausted(op *PendingOp) (Result, bool) {
 		return sess.republishVerified(op)
 	}
 	switch op.kind {
+	case opCompact:
+		// Defensive: the verifyStop check in followChain normally catches
+		// the end of a compaction span; treat a fall-through as the span
+		// proving clean.
+		return sess.republishCompact(op)
 	case opRead:
-		return Result{Kind: op.kind.String(), Key: op.key, Output: op.output,
-			Status: NotFound, Ctx: op.ctx}, true
+		return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+			Output: op.output, Status: NotFound, Ctx: op.ctx}, true
 	case opReadMerge:
 		copy(op.output, op.acc)
-		return Result{Kind: op.kind.String(), Key: op.key, Output: op.output,
-			Status: OK, Ctx: op.ctx}, true
+		return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+			Output: op.output, Status: OK, Ctx: op.ctx}, true
 	case opRMW:
 		// Key absent below the fetch point: CREATE_RECORD with the
 		// initial value (Alg 4), through the same verified-publish path
@@ -504,7 +603,8 @@ func (sess *Session) chainExhausted(op *PendingOp) (Result, bool) {
 		st, err := sess.publishFetched(h, op, rec, op.entryAddr)
 		switch st {
 		case statusDone:
-			return Result{Kind: op.kind.String(), Key: op.key, Status: OK, Err: err, Ctx: op.ctx}, true
+			return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+				Status: OK, Err: err, Ctx: op.ctx}, true
 		case statusPendingIO:
 			sess.ioDone() // the verify fetch re-incremented
 			return Result{}, false
@@ -512,7 +612,8 @@ func (sess *Session) chainExhausted(op *PendingOp) (Result, bool) {
 			return sess.reissueRMW(op)
 		}
 	}
-	return Result{Kind: op.kind.String(), Key: op.key, Status: Err, Err: errCorruptRecord, Ctx: op.ctx}, true
+	return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+		Status: Err, Err: errCorruptRecord, Ctx: op.ctx}, true
 }
 
 // mergeAndDescend folds rec into the accumulator and continues down the
@@ -522,8 +623,8 @@ func (sess *Session) mergeAndDescend(op *PendingOp, rec record) (Result, bool) {
 	s.merge.Merge(op.key, rec.value, op.acc)
 	if !rec.delta() {
 		copy(op.output, op.acc)
-		return Result{Kind: op.kind.String(), Key: op.key, Output: op.output,
-			Status: OK, Ctx: op.ctx}, true
+		return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+			Output: op.output, Status: OK, Ctx: op.ctx}, true
 	}
 	return sess.followChain(op, rec.prev())
 }
@@ -537,7 +638,8 @@ func (sess *Session) mergeAndDescend(op *PendingOp, rec record) (Result, bool) {
 // always outpace this op's two-I/O descent.
 func (sess *Session) completeRMWAfterFetch(op *PendingOp, rec record) (Result, bool) {
 	finish := func(st Status, err error) (Result, bool) {
-		return Result{Kind: op.kind.String(), Key: op.key, Status: st, Err: err, Ctx: op.ctx}, true
+		return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+			Status: st, Err: err, Ctx: op.ctx}, true
 	}
 	h := hashKey(op.key)
 	chainHead := op.entryAddr
@@ -626,5 +728,6 @@ func (sess *Session) reissueRMW(op *PendingOp) (Result, bool) {
 		sess.ioDone()
 		return Result{}, false
 	}
-	return Result{Kind: op.kind.String(), Key: op.key, Status: st, Err: err, Ctx: op.ctx}, true
+	return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
+		Status: st, Err: err, Ctx: op.ctx}, true
 }

@@ -115,6 +115,27 @@ func (s *Store) Scan(opts ScanOptions, fn func(r ScanRecord) bool) error {
 				rec, ok = parseRecord(page[off:])
 			}
 			if !ok {
+				// A record that cannot be decoded marks end-of-page padding
+				// (a straddling allocation wastes the rest of the page, which
+				// stays zero). Every abandoned slot is laid out as a full
+				// invalid record precisely so this break never skips live
+				// data; the assert guards that invariant for the stable
+				// region, where all records are fully written.
+				if debugAssert() {
+					limit := pageEnd
+					if to < limit {
+						limit = to
+					}
+					if sro := s.log.SafeReadOnlyAddress(); sro < limit {
+						limit = sro
+					}
+					for a := addr; a < limit; a++ {
+						if page[a-pageStart] != 0 {
+							panic(fmt.Sprintf("hlog scan: nonzero byte at %#x after undecodable record at %#x (page %#x): live data would be skipped",
+								a, addr, pageStart))
+						}
+					}
+				}
 				break // padding: rest of page is empty
 			}
 			if !rec.invalid() || opts.IncludeInvalid {
@@ -138,102 +159,5 @@ func (s *Store) Scan(opts ScanOptions, fn func(r ScanRecord) bool) error {
 	return nil
 }
 
-// Compact rolls the log prefix [BeginAddress, until) forward to the tail
-// (the "Roll To Tail" garbage collection of Appendix C): every key whose
-// newest version lives below the cut-off is re-appended at the tail, then
-// the prefix is truncated. The caller supplies a session and must ensure
-// no concurrent writers run during compaction (like the paper's GC, this
-// is an administrative operation).
-//
-// Compaction runs in two phases so the log scan's epoch guard is released
-// before any store operation runs (a session operation inside the scan
-// could otherwise deadlock a page roll on the scanner's stale epoch):
-// first collect the candidate keys, then roll each one forward.
-//
-// It returns the number of records copied forward and the number of bytes
-// reclaimed.
-func (s *Store) Compact(until hlog.Address, sess *Session) (copied int, reclaimed uint64, err error) {
-	begin := s.log.BeginAddress()
-	if until <= begin {
-		return 0, 0, nil
-	}
-	if until > s.log.SafeReadOnlyAddress() {
-		return 0, 0, fmt.Errorf("faster: compact until %#x beyond safe read-only %#x", until, s.log.SafeReadOnlyAddress())
-	}
-
-	// Phase 1: collect keys whose newest version sits below the cut.
-	seen := map[string]bool{}
-	var candidates [][]byte
-	err = s.Scan(ScanOptions{From: begin, To: until}, func(r ScanRecord) bool {
-		if r.Tombstone {
-			return true // deletes below the cut die with the prefix
-		}
-		if seen[string(r.Key)] {
-			return true
-		}
-		_, chainHead, ok := s.idx.FindEntry(hashKey(r.Key))
-		if !ok || chainHead >= until {
-			// Key deleted, or its newest version is already above the
-			// cut (the index entry always points at the newest record).
-			return true
-		}
-		seen[string(r.Key)] = true
-		candidates = append(candidates, append([]byte(nil), r.Key...))
-		return true
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-
-	// Phase 2: roll each candidate's current value to the tail.
-	out := make([]byte, maxCompactValue)
-	for _, key := range candidates {
-		st, rerr := sess.Read(key, nil, out, nil)
-		if rerr != nil {
-			return copied, 0, rerr
-		}
-		vlen := -1
-		if st == Pending {
-			for _, res := range sess.CompletePending(true) {
-				st = res.Status
-				vlen = res.ValueLen
-			}
-		} else if st == OK {
-			// Synchronous reads hit an in-memory record; its decoded
-			// length is authoritative.
-			vlen = s.newestValueLen(key)
-		}
-		if st != OK {
-			continue // deleted meanwhile; nothing to preserve
-		}
-		if vlen < 0 || vlen > len(out) {
-			vlen = len(out)
-		}
-		if st2, _ := sess.Upsert(key, out[:vlen]); st2 == OK {
-			copied++
-		}
-	}
-	if terr := s.TruncateUntil(until); terr != nil {
-		return copied, 0, terr
-	}
-	return copied, until - begin, nil
-}
-
-// maxCompactValue bounds the value buffer used when rolling records
-// forward.
-const maxCompactValue = 1 << 16
-
-// newestValueLen returns the value length of the newest in-memory record
-// for key, or -1 when it is not resident.
-func (s *Store) newestValueLen(key []byte) int {
-	_, addr, ok := s.idx.FindEntry(hashKey(key))
-	if !ok || !s.log.InMemory(addr) {
-		return -1
-	}
-	laddr, rec, found := s.traceBack(key, addr, s.log.HeadAddress())
-	if !found {
-		return -1
-	}
-	_ = laddr
-	return len(rec.value)
-}
+// Compaction (copy-forward GC over the stable region) lives in
+// compact.go; it reuses Scan as its discovery pass.

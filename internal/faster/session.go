@@ -196,7 +196,7 @@ func (sess *Session) readAt(key, input, output []byte, ctx any, entry index.Entr
 			return NotFound, nil
 		}
 		if rec.delta() {
-			return sess.readReconcile(key, input, output, ctx, laddr, rec)
+			return sess.readReconcile(key, input, output, ctx, addr, laddr, rec)
 		}
 		if laddr < s.log.SafeReadOnlyAddress() {
 			s.ops.SingleReader(key, rec.value, input, output)
@@ -208,17 +208,22 @@ func (sess *Session) readAt(key, input, output []byte, ctx any, entry index.Entr
 	if laddr == hlog.InvalidAddress {
 		return NotFound, nil
 	}
-	// The chain continues on storage: go asynchronous.
+	// The chain continues on storage: go asynchronous. entryAddr records
+	// the chain head observed here: if a truncation overtakes the descent,
+	// the continuation compares it against the current index entry to tell
+	// "key rescued by copy-forward" from "key provably dead".
 	op := sess.newPendingOp(opRead, key, input, output, ctx)
 	op.addr = laddr
+	op.entryAddr = addr
 	sess.issueIO(op)
 	return Pending, nil
 }
 
 // readReconcile handles a CRDT read whose newest record is a delta: it
 // folds delta values down the chain until the base record (§6.3). If the
-// chain descends to storage the fold continues asynchronously.
-func (sess *Session) readReconcile(key, input, output []byte, ctx any, addr hlog.Address, rec record) (Status, error) {
+// chain descends to storage the fold continues asynchronously. chainHead
+// is the index entry the probe observed (see readAt's entryAddr note).
+func (sess *Session) readReconcile(key, input, output []byte, ctx any, chainHead, addr hlog.Address, rec record) (Status, error) {
 	s := sess.s
 	acc := sess.acquireAcc(len(output))
 	head := s.log.HeadAddress()
@@ -250,6 +255,7 @@ func (sess *Session) readReconcile(key, input, output []byte, ctx any, addr hlog
 		// Continue the fold on storage.
 		op := sess.newPendingOp(opReadMerge, key, input, output, ctx)
 		op.addr = addr
+		op.entryAddr = chainHead
 		op.acc = acc
 		sess.issueIO(op)
 		return Pending, nil
@@ -498,7 +504,9 @@ func (sess *Session) appendRecord(h uint64, key []byte, chainHead, srcAddr hlog.
 		return 0, statusDone, fmt.Errorf("faster: allocate record: %w", err)
 	}
 	if srcAddr != hlog.InvalidAddress && srcAddr < s.log.HeadAddress() {
-		s.setInvalid(newAddr)
+		// The copy source was evicted while Allocate waited: abandon the
+		// slot and retry from the index.
+		s.abandonSlot(newAddr, key, valueLen)
 		return 0, statusRetry, nil
 	}
 	dst := writeRecord(s.log.Slice(newAddr)[:size], chainHead, flags, key, valueLen)
@@ -511,6 +519,21 @@ func (sess *Session) appendRecord(h uint64, key []byte, chainHead, srcAddr hlog.
 	}
 	sess.stat.appends.Add(1)
 	return newAddr, statusDone, nil
+}
+
+// abandonSlot lays a freshly allocated, never-published slot out as a
+// full invalid record. A bare invalid flag is not enough: on an
+// otherwise-zero slot the key length stays 0, which log scans
+// (compaction's fold, checkpoint replay, RebuildIndex) read as
+// end-of-page padding — silently dropping every record after it in the
+// page, and with it any key whose newest version sat there. Writing the
+// full sized layout keeps the slot skippable but walkable. The slot is
+// unreachable (never published to the index) and the caller holds its
+// epoch, so the read-only offset cannot pass it mid-write; plain stores
+// suffice.
+func (s *Store) abandonSlot(addr hlog.Address, key []byte, valueLen int) {
+	size := recordSize(len(key), valueLen)
+	writeRecord(s.log.Slice(addr)[:size], 0, flagInvalid, key, valueLen)
 }
 
 // rmwCreate appends the updated record for an RMW: either the initial

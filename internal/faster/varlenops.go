@@ -19,19 +19,28 @@ import (
 // frame with VarLenEncode before Upsert and decode reads with
 // VarLenDecode.
 //
-// RMW treats the value as a signed 64-bit counter and the 8-byte LE
-// input as a delta:
+// RMW treats the value as a signed 64-bit counter and the first 8 input
+// bytes (LE) as a delta:
 //
 //   - absent key: the counter is created holding the delta;
 //   - 8-byte payload: the delta is added, in place when possible
-//     (fetch-and-add, full concurrency) or via copy-update when the
-//     record is sealed or read-only;
+//     (full concurrency) or via copy-update when the record is sealed or
+//     read-only;
 //   - any other payload length: the value is not a counter; the RMW
 //     resets it to a counter holding the delta. Redis would error here —
 //     ValueOps has no error channel, so the front-end pre-checks the
 //     type and rejects non-counter INCRBY before issuing the RMW (a
 //     concurrent SET can still race the check; the reset keeps that race
 //     well-defined).
+//
+// A 9th input byte, when present, is an overflow status channel: every
+// updater invocation writes it (1 when the addition would wrap int64 —
+// the counter is then left unchanged — 0 otherwise), so callers that
+// need Redis's "increment or decrement would overflow" semantics pass a
+// 9-byte input and inspect input[8] afterwards (Result.Input on the
+// pending path). An 8-byte input keeps the historical wrapping
+// behaviour. The flag is rewritten on every attempt, so a lost-CAS
+// retry cannot leak a stale verdict.
 //
 // In-place upserts accept any new framed value that fits the existing
 // allocation (header included), so shrinking values update in place and
@@ -114,33 +123,88 @@ func (VarLenOps) ConcurrentWriter(_, dst, src []byte) bool {
 	return true
 }
 
+// addOverflows reports whether old+delta wraps the int64 range.
+func addOverflows(old, delta int64) bool {
+	if delta > 0 {
+		return old > maxInt64-delta
+	}
+	return old < minInt64-delta
+}
+
+const (
+	maxInt64 = int64(^uint64(0) >> 1)
+	minInt64 = -maxInt64 - 1
+)
+
+// setOverflowFlag writes the overflow verdict into the 9th input byte
+// when the caller provided one.
+func setOverflowFlag(input []byte, overflowed bool) {
+	if len(input) >= 9 {
+		if overflowed {
+			input[8] = 1
+		} else {
+			input[8] = 0
+		}
+	}
+}
+
 // InitialUpdater implements ValueOps: an RMW insert creates a counter
-// holding the delta.
+// holding the delta (a single delta cannot overflow).
 func (VarLenOps) InitialUpdater(_, value, input []byte) {
 	binary.LittleEndian.PutUint64(value, 8)
 	copy(value[varLenHeader:], input[:8])
+	setOverflowFlag(input, false)
 }
 
-// InPlaceUpdater implements ValueOps: fetch-and-add on a counter payload;
-// non-counter payloads decline to the sealed copy-update path.
+// InPlaceUpdater implements ValueOps: overflow-checked add on a counter
+// payload; non-counter payloads decline to the sealed copy-update path.
+// With a 9-byte input an overflowing add leaves the counter unchanged
+// and reports through the flag; an 8-byte input wraps.
 func (VarLenOps) InPlaceUpdater(_, value, input []byte) bool {
 	if len(value) < varLenHeader+8 || frameLen(value) != 8 {
 		return false
 	}
-	atomic.AddUint64(AtomicU64(value[varLenHeader:]), binary.LittleEndian.Uint64(input))
-	return true
+	delta := int64(binary.LittleEndian.Uint64(input))
+	p := AtomicU64(value[varLenHeader:])
+	if len(input) < 9 {
+		atomic.AddUint64(p, uint64(delta))
+		return true
+	}
+	for {
+		cur := atomic.LoadUint64(p)
+		if addOverflows(int64(cur), delta) {
+			setOverflowFlag(input, true)
+			return true // handled: counter intact, verdict delivered
+		}
+		if atomic.CompareAndSwapUint64(p, cur, cur+uint64(delta)) {
+			setOverflowFlag(input, false)
+			return true
+		}
+	}
 }
 
 // CopyUpdater implements ValueOps: counter += delta, or reset to the
-// delta when the old value was not a counter.
+// delta when the old value was not a counter. An overflowing add copies
+// the counter unchanged and reports through the flag (9-byte input) or
+// wraps (8-byte input).
 func (VarLenOps) CopyUpdater(_, oldValue, newValue, input []byte) {
-	delta := binary.LittleEndian.Uint64(input)
-	var old uint64
-	if p, ok := VarLenDecode(oldValue); ok && len(p) == 8 {
-		old = binary.LittleEndian.Uint64(p)
-	}
+	delta := int64(binary.LittleEndian.Uint64(input))
 	binary.LittleEndian.PutUint64(newValue, 8)
-	binary.LittleEndian.PutUint64(newValue[varLenHeader:], old+delta)
+	p, ok := VarLenDecode(oldValue)
+	if !ok || len(p) != 8 {
+		// Non-counter value: reset to a counter holding the delta.
+		binary.LittleEndian.PutUint64(newValue[varLenHeader:], uint64(delta))
+		setOverflowFlag(input, false)
+		return
+	}
+	old := int64(binary.LittleEndian.Uint64(p))
+	if len(input) >= 9 && addOverflows(old, delta) {
+		binary.LittleEndian.PutUint64(newValue[varLenHeader:], uint64(old))
+		setOverflowFlag(input, true)
+		return
+	}
+	binary.LittleEndian.PutUint64(newValue[varLenHeader:], uint64(old)+uint64(delta))
+	setOverflowFlag(input, false)
 }
 
 // InitialValueLen implements ValueOps: header + 8-byte counter.

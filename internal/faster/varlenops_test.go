@@ -132,6 +132,126 @@ func TestVarLenCounterRMW(t *testing.T) {
 	}
 }
 
+// delta9 frames a delta with the 9th overflow-status byte appended,
+// pre-poisoned so a test catches paths that fail to write the verdict.
+func delta9(d int64) []byte {
+	b := make([]byte, 9)
+	binary.LittleEndian.PutUint64(b, uint64(d))
+	b[8] = 0xAA
+	return b
+}
+
+func TestVarLenCounterOverflow(t *testing.T) {
+	s := varLenStore(t)
+	sess := s.StartSession()
+	defer sess.Close()
+	out := make([]byte, varLenHeader+8)
+	readCounter := func(key []byte) int64 {
+		t.Helper()
+		if st, err := sess.Read(key, nil, out, nil); st != OK || err != nil {
+			t.Fatalf("read %q: %v %v", key, st, err)
+		}
+		n, ok := VarLenCounter(out)
+		if !ok {
+			t.Fatalf("key %q is not a counter", key)
+		}
+		return n
+	}
+
+	// Insert through the 9-byte path: a single delta cannot overflow and
+	// the poisoned flag must come back cleared.
+	key := []byte("ovf")
+	in := delta9(maxInt64 - 1)
+	if st, err := sess.RMW(key, in, nil); st != OK || err != nil {
+		t.Fatalf("initial rmw: %v %v", st, err)
+	}
+	if in[8] != 0 {
+		t.Fatalf("initial rmw left flag %d, want 0", in[8])
+	}
+
+	// +1 still fits; +2 would wrap: the counter must hold and the flag
+	// must report.
+	in = delta9(1)
+	if st, err := sess.RMW(key, in, nil); st != OK || err != nil || in[8] != 0 {
+		t.Fatalf("+1 at MaxInt64-1: %v %v flag=%d", st, err, in[8])
+	}
+	in = delta9(2)
+	if st, err := sess.RMW(key, in, nil); st != OK || err != nil {
+		t.Fatalf("overflowing rmw: %v %v", st, err)
+	}
+	if in[8] != 1 {
+		t.Fatalf("overflowing rmw flag = %d, want 1", in[8])
+	}
+	if got := readCounter(key); got != maxInt64 {
+		t.Fatalf("counter after rejected overflow = %d, want MaxInt64", got)
+	}
+
+	// The sealed/read-only copy-update path must enforce the same bound.
+	s.Log().ShiftReadOnlyToTail()
+	sess.Refresh()
+	in = delta9(1)
+	if st, err := sess.RMW(key, in, nil); st != OK || err != nil {
+		t.Fatalf("copy-update overflow rmw: %v %v", st, err)
+	}
+	if in[8] != 1 {
+		t.Fatalf("copy-update overflow flag = %d, want 1", in[8])
+	}
+	if got := readCounter(key); got != maxInt64 {
+		t.Fatalf("counter after copy-update overflow = %d, want MaxInt64", got)
+	}
+	// A fitting decrement clears the flag and moves the counter again.
+	in = delta9(-10)
+	if st, err := sess.RMW(key, in, nil); st != OK || err != nil || in[8] != 0 {
+		t.Fatalf("decrement after overflow: %v %v flag=%d", st, err, in[8])
+	}
+	if got := readCounter(key); got != maxInt64-10 {
+		t.Fatalf("counter after decrement = %d, want MaxInt64-10", got)
+	}
+
+	// Negative direction: MinInt64 - 1 must be rejected identically.
+	nkey := []byte("ovf-neg")
+	if st, err := sess.RMW(nkey, delta9(minInt64), nil); st != OK || err != nil {
+		t.Fatalf("seed MinInt64: %v %v", st, err)
+	}
+	in = delta9(-1)
+	if st, err := sess.RMW(nkey, in, nil); st != OK || err != nil {
+		t.Fatalf("underflow rmw: %v %v", st, err)
+	}
+	if in[8] != 1 {
+		t.Fatalf("underflow flag = %d, want 1", in[8])
+	}
+	if got := readCounter(nkey); got != minInt64 {
+		t.Fatalf("counter after rejected underflow = %d, want MinInt64", got)
+	}
+
+	// Legacy 8-byte inputs keep the historical wrapping behaviour.
+	wkey := []byte("wrap")
+	if st, err := sess.RMW(wkey, delta(maxInt64), nil); st != OK || err != nil {
+		t.Fatalf("seed wrap key: %v %v", st, err)
+	}
+	if st, err := sess.RMW(wkey, delta(1), nil); st != OK || err != nil {
+		t.Fatalf("wrapping rmw: %v %v", st, err)
+	}
+	if got := readCounter(wkey); got != minInt64 {
+		t.Fatalf("8-byte input did not wrap: %d, want MinInt64", got)
+	}
+
+	// A 9-byte RMW over a non-counter value resets it (never "overflows").
+	bkey := []byte("blob")
+	if st, _ := sess.Upsert(bkey, VarLenEncode([]byte("not a number"))); st != OK {
+		t.Fatal("upsert blob")
+	}
+	s.Log().ShiftReadOnlyToTail() // force the copy-update reset path
+	sess.Refresh()
+	in = delta9(41)
+	if st, err := sess.RMW(bkey, in, nil); st != OK || err != nil || in[8] != 0 {
+		t.Fatalf("reset rmw: %v %v flag=%d", st, err, in[8])
+	}
+	if got := readCounter(bkey); got != 41 {
+		t.Fatalf("reset counter = %d, want 41", got)
+	}
+}
+
 func TestVarLenConcurrentCounters(t *testing.T) {
 	s := varLenStore(t)
 	const (

@@ -189,6 +189,17 @@ type Log struct {
 	retryMu     sync.Mutex
 	retryTimers map[*time.Timer]struct{}
 
+	// Truncation state. truncSafe is the highest begin value that has been
+	// published under an epoch bump + drain: every thread has observed
+	// begin at that level, so no new read below it can be issued. truncMu
+	// serializes device truncates and truncDone is the monotone device
+	// watermark, so two concurrent truncations can never reach the device
+	// out of order (a truncate-to-100 landing after a truncate-to-200
+	// would resurrect the freed range).
+	truncMu   sync.Mutex
+	truncSafe atomic.Uint64
+	truncDone atomic.Uint64
+
 	mx struct {
 		flushesIssued  metrics.Counter   // page-granular flush writes issued
 		flushRetries   metrics.Counter   // failed flush writes re-issued
@@ -198,6 +209,9 @@ type Log struct {
 		evictedPages   metrics.Counter   // frames closed by head advances
 		roShifts       metrics.Counter   // read-only offset advances (§6.2)
 		headShifts     metrics.Counter   // head offset advances (eviction)
+		beginShifts    metrics.Counter   // begin address advances (GC)
+		truncations    metrics.Counter   // device truncates applied
+		truncatedBytes metrics.Counter   // bytes freed on the device
 		frameWait      metrics.Histogram // openPage waits for an evictable frame
 		tailContention metrics.Histogram // Allocate spins behind a page-opener
 		flushWait      metrics.Histogram // WaitUntilFlushed stall time
@@ -787,18 +801,106 @@ func (l *Log) WaitUntilFlushed(addr Address) error {
 	return nil
 }
 
-// TruncateUntil discards the log prefix below addr (expiration-based GC,
-// Appendix C). Addresses below the new begin address become invalid.
-func (l *Log) TruncateUntil(addr Address) error {
+// ShiftBeginAddress advances the begin address to addr (monotone,
+// expiration-based GC, Appendix C) and, when it advanced, waits under an
+// epoch bump + drain until every thread has observed the new begin. Only
+// after that wait is it safe to free the device range below addr: threads
+// check begin before issuing stable-region reads, so post-drain no new
+// read below addr can start. (Reads already in flight when begin moved
+// may still race a device truncate; the faster layer resolves those as
+// NotFound — the record is provably dead.)
+//
+// g, if non-nil, is the caller's epoch guard and is refreshed while
+// waiting so the caller does not stall its own drain; a caller holding an
+// active guard that it cannot refresh here must Park it first or the
+// wait deadlocks. Returns whether this call advanced begin.
+func (l *Log) ShiftBeginAddress(addr Address, g *epoch.Guard) (bool, error) {
+	advanced := false
 	for {
 		cur := l.begin.Load()
 		if addr <= cur {
-			return nil
+			break
 		}
 		if l.begin.CompareAndSwap(cur, addr) {
-			return l.dev.Truncate(addr)
+			advanced = true
+			l.mx.beginShifts.Inc()
+			break
 		}
 	}
+	if !advanced || l.cfg.Mode == ModeInMemory {
+		// A racing caller that advanced past addr performs its own drain;
+		// ApplyDeviceTruncation clamps to the epoch-safe watermark, so
+		// skipping the wait here cannot free the range early. In-memory
+		// logs have no device range to protect.
+		return advanced, nil
+	}
+	done := make(chan struct{})
+	l.em.BumpWith(func() { close(done) })
+	for spins := 0; ; spins++ {
+		select {
+		case <-done:
+			for {
+				cur := l.truncSafe.Load()
+				if addr <= cur || l.truncSafe.CompareAndSwap(cur, addr) {
+					return true, nil
+				}
+			}
+		default:
+		}
+		if l.closed.Load() {
+			return true, ErrClosed
+		}
+		if g != nil {
+			g.Refresh()
+		}
+		l.em.Drain()
+		if spins > 128 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ApplyDeviceTruncation frees device storage below min(limit, the
+// epoch-safe begin published by ShiftBeginAddress). Truncates are
+// serialized under a mutex against a monotone watermark, so concurrent
+// callers can never apply device truncates out of order. Callers use
+// limit to hold back reclamation the durable metadata does not yet cover
+// (recovery must never need truncated addresses).
+func (l *Log) ApplyDeviceTruncation(limit Address) error {
+	target := l.truncSafe.Load()
+	if limit < target {
+		target = limit
+	}
+	l.truncMu.Lock()
+	defer l.truncMu.Unlock()
+	if target <= l.truncDone.Load() {
+		return nil
+	}
+	if err := l.dev.Truncate(target); err != nil {
+		return err
+	}
+	l.mx.truncations.Inc()
+	l.mx.truncatedBytes.Add(target - l.truncDone.Load())
+	l.truncDone.Store(target)
+	return nil
+}
+
+// TruncatedUntil returns the device truncation watermark: storage below
+// this address has been freed.
+func (l *Log) TruncatedUntil() Address { return l.truncDone.Load() }
+
+// TruncateUntil discards the log prefix below addr (expiration-based GC,
+// Appendix C): it advances begin under an epoch bump + drain and then
+// frees the device range. Addresses below the new begin address become
+// invalid. The calling goroutine must not hold an active (unparked)
+// epoch guard or session, or the drain cannot complete.
+func (l *Log) TruncateUntil(addr Address) error {
+	if _, err := l.ShiftBeginAddress(addr, nil); err != nil {
+		return err
+	}
+	return l.ApplyDeviceTruncation(addr)
 }
 
 // InMemory reports whether addr is at or above the head offset (resident).
@@ -828,6 +930,10 @@ func (l *Log) RecoverTo(begin, tail Address) error {
 	l.flushIssue.Store(resume)
 	l.flushed.complete(0, resume)
 	l.begin.Store(begin)
+	// A fresh log has no readers: the recovered begin is epoch-safe by
+	// construction, and the device holds nothing below it.
+	l.truncSafe.Store(begin)
+	l.truncDone.Store(begin)
 	for _, f := range l.frames {
 		f.status.Store(frameClosed) // including the initially open frame 0
 	}

@@ -32,6 +32,12 @@ type Metrics struct {
 	ROShifts      uint64
 	HeadShifts    uint64
 
+	// Truncation activity (GC / compaction).
+	BeginShifts    uint64 // begin address advances
+	Truncations    uint64 // device truncates applied
+	TruncatedBytes uint64 // bytes freed on the device
+	TruncatedUntil uint64 // device truncation watermark
+
 	// Poisoned reports an unwritable log tail (see ErrPoisoned); Retry
 	// timers still pending are counted in RetryTimers.
 	Poisoned    bool
@@ -78,6 +84,11 @@ func (l *Log) Metrics() Metrics {
 		EvictedPages:  l.mx.evictedPages.Load(),
 		ROShifts:      l.mx.roShifts.Load(),
 		HeadShifts:    l.mx.headShifts.Load(),
+
+		BeginShifts:    l.mx.beginShifts.Load(),
+		Truncations:    l.mx.truncations.Load(),
+		TruncatedBytes: l.mx.truncatedBytes.Load(),
+		TruncatedUntil: l.TruncatedUntil(),
 
 		Poisoned:    l.Poisoned(),
 		RetryTimers: l.retryTimerCount(),

@@ -24,6 +24,7 @@ type serverMetrics struct {
 
 	sessionsRetired metrics.Counter // sessions pulled from rotation
 	inflightDepth   metrics.Gauge   // commands executing right now
+	compactRuns     metrics.Counter // COMPACT commands accepted
 
 	cmdLatency metrics.Histogram
 
@@ -50,6 +51,7 @@ type Metrics struct {
 	SessionsRetired   uint64
 	SessionsAbandoned int64
 	InflightDepth     int64
+	CompactRuns       uint64
 
 	CmdLatency metrics.HistogramSnapshot
 
@@ -75,6 +77,7 @@ func (s *Server) Metrics() Metrics {
 		SessionsRetired:   s.mx.sessionsRetired.Load(),
 		SessionsAbandoned: s.abandoned.Load(),
 		InflightDepth:     s.mx.inflightDepth.Load(),
+		CompactRuns:       s.mx.compactRuns.Load(),
 		CmdLatency:        s.mx.cmdLatency.Snapshot(),
 		Drains:            s.mx.drains.Load(),
 		LastDrainNs:       s.mx.drainNs.Load(),
@@ -100,6 +103,7 @@ func (m Metrics) Series() metrics.Series {
 		"server.sessions_retired":   float64(m.SessionsRetired),
 		"server.sessions_abandoned": float64(m.SessionsAbandoned),
 		"server.inflight_depth":     float64(m.InflightDepth),
+		"server.compact_runs":       float64(m.CompactRuns),
 		"server.drains":             float64(m.Drains),
 		"server.last_drain_ns":      float64(m.LastDrainNs),
 	}

@@ -514,6 +514,10 @@ func (c *connState) dispatch(args [][]byte) bool {
 		return false
 	case "GET", "SET", "DEL", "INCRBY":
 		return c.dataCommand(name, args)
+	case "COMPACT":
+		return c.doCompact(args)
+	case "MEMORY":
+		return c.doMemory(args)
 	default:
 		s.mx.unknownCommands.Inc()
 		c.w.WriteError(fmt.Sprintf("ERR unknown command '%s'", name))
@@ -821,19 +825,32 @@ func (c *connState) doIncrBy(sess *faster.Session, args [][]byte) bool {
 		return true
 	}
 
-	var input [8]byte
-	binary.LittleEndian.PutUint64(input[:], uint64(delta))
+	// The 9th input byte is VarLenOps's overflow status channel: the
+	// updater writes 1 there instead of wrapping the counter. On the
+	// pending path the updater ran against the store's copy of the input,
+	// so the verdict comes back in Result.Input.
+	var input [9]byte
+	binary.LittleEndian.PutUint64(input[:8], uint64(delta))
 	token := &opToken{}
 	st, err = sess.RMW(key, input[:], token)
+	overflowed := input[8] != 0
 	if st == faster.Pending {
 		r, rok := c.drainPending(sess, token)
 		if !rok {
 			return false
 		}
 		st, err = r.Status, r.Err
+		overflowed = len(r.Input) >= 9 && r.Input[8] != 0
 	}
 	if st != faster.OK {
 		c.writeStoreErr(err)
+		return true
+	}
+	if overflowed {
+		// A client asking for an impossible increment is not a store
+		// fault: reply like Redis does and leave the counter (and the
+		// health ladder) untouched.
+		c.w.WriteError("ERR increment or decrement would overflow")
 		return true
 	}
 
@@ -854,6 +871,71 @@ func (c *connState) doIncrBy(sess *faster.Session, args [][]byte) bool {
 		return true
 	}
 	c.w.WriteInt(n)
+	return true
+}
+
+// doCompact runs a log compaction over the whole stable region and
+// replies with the number of log bytes reclaimed. The command runs on
+// the connection goroutine without a pooled session (Compact drives its
+// own); concurrent COMPACTs serialize inside the store.
+func (c *connState) doCompact(args [][]byte) bool {
+	s := c.s
+	if len(args) != 1 {
+		c.w.WriteError("ERR wrong number of arguments for 'compact'")
+		return true
+	}
+	switch s.store.Health() {
+	case faster.Failed:
+		s.mx.failedRejects.Inc()
+		c.w.WriteError("FAILED store failed (device lost)")
+		return false
+	case faster.ReadOnly:
+		s.mx.readonlyRejects.Inc()
+		c.w.WriteError("READONLY store is read-only (write path lost)")
+		return true
+	}
+	s.mx.compactRuns.Inc()
+	stats, err := s.store.Compact(s.store.Log().SafeReadOnlyAddress())
+	if err != nil {
+		c.writeStoreErr(err)
+		return true
+	}
+	c.w.WriteInt(int64(stats.ReclaimedBytes))
+	return true
+}
+
+// doMemory reports the log's space accounting as a flat array of
+// name/value bulk-string pairs (MEMORY or MEMORY STATS).
+func (c *connState) doMemory(args [][]byte) bool {
+	if len(args) > 2 || (len(args) == 2 && commandName(args[1]) != "STATS") {
+		c.w.WriteError("ERR unknown MEMORY subcommand")
+		return true
+	}
+	store := c.s.store
+	l := store.Log()
+	m := store.Metrics()
+	pairs := [][2]string{
+		{"begin_address", strconv.FormatUint(l.BeginAddress(), 10)},
+		{"head_address", strconv.FormatUint(l.HeadAddress(), 10)},
+		{"safe_read_only_address", strconv.FormatUint(l.SafeReadOnlyAddress(), 10)},
+		{"tail_address", strconv.FormatUint(l.TailAddress(), 10)},
+		{"log_bytes", strconv.FormatUint(l.TailAddress()-l.BeginAddress(), 10)},
+		{"stable_bytes", strconv.FormatUint(m.Log.StableBytes, 10)},
+		{"mutable_bytes", strconv.FormatUint(m.Log.MutableBytes, 10)},
+		{"compactions", strconv.FormatUint(m.Compactions, 10)},
+		{"compacted_bytes", strconv.FormatUint(m.CompactedBytes, 10)},
+		{"reclaimed_bytes", strconv.FormatUint(m.ReclaimedBytes, 10)},
+		{"truncated_until", strconv.FormatUint(m.Log.TruncatedUntil, 10)},
+		{"truncated_bytes", strconv.FormatUint(m.Log.TruncatedBytes, 10)},
+	}
+	if stored, ok := store.DeviceStoredBytes(); ok {
+		pairs = append(pairs, [2]string{"device_stored_bytes", strconv.FormatUint(stored, 10)})
+	}
+	c.w.WriteArrayHeader(2 * len(pairs))
+	for _, p := range pairs {
+		c.w.WriteBulk([]byte(p[0]))
+		c.w.WriteBulk([]byte(p[1]))
+	}
 	return true
 }
 

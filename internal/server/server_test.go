@@ -492,3 +492,131 @@ func TestServerAdminPprofGated(t *testing.T) {
 		t.Fatalf("pprof with EnablePprof = %d, want 200", code)
 	}
 }
+
+func TestServerIncrOverflow(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{})
+	c := dialT(t, srv)
+
+	max := fmt.Sprintf("%d", int64(^uint64(0)>>1))
+	v, err := c.Do([]byte("INCRBY"), []byte("ctr"), []byte(max))
+	if err != nil || v.Kind != resp.Integer {
+		t.Fatalf("seed to MaxInt64: %v %v", v, err)
+	}
+
+	// One more would wrap: Redis-compatible error, counter untouched.
+	v, err = c.Do([]byte("INCRBY"), []byte("ctr"), []byte("1"))
+	if err != nil || !v.IsError() || !strings.Contains(string(v.Str), "increment or decrement would overflow") {
+		t.Fatalf("overflowing INCRBY = %q %v", v.Str, err)
+	}
+	v, err = c.Do([]byte("INCRBY"), []byte("ctr"), []byte("0"))
+	if err != nil || v.Kind != resp.Integer || fmt.Sprintf("%d", v.Int) != max {
+		t.Fatalf("counter after rejected overflow = %v %v, want %s", v, err, max)
+	}
+
+	// Decrement below MinInt64 is rejected symmetrically.
+	v, err = c.Do([]byte("INCRBY"), []byte("neg"), []byte("-9223372036854775808"))
+	if err != nil || v.Kind != resp.Integer {
+		t.Fatalf("seed to MinInt64: %v %v", v, err)
+	}
+	v, err = c.Do([]byte("INCRBY"), []byte("neg"), []byte("-1"))
+	if err != nil || !v.IsError() || !strings.Contains(string(v.Str), "would overflow") {
+		t.Fatalf("underflowing INCRBY = %q %v", v.Str, err)
+	}
+
+	// The rejection is a client error, not a store fault: the connection
+	// stays up and the health ladder stays green.
+	if v, err = c.Do([]byte("PING")); err != nil || string(v.Str) != "PONG" {
+		t.Fatalf("connection lost after overflow error: %v %v", v, err)
+	}
+	if m := srv.Metrics(); m.FailedRejects != 0 || m.ReadonlyRejects != 0 {
+		t.Fatalf("overflow errors tripped the health ladder: %+v", m)
+	}
+}
+
+func TestServerCompactAndMemory(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	srv := newTestServer(t, Config{})
+	c := dialT(t, srv)
+
+	// Write two generations so the stable prefix holds dead versions,
+	// then push it out of the mutable region.
+	val := bytes.Repeat([]byte("v"), 64)
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 200; i++ {
+			k := []byte(fmt.Sprintf("k%03d", i))
+			if v, err := c.Do([]byte("SET"), k, val); err != nil || string(v.Str) != "OK" {
+				t.Fatalf("set: %v %v", v, err)
+			}
+		}
+	}
+	srv.store.Log().ShiftReadOnlyToTail()
+
+	memStats := func() map[string]string {
+		t.Helper()
+		v, err := c.Do([]byte("MEMORY"), []byte("STATS"))
+		if err != nil || v.Kind != resp.Array || len(v.Elems)%2 != 0 {
+			t.Fatalf("MEMORY STATS = %v %v", v, err)
+		}
+		m := make(map[string]string, len(v.Elems)/2)
+		for i := 0; i < len(v.Elems); i += 2 {
+			m[string(v.Elems[i].Str)] = string(v.Elems[i+1].Str)
+		}
+		return m
+	}
+
+	before := memStats()
+	for _, k := range []string{"begin_address", "tail_address", "compactions", "reclaimed_bytes", "device_stored_bytes"} {
+		if _, ok := before[k]; !ok {
+			t.Fatalf("MEMORY STATS missing %q: %v", k, before)
+		}
+	}
+	if before["compactions"] != "0" {
+		t.Fatalf("compactions before COMPACT = %s, want 0", before["compactions"])
+	}
+
+	// SafeReadOnly needs the epoch to drain past the shift; COMPACT
+	// no-ops (0 reclaimed) until it has, so retry briefly.
+	var reclaimed int64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := c.Do([]byte("COMPACT"))
+		if err != nil || v.Kind != resp.Integer {
+			t.Fatalf("COMPACT = %v %v", v, err)
+		}
+		if reclaimed = v.Int; reclaimed > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if reclaimed == 0 {
+		t.Fatal("COMPACT never reclaimed any bytes")
+	}
+
+	after := memStats()
+	if after["compactions"] == "0" || after["reclaimed_bytes"] == "0" {
+		t.Fatalf("MEMORY STATS did not reflect the compaction: %v", after)
+	}
+	if after["begin_address"] == "64" {
+		t.Fatal("begin address did not advance past FirstValidAddress")
+	}
+	if m := srv.Metrics(); m.CompactRuns == 0 {
+		t.Fatalf("compact_runs not counted: %+v", m)
+	}
+
+	// Every key must still read back after compaction.
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		if v, err := c.Do([]byte("GET"), k); err != nil || !bytes.Equal(v.Str, val) {
+			t.Fatalf("GET %s after COMPACT: %q %v", k, v.Str, err)
+		}
+	}
+
+	// Arity/subcommand validation.
+	if v, _ := c.Do([]byte("MEMORY"), []byte("DOCTOR")); !v.IsError() {
+		t.Fatalf("MEMORY DOCTOR accepted: %v", v)
+	}
+	if v, _ := c.Do([]byte("COMPACT"), []byte("now")); !v.IsError() {
+		t.Fatalf("COMPACT with args accepted: %v", v)
+	}
+}

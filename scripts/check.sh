@@ -22,7 +22,14 @@ go test -race -run TestServerChaosSoak -count=1 ./internal/server/
 
 # Linearizability scenario matrix: seeded concurrent schedules across
 # the store's hot paths, history-checked under the race detector.
+# Includes the compaction scenario (copy-forward + epoch-safe truncation
+# racing reads, RMWs and pending I/O).
 go test -race -run 'TestLinearizable' -count=1 -timeout 300s ./internal/linearize/
+
+# Space-reclamation gate: compaction correctness (concurrent RMWs,
+# recovery with Begin > 0, crash torture mid-compaction) and the
+# epoch-safe truncation ordering fixes, under the race detector.
+go test -race -run 'TestCompact|TestBackgroundCompaction|TestTruncate' -count=1 ./internal/faster/ ./internal/hlog/
 
 # Fuzz smoke over the wire codecs: a few seconds per target beyond the
 # committed seed corpora. `make fuzz` / `make verify` run longer.
