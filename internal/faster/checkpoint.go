@@ -42,6 +42,18 @@ import (
 // meta.prev. Recover tries meta.ckpt first and falls back to meta.prev on
 // any read/CRC/magic failure; stale index generations are garbage-
 // collected on the next successful checkpoint.
+//
+// The exactly-once session table (sessiontable.go) rides the same
+// protocol: its snapshot is captured under the table's cut lock
+// immediately before t2, staged as "sessions.<t1>.ckpt" with an fsync
+// and rename, and referenced from the meta by length and CRC — so the
+// meta rename atomically commits the index image, the log bracket and
+// the session frontiers as one generation. A meta whose session table is
+// missing, short or corrupt is treated as torn and recovery falls back
+// to meta.prev; a crash between the session-table rename and the meta
+// rename leaves the old generation in force, whose (lower) frontiers
+// match the recovered log prefix, so retried clients re-apply exactly
+// the operations recovery discarded.
 
 const metaMagic uint64 = 0xFA57E2C0FFEE0001
 
@@ -70,6 +82,19 @@ func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 		return CheckpointInfo{}, err
 	}
 
+	// Capture Begin before t1, not at meta-write time. A concurrent
+	// Compact can advance the begin address mid-checkpoint, after its
+	// copy-forward records were appended — and if the shift lands between
+	// our t2 capture and the meta write, those copies sit above t2 (not
+	// covered by this checkpoint) while a late-sampled Begin would tell
+	// recovery to discard their sources below it: every key whose only
+	// version lived in the compacted prefix would vanish. A begin shift
+	// that completed before t1 is safe (its copies are below t1 and the
+	// index already points at them), and one that completes after this
+	// sample merely makes our Begin conservative: device truncation is
+	// clamped to the newest committed checkpoint's Begin, so the log
+	// bytes in [Begin, shifted-begin) remain readable for recovery.
+	begin := s.log.BeginAddress()
 	t1 := s.log.TailAddress()
 	indexPath := filepath.Join(dir, indexFileName(t1))
 	indexTmp := indexPath + ".tmp"
@@ -88,7 +113,16 @@ func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 	if err := f.Close(); err != nil {
 		return CheckpointInfo{}, err
 	}
+	// The serial cut: freeze stamped windows, snapshot the session
+	// frontiers, then capture t2. Every snapshotted serial's record lies
+	// below the tail here (≤ t2, durable after the flush); any serial
+	// admitted after the lock releases publishes at or above t2 and is
+	// discarded by a recovery of this checkpoint — exactly the frontier
+	// contract recovery promises reconnecting clients.
+	s.sessions.cutMu.Lock()
+	sessPayload, sessSnaps := s.sessions.serialize()
 	t2 := s.log.ShiftReadOnlyToTail()
+	s.sessions.cutMu.Unlock()
 	// The safe read-only shift needs every session to refresh; the log's
 	// wait loop drains trigger actions for us.
 	if err := s.log.WaitUntilFlushed(t2); err != nil {
@@ -100,13 +134,21 @@ func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 	if err := os.Rename(indexTmp, indexPath); err != nil {
 		return CheckpointInfo{}, err
 	}
+	meta := ckptMeta{CheckpointInfo: CheckpointInfo{T1: t1, T2: t2, Begin: begin}}
+	if len(sessPayload) > sessHeaderLen { // at least one entry
+		meta.sessLen = uint64(len(sessPayload))
+		meta.sessCRC = sessCRC(sessPayload)
+		if err := writeSessionTable(filepath.Join(dir, sessionsFileName(t1)), sessPayload); err != nil {
+			return CheckpointInfo{}, err
+		}
+	}
 	if err := syncDir(dir); err != nil {
 		return CheckpointInfo{}, err
 	}
 
-	info := CheckpointInfo{T1: t1, T2: t2, Begin: s.log.BeginAddress()}
+	info := meta.CheckpointInfo
 	metaTmp := filepath.Join(dir, "meta.ckpt.tmp")
-	if err := writeMeta(metaTmp, info); err != nil {
+	if err := writeMeta(metaTmp, meta); err != nil {
 		return CheckpointInfo{}, err
 	}
 	metaPath := filepath.Join(dir, "meta.ckpt")
@@ -130,6 +172,7 @@ func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 	// watermark.
 	s.ckptBegin.Store(info.Begin)
 	_ = s.log.ApplyDeviceTruncation(info.Begin)
+	s.sessions.markDurable(sessSnaps)
 	gcIndexGenerations(dir)
 	return info, nil
 }
@@ -140,14 +183,78 @@ func indexFileName(t1 hlog.Address) string {
 	return fmt.Sprintf("index.%016x.ckpt", t1)
 }
 
-// gcIndexGenerations removes index images no meta references anymore —
-// best-effort cleanup after a committed checkpoint; failures are ignored
-// (an orphaned image costs space, never correctness).
+// sessionsFileName names the session table of the checkpoint generation
+// bracketed from t1.
+func sessionsFileName(t1 hlog.Address) string {
+	return fmt.Sprintf("sessions.%016x.ckpt", t1)
+}
+
+// sessHeaderLen is the size of an empty serialized session table (magic
+// plus count); a payload this short carries no entries and is not
+// written to disk.
+const sessHeaderLen = 16
+
+// writeSessionTable stages the serialized session table: write to .tmp,
+// fsync, rename into place. The caller's dir fsync and the meta's
+// length+CRC reference make the rename part of the checkpoint's single
+// commit. Under the skip-serial-fsync mutation the fsync is elided and
+// the staged bytes lose their tail — the seeded bug the linearize
+// mutation gate proves red.
+func writeSessionTable(path string, payload []byte) error {
+	if mutationsEnabled && mutSkipSerialFsync() {
+		payload = tornSessionPayload(payload)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if !(mutationsEnabled && mutSkipSerialFsync()) {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readSessionTable loads and verifies a checkpoint's session table
+// against the length and CRC its meta recorded. Under the
+// skip-serial-fsync mutation verification is elided (the naive reader),
+// letting a torn table load as a shorter one.
+func readSessionTable(path string, wantLen uint64, wantCRC uint32) ([]SessionState, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !(mutationsEnabled && mutSkipSerialFsync()) {
+		if uint64(len(raw)) != wantLen {
+			return nil, fmt.Errorf("faster: session table %d bytes, meta records %d", len(raw), wantLen)
+		}
+		if sessCRC(raw) != wantCRC {
+			return nil, errors.New("faster: session table crc mismatch")
+		}
+	}
+	return parseSessionTable(raw)
+}
+
+// gcIndexGenerations removes index images and session tables no meta
+// references anymore — best-effort cleanup after a committed checkpoint;
+// failures are ignored (an orphaned image costs space, never
+// correctness).
 func gcIndexGenerations(dir string) {
 	keep := map[string]bool{}
 	for _, m := range []string{"meta.ckpt", "meta.prev"} {
-		if info, err := readMeta(filepath.Join(dir, m)); err == nil {
-			keep[indexFileName(info.T1)] = true
+		if meta, err := readMeta(filepath.Join(dir, m)); err == nil {
+			keep[indexFileName(meta.T1)] = true
+			keep[sessionsFileName(meta.T1)] = true
 		}
 	}
 	entries, err := os.ReadDir(dir)
@@ -159,8 +266,9 @@ func gcIndexGenerations(dir string) {
 		if keep[name] {
 			continue
 		}
-		stale := (len(name) > 6 && name[:6] == "index." &&
-			(filepath.Ext(name) == ".ckpt" || filepath.Ext(name) == ".tmp")) ||
+		gen := (len(name) > 6 && name[:6] == "index.") ||
+			(len(name) > 9 && name[:9] == "sessions.")
+		stale := (gen && (filepath.Ext(name) == ".ckpt" || filepath.Ext(name) == ".tmp")) ||
 			name == "meta.ckpt.tmp"
 		if stale {
 			os.Remove(filepath.Join(dir, name))
@@ -178,7 +286,16 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-func writeMeta(path string, info CheckpointInfo) error {
+// ckptMeta is the on-disk checkpoint meta: the public bracket plus the
+// session-table reference. Legacy 40-byte metas (pre-session-table) read
+// back with sessLen == 0.
+type ckptMeta struct {
+	CheckpointInfo
+	sessLen uint64
+	sessCRC uint32
+}
+
+func writeMeta(path string, meta ckptMeta) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -193,9 +310,11 @@ func writeMeta(path string, info CheckpointInfo) error {
 		crc.Write(b[:])
 	}
 	put(metaMagic)
-	put(info.T1)
-	put(info.T2)
-	put(info.Begin)
+	put(meta.T1)
+	put(meta.T2)
+	put(meta.Begin)
+	put(meta.sessLen)
+	put(uint64(meta.sessCRC))
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(crc.Sum32()))
 	w.Write(b[:])
@@ -205,58 +324,104 @@ func writeMeta(path string, info CheckpointInfo) error {
 	return f.Sync()
 }
 
-func readMeta(path string) (CheckpointInfo, error) {
+func readMeta(path string) (ckptMeta, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return CheckpointInfo{}, err
+		return ckptMeta{}, err
 	}
-	if len(raw) != 40 {
-		return CheckpointInfo{}, errors.New("faster: bad checkpoint meta size")
+	if len(raw) != 40 && len(raw) != 56 {
+		return ckptMeta{}, errors.New("faster: bad checkpoint meta size")
 	}
-	crc := crc32.ChecksumIEEE(raw[:32])
-	if binary.LittleEndian.Uint64(raw[32:]) != uint64(crc) {
-		return CheckpointInfo{}, errors.New("faster: checkpoint meta crc mismatch")
+	body := raw[:len(raw)-8]
+	crc := crc32.ChecksumIEEE(body)
+	if binary.LittleEndian.Uint64(raw[len(raw)-8:]) != uint64(crc) {
+		return ckptMeta{}, errors.New("faster: checkpoint meta crc mismatch")
 	}
 	if binary.LittleEndian.Uint64(raw) != metaMagic {
-		return CheckpointInfo{}, errors.New("faster: checkpoint meta bad magic")
+		return ckptMeta{}, errors.New("faster: checkpoint meta bad magic")
 	}
-	return CheckpointInfo{
+	meta := ckptMeta{CheckpointInfo: CheckpointInfo{
 		T1:    binary.LittleEndian.Uint64(raw[8:]),
 		T2:    binary.LittleEndian.Uint64(raw[16:]),
 		Begin: binary.LittleEndian.Uint64(raw[24:]),
-	}, nil
+	}}
+	if len(raw) == 56 {
+		meta.sessLen = binary.LittleEndian.Uint64(raw[32:])
+		meta.sessCRC = uint32(binary.LittleEndian.Uint64(raw[40:]))
+	}
+	return meta, nil
 }
 
-// loadCheckpointPair reads a meta file and the index image it references.
-func loadCheckpointPair(dir, metaName string) (CheckpointInfo, *index.Index, error) {
-	info, err := readMeta(filepath.Join(dir, metaName))
+// loadCheckpointPair reads a meta file, the index image it references,
+// and the session table it references (empty when the generation
+// persisted none). A missing, short or corrupt session table fails the
+// whole generation — the caller falls back to the previous one.
+func loadCheckpointPair(dir, metaName string) (CheckpointInfo, *index.Index, []SessionState, error) {
+	meta, err := readMeta(filepath.Join(dir, metaName))
 	if err != nil {
-		return CheckpointInfo{}, nil, err
+		return CheckpointInfo{}, nil, nil, err
 	}
-	f, err := os.Open(filepath.Join(dir, indexFileName(info.T1)))
+	var sess []SessionState
+	if meta.sessLen > 0 {
+		sess, err = readSessionTable(filepath.Join(dir, sessionsFileName(meta.T1)), meta.sessLen, meta.sessCRC)
+		if err != nil {
+			return CheckpointInfo{}, nil, nil, fmt.Errorf("faster: session table recovery: %w", err)
+		}
+	}
+	f, err := os.Open(filepath.Join(dir, indexFileName(meta.T1)))
 	if err != nil {
-		return CheckpointInfo{}, nil, err
+		return CheckpointInfo{}, nil, nil, err
 	}
 	idx, err := index.ReadCheckpoint(f)
 	f.Close()
 	if err != nil {
-		return CheckpointInfo{}, nil, fmt.Errorf("faster: index recovery: %w", err)
+		return CheckpointInfo{}, nil, nil, fmt.Errorf("faster: index recovery: %w", err)
 	}
-	return info, idx, nil
+	return meta.CheckpointInfo, idx, sess, nil
 }
 
 // loadCheckpoint loads the newest recoverable checkpoint: the current meta
 // if it and its index image are intact, else the previous generation kept
 // as meta.prev (a crash can tear at most the in-flight generation).
-func loadCheckpoint(dir string) (CheckpointInfo, *index.Index, error) {
-	info, idx, err := loadCheckpointPair(dir, "meta.ckpt")
+func loadCheckpoint(dir string) (CheckpointInfo, *index.Index, []SessionState, error) {
+	info, idx, sess, err := loadCheckpointPair(dir, "meta.ckpt")
 	if err == nil {
-		return info, idx, nil
+		return info, idx, sess, nil
 	}
-	if pinfo, pidx, perr := loadCheckpointPair(dir, "meta.prev"); perr == nil {
-		return pinfo, pidx, nil
+	if pinfo, pidx, psess, perr := loadCheckpointPair(dir, "meta.prev"); perr == nil {
+		return pinfo, pidx, psess, nil
 	}
-	return CheckpointInfo{}, nil, err
+	return CheckpointInfo{}, nil, nil, err
+}
+
+// ReadCheckpointSessions reads the committed session table of the
+// newest readable checkpoint generation in dir without opening the log
+// — the offline view `faster-cli sessions` prints for operators
+// deciding which clients may resume. A torn or corrupt current
+// generation falls back to meta.prev, mirroring Recover's meta
+// preference (Recover additionally requires the generation's index
+// image, so in the rare case of a torn index the two can disagree by
+// one generation). A nil slice with nil error means the generation
+// checkpointed no sessions.
+func ReadCheckpointSessions(dir string) ([]SessionState, error) {
+	read := func(metaName string) ([]SessionState, error) {
+		meta, err := readMeta(filepath.Join(dir, metaName))
+		if err != nil {
+			return nil, err
+		}
+		if meta.sessLen == 0 {
+			return nil, nil
+		}
+		return readSessionTable(filepath.Join(dir, sessionsFileName(meta.T1)), meta.sessLen, meta.sessCRC)
+	}
+	sess, err := read("meta.ckpt")
+	if err == nil {
+		return sess, nil
+	}
+	if psess, perr := read("meta.prev"); perr == nil {
+		return psess, nil
+	}
+	return nil, err
 }
 
 // Recover opens a store from a checkpoint directory and the device that
@@ -265,7 +430,7 @@ func loadCheckpoint(dir string) (CheckpointInfo, *index.Index, error) {
 // same file or reuse the same Mem device). A torn or corrupt current
 // checkpoint falls back to the previous generation (meta.prev).
 func Recover(cfg Config, dir string) (*Store, error) {
-	info, idx, err := loadCheckpoint(dir)
+	info, idx, sess, err := loadCheckpoint(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +450,11 @@ func Recover(cfg Config, dir string) (*Store, error) {
 	// Future device truncations may free everything below this
 	// checkpoint's Begin without waiting for the next one.
 	s.ckptBegin.Store(info.Begin)
+	// Restore the exactly-once session frontiers this checkpoint
+	// committed: the recovered prefix contains precisely the operations
+	// at or below each session's frontier, so reconnecting clients can
+	// resume their serial streams from frontier+1.
+	s.sessions.load(sess)
 
 	// Repair the fuzzy index: replay [t1, t2). Records in the window are
 	// newer than anything the fuzzy capture could have seen for their

@@ -257,6 +257,10 @@ type Store struct {
 	compactMu sync.Mutex
 	ckptBegin atomic.Uint64
 
+	// sessions is the exactly-once session table (sessiontable.go):
+	// per-GUID serial frontiers, persisted with every checkpoint.
+	sessions *sessionTable
+
 	// Background compaction maintainer (Config.CompactionThreshold).
 	maintStop chan struct{}
 	maintWG   sync.WaitGroup
@@ -270,6 +274,9 @@ type Store struct {
 		compactedRecords  metrics.Counter   // live records copied forward
 		compactedBytes    metrics.Counter   // bytes re-appended by compaction
 		reclaimedBytes    metrics.Counter   // log bytes logically reclaimed (begin advances)
+		sessionBinds      metrics.Counter   // BindSession attaches/resumes
+		serialReplays     metrics.Counter   // duplicate serials answered from the saved reply
+		serialFenced      metrics.Counter   // stale/gap/superseded serial submissions rejected
 	}
 
 	closed atomic.Bool
@@ -285,7 +292,7 @@ func Open(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{cfg: cfg, em: em, idx: idx, ops: cfg.Ops}
+	s := &Store{cfg: cfg, em: em, idx: idx, ops: cfg.Ops, sessions: newSessionTable()}
 	s.classify = device.ClassifierFor(cfg.Device)
 	log, err := hlog.New(hlog.Config{
 		PageBits:        cfg.PageBits,

@@ -78,6 +78,28 @@ func TestHotPathZeroAlloc(t *testing.T) {
 	check("Upsert", func() { sess.Upsert(key, val) })
 	check("RMW", func() { sess.RMW(key, val, nil) })
 
+	// Serial-stamped ops ride the same fast path: the full exactly-once
+	// bracket (admission check, op, commit with reply capture) must not
+	// touch the heap either once the reply buffer has reached capacity.
+	if _, err := sess.Bind("hot-path"); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	var serial uint64
+	stamped := func(f func()) func() {
+		return func() {
+			serial++
+			if v, _, err := sess.SerialCheck(serial); v != SerialApply || err != nil {
+				t.Fatalf("serial %d: %v %v", serial, v, err)
+			}
+			f()
+			sess.SerialCommit(serial, out)
+		}
+	}
+	warmStamped := stamped(func() { sess.Upsert(key, val) })
+	warmStamped()
+	check("SerialUpsert", stamped(func() { sess.Upsert(key, val) }))
+	check("SerialRMW", stamped(func() { sess.RMW(key, val, nil) }))
+
 	// Batched forms reuse the session's batch scratch after one warmup.
 	ops := make([]BatchOp, 16)
 	fill := func() {

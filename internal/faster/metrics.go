@@ -41,6 +41,12 @@ type StoreMetrics struct {
 	CompactedBytes   uint64
 	ReclaimedBytes   uint64
 
+	// Exactly-once session activity (sessiontable.go).
+	SessionEntries uint64 // GUIDs tracked in the session table
+	SessionBinds   uint64 // attach/resume operations
+	SerialReplays  uint64 // duplicate serials answered from the saved reply
+	SerialFenced   uint64 // stale/gap/superseded serials rejected
+
 	// Health is the fault-domain state machine (health.go);
 	// HealthTransitions counts its upward steps.
 	Health            Health
@@ -79,6 +85,16 @@ func (s *Store) Metrics() StoreMetrics {
 		CompactedRecords: s.mx.compactedRecords.Load(),
 		CompactedBytes:   s.mx.compactedBytes.Load(),
 		ReclaimedBytes:   s.mx.reclaimedBytes.Load(),
+
+		SessionEntries: func() uint64 {
+			s.sessions.mu.Lock()
+			n := uint64(len(s.sessions.entries))
+			s.sessions.mu.Unlock()
+			return n
+		}(),
+		SessionBinds:  s.mx.sessionBinds.Load(),
+		SerialReplays: s.mx.serialReplays.Load(),
+		SerialFenced:  s.mx.serialFenced.Load(),
 
 		Health:            s.Health(),
 		HealthTransitions: s.mx.healthTransitions.Load(),
@@ -119,6 +135,11 @@ func (m StoreMetrics) Series() metrics.Series {
 		"faster.compacted_records": float64(m.CompactedRecords),
 		"faster.compacted_bytes":   float64(m.CompactedBytes),
 		"faster.reclaimed_bytes":   float64(m.ReclaimedBytes),
+
+		"faster.session_entries": float64(m.SessionEntries),
+		"faster.session_binds":   float64(m.SessionBinds),
+		"faster.serial_replays":  float64(m.SerialReplays),
+		"faster.serial_fenced":   float64(m.SerialFenced),
 	}
 	if m.ReclaimedBytes > 0 {
 		s["faster.compaction_write_amp"] = float64(m.CompactedBytes) / float64(m.ReclaimedBytes)

@@ -8,9 +8,12 @@ package faster
 // compiler removes; the seeded-bug variants exist only under -tags mutate.
 const mutationsEnabled = false
 
-func mutTornWrite() bool { return false }
-func mutDoubleRMW() bool { return false }
+func mutTornWrite() bool       { return false }
+func mutDoubleRMW() bool       { return false }
+func mutSkipSerialFsync() bool { return false }
 
-// tornAddU64 is never reachable when mutationsEnabled is false; the stub
-// keeps the !mutate build compiling.
+// tornAddU64 and tornSessionPayload are never reachable when
+// mutationsEnabled is false; the stubs keep the !mutate build compiling.
 func tornAddU64(p *uint64, delta uint64) { _ = p; _ = delta }
+
+func tornSessionPayload(payload []byte) []byte { return payload }

@@ -17,22 +17,29 @@ import (
 const mutationsEnabled = true
 
 var (
-	mutTorn   atomic.Bool
-	mutDouble atomic.Bool
+	mutTorn       atomic.Bool
+	mutDouble     atomic.Bool
+	mutSerialSync atomic.Bool
 )
 
-func mutTornWrite() bool { return mutTorn.Load() }
-func mutDoubleRMW() bool { return mutDouble.Load() }
+func mutTornWrite() bool       { return mutTorn.Load() }
+func mutDoubleRMW() bool       { return mutDouble.Load() }
+func mutSkipSerialFsync() bool { return mutSerialSync.Load() }
 
 // EnableMutation turns on one seeded bug by name: "torn-write" (SumOps
-// in-place adds become a non-atomic two-half write) or "double-rmw"
-// (SumOps copy-updates apply the input twice).
+// in-place adds become a non-atomic two-half write), "double-rmw"
+// (SumOps copy-updates apply the input twice) or "skip-serial-fsync"
+// (the checkpoint's session table is written without fsync — modeled as
+// losing its tail entry — and recovery trusts whatever survived instead
+// of verifying the meta's length and CRC).
 func EnableMutation(name string) {
 	switch name {
 	case "torn-write":
 		mutTorn.Store(true)
 	case "double-rmw":
 		mutDouble.Store(true)
+	case "skip-serial-fsync":
+		mutSerialSync.Store(true)
 	default:
 		panic(fmt.Sprintf("faster: unknown mutation %q", name))
 	}
@@ -42,6 +49,44 @@ func EnableMutation(name string) {
 func DisableMutations() {
 	mutTorn.Store(false)
 	mutDouble.Store(false)
+	mutSerialSync.Store(false)
+}
+
+// tornSessionPayload drops the serialized session table's final entry,
+// modeling an un-fsynced tail lost to a crash: the count header still
+// promises the full set, so a verifying reader rejects the file while
+// the mutated (trusting) reader silently loads the shorter prefix.
+func tornSessionPayload(payload []byte) []byte {
+	// Walk the entries to find the offset of the last one.
+	if len(payload) < 16 {
+		return payload
+	}
+	count := int(uint64FromLE(payload[8:]))
+	if count == 0 {
+		return payload
+	}
+	off := 16
+	last := off
+	for i := 0; i < count && off+4 <= len(payload); i++ {
+		last = off
+		glen := int(uint32FromLE(payload[off:]))
+		off += 4 + glen + 8 + 8
+		if off+4 > len(payload) {
+			return payload
+		}
+		rlen := int(uint32FromLE(payload[off:]))
+		off += 4 + rlen
+	}
+	return payload[:last]
+}
+
+func uint64FromLE(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func uint32FromLE(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
 // tornAddU64 is the torn-write variant of atomic.AddUint64: it loads the

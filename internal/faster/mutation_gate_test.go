@@ -208,3 +208,44 @@ func TestMutationGateSkipEpochBump(t *testing.T) {
 		return h, s
 	})
 }
+
+// TestMutationGateSkipSerialFsync seeds the serial-table durability bug:
+// the checkpoint skips the session table's fsync and the persisted
+// payload loses its final entry (the torn tail an unsynced rename can
+// leave behind), while recovery trusts whatever tail survived instead of
+// failing the CRC and falling back a generation. The torn-off session's
+// committed frontier silently reverts, the retrying client resubmits
+// serials the store already acknowledged and applied, and the
+// duplicate-delivery history double-applies — which the dedup-aware
+// exactly-once model refutes.
+func TestMutationGateSkipSerialFsync(t *testing.T) {
+	faster.EnableMutation("skip-serial-fsync")
+	defer faster.DisableMutations()
+	start := time.Now()
+	budget := 60 * time.Second
+	for seed := int64(1); ; seed++ {
+		if time.Since(start) > budget {
+			t.Fatalf("seeded bug NOT detected within %v (%d schedules) — the harness lost its teeth", budget, seed-1)
+		}
+		cfg := faster.Config{
+			Mode:         hlog.ModeHybrid,
+			PageBits:     12,
+			BufferPages:  8,
+			IndexBuckets: 1 << 9,
+			Device:       device.NewMem(device.MemConfig{}),
+			Ops:          faster.SumOps{},
+		}
+		h, err := linearize.RunExactlyOnce(cfg, t.TempDir(), linearize.EOWorkload{
+			Sessions: 3, Serials: 12, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := linearize.Check(linearize.EOModel(), h, 10*time.Second)
+		if r.Outcome == linearize.Illegal {
+			t.Logf("seeded bug detected on schedule %d (%d states explored)\nminimized counterexample:\n%s",
+				seed, r.States, linearize.Format(linearize.EOModel(), r.Counterexample))
+			return
+		}
+	}
+}

@@ -47,6 +47,11 @@ type Session struct {
 	batchEntry []index.Entry
 	batchAddr  []hlog.Address
 
+	// token is the session's durable exactly-once binding (sessiontable.go);
+	// nil until Bind. Serial-stamped mutating ops run through
+	// SerialCheck/SerialCommit against it.
+	token *SessionToken
+
 	closed bool
 }
 
@@ -69,6 +74,7 @@ func (sess *Session) Close() error {
 		return nil
 	}
 	sess.CompletePending(true)
+	sess.Unbind()
 	sess.closed = true
 	sess.g.Release()
 	sess.s.releaseSessionStats(sess.stat)

@@ -1,0 +1,412 @@
+package linearize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/faster"
+)
+
+// Exactly-once model and driver: duplicate-delivery workloads over the
+// store's durable session serials. The sequential specification extends
+// the counter register with one committed-serial frontier per session;
+// a stamped RMW applies iff its serial is the frontier's successor and
+// is a no-op otherwise, so a history in which a retried serial adds its
+// delta twice — or in which a recovered store forgets an acknowledged
+// serial — has no linearization and the checker flags it.
+
+// EOMaxSessions bounds the stamped sessions a run may use; the model
+// state embeds a fixed-size frontier array so it stays comparable and
+// cheap to fingerprint.
+const EOMaxSessions = 4
+
+// EOInput is the invocation half of an exactly-once operation. Session
+// is the 1-based stamped session for KVRMW; reads are unstamped
+// (Session 0) and observe the shared counter.
+type EOInput struct {
+	Kind    KVKind
+	Key     uint64
+	Arg     uint64
+	Session int
+	Serial  uint64
+	// Dup marks a deliberate duplicate re-delivery of Serial. The model
+	// does not care (dedup is the specification under test), but the
+	// driver uses it to keep the crash window checkable: an *unacked*
+	// duplicate is provably effect-free — any linearization applying it
+	// could apply the original instead, whose invoke is earlier — so it
+	// can be dropped from the history without changing legality.
+	Dup bool
+}
+
+// EOOutput is the response half. Verdict is meaningful only for stamped
+// operations: SerialApply acknowledges a first delivery, SerialReplay
+// and SerialStale acknowledge duplicates without re-applying.
+type EOOutput struct {
+	Found   bool
+	Val     uint64
+	Verdict faster.SerialVerdict
+}
+
+// eoState is the sequential state: the counter register plus each
+// session's committed-serial frontier.
+type eoState struct {
+	exists    bool
+	val       uint64
+	frontiers [EOMaxSessions]uint64
+}
+
+// EOModel returns the dedup-aware counter specification.
+func EOModel() Model {
+	return Model{
+		Name: "exactly-once-counter",
+		Init: func() any { return eoState{} },
+		Step: func(state, input, output any) (bool, any) {
+			st := state.(eoState)
+			in := input.(EOInput)
+			out, observed := output.(EOOutput)
+			switch in.Kind {
+			case KVRead:
+				if !observed {
+					return true, st
+				}
+				if out.Found != st.exists {
+					return false, st
+				}
+				if st.exists && out.Val != st.val {
+					return false, st
+				}
+				return true, st
+			case KVRMW:
+				if in.Session == 0 {
+					// Unstamped RMW: the plain counter transition.
+					ns := st
+					ns.exists = true
+					if st.exists {
+						ns.val = st.val + in.Arg
+					} else {
+						ns.val = in.Arg
+					}
+					return true, ns
+				}
+				si := in.Session - 1
+				if si < 0 || si >= EOMaxSessions {
+					return false, st
+				}
+				next := st.frontiers[si] + 1
+				dup := in.Serial < next
+				if observed {
+					switch out.Verdict {
+					case faster.SerialApply:
+						if dup {
+							// An acknowledged first delivery of a serial
+							// already at or below the frontier is a
+							// double-apply.
+							return false, st
+						}
+					case faster.SerialReplay, faster.SerialStale:
+						if !dup {
+							return false, st
+						}
+					default:
+						return false, st
+					}
+				}
+				if dup {
+					return true, st // duplicate delivery: no effect
+				}
+				if in.Serial > next {
+					// A session submits serials in order and the store
+					// admits only the frontier's successor, so a gap can
+					// never take effect here.
+					return false, st
+				}
+				ns := st
+				ns.exists = true
+				if st.exists {
+					ns.val = st.val + in.Arg
+				} else {
+					ns.val = in.Arg
+				}
+				ns.frontiers[si] = in.Serial
+				return true, ns
+			default:
+				return false, st
+			}
+		},
+		Key: func(state any) string {
+			st := state.(eoState)
+			if !st.exists {
+				return fmt.Sprintf("-/%v", st.frontiers)
+			}
+			return fmt.Sprintf("%d/%v", st.val, st.frontiers)
+		},
+		// Frontier state is per session but spans keys, so the history is
+		// one partition; drivers keep it small by construction.
+		Partition: nil,
+		Describe: func(input, output any) string {
+			in := input.(EOInput)
+			out, complete := output.(EOOutput)
+			if in.Kind == KVRead {
+				res := "?"
+				if complete {
+					if out.Found {
+						res = fmt.Sprintf("OK(%d)", out.Val)
+					} else {
+						res = "NOT_FOUND"
+					}
+				}
+				return fmt.Sprintf("read(k%d) -> %s", in.Key, res)
+			}
+			res := "?"
+			if complete {
+				switch out.Verdict {
+				case faster.SerialApply:
+					res = "APPLY"
+				case faster.SerialReplay:
+					res = "REPLAY"
+				case faster.SerialStale:
+					res = "STALE"
+				default:
+					res = fmt.Sprintf("verdict(%d)", out.Verdict)
+				}
+			}
+			return fmt.Sprintf("s%d#%d rmw(k%d, +%d) -> %s", in.Session, in.Serial, in.Key, in.Arg, res)
+		},
+	}
+}
+
+// EOWorkload describes one duplicate-delivery crash/retry run.
+type EOWorkload struct {
+	// Sessions is the number of concurrent stamped sessions (default 3,
+	// at most EOMaxSessions).
+	Sessions int
+	// Serials is how many serials each session commits before the crash
+	// (default 12).
+	Serials int
+	// Key is the shared counter every stamped RMW targets (default 1).
+	Key uint64
+	// Seed makes the schedule and deltas reproducible.
+	Seed int64
+}
+
+// RunExactlyOnce drives w against a fresh store opened from cfg:
+// Sessions concurrent stamped clients each commit Serials serials
+// against one shared counter with seeded duplicate re-deliveries and
+// interleaved unstamped reads, a checkpoint to dir fires mid-run, the
+// store crashes (Close) and recovers, each client re-binds its GUID and
+// resubmits every serial above the recovered frontier — the retry rule
+// an exactly-once client follows — and a final read observes the
+// counter. The returned history has the checkpoint window crash-marked
+// and is ready for Check against EOModel().
+func RunExactlyOnce(cfg faster.Config, dir string, w EOWorkload) ([]Op, error) {
+	if w.Sessions == 0 {
+		w.Sessions = 3
+	}
+	if w.Sessions > EOMaxSessions {
+		return nil, fmt.Errorf("linearize: %d sessions exceeds EOMaxSessions=%d", w.Sessions, EOMaxSessions)
+	}
+	if w.Serials == 0 {
+		w.Serials = 12
+	}
+	if w.Key == 0 {
+		w.Key = 1
+	}
+	// Deltas are fixed per (session, serial) up front so the post-crash
+	// retry resends byte-identical operations, as a real client would.
+	deltas := make([][]uint64, w.Sessions+1)
+	drng := rand.New(rand.NewSource(w.Seed ^ 0x5eed))
+	for i := 1; i <= w.Sessions; i++ {
+		deltas[i] = make([]uint64, w.Serials+1)
+		for s := 1; s <= w.Serials; s++ {
+			deltas[i][s] = drng.Uint64()%9 + 1
+		}
+	}
+
+	s, err := faster.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := NewRecorder()
+	key := u64le(w.Key)
+
+	// The chaos goroutine checkpoints once the clock shows roughly half
+	// the committed serials' events; if the workload outruns it the
+	// checkpoint still commits after the last op, which only means there
+	// is nothing left to resubmit.
+	var ckptStart, ckptEnd int64
+	ckptDone := make(chan error, 1)
+	stop := make(chan struct{})
+	go func() {
+		target := int64(w.Sessions * w.Serials)
+		for rec.Peek() < target {
+			select {
+			case <-stop:
+				goto checkpoint
+			default:
+				runtime.Gosched()
+			}
+		}
+	checkpoint:
+		ckptStart = rec.Now()
+		_, err := s.Checkpoint(dir)
+		ckptEnd = rec.Now()
+		ckptDone <- err
+	}()
+
+	errs := make(chan error, w.Sessions)
+	var clients sync.WaitGroup
+	for i := 1; i <= w.Sessions; i++ {
+		clients.Add(1)
+		go func(id int) {
+			defer clients.Done()
+			rng := rand.New(rand.NewSource(w.Seed*1_000_003 + int64(id)))
+			log := rec.Client(id)
+			sess := s.StartSession()
+			defer sess.Close()
+			if _, err := sess.Bind(fmt.Sprintf("eo-%d", id)); err != nil {
+				errs <- err
+				return
+			}
+			for serial := uint64(1); serial <= uint64(w.Serials); serial++ {
+				if err := submitEOSerial(sess, log, key, w.Key, id, serial, deltas[id][serial]); err != nil {
+					errs <- err
+					return
+				}
+				if rng.Intn(3) == 0 {
+					// Duplicate re-delivery of the serial just acked.
+					if err := submitEODup(sess, log, key, w.Key, id, serial, deltas[id][serial]); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if rng.Intn(4) == 0 {
+					if err := observeEORead(sess, log, key, w.Key); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	clients.Wait()
+	close(stop)
+	if err := <-ckptDone; err != nil {
+		s.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	select {
+	case err := <-errs:
+		s.Close()
+		return nil, err
+	default:
+	}
+
+	// Crash: every acknowledgement at or after the checkpoint began may
+	// or may not sit below the recovered cut. Crash-marked duplicates
+	// and reads are dropped as effect-free, and anything invoked after
+	// the checkpoint returned is discarded for certain — pruning keeps
+	// the checker's memoized search space a product of per-session
+	// serial prefixes instead of 2^(no-op ops). See PruneCrashWindow.
+	pre := PruneCrashWindow(rec.History(), ckptStart, ckptEnd)
+	s.Close()
+
+	r, err := faster.Recover(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	// Retry phase: re-bind each GUID, learn the recovered frontier, and
+	// resubmit everything above it with the original deltas.
+	post := rec.Client(100)
+	sess := r.StartSession()
+	defer sess.Close()
+	for i := 1; i <= w.Sessions; i++ {
+		frontier, err := sess.Bind(fmt.Sprintf("eo-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		if frontier > uint64(w.Serials) {
+			return nil, fmt.Errorf("recovered frontier %d for session %d exceeds %d serials issued", frontier, i, w.Serials)
+		}
+		for serial := frontier + 1; serial <= uint64(w.Serials); serial++ {
+			if err := submitEOSerial(sess, post, key, w.Key, i, serial, deltas[i][serial]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sess.Unbind()
+	if err := observeEORead(sess, post, key, w.Key); err != nil {
+		return nil, err
+	}
+	return append(pre, post.History()...), nil
+}
+
+// submitEOSerial delivers one stamped RMW through the serial protocol,
+// recording the invoke before admission and the acknowledgement only
+// once the serial is committed (or classified as a duplicate).
+func submitEOSerial(sess *faster.Session, log *ClientLog, key []byte, k uint64, session int, serial, delta uint64) error {
+	return submitEO(sess, log, key, k, session, serial, delta, false)
+}
+
+// submitEODup re-delivers an already-submitted serial, marked so the
+// driver may prune it from the crash window.
+func submitEODup(sess *faster.Session, log *ClientLog, key []byte, k uint64, session int, serial, delta uint64) error {
+	return submitEO(sess, log, key, k, session, serial, delta, true)
+}
+
+func submitEO(sess *faster.Session, log *ClientLog, key []byte, k uint64, session int, serial, delta uint64, dup bool) error {
+	id := log.Begin(EOInput{Kind: KVRMW, Key: k, Arg: delta, Session: session, Serial: serial, Dup: dup})
+	v, _, err := sess.SerialCheck(serial)
+	if err != nil {
+		return err
+	}
+	if v != faster.SerialApply {
+		if v != faster.SerialReplay && v != faster.SerialStale {
+			return fmt.Errorf("session %d serial %d: unexpected verdict %v", session, serial, v)
+		}
+		log.End(id, EOOutput{Verdict: v})
+		return nil
+	}
+	st, rerr := sess.RMW(key, u64le(delta), nil)
+	if st == faster.Pending {
+		for _, res := range sess.CompletePending(true) {
+			st, rerr = res.Status, res.Err
+		}
+	}
+	if st != faster.OK {
+		sess.SerialAbort()
+		return fmt.Errorf("session %d serial %d: rmw failed: %v %v", session, serial, st, rerr)
+	}
+	sess.SerialCommit(serial, []byte("ACK"))
+	log.End(id, EOOutput{Verdict: faster.SerialApply})
+	return nil
+}
+
+// observeEORead records one unstamped read of the shared counter.
+func observeEORead(sess *faster.Session, log *ClientLog, key []byte, k uint64) error {
+	out := make([]byte, 8)
+	id := log.Begin(EOInput{Kind: KVRead, Key: k})
+	st, err := sess.Read(key, nil, out, nil)
+	if st == faster.Pending {
+		for _, res := range sess.CompletePending(true) {
+			st, err = res.Status, res.Err
+			if res.Output != nil {
+				copy(out, res.Output)
+			}
+		}
+	}
+	switch st {
+	case faster.OK:
+		log.End(id, EOOutput{Found: true, Val: binary.LittleEndian.Uint64(out)})
+		return nil
+	case faster.NotFound:
+		log.End(id, EOOutput{})
+		return nil
+	default:
+		return fmt.Errorf("read: %v %v", st, err)
+	}
+}

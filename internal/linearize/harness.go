@@ -50,6 +50,18 @@ type Workload struct {
 	// the workload (read-only shifts, index growth, ...). It must return
 	// promptly when stop closes. The goroutine holds no session.
 	Chaos func(stop <-chan struct{})
+	// Quiesce, if non-nil, bounds the tail of the schedule: once the
+	// channel is closed, each per-op client issues at most QuiesceTail
+	// more operations and then stops early. Checkpoint/recover scenarios
+	// close it as the checkpoint begins so the crash window holds a
+	// bounded handful of in-flight operations however long the
+	// checkpoint's epoch drain takes on a loaded machine — without it
+	// the window (and the checker's incomplete-op search space) grows
+	// with machine load. Ignored by batched clients (Batch > 1).
+	Quiesce <-chan struct{}
+	// QuiesceTail is how many operations each client may still issue
+	// after Quiesce closes. Zero stops clients at their next iteration.
+	QuiesceTail int
 	// Interleave, if non-nil, is called by every client goroutine before
 	// its n-th operation (n counts from 0). Unlike Chaos it is
 	// synchronous with the schedule, so triggers it fires (read-only
@@ -147,7 +159,21 @@ func runClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand
 	}
 
 	total := w.ReadPct + w.UpsertPct + w.RMWPct + w.DeletePct
+	tail := -1 // -1: Quiesce not (yet) observed closed
 	for n := 0; n < w.Ops; n++ {
+		if w.Quiesce != nil && tail < 0 {
+			select {
+			case <-w.Quiesce:
+				tail = w.QuiesceTail
+			default:
+			}
+		}
+		if tail == 0 {
+			break
+		}
+		if tail > 0 {
+			tail--
+		}
 		if w.Interleave != nil {
 			w.Interleave(clientID, n)
 		}
@@ -387,6 +413,47 @@ func MarkCrashWindow(history []Op, checkpointStart int64) []Op {
 			op.Output = nil
 		}
 		out[i] = op
+	}
+	return out
+}
+
+// PruneCrashWindow is MarkCrashWindow for callers that also timestamped
+// the checkpoint's completion. Beyond the incomplete-marking, it removes
+// two classes of crash-window operations whose linearization choice is
+// forced, which keeps the checker's search tractable when a slow
+// machine widens the window to dozens of operations:
+//
+//   - crash-marked reads: their observation was erased (it may reflect
+//     effects the cut discarded) and they change nothing, so every
+//     linearization position is equivalent;
+//   - operations *invoked* at or after checkpointEnd: the checkpoint's
+//     t2 was captured before Checkpoint returned, so their effects sit
+//     above the cut and recovery discards them with certainty —
+//     "never linearizes" is their only consistent choice, and dropping
+//     them just commits to it.
+//
+// Inputs of type KVInput and EOInput are understood; other input types
+// are never dropped, only marked.
+func PruneCrashWindow(history []Op, checkpointStart, checkpointEnd int64) []Op {
+	marked := MarkCrashWindow(history, checkpointStart)
+	out := marked[:0]
+	for _, op := range marked {
+		if op.Return == Incomplete {
+			if op.Call >= checkpointEnd {
+				continue
+			}
+			switch in := op.Input.(type) {
+			case KVInput:
+				if in.Kind == KVRead {
+					continue
+				}
+			case EOInput:
+				if in.Kind == KVRead || in.Dup {
+					continue
+				}
+			}
+		}
+		out = append(out, op)
 	}
 	return out
 }

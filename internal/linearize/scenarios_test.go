@@ -243,10 +243,17 @@ func TestLinearizableCheckpointRecover(t *testing.T) {
 			}
 
 			rec := NewRecorder()
-			var ckptStart int64
+			var ckptStart, ckptEnd int64
 			ckptDone := make(chan error, 1)
+			quiesce := make(chan struct{})
 			RecordWorkload(s, rec, Workload{
 				Clients: 4, Ops: 80, Keys: 5, Seed: seed,
+				// Once the checkpoint begins, each client races at most a
+				// handful more operations against the drain and stops. The
+				// crash window then holds a bounded set of in-flight
+				// operations however slow the machine, keeping the
+				// checker's incomplete-op search tractable.
+				Quiesce: quiesce, QuiesceTail: 5,
 				Chaos: func(stop <-chan struct{}) {
 					// Fire mid-workload: wait until the recorder clock
 					// shows roughly a third of the run's events. If the
@@ -263,14 +270,16 @@ func TestLinearizableCheckpointRecover(t *testing.T) {
 					}
 				checkpoint:
 					ckptStart = rec.Now()
+					close(quiesce)
 					_, err := s.Checkpoint(dir)
+					ckptEnd = rec.Now()
 					ckptDone <- err
 				},
 			})
 			if err := <-ckptDone; err != nil {
 				t.Fatal(err)
 			}
-			pre := MarkCrashWindow(rec.History(), ckptStart)
+			pre := PruneCrashWindow(rec.History(), ckptStart, ckptEnd)
 			s.Close() // the "crash": recovery trusts only the checkpoint cut
 
 			r, err := faster.Recover(cfg, dir)
@@ -401,6 +410,41 @@ func TestLinearizableCompaction(t *testing.T) {
 			}
 			t.Logf("compactions=%d begin=%#x", compactions, s.Log().BeginAddress())
 			checkHistory(t, s, h)
+		})
+	}
+}
+
+// TestLinearizableExactlyOnce is the duplicate-delivery scenario: three
+// stamped sessions hammer one shared counter through the serial
+// protocol with seeded duplicate re-deliveries, a checkpoint races the
+// commits, the store crashes and recovers, and every session resubmits
+// above its recovered frontier — exactly what a retrying client does.
+// The dedup-aware model accepts each delta at most once per serial, so
+// a double-apply (or a lost acknowledgement) has no linearization.
+func TestLinearizableExactlyOnce(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := faster.Config{
+				Mode:        hlog.ModeHybrid,
+				PageBits:    12,
+				BufferPages: 8,
+				Device:      device.NewMem(device.MemConfig{}),
+				Ops:         faster.SumOps{},
+			}
+			h, err := RunExactlyOnce(cfg, t.TempDir(), EOWorkload{Sessions: 3, Serials: 12, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := Check(EOModel(), h, checkBudget)
+			switch r.Outcome {
+			case Illegal:
+				t.Fatalf("history is NOT linearizable (%d states explored)\nminimized counterexample:\n%s",
+					r.States, Format(EOModel(), r.Counterexample))
+			case Unknown:
+				t.Fatalf("checker exceeded its %v budget (longest prefix %d/%d)",
+					checkBudget, r.LongestPrefix, len(h))
+			}
+			t.Logf("history=%d ops, states=%d", len(h), r.States)
 		})
 	}
 }

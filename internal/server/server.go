@@ -37,6 +37,24 @@
 // FASTER's RMW with faster.VarLenOps counter semantics (the store must
 // be opened with Ops: faster.VarLenOps{}); PING/ECHO/QUIT/COMMAND cover
 // interop. Values are framed server-side with faster.VarLenEncode.
+//
+// Exactly-once sessions (the CPR session extension): "SESSION <guid>"
+// binds the connection to a durable store session and replies :<acked>,
+// the highest serial whose effect is guaranteed recovered after a crash
+// (the committed frontier). A bound connection may tag SET/DEL/INCRBY
+// with a trailing "SERIAL <n>"; serials are issued by the client,
+// starting at frontier+1 and increasing by one. A stamped op that
+// applies replies "+ACK <n> <result>"; re-delivering the frontier serial
+// replays the saved reply without re-executing; serials at or below the
+// frontier are fenced with -STALE, serials that skip ahead with a serial
+// gap error, and a connection whose GUID was re-bound elsewhere gets
+// -FENCED. After a crash the client re-issues SESSION, reads the
+// recovered frontier from the reply, and resends everything above it —
+// each retried op applies exactly once. Stamped SETs join pipelined
+// ExecBatch windows; a window commits its serial run in order and stops
+// acking at the first failed op, so the client's resend-from-frontier
+// rule stays sufficient (uncommitted SET re-application is idempotent;
+// non-idempotent INCRBY always executes as a window barrier).
 package server
 
 import (
@@ -319,6 +337,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		out:  make([]byte, 8+s.cfg.MaxValueBytes),
 		cmds: make([]resp.Command, maxWindowCmds),
 	}
+	// The durable session entry outlives the connection (that is the
+	// point), but this connection's ownership of it does not.
+	defer func() {
+		if c.token != nil {
+			c.token.Release()
+		}
+	}()
 	closing := false
 	for !closing {
 		// The idle deadline bounds the wait for the command's first byte;
@@ -402,8 +427,18 @@ func (c *connState) batchable(cmd *resp.Command) bool {
 		return len(cmd.Args) == 2 && len(cmd.Args[1]) > 0
 	}
 	if cmd.Is("SET") {
-		return len(cmd.Args) == 3 && len(cmd.Args[1]) > 0 &&
-			len(cmd.Args[2]) <= c.s.cfg.MaxValueBytes
+		if len(cmd.Args) == 3 {
+			return len(cmd.Args[1]) > 0 && len(cmd.Args[2]) <= c.s.cfg.MaxValueBytes
+		}
+		// Serial-stamped form (SET key value SERIAL n) joins the batch
+		// when the connection is bound; otherwise the single-op path
+		// renders the proper protocol error.
+		if len(cmd.Args) == 5 && c.token != nil {
+			serial, _, errMsg := splitSerial(cmd.Args)
+			return serial > 0 && errMsg == "" && len(cmd.Args[1]) > 0 &&
+				len(cmd.Args[2]) <= c.s.cfg.MaxValueBytes
+		}
+		return false
 	}
 	return false
 }
@@ -465,12 +500,32 @@ type connState struct {
 	out  []byte // read output buffer: 8-byte frame header + max value
 
 	cmds  []resp.Command   // per-slot pooled command decode storage
-	bops  []faster.BatchOp // batch ops, 1:1 with the run's commands
+	bops  []faster.BatchOp // batch ops, 1:1 with the run's executable commands
 	outs  [][]byte         // per-slot pooled GET outputs (lazily allocated)
 	val   []byte           // arena for the run's framed SET values
 	reply []byte           // reply scratch for the vectored write
 	segs  []replySeg
 	vecs  net.Buffers
+
+	// Exactly-once session state: token is the connection's durable
+	// session binding (SESSION <guid>), released on teardown. smeta and
+	// slotop carry per-slot serial bookkeeping through a batched run:
+	// slotop[i] indexes the slot's BatchOp, or -1 when the serial verdict
+	// resolved the slot without executing (replay/stale/gap/fenced).
+	token  *faster.SessionToken
+	smeta  []slotMeta
+	slotop []int
+	ackBuf []byte // scratch for rendering "ACK <serial> <result>" bodies
+}
+
+// slotMeta is one batched slot's serial bookkeeping. verdict is only
+// meaningful when serial > 0; saved holds the reply body to emit for
+// replayed and committed slots.
+type slotMeta struct {
+	serial    uint64
+	verdict   faster.SerialVerdict
+	saved     []byte
+	committed bool
 }
 
 // testPanicCommand, when set (tests only, before serving starts), makes
@@ -514,6 +569,8 @@ func (c *connState) dispatch(args [][]byte) bool {
 		return false
 	case "GET", "SET", "DEL", "INCRBY":
 		return c.dataCommand(name, args)
+	case "SESSION":
+		return c.doSession(args)
 	case "COMPACT":
 		return c.doCompact(args)
 	case "MEMORY":
@@ -549,6 +606,25 @@ func commandName(b []byte) string {
 func (c *connState) dataCommand(name string, args [][]byte) bool {
 	s := c.s
 	isWrite := name != "GET"
+
+	// Exactly-once stamping: strip a trailing "SERIAL <n>" before the
+	// gates so malformed stamps are rejected without burning admission.
+	serial, sargs, serr := splitSerial(args)
+	if serr != "" {
+		c.w.WriteError(serr)
+		return true
+	}
+	if serial > 0 {
+		if !isWrite {
+			c.w.WriteError("ERR SERIAL is not allowed on reads")
+			return true
+		}
+		if c.token == nil {
+			c.w.WriteError("ERR no session bound; send SESSION <guid> first")
+			return true
+		}
+	}
+	args = sargs
 
 	// Health ladder. ReadOnly: writes fail fast, reads keep serving.
 	// Failed: shed the connection — nothing behind us can serve it.
@@ -602,6 +678,10 @@ func (c *connState) dataCommand(name string, args [][]byte) bool {
 	start := time.Now()
 	defer func() { s.mx.cmdLatency.Observe(time.Since(start)) }()
 
+	if serial > 0 {
+		healthy = c.doStamped(sess, name, args, serial)
+		return true
+	}
 	switch name {
 	case "GET":
 		healthy = c.doGet(sess, args)
@@ -613,6 +693,109 @@ func (c *connState) dataCommand(name string, args [][]byte) bool {
 		healthy = c.doIncrBy(sess, args)
 	}
 	return true
+}
+
+// splitSerial strips a trailing "SERIAL <n>" argument pair. serial is 0
+// (with the args untouched) when the command is unstamped; a non-empty
+// errMsg reports a malformed stamp.
+func splitSerial(args [][]byte) (serial uint64, rest [][]byte, errMsg string) {
+	if len(args) < 4 || commandName(args[len(args)-2]) != "SERIAL" {
+		return 0, args, ""
+	}
+	n, err := strconv.ParseUint(string(args[len(args)-1]), 10, 64)
+	if err != nil || n == 0 {
+		return 0, args, "ERR SERIAL must be a positive integer"
+	}
+	return n, args[:len(args)-2], ""
+}
+
+// doSession binds the connection to a durable exactly-once session and
+// replies :<acked>, the committed frontier the client must resume from.
+// Rebinding a GUID (from this or another connection) fences the previous
+// owner's pending serials.
+func (c *connState) doSession(args [][]byte) bool {
+	if len(args) != 2 || len(args[1]) == 0 {
+		c.w.WriteError("ERR wrong number of arguments for 'session'")
+		return true
+	}
+	tok, acked, _, err := c.s.store.BindSession(string(args[1]))
+	if err != nil {
+		c.w.WriteError("ERR " + err.Error())
+		return true
+	}
+	if c.token != nil {
+		c.token.Release()
+	}
+	c.token = tok
+	c.w.WriteInt(int64(acked))
+	return true
+}
+
+// doStamped executes one serial-tagged write under the session's window
+// discipline: admit the serial, run the op, commit the rendered reply
+// crash-atomically with respect to checkpoints, then acknowledge with
+// "+ACK <serial> <result>". Non-apply verdicts resolve without touching
+// the store.
+func (c *connState) doStamped(sess *faster.Session, name string, args [][]byte, serial uint64) bool {
+	tok := c.token
+	tok.WindowEnter()
+	v, saved := tok.Check(serial)
+	switch v {
+	case faster.SerialApply:
+	case faster.SerialReplay:
+		tok.WindowExit()
+		c.w.WriteSimple(string(saved))
+		return true
+	case faster.SerialStale:
+		tok.WindowExit()
+		c.w.WriteError(fmt.Sprintf("STALE serial %d is at or below the committed frontier", serial))
+		return true
+	case faster.SerialGap:
+		tok.WindowExit()
+		c.w.WriteError(fmt.Sprintf("ERR serial %d skips the next expected serial", serial))
+		return true
+	default: // SerialFenced
+		tok.WindowExit()
+		c.w.WriteError("FENCED session was re-bound by a newer connection")
+		return true
+	}
+
+	var (
+		result  int64
+		isInt   bool
+		ok      bool
+		healthy bool
+	)
+	switch name {
+	case "SET":
+		ok, healthy = c.setCore(sess, args)
+	case "DEL":
+		result, ok, healthy = c.delCore(sess, args)
+		isInt = true
+	default: // INCRBY
+		result, ok, healthy = c.incrByCore(sess, args)
+		isInt = true
+	}
+	if !ok {
+		// The op's error reply is already written. Exiting the window
+		// rolls the admission back, so the client may retry this serial.
+		tok.WindowExit()
+		return healthy
+	}
+	body := c.ackBuf[:0]
+	body = append(body, "ACK "...)
+	body = strconv.AppendUint(body, serial, 10)
+	body = append(body, ' ')
+	if isInt {
+		body = strconv.AppendInt(body, result, 10)
+	} else {
+		body = append(body, "OK"...)
+	}
+	c.ackBuf = body
+	tok.Commit(serial, body)
+	tok.WindowExit()
+	c.w.WriteSimple(string(body))
+	return healthy
 }
 
 // acquireSession takes a pooled session under the acquire timeout.
@@ -755,29 +938,46 @@ func (c *connState) readInto(sess *faster.Session, key, out []byte) (faster.Stat
 }
 
 func (c *connState) doSet(sess *faster.Session, args [][]byte) bool {
+	ok, healthy := c.setCore(sess, args)
+	if ok {
+		c.w.WriteSimple("OK")
+	}
+	return healthy
+}
+
+// setCore validates and executes a SET. ok=false means an error reply
+// has already been written; healthy=false retires the session.
+func (c *connState) setCore(sess *faster.Session, args [][]byte) (ok, healthy bool) {
 	if len(args) != 3 || len(args[1]) == 0 {
 		c.w.WriteError("ERR wrong number of arguments for 'set'")
-		return true
+		return false, true
 	}
 	if len(args[2]) > c.s.cfg.MaxValueBytes {
 		c.w.WriteError(fmt.Sprintf("ERR value exceeds %d bytes", c.s.cfg.MaxValueBytes))
-		return true
+		return false, true
 	}
 	st, err := sess.Upsert(args[1], faster.VarLenEncode(args[2]))
-	if st == faster.OK {
-		c.w.WriteSimple("OK")
-	} else {
+	if st != faster.OK {
 		c.writeStoreErr(err)
+		return false, true
 	}
-	return true
+	return true, true
 }
 
 func (c *connState) doDel(sess *faster.Session, args [][]byte) bool {
+	deleted, ok, healthy := c.delCore(sess, args)
+	if ok {
+		c.w.WriteInt(deleted)
+	}
+	return healthy
+}
+
+// delCore validates and executes a DEL, returning the deleted count.
+func (c *connState) delCore(sess *faster.Session, args [][]byte) (deleted int64, ok, healthy bool) {
 	if len(args) < 2 {
 		c.w.WriteError("ERR wrong number of arguments for 'del'")
-		return true
+		return 0, false, true
 	}
-	deleted := int64(0)
 	for _, key := range args[1:] {
 		if len(key) == 0 {
 			continue
@@ -789,40 +989,49 @@ func (c *connState) doDel(sess *faster.Session, args [][]byte) bool {
 		case faster.NotFound:
 		default:
 			c.writeStoreErr(err)
-			return true
+			return 0, false, true
 		}
 	}
-	c.w.WriteInt(deleted)
-	return true
+	return deleted, true, true
 }
 
 func (c *connState) doIncrBy(sess *faster.Session, args [][]byte) bool {
+	n, ok, healthy := c.incrByCore(sess, args)
+	if ok {
+		c.w.WriteInt(n)
+	}
+	return healthy
+}
+
+// incrByCore validates and executes an INCRBY, returning the updated
+// counter value.
+func (c *connState) incrByCore(sess *faster.Session, args [][]byte) (n int64, ok, healthy bool) {
 	if len(args) != 3 || len(args[1]) == 0 {
 		c.w.WriteError("ERR wrong number of arguments for 'incrby'")
-		return true
+		return 0, false, true
 	}
 	delta, perr := strconv.ParseInt(string(args[2]), 10, 64)
 	if perr != nil {
 		c.w.WriteError("ERR value is not an integer or out of range")
-		return true
+		return 0, false, true
 	}
 	key := args[1]
 
 	// Type pre-check: INCRBY on a non-counter value is a client error,
 	// not a reset. (A concurrent SET can still race this check; the ops'
 	// reset semantics keep that race well-defined.)
-	st, err, ok := c.readValue(sess, key)
-	if !ok {
-		return false
+	st, err, rok := c.readValue(sess, key)
+	if !rok {
+		return 0, false, false
 	}
 	if st == faster.OK {
 		if _, isCtr := faster.VarLenCounter(c.out); !isCtr {
 			c.w.WriteError("ERR value is not an integer or out of range")
-			return true
+			return 0, false, true
 		}
 	} else if st == faster.Err {
 		c.writeStoreErr(err)
-		return true
+		return 0, false, true
 	}
 
 	// The 9th input byte is VarLenOps's overflow status channel: the
@@ -835,43 +1044,42 @@ func (c *connState) doIncrBy(sess *faster.Session, args [][]byte) bool {
 	st, err = sess.RMW(key, input[:], token)
 	overflowed := input[8] != 0
 	if st == faster.Pending {
-		r, rok := c.drainPending(sess, token)
-		if !rok {
-			return false
+		r, drok := c.drainPending(sess, token)
+		if !drok {
+			return 0, false, false
 		}
 		st, err = r.Status, r.Err
 		overflowed = len(r.Input) >= 9 && r.Input[8] != 0
 	}
 	if st != faster.OK {
 		c.writeStoreErr(err)
-		return true
+		return 0, false, true
 	}
 	if overflowed {
 		// A client asking for an impossible increment is not a store
 		// fault: reply like Redis does and leave the counter (and the
 		// health ladder) untouched.
 		c.w.WriteError("ERR increment or decrement would overflow")
-		return true
+		return 0, false, true
 	}
 
 	// Report the updated counter. Under concurrent INCRBY of the same
 	// key the read may observe later increments — the reply is a recent
 	// value, not a linearisation point (documented deviation).
-	st, err, ok = c.readValue(sess, key)
-	if !ok {
-		return false
+	st, err, rok = c.readValue(sess, key)
+	if !rok {
+		return 0, false, false
 	}
 	if st != faster.OK {
 		c.writeStoreErr(fmt.Errorf("counter vanished: %v %v", st, err))
-		return true
+		return 0, false, true
 	}
 	n, isCtr := faster.VarLenCounter(c.out)
 	if !isCtr {
 		c.w.WriteError("ERR value is not an integer or out of range")
-		return true
+		return 0, false, true
 	}
-	c.w.WriteInt(n)
-	return true
+	return n, true, true
 }
 
 // doCompact runs a log compaction over the whole stable region and
@@ -1024,6 +1232,8 @@ func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
 		c.bops = make([]faster.BatchOp, 0, maxWindowCmds)
 	}
 	c.bops = c.bops[:0]
+	c.smeta = c.smeta[:0]
+	c.slotop = c.slotop[:0]
 
 	// The SET arena is sized up front so appends cannot regrow it and
 	// invalidate the value slices already handed to earlier ops.
@@ -1038,19 +1248,42 @@ func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
 	}
 	val := c.val[:0]
 
+	// Serial admission happens in command order inside one session
+	// window, which stays open across the store batch so a concurrent
+	// checkpoint cannot cut between an op's record and its commit.
+	windowOpen := false
 	for i := range cmds {
 		cmd := &cmds[i]
+		var meta slotMeta
+		if cmd.Is("SET") && len(cmd.Args) == 5 {
+			meta.serial, _, _ = splitSerial(cmd.Args)
+		}
+		if meta.serial > 0 {
+			if !windowOpen {
+				c.token.WindowEnter()
+				windowOpen = true
+			}
+			meta.verdict, meta.saved = c.token.Check(meta.serial)
+			if meta.verdict != faster.SerialApply {
+				// Resolved without touching the store.
+				c.smeta = append(c.smeta, meta)
+				c.slotop = append(c.slotop, -1)
+				continue
+			}
+		}
+		c.smeta = append(c.smeta, meta)
+		c.slotop = append(c.slotop, len(c.bops))
 		if cmd.Is("GET") {
 			c.bops = append(c.bops, faster.BatchOp{
 				Kind: faster.BatchRead, Key: cmd.Args[1],
-				Output: c.slotOut(i), Ctx: i,
+				Output: c.slotOut(i), Ctx: len(c.bops),
 			})
 			continue
 		}
 		frame := faster.VarLenAppend(val, cmd.Args[2])
 		c.bops = append(c.bops, faster.BatchOp{
 			Kind: faster.BatchUpsert, Key: cmd.Args[1],
-			Value: frame[len(val):], Ctx: i,
+			Value: frame[len(val):], Ctx: len(c.bops),
 		})
 		val = frame
 	}
@@ -1058,6 +1291,9 @@ func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
 	if err := sess.ExecBatch(c.bops); err != nil {
 		for i := range c.bops {
 			c.bops[i].Status, c.bops[i].Err = faster.Err, err
+		}
+		if windowOpen {
+			c.token.WindowExit()
 		}
 		return true
 	}
@@ -1103,6 +1339,35 @@ func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
 			op.Status, op.Err, op.Output = st, err, big
 		}
 	}
+
+	// Commit the run's serial prefix in order. The first failed stamped
+	// op stops the commits: later serials cannot ack (Commit is strictly
+	// sequential) and reply -RETRY instead, so the client's
+	// resend-from-frontier rule re-applies exactly the uncommitted
+	// suffix. Re-application is safe here because only idempotent SETs
+	// ride the batch path.
+	if windowOpen {
+		committing := true
+		scratch := c.ackBuf[:0]
+		for i := range c.smeta {
+			m := &c.smeta[i]
+			if m.serial == 0 || m.verdict != faster.SerialApply {
+				continue
+			}
+			if !committing || !healthy || c.bops[c.slotop[i]].Status != faster.OK {
+				committing = false
+				continue
+			}
+			scratch = scratch[:0]
+			scratch = append(scratch, "ACK "...)
+			scratch = strconv.AppendUint(scratch, m.serial, 10)
+			scratch = append(scratch, " OK"...)
+			c.token.Commit(m.serial, scratch)
+			m.committed = true
+		}
+		c.ackBuf = scratch
+		c.token.WindowExit()
+	}
 	return healthy
 }
 
@@ -1125,7 +1390,12 @@ func (c *connState) flushBatchReplies(cmds []resp.Command) bool {
 	c.reply = c.reply[:0]
 	c.segs = c.segs[:0]
 	for i := range cmds {
-		op := &c.bops[i]
+		m := &c.smeta[i]
+		if m.serial > 0 {
+			c.appendSerialReply(m, c.slotop[i])
+			continue
+		}
+		op := &c.bops[c.slotop[i]]
 		if op.Kind == faster.BatchUpsert {
 			if op.Status == faster.OK {
 				c.reply = append(c.reply, "+OK\r\n"...)
@@ -1186,6 +1456,47 @@ func (c *connState) flushBatchReplies(cmds []resp.Command) bool {
 		return false
 	}
 	return true
+}
+
+// appendSerialReply renders a stamped batch slot's outcome into the
+// reply scratch; j is the slot's BatchOp index (-1 when the serial
+// verdict resolved the slot without executing).
+func (c *connState) appendSerialReply(m *slotMeta, j int) {
+	switch {
+	case m.committed:
+		c.reply = append(c.reply, "+ACK "...)
+		c.reply = strconv.AppendUint(c.reply, m.serial, 10)
+		c.reply = append(c.reply, " OK\r\n"...)
+	case m.verdict == faster.SerialReplay:
+		c.reply = append(c.reply, '+')
+		c.reply = append(c.reply, m.saved...)
+		c.reply = append(c.reply, '\r', '\n')
+	case m.verdict == faster.SerialStale:
+		c.reply = append(c.reply, "-STALE serial "...)
+		c.reply = strconv.AppendUint(c.reply, m.serial, 10)
+		c.reply = append(c.reply, " is at or below the committed frontier\r\n"...)
+	case m.verdict == faster.SerialGap:
+		c.reply = append(c.reply, "-ERR serial "...)
+		c.reply = strconv.AppendUint(c.reply, m.serial, 10)
+		c.reply = append(c.reply, " skips the next expected serial\r\n"...)
+	case m.verdict == faster.SerialFenced:
+		c.reply = append(c.reply, "-FENCED session was re-bound by a newer connection\r\n"...)
+	default:
+		// Admitted but rolled back: either this op failed or an earlier
+		// serial in the window did (strict in-order commit).
+		op := &c.bops[j]
+		switch op.Status {
+		case faster.OK:
+			c.reply = append(c.reply, "-RETRY serial "...)
+			c.reply = strconv.AppendUint(c.reply, m.serial, 10)
+			c.reply = append(c.reply, " not committed; resend from the session frontier\r\n"...)
+		case faster.Pending:
+			c.s.mx.pendingTimeouts.Inc()
+			c.reply = append(c.reply, "-TIMEOUT operation did not complete in time\r\n"...)
+		default:
+			c.appendErrReply(op.Err)
+		}
+	}
 }
 
 // appendErrReply renders a store error into the batched reply scratch,

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net"
 	"net/http/httptest"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -33,10 +35,159 @@ import (
 //   - drain: pipelined clients are killed mid-burst, a slowloris client
 //     stalls half-way through a command, and the server is drained;
 //     every acknowledged SET must be readable from the store afterwards.
+//   - exactlyonce: a flaky-network client drives serial-stamped INCRBYs
+//     through connections that die mid-pipeline, resuming each time with
+//     SESSION and resending from the server's committed frontier; every
+//     seeded run must end with the exact counter value (nothing lost,
+//     nothing double-applied).
 func TestServerChaosSoak(t *testing.T) {
 	t.Run("overload", soakOverload)
 	t.Run("readonly", soakReadOnly)
 	t.Run("drain", soakDrain)
+	t.Run("exactlyonce", soakExactlyOnce)
+}
+
+// soakSeeds returns how many seeded exactly-once chaos runs to execute:
+// FASTER_EXACTLYONCE_SEEDS (the CI gate sets 100), else a quick default.
+func soakSeeds(t *testing.T) int {
+	if v := os.Getenv("FASTER_EXACTLYONCE_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad FASTER_EXACTLYONCE_SEEDS %q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 3
+	}
+	return 8
+}
+
+func soakExactlyOnce(t *testing.T) {
+	seeds := soakSeeds(t)
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testutil.CheckGoroutines(t)
+			srv := chaosServer(t)
+			rng := rand.New(rand.NewSource(int64(seed)*104729 + 31))
+			guid := fmt.Sprintf("chaos-%d", seed)
+
+			const totalOps = 40
+			deltas := make([]int64, totalOps+1)
+			var want int64
+			for i := 1; i <= totalOps; i++ {
+				deltas[i] = int64(rng.Intn(9) + 1)
+				want += deltas[i]
+			}
+
+			// The client loop: connect, resume from the server's committed
+			// frontier, push stamped windows, and survive seeded connection
+			// kills mid-pipeline. acked is the client's view; the server's
+			// frontier (learned on every resume) may be ahead of it when a
+			// kill swallowed in-flight acks — that is the lost-ack case the
+			// protocol exists for.
+			acked := uint64(0)
+			for attempt := 0; acked < totalOps; attempt++ {
+				if attempt > 200 {
+					t.Fatal("chaos client failed to make progress")
+				}
+				c, err := resp.Dial(srv.Addr())
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.Timeout = 10 * time.Second
+				v, err := c.Do([]byte("SESSION"), []byte(guid))
+				if err != nil || v.Kind != resp.Integer {
+					c.Close()
+					t.Fatalf("SESSION resume: %+v %v", v, err)
+				}
+				frontier := uint64(v.Int)
+				if frontier < acked {
+					c.Close()
+					t.Fatalf("recovered frontier %d below client acks %d", frontier, acked)
+				}
+				acked = frontier
+
+				// Push windows until this connection dies or the run is done.
+				for acked < totalOps {
+					n := 1 + rng.Intn(6)
+					if acked+uint64(n) > totalOps {
+						n = int(totalOps - acked)
+					}
+					cmds := make([][][]byte, 0, n)
+					for j := 0; j < n; j++ {
+						serial := acked + uint64(j) + 1
+						cmds = append(cmds, [][]byte{
+							[]byte("INCRBY"), []byte("chaos-ctr"),
+							[]byte(strconv.FormatInt(deltas[serial], 10)),
+							[]byte("SERIAL"), []byte(strconv.FormatUint(serial, 10)),
+						})
+					}
+					if rng.Intn(4) == 0 {
+						// Flaky network: the connection dies while replies are
+						// in flight; the server may have committed any prefix
+						// of the window.
+						go func(die time.Duration) {
+							time.Sleep(die)
+							c.Conn().Close()
+						}(time.Duration(rng.Intn(2)) * time.Millisecond)
+						c.Pipeline(cmds)
+						break
+					}
+					replies, err := c.Pipeline(cmds)
+					if err != nil {
+						break // transport died; resume on a fresh connection
+					}
+					for j, r := range replies {
+						serial := acked + uint64(j) + 1
+						wantAck := fmt.Sprintf("ACK %d ", serial)
+						if r.Kind != resp.SimpleString || !strings.HasPrefix(string(r.Str), wantAck) {
+							t.Fatalf("serial %d reply = %c %q, want +%s...", serial, r.Kind, r.Str, wantAck)
+						}
+					}
+					acked += uint64(n)
+				}
+				c.Close()
+			}
+
+			// The final counter must reflect every delta exactly once.
+			c := mustDial(t, srv)
+			v, err := c.Do([]byte("INCRBY"), []byte("chaos-ctr"), []byte("0"))
+			if err != nil || v.Kind != resp.Integer || v.Int != want {
+				t.Fatalf("final counter = %+v %v, want :%d (lost or double-applied ops)", v, err, want)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		})
+	}
+}
+
+// chaosServer opens a Mem-backed VarLenOps store with a server for one
+// seeded chaos run, torn down store-after-server via t.Cleanup.
+func chaosServer(t *testing.T) *Server {
+	t.Helper()
+	mem := device.NewMem(device.MemConfig{})
+	store, err := faster.Open(faster.Config{
+		Ops: faster.VarLenOps{}, IndexBuckets: 1 << 10,
+		PageBits: 13, BufferPages: 8, MutableFraction: 0.75,
+		Device: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenAndServe(store, "127.0.0.1:0", Config{Sessions: 4})
+	if err != nil {
+		store.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+		mem.Close()
+	})
+	return srv
 }
 
 func soakOverload(t *testing.T) {

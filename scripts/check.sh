@@ -31,6 +31,25 @@ go test -race -run 'TestLinearizable' -count=1 -timeout 300s ./internal/lineariz
 # epoch-safe truncation ordering fixes, under the race detector.
 go test -race -run 'TestCompact|TestBackgroundCompaction|TestTruncate' -count=1 ./internal/faster/ ./internal/hlog/
 
+# Exactly-once torture: 100 seeded crash/retry schedules against the
+# durable session table (duplicate deliveries, lost acks, mid-run
+# checkpoints, recovery) plus the flaky-network chaos client against the
+# RESP front-end, all under the race detector. Zero double-applies and
+# zero lost acknowledgements are the acceptance bar.
+FASTER_EXACTLYONCE_SEEDS=100 go test -race -run 'TestExactlyOnceCrashRetryTorture|TestServerChaosSoak/exactlyonce' -count=1 -timeout 600s ./internal/faster/ ./internal/server/
+
+# Session-table crash matrix and the checkpoint/compaction interleaving
+# regression: kills between the table rename and the meta rename (and at
+# the torn/missing-table points) must recover the previous generation's
+# frontier exactly, and a checkpoint racing a compaction must never
+# swallow the compacted prefix.
+go test -race -run 'TestSerialTableCrashMatrix|TestSessionTableCheckpointRecover|TestCheckpointCompactRace' -count=1 ./internal/faster/
+
+# Exactly-once mutation-gate seed: the torn, unsynced session table must
+# be flagged by the dedup-aware linearize model (the rest of the gate
+# runs via `make mutation-gate`).
+go test -tags mutate -run 'TestMutationGateSkipSerialFsync' -count=1 -timeout 300s ./internal/faster/
+
 # Fuzz smoke over the wire codecs: a few seconds per target beyond the
 # committed seed corpora. `make fuzz` / `make verify` run longer.
 go test -fuzz FuzzReadCommand -fuzztime 5s -run '^$' ./internal/resp/
