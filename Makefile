@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench bench-paper fmt
+.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench bench-paper bench-openloop fmt
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,16 @@ bench:
 bench-compact:
 	$(GO) test -run '^$$' -bench 'Compaction$$' -benchmem -count=1 \
 		./internal/faster/ | $(GO) run ./cmd/benchreport -out BENCH_06.json
+
+# Open-loop SLO curves under device chaos: constant-arrival-rate RESP
+# load over a larger-than-memory store, one no-chaos phase and one under
+# 100ms periodic latency spikes. BENCH_07.json carries exact hot/cold
+# p50/p99/p999 (coordinated-omission-safe: measured from scheduled
+# arrival) plus the full shed accounting in "extra". -benchtime 1x: each
+# phase is one fixed-length schedule, not an iteration loop.
+bench-openloop:
+	$(GO) test -run '^$$' -bench 'OpenLoopSLO' -benchtime 1x -count=1 \
+		./internal/bench/ | $(GO) run ./cmd/benchreport -out BENCH_07.json
 
 # The paper-figure experiment micro-benchmarks (see cmd/faster-bench for
 # the full tables).

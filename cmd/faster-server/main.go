@@ -46,13 +46,16 @@ func main() {
 		pageBits     = flag.Uint("page-bits", 22, "log page size as a power of two")
 		bufferPages  = flag.Int("buffer-pages", 32, "in-memory log buffer pages")
 
-		sessions  = flag.Int("sessions", 16, "FASTER session-pool size")
-		maxConns  = flag.Int("max-conns", 256, "connection cap (excess shed with -OVERLOADED)")
-		maxInFl   = flag.Int("max-inflight", 0, "in-flight command cap (default 4*sessions)")
-		idleTO    = flag.Duration("idle-timeout", 5*time.Minute, "per-connection idle timeout")
-		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
-		maxValue  = flag.Int("max-value-bytes", 512<<10, "largest accepted SET value")
-		ioWorkers = flag.Int("io-workers", 4, "device I/O workers for the file device")
+		sessions     = flag.Int("sessions", 16, "FASTER session-pool size")
+		maxConns     = flag.Int("max-conns", 256, "connection cap (excess shed with -OVERLOADED)")
+		maxInFl      = flag.Int("max-inflight", 0, "in-flight command cap (default 4*sessions)")
+		idleTO       = flag.Duration("idle-timeout", 5*time.Minute, "per-connection idle timeout")
+		opTO         = flag.Duration("op-timeout", 5*time.Second, "per-command deadline; expiry sheds with -TIMEOUT")
+		drainTO      = flag.Duration("drain-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
+		maxValue     = flag.Int("max-value-bytes", 512<<10, "largest accepted SET value")
+		ioWorkers    = flag.Int("io-workers", 4, "device I/O workers for the file device")
+		ioPool       = flag.Int("io-pool", 4, "io-worker pool size completing cold misses out of band")
+		ioQueueDepth = flag.Int("io-queue-depth", 0, "bounded cold-miss admission queue (0: 16x io-pool); overflow sheds -OVERLOADED")
 
 		compactAt = flag.Uint64("compact-threshold", 0, "compact when the stable log region exceeds this many bytes (0: manual COMPACT only)")
 	)
@@ -89,6 +92,8 @@ func main() {
 		BufferPages:  *bufferPages,
 		Device:       dev,
 		MaxSessions:  *sessions + 8, // pool + admin/recovery headroom
+		IOWorkers:    *ioPool,
+		IOQueueDepth: *ioQueueDepth,
 
 		CompactionThreshold: *compactAt,
 	}
@@ -119,6 +124,7 @@ func main() {
 		MaxInFlight:  *maxInFl,
 		Sessions:     *sessions,
 		IdleTimeout:  *idleTO,
+		OpTimeout:    *opTO,
 		DrainTimeout: *drainTO,
 		MaxValueBytes: func() int {
 			if *maxValue > 0 {

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/resp"
+)
+
+// Open-loop SLO harness: a constant-arrival-rate RESP workload whose
+// latencies are measured from each operation's *scheduled* arrival time,
+// not from when the client got around to sending it. A closed-loop
+// client that stalls on a slow reply silently stops offering load — the
+// coordinated-omission trap — and its percentiles describe the client,
+// not the server. Here the schedule is fixed up front: if a connection
+// falls behind, every queued operation's latency keeps growing against
+// its original slot, so a stall shows up as the tail it really is.
+//
+// Connections are partitioned into hot-set and cold-set issuers (in
+// HotPct proportion). A cold miss legitimately parks its *connection*
+// for the device round trip (RESP replies are ordered per connection);
+// dedicating connections per class keeps that client-side head-of-line
+// blocking out of the hot percentiles, so the hot curve measures the
+// server's isolation — exactly the stall-free claim under test — rather
+// than the client's own queueing.
+
+// OpenLoopConfig parameterizes one constant-rate run against a RESP
+// address. Keys [0, HotKeys) are the hot set; [HotKeys, Keys) the cold
+// set.
+type OpenLoopConfig struct {
+	Addr     string
+	Rate     float64       // total target arrivals/sec across all connections
+	Duration time.Duration // length of the arrival schedule
+	Conns    int           // issuing connections (default 8)
+	Keys     uint64        // key-space size
+	HotKeys  uint64        // size of the hot prefix
+	HotPct   int           // percent of connections (≈ arrivals) on the hot set
+	RMWPct   int           // percent of arrivals issued as INCRBY (rest GET)
+	Seed     int64
+	Timeout  time.Duration // client socket timeout (default 30s)
+}
+
+// LatencyStats summarizes one class's samples; percentiles are exact
+// (computed from the full sorted sample set, no histogram buckets).
+type LatencyStats struct {
+	Count               uint64
+	P50, P99, P999, Max time.Duration
+}
+
+// OpenLoopResult is one run's outcome. Every scheduled arrival that was
+// actually issued is accounted for exactly once:
+//
+//	Issued == Completed + ShedTimeout + ShedOverload + Errors
+type OpenLoopResult struct {
+	Issued, Completed         uint64
+	ShedTimeout, ShedOverload uint64 // explicit -TIMEOUT / -OVERLOADED sheds
+	Errors                    uint64 // transport failures and other error replies
+	Hot, Cold                 LatencyStats
+	Elapsed                   time.Duration
+}
+
+// CheckAccounting returns an error unless every issued operation landed
+// in exactly one outcome bucket.
+func (r OpenLoopResult) CheckAccounting() error {
+	if got := r.Completed + r.ShedTimeout + r.ShedOverload + r.Errors; got != r.Issued {
+		return fmt.Errorf("open-loop accounting broken: issued %d != completed %d + shed-timeout %d + shed-overload %d + errors %d",
+			r.Issued, r.Completed, r.ShedTimeout, r.ShedOverload, r.Errors)
+	}
+	return nil
+}
+
+type openLoopConn struct {
+	issued, completed         uint64
+	shedTimeout, shedOverload uint64
+	errs                      uint64
+	samples                   []time.Duration
+	err                       error // fatal transport failure (run still reports partial stats)
+}
+
+// OpenLoop drives one constant-arrival-rate run and returns exact
+// percentile stats split by key class.
+func OpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return OpenLoopResult{}, errors.New("bench: OpenLoop needs Rate > 0 and Duration > 0")
+	}
+	if cfg.Keys == 0 || cfg.HotKeys == 0 || cfg.HotKeys >= cfg.Keys {
+		return OpenLoopResult{}, errors.New("bench: OpenLoop needs 0 < HotKeys < Keys")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	hotConns := cfg.Conns * cfg.HotPct / 100
+	if hotConns <= 0 {
+		hotConns = 1
+	}
+	if hotConns >= cfg.Conns {
+		hotConns = cfg.Conns - 1
+	}
+
+	perConn := cfg.Rate / float64(cfg.Conns)
+	interval := time.Duration(float64(time.Second) / perConn)
+	ops := int(cfg.Duration.Seconds() * perConn)
+	if ops == 0 {
+		ops = 1
+	}
+
+	stats := make([]openLoopConn, cfg.Conns)
+	start := time.Now().Add(20 * time.Millisecond) // dial headroom before slot 0
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			runOpenLoopConn(cfg, &stats[c], c, c < hotConns, start, interval, ops)
+		}(c)
+	}
+	wg.Wait()
+
+	var res OpenLoopResult
+	var hot, cold []time.Duration
+	var fatal error
+	for c := range stats {
+		st := &stats[c]
+		res.Issued += st.issued
+		res.Completed += st.completed
+		res.ShedTimeout += st.shedTimeout
+		res.ShedOverload += st.shedOverload
+		res.Errors += st.errs
+		if c < hotConns {
+			hot = append(hot, st.samples...)
+		} else {
+			cold = append(cold, st.samples...)
+		}
+		if st.err != nil && fatal == nil {
+			fatal = st.err
+		}
+	}
+	res.Hot = summarize(hot)
+	res.Cold = summarize(cold)
+	res.Elapsed = time.Since(start)
+	if err := res.CheckAccounting(); err != nil {
+		return res, err
+	}
+	return res, fatal
+}
+
+// runOpenLoopConn walks one connection's slice of the global schedule:
+// op i is due at start + i*interval (staggered per connection), issued
+// no earlier than its slot, with latency measured from the slot even
+// when the connection is running behind.
+func runOpenLoopConn(cfg OpenLoopConfig, st *openLoopConn, id int, hot bool, start time.Time, interval time.Duration, ops int) {
+	cl, err := resp.Dial(cfg.Addr)
+	if err != nil {
+		st.err = err
+		return
+	}
+	defer cl.Close()
+	cl.Timeout = cfg.Timeout
+
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(id)))
+	offset := time.Duration(float64(interval) * float64(id) / float64(cfg.Conns))
+	getCmd, incrCmd, one := []byte("GET"), []byte("INCRBY"), []byte("1")
+	key := make([]byte, 0, 16)
+
+	for i := 0; i < ops; i++ {
+		sched := start.Add(offset + time.Duration(i)*interval)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		var k uint64
+		if hot {
+			k = uint64(rng.Int63n(int64(cfg.HotKeys)))
+		} else {
+			k = cfg.HotKeys + uint64(rng.Int63n(int64(cfg.Keys-cfg.HotKeys)))
+		}
+		key = appendOpenLoopKey(key[:0], k)
+		var v resp.Value
+		if rng.Intn(100) < cfg.RMWPct {
+			v, err = cl.Do(incrCmd, key, one)
+		} else {
+			v, err = cl.Do(getCmd, key)
+		}
+		st.issued++
+		if err != nil {
+			// Transport failure: the reply is lost, so this op and the
+			// rest of the schedule are unaccountable — record and stop.
+			st.errs++
+			st.err = err
+			return
+		}
+		lat := time.Since(sched)
+		if v.IsError() {
+			switch s := string(v.Str); {
+			case strings.HasPrefix(s, "TIMEOUT"):
+				st.shedTimeout++
+			case strings.HasPrefix(s, "OVERLOADED"):
+				st.shedOverload++
+			default:
+				st.errs++
+			}
+			continue
+		}
+		st.completed++
+		st.samples = append(st.samples, lat)
+	}
+}
+
+// appendOpenLoopKey formats the workload's key for index k. Fixed width
+// keeps every record the same size, so spill depth depends only on the
+// key count.
+func appendOpenLoopKey(dst []byte, k uint64) []byte {
+	dst = append(dst, 'k')
+	for shift := 28; shift >= 0; shift -= 4 {
+		dst = append(dst, "0123456789abcdef"[(k>>shift)&0xf])
+	}
+	return dst
+}
+
+// summarize computes exact percentiles from raw samples.
+func summarize(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	n := len(samples)
+	pick := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return samples[i]
+	}
+	return LatencyStats{
+		Count: uint64(n),
+		P50:   pick(0.50),
+		P99:   pick(0.99),
+		P999:  pick(0.999),
+		Max:   samples[n-1],
+	}
+}

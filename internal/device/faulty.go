@@ -96,6 +96,15 @@ type Faulty struct {
 	readLatencyNs  atomic.Int64
 	writeLatencyNs atomic.Int64
 
+	// Latency-spike schedule (SpikeLatency): every spikePeriodNs, reads
+	// and writes issued during the first spikeLenNs of the period are
+	// delayed an extra spikeNs — a square-wave chaos schedule modelling a
+	// device that periodically stalls (GC pause, firmware hiccup).
+	spikeNs       atomic.Int64
+	spikePeriodNs atomic.Int64
+	spikeLenNs    atomic.Int64
+	spikeEpochNs  atomic.Int64
+
 	hook atomic.Value // Hook
 
 	reads, writes     atomic.Int64
@@ -149,6 +158,43 @@ func (d *Faulty) CrashAfterBytes(n int64) {
 func (d *Faulty) InjectLatency(read, write time.Duration) {
 	d.readLatencyNs.Store(int64(read))
 	d.writeLatencyNs.Store(int64(write))
+}
+
+// SpikeLatency schedules periodic latency spikes: starting now, every
+// period, operations issued during the first spikeLen of the period incur
+// an extra spike delay on top of any InjectLatency base. A zero spike or
+// period disables the schedule. Like InjectLatency the delay is
+// asynchronous — callers are never blocked, completions just arrive late —
+// which makes it the chaos input for SLO tests: hot in-memory traffic
+// must ride through a spike untouched while cold misses slow or shed.
+func (d *Faulty) SpikeLatency(spike, period, spikeLen time.Duration) {
+	if spike <= 0 || period <= 0 || spikeLen <= 0 {
+		d.spikeNs.Store(0)
+		d.spikePeriodNs.Store(0)
+		d.spikeLenNs.Store(0)
+		return
+	}
+	if spikeLen > period {
+		spikeLen = period
+	}
+	d.spikeEpochNs.Store(time.Now().UnixNano())
+	d.spikeLenNs.Store(int64(spikeLen))
+	d.spikePeriodNs.Store(int64(period))
+	d.spikeNs.Store(int64(spike))
+}
+
+// spikeExtra returns the extra delay the spike schedule imposes on an
+// operation issued now.
+func (d *Faulty) spikeExtra() int64 {
+	period := d.spikePeriodNs.Load()
+	if period <= 0 {
+		return 0
+	}
+	phase := (time.Now().UnixNano() - d.spikeEpochNs.Load()) % period
+	if phase < 0 || phase >= d.spikeLenNs.Load() {
+		return 0
+	}
+	return d.spikeNs.Load()
 }
 
 // SetHook installs a per-call fault hook consulted before every
@@ -256,7 +302,7 @@ func (d *Faulty) ReadAsync(buf []byte, offset uint64, cb Callback) {
 		cb(ErrInjected)
 		return
 	}
-	d.forward(d.readLatencyNs.Load(), func() { d.inner.ReadAsync(buf, offset, cb) })
+	d.forward(d.readLatencyNs.Load()+d.spikeExtra(), func() { d.inner.ReadAsync(buf, offset, cb) })
 }
 
 // WriteAsync implements Device.
@@ -294,7 +340,7 @@ func (d *Faulty) WriteAsync(buf []byte, offset uint64, cb Callback) {
 		d.failWrite(buf, offset, ErrInjected, cb)
 		return
 	}
-	d.forward(d.writeLatencyNs.Load(), func() { d.inner.WriteAsync(buf, offset, cb) })
+	d.forward(d.writeLatencyNs.Load()+d.spikeExtra(), func() { d.inner.WriteAsync(buf, offset, cb) })
 }
 
 // failWrite delivers an injected write failure, optionally leaving a torn

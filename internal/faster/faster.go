@@ -40,6 +40,12 @@ const (
 	Pending
 	// Err means the operation failed; see the accompanying error.
 	Err
+	// WouldBlock means the operation needed storage I/O (or a fuzzy-region
+	// deferral) but the session is resident-only (SetResidentOnly): nothing
+	// was issued and no state changed. The caller routes the operation to
+	// the store's io-worker pool (SubmitRead/SubmitRMW) instead of letting
+	// this goroutine block on the miss.
+	WouldBlock
 )
 
 func (s Status) String() string {
@@ -52,6 +58,8 @@ func (s Status) String() string {
 		return "PENDING"
 	case Err:
 		return "ERROR"
+	case WouldBlock:
+		return "WOULD_BLOCK"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -98,6 +106,16 @@ type Config struct {
 	// Ignored by in-memory stores (nothing on a device to reclaim).
 	CompactionThreshold uint64
 
+	// IOWorkers sizes the io-worker pool that completes resident-only
+	// misses out of band (SubmitRead/SubmitRMW). Size it to the device's
+	// useful parallelism; default 4. The pool starts lazily on the first
+	// Submit, so stores that never use it pay nothing.
+	IOWorkers int
+	// IOQueueDepth bounds the pending-I/O admission queue shared by the
+	// io-workers. A full queue sheds new submissions with ErrIOQueueFull
+	// instead of queuing unboundedly. Default 16 * IOWorkers.
+	IOQueueDepth int
+
 	// ReadRetry bounds retries of pending record reads; the zero value
 	// selects retry.DefaultRead(). Set MaxAttempts to 1 to disable
 	// retries (every device error surfaces immediately).
@@ -130,6 +148,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.RefreshInterval == 0 {
 		c.RefreshInterval = 256
+	}
+	if c.IOWorkers <= 0 {
+		c.IOWorkers = 4
+	}
+	if c.IOQueueDepth <= 0 {
+		c.IOQueueDepth = 16 * c.IOWorkers
 	}
 	if c.ReadRetry == (retry.Policy{}) {
 		c.ReadRetry = retry.DefaultRead()
@@ -265,6 +289,10 @@ type Store struct {
 	maintStop chan struct{}
 	maintWG   sync.WaitGroup
 
+	// io-worker pool (iopool.go), started lazily on the first Submit.
+	ioOnce sync.Once
+	iop    *ioPool
+
 	mx struct {
 		pendingDepth      metrics.Gauge     // I/Os issued and not yet returned to the user
 		pendingLatency    metrics.Histogram // issue -> completion-queue drain
@@ -277,6 +305,16 @@ type Store struct {
 		sessionBinds      metrics.Counter   // BindSession attaches/resumes
 		serialReplays     metrics.Counter   // duplicate serials answered from the saved reply
 		serialFenced      metrics.Counter   // stale/gap/superseded serial submissions rejected
+
+		// io-worker pool (iopool.go).
+		ioSubmitted     metrics.Counter   // operations accepted by SubmitRead/SubmitRMW
+		ioDelivered     metrics.Counter   // results delivered from a store completion
+		ioShedTimeout   metrics.Counter   // sheds: per-op deadline expired
+		ioShedQueueFull metrics.Counter   // sheds: admission queue full at submit
+		ioQueueDepth    metrics.Gauge     // submissions waiting for a worker
+		ioInflight      metrics.Gauge     // operations a worker has issued, not yet resolved
+		ioQueueWait     metrics.Histogram // submit -> worker pickup
+		ioService       metrics.Histogram // worker pickup -> result delivery
 	}
 
 	closed atomic.Bool
@@ -287,7 +325,9 @@ func Open(cfg Config) (*Store, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	em := epoch.New(cfg.MaxSessions + 8)
+	// Epoch-table headroom: the session cap, the io-workers (each owns a
+	// session), plus slack for maintenance/recovery goroutines.
+	em := epoch.New(cfg.MaxSessions + cfg.IOWorkers + 8)
 	idx, err := index.New(index.Config{InitialBuckets: cfg.IndexBuckets, TagBits: cfg.TagBits})
 	if err != nil {
 		return nil, err
@@ -407,6 +447,9 @@ func (s *Store) Close() error {
 	if s.maintStop != nil {
 		close(s.maintStop)
 		s.maintWG.Wait()
+	}
+	if s.iop != nil {
+		s.iop.shutdown()
 	}
 	s.em.Drain()
 	return s.log.Close()

@@ -1,0 +1,413 @@
+package faster
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// The io-worker pool completes resident-only misses out of band: a
+// session goroutine that gets WouldBlock from a Read/RMW hands the
+// operation to SubmitRead/SubmitRMW and is free immediately — the miss is
+// admitted into a bounded queue and driven to completion by a small pool
+// of workers sized to the device's useful parallelism (Config.IOWorkers).
+// Each worker owns a private Session and runs the same continuation
+// machinery CompletePending does, so the full slow path (chain descents,
+// truncation races, verified RMW publishes, fuzzy deferrals) works
+// unchanged; only the goroutine driving it differs.
+//
+// Degradation is explicit and bounded in both directions:
+//
+//   - A full admission queue sheds at submit time with ErrIOQueueFull —
+//     the device is already saturated, so queueing more work only grows
+//     tail latency.
+//   - A per-request deadline guarantees the done callback fires by the
+//     deadline even when the device never answers: the worker sheds the
+//     request with ErrOpDeadline and keeps tracking the orphaned store
+//     completion so it can be dropped when (if) it lands.
+//
+// Neither shed touches the health ladder: deadline and admission sheds
+// are back-pressure, not device failures.
+
+// ErrIOQueueFull is returned by SubmitRead/SubmitRMW when the io-worker
+// admission queue (Config.IOQueueDepth) is full. The operation was not
+// started; the caller sheds it explicitly (the RESP front-end replies
+// -OVERLOADED).
+var ErrIOQueueFull = errors.New("faster: io-worker queue full")
+
+// ErrStoreClosed is returned for submissions racing (or following) store
+// shutdown, and delivered to queued requests the shutdown drained.
+var ErrStoreClosed = errors.New("faster: store closed")
+
+var errNilDone = errors.New("faster: Submit requires a done callback")
+
+// ioRequest is one operation handed to the pool. key and input are
+// request-owned copies (the submitter may reuse its buffers as soon as
+// Submit returns); the read output buffer is worker-allocated so a
+// deadline-shed request can never race a late device completion into a
+// caller's memory.
+type ioRequest struct {
+	kind        opKind // opRead or opRMW
+	key         []byte
+	input       []byte
+	outLen      int // read output buffer length
+	deadlineNs  int64
+	ctx         any
+	done        func(Result)
+	submittedNs int64
+	pickedNs    int64
+	delivered   bool // worker-local: done already fired (completion or shed)
+}
+
+func (r *ioRequest) kindString() string {
+	if r.kind == opRMW {
+		return "rmw"
+	}
+	return "read"
+}
+
+type ioPool struct {
+	s    *Store
+	reqs chan *ioRequest
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// mu orders submits against shutdown: shutdown takes the write side,
+	// so once closed is observed no request can slip into reqs behind the
+	// final drain.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// startIOPool backs the ioOnce lazy start: stores that never Submit run
+// zero extra goroutines.
+func (s *Store) startIOPool() {
+	if s.closed.Load() {
+		return // racing Close: leave iop nil, Submit reports ErrStoreClosed
+	}
+	p := &ioPool{
+		s:    s,
+		reqs: make(chan *ioRequest, s.cfg.IOQueueDepth),
+		stop: make(chan struct{}),
+	}
+	p.wg.Add(s.cfg.IOWorkers)
+	for i := 0; i < s.cfg.IOWorkers; i++ {
+		go p.worker()
+	}
+	s.iop = p
+}
+
+// SubmitRead hands a read to the io-worker pool. The result — including a
+// worker-owned output buffer of outLen bytes whose ownership transfers to
+// the callback — is delivered exactly once via done, from a worker
+// goroutine, no later than deadline (the zero time means no deadline).
+// A deadline shed completes with Status Err and an error wrapping
+// context.DeadlineExceeded; whether the underlying fetch still finishes
+// is unobservable and irrelevant for reads. key and input are copied.
+func (s *Store) SubmitRead(key, input []byte, outLen int, deadline time.Time, ctx any, done func(Result)) error {
+	return s.submitIO(opRead, key, input, outLen, deadline, ctx, done)
+}
+
+// SubmitRMW hands a read-modify-write to the io-worker pool; see
+// SubmitRead for the delivery contract. A deadline-shed RMW may or may
+// not apply — the update can still publish after the shed fires — which
+// is the same indeterminacy a crashed connection always had.
+func (s *Store) SubmitRMW(key, input []byte, deadline time.Time, ctx any, done func(Result)) error {
+	return s.submitIO(opRMW, key, input, 0, deadline, ctx, done)
+}
+
+func (s *Store) submitIO(kind opKind, key, input []byte, outLen int, deadline time.Time, ctx any, done func(Result)) error {
+	if done == nil {
+		return errNilDone
+	}
+	if len(key) == 0 {
+		return errKeyEmpty
+	}
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	s.ioOnce.Do(s.startIOPool)
+	if s.iop == nil {
+		return ErrStoreClosed
+	}
+	r := &ioRequest{
+		kind:        kind,
+		key:         append([]byte(nil), key...),
+		outLen:      outLen,
+		ctx:         ctx,
+		done:        done,
+		submittedNs: time.Now().UnixNano(),
+	}
+	if input != nil {
+		r.input = append([]byte(nil), input...)
+	}
+	if !deadline.IsZero() {
+		r.deadlineNs = deadline.UnixNano()
+	}
+	return s.iop.submit(r)
+}
+
+func (p *ioPool) submit(r *ioRequest) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrStoreClosed
+	}
+	select {
+	case p.reqs <- r:
+		p.s.mx.ioSubmitted.Inc()
+		p.s.mx.ioQueueDepth.Inc()
+		return nil
+	default:
+		p.s.mx.ioShedQueueFull.Inc()
+		return ErrIOQueueFull
+	}
+}
+
+// shutdown stops the workers and fails everything still queued. Called
+// from Store.Close before the epoch drain, so worker sessions release
+// their slots first.
+func (p *ioPool) shutdown() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+	// The workers each drained the queue on their way out, but all of
+	// them may have exited before the last submit landed.
+	for {
+		select {
+		case r := <-p.reqs:
+			p.s.mx.ioQueueDepth.Dec()
+			p.fail(r, ErrStoreClosed)
+		default:
+			return
+		}
+	}
+}
+
+func (p *ioPool) fail(r *ioRequest, err error) {
+	if r.delivered {
+		return
+	}
+	r.delivered = true
+	r.done(Result{Kind: r.kindString(), Key: r.key, Input: r.input,
+		Status: Err, Err: err, Ctx: r.ctx})
+}
+
+// worker is one pool goroutine: admit requests, issue them on a private
+// session, drain the session's completions back to the submitters, and
+// shed anything that outlives its deadline. The loop blocks only on the
+// admission queue — never on device I/O — so a latency spike on cold
+// misses leaves admission (and every other worker) live.
+func (p *ioPool) worker() {
+	defer p.wg.Done()
+	sess := p.s.StartSession()
+	var live []*ioRequest
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		if len(live) == 0 {
+			// Idle: block until work or shutdown. Parked, so an idle
+			// worker pins no epoch — otherwise it would stall flushes,
+			// compactions and checkpoints exactly like a wedged session.
+			sess.Park()
+			select {
+			case r := <-p.reqs:
+				sess.Unpark()
+				live = p.pickup(sess, r, live)
+			case <-p.stop:
+				sess.Unpark()
+				p.finish(sess, live)
+				return
+			}
+		} else {
+			// Busy: admit everything already queued without blocking.
+			admitting := true
+			for admitting {
+				select {
+				case r := <-p.reqs:
+					live = p.pickup(sess, r, live)
+				case <-p.stop:
+					p.finish(sess, live)
+					return
+				default:
+					admitting = false
+				}
+			}
+		}
+
+		progressed := false
+		live, progressed = p.reap(sess, live)
+		live = p.shedExpired(live)
+		if len(live) == 0 || progressed {
+			continue
+		}
+		// Nothing moved: run epoch maintenance (fuzzy deferrals resolve
+		// when the safe read-only offset republishes) and wait briefly,
+		// still admitting new work and shutdown promptly.
+		sess.Refresh()
+		p.s.em.Drain()
+		timer.Reset(100 * time.Microsecond)
+		select {
+		case r := <-p.reqs:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			live = p.pickup(sess, r, live)
+		case <-p.stop:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			p.finish(sess, live)
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// pickup issues a freshly admitted request on the worker session. A
+// request that resolves synchronously (the record became resident, or the
+// store rejects the op) is delivered immediately; one that goes Pending
+// joins the live set until its completion is reaped.
+func (p *ioPool) pickup(sess *Session, r *ioRequest, live []*ioRequest) []*ioRequest {
+	p.s.mx.ioQueueDepth.Dec()
+	r.pickedNs = time.Now().UnixNano()
+	p.s.mx.ioQueueWait.Observe(time.Duration(r.pickedNs - r.submittedNs))
+	if r.deadlineNs > 0 && r.pickedNs >= r.deadlineNs {
+		// Dead on arrival: it waited out its whole budget in the queue.
+		p.s.mx.ioShedTimeout.Inc()
+		p.fail(r, ErrOpDeadline)
+		return live
+	}
+	sess.opDeadlineNs = r.deadlineNs
+	var st Status
+	var err error
+	var out []byte
+	switch r.kind {
+	case opRMW:
+		st, err = sess.RMW(r.key, r.input, r)
+	default:
+		out = make([]byte, r.outLen)
+		st, err = sess.Read(r.key, r.input, out, r)
+	}
+	sess.opDeadlineNs = 0
+	if st == Pending {
+		p.s.mx.ioInflight.Inc()
+		return append(live, r)
+	}
+	r.delivered = true
+	p.s.mx.ioDelivered.Inc()
+	p.s.mx.ioService.Observe(time.Duration(time.Now().UnixNano() - r.pickedNs))
+	r.done(Result{Kind: r.kindString(), Key: r.key, Input: r.input,
+		Output: out, Status: st, Err: err, Ctx: r.ctx})
+	return live
+}
+
+// reap drains the worker session's completions and delivers them to their
+// submitters. Completions of already-shed requests are dropped (their
+// done fired at the deadline); Result.Input is copied back into the
+// request-owned buffer so the session can recycle its op immediately.
+func (p *ioPool) reap(sess *Session, live []*ioRequest) ([]*ioRequest, bool) {
+	results := sess.CompletePending(false)
+	if len(results) == 0 {
+		return live, false
+	}
+	for i := range results {
+		res := &results[i]
+		r, ok := res.Ctx.(*ioRequest)
+		if !ok {
+			continue
+		}
+		for j, lr := range live {
+			if lr == r {
+				live[j] = live[len(live)-1]
+				live[len(live)-1] = nil
+				live = live[:len(live)-1]
+				break
+			}
+		}
+		p.s.mx.ioInflight.Dec()
+		if r.delivered {
+			continue // shed at its deadline; the late completion is dropped
+		}
+		r.delivered = true
+		p.s.mx.ioDelivered.Inc()
+		p.s.mx.ioService.Observe(time.Duration(time.Now().UnixNano() - r.pickedNs))
+		if res.Input != nil && r.input != nil {
+			// The session-owned input copy (which RMW verdict channels
+			// write into) is recycled with the op; hand the caller the
+			// request-owned buffer instead.
+			res.Input = append(r.input[:0], res.Input...)
+		}
+		res.Ctx = r.ctx // the request was the session-level ctx; unwrap
+		r.done(*res)
+	}
+	return live, true
+}
+
+// shedExpired delivers a deadline shed for every live request past its
+// deadline. The request stays in the live set so its eventual store
+// completion is still reaped (and dropped) — the submitter is unblocked
+// by the deadline no matter what the device does.
+func (p *ioPool) shedExpired(live []*ioRequest) []*ioRequest {
+	now := time.Now().UnixNano()
+	for _, r := range live {
+		if r.delivered || r.deadlineNs == 0 || now < r.deadlineNs {
+			continue
+		}
+		r.delivered = true
+		p.s.mx.ioShedTimeout.Inc()
+		r.done(Result{Kind: r.kindString(), Key: r.key, Input: r.input,
+			Status: Err, Err: ErrOpDeadline, Ctx: r.ctx})
+	}
+	return live
+}
+
+// finish is the worker's shutdown path: fail its share of the queue,
+// drain outstanding I/O under a bounded wait, and fail whatever is left.
+func (p *ioPool) finish(sess *Session, live []*ioRequest) {
+	draining := true
+	for draining {
+		select {
+		case r := <-p.reqs:
+			p.s.mx.ioQueueDepth.Dec()
+			p.fail(r, ErrStoreClosed)
+		default:
+			draining = false
+		}
+	}
+	results, err := sess.CompletePendingTimeout(2 * time.Second)
+	for i := range results {
+		res := &results[i]
+		r, ok := res.Ctx.(*ioRequest)
+		if !ok {
+			continue
+		}
+		p.s.mx.ioInflight.Dec()
+		if r.delivered {
+			continue
+		}
+		r.delivered = true
+		p.s.mx.ioDelivered.Inc()
+		if res.Input != nil && r.input != nil {
+			res.Input = append(r.input[:0], res.Input...)
+		}
+		res.Ctx = r.ctx
+		r.done(*res)
+	}
+	for _, r := range live {
+		p.fail(r, ErrStoreClosed)
+	}
+	if err == nil {
+		sess.Close()
+		return
+	}
+	// The device is wedged past the drain budget: park the session so it
+	// pins no epoch and abandon it — the store is closing anyway, and
+	// blocking shutdown on a dead device is the stall this pool exists to
+	// prevent.
+	sess.Park()
+}

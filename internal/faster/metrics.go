@@ -34,6 +34,19 @@ type StoreMetrics struct {
 	PendingRetries uint64                    // pending-read attempts retried
 	PendingLatency metrics.HistogramSnapshot // issue -> completion drain
 
+	// io-worker pool (iopool.go): out-of-band completion of resident-only
+	// misses. Sheds are split by reason — a timeout shed is caller
+	// impatience, a queue-full shed is admission back-pressure — so queue
+	// pressure is observable before it becomes an outage.
+	IOSubmitted     uint64                    // operations accepted by Submit*
+	IODelivered     uint64                    // results delivered from completions
+	IOShedTimeout   uint64                    // sheds: per-op deadline expired
+	IOShedQueueFull uint64                    // sheds: admission queue full
+	IOQueueDepth    int64                     // submissions waiting for a worker
+	IOInflight      int64                     // issued by workers, not yet resolved
+	IOQueueWait     metrics.HistogramSnapshot // submit -> worker pickup
+	IOService       metrics.HistogramSnapshot // pickup -> delivery
+
 	// Compaction activity (compact.go). CompactedBytes over ReclaimedBytes
 	// is the compaction write amplification.
 	Compactions      uint64
@@ -80,6 +93,15 @@ func (s *Store) Metrics() StoreMetrics {
 		PendingIssued:  t.pendingIOs,
 		PendingRetries: s.mx.pendingRetries.Load(),
 		PendingLatency: s.mx.pendingLatency.Snapshot(),
+
+		IOSubmitted:     s.mx.ioSubmitted.Load(),
+		IODelivered:     s.mx.ioDelivered.Load(),
+		IOShedTimeout:   s.mx.ioShedTimeout.Load(),
+		IOShedQueueFull: s.mx.ioShedQueueFull.Load(),
+		IOQueueDepth:    s.mx.ioQueueDepth.Load(),
+		IOInflight:      s.mx.ioInflight.Load(),
+		IOQueueWait:     s.mx.ioQueueWait.Snapshot(),
+		IOService:       s.mx.ioService.Snapshot(),
 
 		Compactions:      s.mx.compactions.Load(),
 		CompactedRecords: s.mx.compactedRecords.Load(),
@@ -147,6 +169,15 @@ func (m StoreMetrics) Series() metrics.Series {
 		s["faster.compaction_write_amp"] = 0
 	}
 	s.AddHistogram("faster.pending_latency", m.PendingLatency)
+
+	s["faster.io_submitted"] = float64(m.IOSubmitted)
+	s["faster.io_delivered"] = float64(m.IODelivered)
+	s["faster.io_shed_timeout"] = float64(m.IOShedTimeout)
+	s["faster.io_shed_queue_full"] = float64(m.IOShedQueueFull)
+	s["faster.io_queue_depth"] = float64(m.IOQueueDepth)
+	s["faster.io_inflight"] = float64(m.IOInflight)
+	s.AddHistogram("faster.io_queue_wait", m.IOQueueWait)
+	s.AddHistogram("faster.io_service", m.IOService)
 
 	s["hlog.tail_address"] = float64(m.Log.TailAddress)
 	s["hlog.head_address"] = float64(m.Log.HeadAddress)

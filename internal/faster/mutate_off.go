@@ -8,9 +8,10 @@ package faster
 // compiler removes; the seeded-bug variants exist only under -tags mutate.
 const mutationsEnabled = false
 
-func mutTornWrite() bool       { return false }
-func mutDoubleRMW() bool       { return false }
-func mutSkipSerialFsync() bool { return false }
+func mutTornWrite() bool        { return false }
+func mutDoubleRMW() bool        { return false }
+func mutSkipSerialFsync() bool  { return false }
+func mutDroppedReenqueue() bool { return false }
 
 // tornAddU64 and tornSessionPayload are never reachable when
 // mutationsEnabled is false; the stubs keep the !mutate build compiling.

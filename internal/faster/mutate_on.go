@@ -20,18 +20,22 @@ var (
 	mutTorn       atomic.Bool
 	mutDouble     atomic.Bool
 	mutSerialSync atomic.Bool
+	mutDropReenq  atomic.Bool
 )
 
-func mutTornWrite() bool       { return mutTorn.Load() }
-func mutDoubleRMW() bool       { return mutDouble.Load() }
-func mutSkipSerialFsync() bool { return mutSerialSync.Load() }
+func mutTornWrite() bool        { return mutTorn.Load() }
+func mutDoubleRMW() bool        { return mutDouble.Load() }
+func mutSkipSerialFsync() bool  { return mutSerialSync.Load() }
+func mutDroppedReenqueue() bool { return mutDropReenq.Load() }
 
 // EnableMutation turns on one seeded bug by name: "torn-write" (SumOps
 // in-place adds become a non-atomic two-half write), "double-rmw"
 // (SumOps copy-updates apply the input twice) or "skip-serial-fsync"
 // (the checkpoint's session table is written without fsync — modeled as
 // losing its tail entry — and recovery trusts whatever survived instead
-// of verifying the meta's length and CRC).
+// of verifying the meta's length and CRC) or "dropped-reenqueue" (a
+// fuzzy-region RMW deferral is acknowledged OK without ever being
+// re-executed — the classic lost-continuation bug in an async I/O path).
 func EnableMutation(name string) {
 	switch name {
 	case "torn-write":
@@ -40,6 +44,8 @@ func EnableMutation(name string) {
 		mutDouble.Store(true)
 	case "skip-serial-fsync":
 		mutSerialSync.Store(true)
+	case "dropped-reenqueue":
+		mutDropReenq.Store(true)
 	default:
 		panic(fmt.Sprintf("faster: unknown mutation %q", name))
 	}
@@ -50,6 +56,7 @@ func DisableMutations() {
 	mutTorn.Store(false)
 	mutDouble.Store(false)
 	mutSerialSync.Store(false)
+	mutDropReenq.Store(false)
 }
 
 // tornSessionPayload drops the serialized session table's final entry,

@@ -150,6 +150,45 @@ func TestMutationGateDoubleRMW(t *testing.T) {
 	})
 }
 
+// TestMutationGateDroppedReenqueue seeds the lost-continuation bug in
+// the pending-op machinery: a fuzzy-region RMW deferral is acknowledged
+// OK without ever being re-executed. The async workload routes RMWs
+// through the io-worker pool, whose private sessions drain deferrals via
+// the same CompletePending retries loop — so an acknowledged-but-lost
+// update surfaces as a read that misses a delta the history confirms.
+func TestMutationGateDroppedReenqueue(t *testing.T) {
+	faster.EnableMutation("dropped-reenqueue")
+	defer faster.DisableMutations()
+	detectMutation(t, 120*time.Second, func(seed int64) ([]linearize.Op, *faster.Store) {
+		s, err := faster.Open(faster.Config{
+			Ops:             faster.SumOps{},
+			Mode:            hlog.ModeHybrid,
+			PageBits:        9,
+			BufferPages:     4,
+			MutableFraction: 0.5,
+			IndexBuckets:    1 << 9,
+			Device:          device.NewMem(device.MemConfig{}),
+			IOWorkers:       3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := linearize.RunWorkload(s, linearize.Workload{
+			Clients: 4, Ops: 80, Keys: 3, Seed: seed,
+			ReadPct: 30, UpsertPct: 10, RMWPct: 60, DeletePct: 0,
+			AsyncIO: true, AsyncDeadline: 5 * time.Second, PendingBatch: 6,
+			// Shift constantly so RMWs keep landing in the fuzzy region
+			// and deferring — the path the seeded bug drops.
+			Interleave: func(client, n int) {
+				if n%2 == 0 {
+					s.Log().ShiftReadOnlyToTail()
+				}
+			},
+		})
+		return h, s
+	})
+}
+
 // pausingSumOps is SumOps with a scheduling point inside the in-place
 // updater, modelling the arbitrary-duration user code the ValueOps
 // contract permits. The yield sits exactly in the window the epoch bump

@@ -2,6 +2,7 @@ package faster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -75,7 +76,8 @@ type PendingOp struct {
 	// drains all pending ops before returning.
 	compactVal []byte
 
-	issuedNs int64 // set by issueIO; feeds the pending-latency histogram
+	issuedNs   int64 // set by issueIO; feeds the pending-latency histogram
+	deadlineNs int64 // completion deadline (0 = none), stamped from SetOpDeadline
 
 	hdr [recHeaderBytes]byte // header-probe buffer (avoids a per-I/O alloc)
 
@@ -156,6 +158,7 @@ func (sess *Session) newPendingOp(kind opKind, key, input, output []byte, ctx an
 		op = &PendingOp{}
 	}
 	op.kind, op.output, op.ctx = kind, output, ctx
+	op.deadlineNs = sess.opDeadlineNs
 	op.key = append([]byte(nil), key...)
 	if input != nil {
 		op.input = append(op.input[:0], input...)
@@ -206,13 +209,27 @@ func (sess *Session) ioDone() {
 	sess.s.mx.pendingDepth.Dec()
 }
 
+// ErrOpDeadline marks a pending operation that shed because its per-op
+// completion deadline (Session.SetOpDeadline / Submit deadline) expired
+// while the record fetch was outstanding. It wraps
+// context.DeadlineExceeded, and deliberately bypasses both the retry
+// budget and the health ladder: a deadline is caller impatience, not
+// device degradation.
+var ErrOpDeadline = fmt.Errorf("faster: pending operation deadline expired: %w", context.DeadlineExceeded)
+
 // readRetrying reads buf at addr, retrying transient failures under the
 // store's read policy with jittered backoff. done receives nil on success
 // or the final error wrapped as a retry.ExhaustedError (errors.Is on the
-// device cause still works). The retry chain is serial — one outstanding
-// read at a time — so failures needs no synchronization beyond the
-// happens-before edges of timer creation.
-func (s *Store) readRetrying(addr hlog.Address, buf []byte, done func(error)) {
+// device cause still works). deadlineNs, when nonzero, bounds the whole
+// retry chain: an expired deadline fails fast with ErrOpDeadline instead
+// of scheduling another backoff (and never raises health). The retry
+// chain is serial — one outstanding read at a time — so failures needs no
+// synchronization beyond the happens-before edges of timer creation.
+func (s *Store) readRetrying(addr hlog.Address, buf []byte, deadlineNs int64, done func(error)) {
+	if deadlineNs > 0 && time.Now().UnixNano() >= deadlineNs {
+		done(ErrOpDeadline)
+		return
+	}
 	var attempt func(error)
 	failures := 0
 	issue := func() { s.log.ReadAsync(addr, buf, attempt) }
@@ -235,9 +252,18 @@ func (s *Store) readRetrying(addr hlog.Address, buf []byte, done func(error)) {
 			done(retry.Exhausted(s.classify, err, failures))
 			return
 		}
+		delay := s.cfg.ReadRetry.Delay(failures)
+		if deadlineNs > 0 && time.Now().Add(delay).UnixNano() >= deadlineNs {
+			// The backoff would sleep past the deadline: shed now. No
+			// Degraded escalation — the device fault already consumed
+			// retry budget, and a deadline shed is explicit back-pressure,
+			// not a new health signal.
+			done(ErrOpDeadline)
+			return
+		}
 		s.mx.pendingRetries.Inc()
 		s.raiseHealth(Degraded, err)
-		time.AfterFunc(s.cfg.ReadRetry.Delay(failures), issue)
+		time.AfterFunc(delay, issue)
 	}
 	issue()
 }
@@ -262,13 +288,14 @@ func (sess *Session) issueIO(op *PendingOp) {
 	// the device callback below runs elsewhere and must not touch the
 	// session's buffer pool.
 	buf := sess.getIOBuf(0)
-	s.readRetrying(op.addr, hdr, func(err error) {
+	s.readRetrying(op.addr, hdr, op.deadlineNs, func(err error) {
 		if err != nil {
 			op.err = err
 			// A read below a moving begin address is a truncation race,
-			// not a device failure; only genuine losses feed the health
+			// not a device failure, and a deadline shed is explicit
+			// back-pressure; only genuine losses feed the health
 			// escalation.
-			if op.addr >= s.log.BeginAddress() {
+			if op.addr >= s.log.BeginAddress() && !errors.Is(err, ErrOpDeadline) {
 				s.noteReadFailure(err)
 			}
 			sess.completed.push(op)
@@ -285,10 +312,10 @@ func (sess *Session) issueIO(op *PendingOp) {
 		} else {
 			buf = make([]byte, size)
 		}
-		s.readRetrying(op.addr, buf, func(err error) {
+		s.readRetrying(op.addr, buf, op.deadlineNs, func(err error) {
 			if err != nil {
 				op.err = err
-				if op.addr >= s.log.BeginAddress() {
+				if op.addr >= s.log.BeginAddress() && !errors.Is(err, ErrOpDeadline) {
 					s.noteReadFailure(err)
 				}
 			} else {
@@ -334,7 +361,24 @@ func (sess *Session) completePending(wait bool, deadline time.Time) ([]Result, e
 			retries := sess.retries
 			sess.retries = nil
 			for _, op := range retries {
+				if mutationsEnabled && mutDroppedReenqueue() {
+					// Seeded bug: the deferral is acknowledged OK without
+					// ever re-executing — an applied-but-lost RMW.
+					progressed = true
+					results = append(results, Result{
+						Kind: op.kind.String(), Key: op.key, Input: op.input,
+						Status: OK, Ctx: op.ctx,
+					})
+					sess.recycleOp(op)
+					continue
+				}
+				// Re-execution happens under the op's own deadline: a
+				// worker session interleaves many callers' ops, so the
+				// session-level stamp is restored afterwards.
+				saved := sess.opDeadlineNs
+				sess.opDeadlineNs = op.deadlineNs
 				st, err := sess.rmwInternal(op.key, op.input, op.ctx, hashKey(op.key))
+				sess.opDeadlineNs = saved
 				if st == Pending {
 					// Re-queued (still fuzzy, or now on storage) as a
 					// fresh op; this one is done with.
@@ -476,7 +520,10 @@ func (sess *Session) resumeTruncated(op *PendingOp) (Result, bool) {
 		// restart the read from scratch.
 		sess.releaseAcc(op.acc)
 		op.acc = nil
+		saved := sess.opDeadlineNs
+		sess.opDeadlineNs = op.deadlineNs
 		st, err := sess.readInternal(op.key, op.input, op.output, op.ctx, hashKey(op.key))
+		sess.opDeadlineNs = saved
 		if st == Pending {
 			sess.ioDone()
 			return Result{}, false
@@ -723,7 +770,10 @@ func (sess *Session) publishFetched(h uint64, op *PendingOp, old record, chainHe
 // reissueRMW re-executes a lost-CAS RMW via the normal path.
 func (sess *Session) reissueRMW(op *PendingOp) (Result, bool) {
 	op.debugTrace("reissue")
+	saved := sess.opDeadlineNs
+	sess.opDeadlineNs = op.deadlineNs
 	st, err := sess.rmwInternal(op.key, op.input, op.ctx, hashKey(op.key))
+	sess.opDeadlineNs = saved
 	if st == Pending {
 		sess.ioDone()
 		return Result{}, false

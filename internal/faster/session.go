@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/epoch"
 	"repro/internal/hlog"
@@ -52,7 +53,38 @@ type Session struct {
 	// SerialCheck/SerialCommit against it.
 	token *SessionToken
 
+	// residentOnly makes storage misses (and fuzzy-region deferrals)
+	// return WouldBlock instead of going Pending on this session, so the
+	// goroutine driving it never waits on device I/O — the caller reroutes
+	// the miss to the io-worker pool (SubmitRead/SubmitRMW).
+	residentOnly bool
+	// opDeadlineNs stamps new pending ops with a completion deadline
+	// (SetOpDeadline); 0 means none. The deadline propagates through the
+	// pending read-retry chain down to device calls: once it expires the
+	// op sheds with ErrOpDeadline instead of burning retry budget or
+	// tripping the health ladder.
+	opDeadlineNs int64
+
 	closed bool
+}
+
+// SetResidentOnly toggles resident-only mode: with it set, Read/RMW (and
+// their batch forms) return WouldBlock on a storage miss or fuzzy-region
+// hit instead of issuing asynchronous work on this session. Operations
+// already pending are unaffected.
+func (sess *Session) SetResidentOnly(on bool) { sess.residentOnly = on }
+
+// SetOpDeadline sets the completion deadline stamped onto operations
+// issued after this call; the zero time clears it. An op whose deadline
+// expires while it waits on storage completes with Status Err and an
+// error wrapping context.DeadlineExceeded (see ErrOpDeadline), without
+// feeding the health ladder.
+func (sess *Session) SetOpDeadline(t time.Time) {
+	if t.IsZero() {
+		sess.opDeadlineNs = 0
+		return
+	}
+	sess.opDeadlineNs = t.UnixNano()
 }
 
 // ErrSessionClosed is returned by operations on a closed session.
@@ -214,6 +246,9 @@ func (sess *Session) readAt(key, input, output []byte, ctx any, entry index.Entr
 	if laddr == hlog.InvalidAddress {
 		return NotFound, nil
 	}
+	if sess.residentOnly {
+		return WouldBlock, nil
+	}
 	// The chain continues on storage: go asynchronous. entryAddr records
 	// the chain head observed here: if a truncation overtakes the descent,
 	// the continuation compares it against the current index entry to tell
@@ -259,6 +294,10 @@ func (sess *Session) readReconcile(key, input, output []byte, ctx any, chainHead
 			return OK, nil
 		}
 		// Continue the fold on storage.
+		if sess.residentOnly {
+			sess.releaseAcc(acc)
+			return WouldBlock, nil
+		}
 		op := sess.newPendingOp(opReadMerge, key, input, output, ctx)
 		op.addr = addr
 		op.entryAddr = chainHead
@@ -445,6 +484,9 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 					}
 					return OK, nil
 				}
+				if sess.residentOnly {
+					return WouldBlock, nil
+				}
 				sess.fuzzyOps++
 				sess.stat.fuzzyRMWs.Add(1)
 				op := sess.newPendingOp(opRMWRetry, key, input, nil, ctx)
@@ -476,6 +518,9 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 
 		default:
 			// The chain continues on storage: fetch asynchronously.
+			if sess.residentOnly {
+				return WouldBlock, nil
+			}
 			op := sess.newPendingOp(opRMW, key, input, nil, ctx)
 			op.addr = laddr
 			op.entryAddr = chainHead

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/faster"
 )
@@ -46,6 +47,18 @@ type Workload struct {
 	// call — exactly the API's guarantee: a batch amortizes bookkeeping,
 	// it is not a transaction.
 	Batch int
+	// AsyncIO routes each client's reads and RMWs through the store's
+	// io-worker pool (SubmitRead/SubmitRMW) instead of its session, so
+	// misses complete out of band on worker goroutines while the client
+	// keeps issuing; upserts and deletes (which never touch storage)
+	// stay on the client's session. Completions are recorded exactly
+	// like pending-I/O completions; a deadline or admission shed leaves
+	// an RMW incomplete (it may or may not apply) and drops a read (it
+	// observed nothing). Incompatible with Batch > 1.
+	AsyncIO bool
+	// AsyncDeadline is the per-operation deadline for AsyncIO
+	// submissions (zero: none).
+	AsyncDeadline time.Duration
 	// Chaos, if non-nil, runs on its own goroutine for the duration of
 	// the workload (read-only shifts, index growth, ...). It must return
 	// promptly when stop closes. The goroutine holds no session.
@@ -144,6 +157,10 @@ func runClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand
 		runBatchClient(store, clientID, log, rng, w)
 		return
 	}
+	if w.AsyncIO {
+		runAsyncClient(store, clientID, log, rng, w)
+		return
+	}
 	sess := store.StartSession()
 	inFlight := 0
 
@@ -233,6 +250,114 @@ func runClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand
 		}
 	}
 	drain(true)
+	sess.Close()
+}
+
+// asyncDone pairs an io-pool completion with its history entry; the
+// done callback (a worker goroutine) only enqueues, and the client
+// goroutine records — ClientLog stays single-writer.
+type asyncDone struct {
+	pc  *pendingCtx
+	res faster.Result
+}
+
+// runAsyncClient is runClient for Workload.AsyncIO: reads and RMWs go
+// through the store's io-worker pool and complete out of band; upserts
+// and deletes run on the client's session as usual. The invoke/response
+// interval of a pooled op spans submit to delivery, which is exactly
+// the pool's linearizability surface.
+func runAsyncClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
+	sess := store.StartSession()
+	resCh := make(chan asyncDone, w.Ops+1)
+	inFlight := 0
+
+	record := func(d asyncDone) {
+		inFlight--
+		finishPending(log, d.pc, d.res)
+	}
+	drain := func(wait bool) {
+		if wait && inFlight > 0 {
+			// Park while blocked: an unparked session pins its epoch,
+			// which would stall the very flush/compact drains the pooled
+			// ops are waiting on — a distributed deadlock.
+			sess.Park()
+			d := <-resCh
+			sess.Unpark()
+			record(d)
+		}
+		for {
+			select {
+			case d := <-resCh:
+				record(d)
+			default:
+				return
+			}
+		}
+	}
+	deadline := func() time.Time {
+		if w.AsyncDeadline <= 0 {
+			return time.Time{}
+		}
+		return time.Now().Add(w.AsyncDeadline)
+	}
+
+	total := w.ReadPct + w.UpsertPct + w.RMWPct + w.DeletePct
+	for n := 0; n < w.Ops; n++ {
+		if w.Interleave != nil {
+			w.Interleave(clientID, n)
+		}
+		k := uint64(rng.Int63n(int64(w.Keys))) + 1
+		key := make([]byte, 8)
+		binary.LittleEndian.PutUint64(key, k)
+		roll := rng.Intn(total)
+		switch {
+		case roll < w.ReadPct:
+			id := log.Begin(KVInput{Kind: KVRead, Key: k})
+			pc := &pendingCtx{id: id}
+			err := store.SubmitRead(key, nil, 8, deadline(), nil,
+				func(res faster.Result) { resCh <- asyncDone{pc: pc, res: res} })
+			if err != nil {
+				log.Drop(id) // never admitted: observed nothing
+			} else {
+				inFlight++
+			}
+		case roll < w.ReadPct+w.UpsertPct:
+			v := rng.Uint64()%1000 + 1
+			id := log.Begin(KVInput{Kind: KVUpsert, Key: k, Arg: v})
+			if st, _ := sess.Upsert(key, u64le(v)); st == faster.OK {
+				log.End(id, KVOutput{Found: true})
+			}
+		case roll < w.ReadPct+w.UpsertPct+w.RMWPct:
+			d := rng.Uint64()%w.RMWMax + 1
+			id := log.Begin(KVInput{Kind: KVRMW, Key: k, Arg: d})
+			pc := &pendingCtx{id: id}
+			err := store.SubmitRMW(key, u64le(d), deadline(), nil,
+				func(res faster.Result) { resCh <- asyncDone{pc: pc, res: res} })
+			if err != nil {
+				log.Drop(id) // never admitted: cannot have applied
+			} else {
+				inFlight++
+			}
+		default:
+			id := log.Begin(KVInput{Kind: KVDelete, Key: k})
+			switch st, _ := sess.Delete(key); st {
+			case faster.OK:
+				log.End(id, KVOutput{Found: true})
+			case faster.NotFound:
+				log.End(id, KVOutput{})
+			}
+		}
+		if inFlight >= w.PendingBatch {
+			drain(true)
+		} else if inFlight > 0 && rng.Intn(4) == 0 {
+			drain(false)
+		}
+	}
+	sess.Park()
+	for inFlight > 0 {
+		record(<-resCh)
+	}
+	sess.Unpark()
 	sess.Close()
 }
 

@@ -414,6 +414,61 @@ func TestLinearizableCompaction(t *testing.T) {
 	}
 }
 
+// TestLinearizableAsyncIO is the stall-free-I/O scenario: every read
+// and RMW goes through the store's io-worker pool (SubmitRead/SubmitRMW)
+// and completes out of band on worker goroutines, racing a chaos
+// goroutine that constantly shifts the read-only boundary and compacts
+// the stable region — the continuation machinery (chain descents, fuzzy
+// deferrals, truncation restarts) driven by workers instead of the
+// submitting session. Deadline sheds are recorded as incomplete RMWs /
+// dropped reads, so shed accounting is part of the checked history.
+func TestLinearizableAsyncIO(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dev := device.NewFaulty(device.NewMem(device.MemConfig{}))
+			dev.SeedFaults(uint64(seed), 0.05, 0)
+			s := openScenarioStore(t, faster.Config{
+				Mode:            hlog.ModeHybrid,
+				PageBits:        9, // 512-byte pages: misses spill to storage fast
+				BufferPages:     4,
+				MutableFraction: 0.5,
+				Device:          dev,
+				IOWorkers:       3,
+			})
+			h, _ := RunWorkload(s, Workload{
+				Clients: 4, Ops: 150, Keys: 24, Seed: seed,
+				PendingBatch:  6,
+				AsyncIO:       true,
+				AsyncDeadline: 2 * time.Second,
+				Chaos: func(stop <-chan struct{}) {
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s.Log().ShiftReadOnlyToTail()
+						cut := s.Log().SafeReadOnlyAddress() &^ (s.Log().PageSize() - 1)
+						if cut > s.Log().BeginAddress() {
+							s.Compact(cut)
+						}
+						runtime.Gosched()
+					}
+				},
+			})
+			m := s.Metrics()
+			if m.IOSubmitted == 0 || m.IODelivered == 0 {
+				t.Errorf("scenario did not route ops through the io pool: %+v", m)
+			}
+			if m.IOSubmitted != m.IODelivered+m.IOShedTimeout {
+				t.Errorf("io accounting leak: submitted=%d delivered=%d shed=%d",
+					m.IOSubmitted, m.IODelivered, m.IOShedTimeout)
+			}
+			checkHistory(t, s, h)
+		})
+	}
+}
+
 // TestLinearizableExactlyOnce is the duplicate-delivery scenario: three
 // stamped sessions hammer one shared counter through the serial
 // protocol with seeded duplicate re-deliveries, a checkpoint races the

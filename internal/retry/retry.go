@@ -15,6 +15,7 @@
 package retry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -206,6 +207,20 @@ func IsExhausted(err error) bool {
 // backoff between tries and stopping early on Permanent errors. It returns
 // nil on success, or the final error wrapped as an ExhaustedError.
 func (p Policy) Do(classify Classifier, fn func() error) error {
+	return p.DoCtx(context.Background(), classify, fn)
+}
+
+// DoCtx is Do with deadline/cancelation awareness: an already-expired
+// context fails before the first attempt, and cancelation during a backoff
+// sleep returns immediately instead of finishing the wait. Context errors
+// are surfaced as Permanent ExhaustedErrors wrapping ctx.Err(), so
+// errors.Is(err, context.DeadlineExceeded) holds for deadline expiry. A
+// retry loop interrupted mid-backoff reports the attempt count reached so
+// far; an already-dead context reports zero attempts.
+func (p Policy) DoCtx(ctx context.Context, classify Classifier, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return &ExhaustedError{Attempts: 0, Class: Permanent, Err: err}
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		if err = fn(); err == nil {
@@ -214,6 +229,28 @@ func (p Policy) Do(classify Classifier, fn func() error) error {
 		if !p.Budget(classify, err, attempt) {
 			return Exhausted(classify, err, attempt)
 		}
-		time.Sleep(p.Delay(attempt))
+		if err := sleepCtx(ctx, p.Delay(attempt)); err != nil {
+			return &ExhaustedError{Attempts: attempt, Class: Permanent, Err: err}
+		}
+	}
+}
+
+// sleepCtx sleeps d unless ctx is done first, in which case it returns
+// ctx.Err() immediately (draining the timer so it does not leak).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }

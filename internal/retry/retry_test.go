@@ -1,6 +1,7 @@
 package retry
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -122,6 +123,77 @@ func TestZeroPolicyMeansOneAttempt(t *testing.T) {
 	err := p.Do(nil, func() error { calls++; return errFlaky })
 	if calls != 1 || err == nil {
 		t.Fatalf("zero policy: %d calls, err=%v", calls, err)
+	}
+}
+
+func TestDoCtxExpiredBeforeFirstAttempt(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	calls := 0
+	err := p.DoCtx(ctx, classify, func() error { calls++; return errFlaky })
+	if calls != 0 {
+		t.Fatalf("expired context still made %d attempts", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoCtx = %v, want DeadlineExceeded", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Class != Permanent || ex.Attempts != 0 {
+		t.Fatalf("wrong wrapper for dead-on-arrival context: %#v", err)
+	}
+}
+
+func TestDoCtxCancelDuringBackoffSleep(t *testing.T) {
+	// A long backoff (10s) with a 20ms deadline: the loop must abandon the
+	// sleep as soon as the deadline fires instead of finishing the wait.
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	calls := 0
+	start := time.Now()
+	err := p.DoCtx(ctx, classify, func() error { calls++; return errFlaky })
+	elapsed := time.Since(start)
+	if calls != 1 {
+		t.Fatalf("cancel-during-sleep made %d attempts, want 1", calls)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored cancelation: took %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoCtx = %v, want DeadlineExceeded", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Class != Permanent || ex.Attempts != 1 {
+		t.Fatalf("wrong wrapper for mid-backoff cancel: %#v", err)
+	}
+}
+
+func TestDoCtxExplicitCancelReturnsCanceled(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := p.DoCtx(ctx, classify, func() error { return errFlaky })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoCtx = %v, want Canceled", err)
+	}
+}
+
+func TestDoCtxBackgroundMatchesDo(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.DoCtx(context.Background(), classify, func() error {
+		calls++
+		if calls < 2 {
+			return errFlaky
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("DoCtx(Background) = %v after %d calls, want nil after 2", err, calls)
 	}
 }
 

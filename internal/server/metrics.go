@@ -26,6 +26,10 @@ type serverMetrics struct {
 	inflightDepth   metrics.Gauge   // commands executing right now
 	compactRuns     metrics.Counter // COMPACT commands accepted
 
+	ioAsync         metrics.Counter // misses re-routed through the io-worker pool
+	ioShedTimeouts  metrics.Counter // -TIMEOUT deadline sheds (explicit, ladder-neutral)
+	ioShedQueueFull metrics.Counter // -OVERLOADED io-queue-full sheds
+
 	cmdLatency metrics.Histogram
 
 	drains  metrics.Counter
@@ -53,6 +57,10 @@ type Metrics struct {
 	InflightDepth     int64
 	CompactRuns       uint64
 
+	IOAsync         uint64
+	IOShedTimeouts  uint64
+	IOShedQueueFull uint64
+
 	CmdLatency metrics.HistogramSnapshot
 
 	Drains      uint64
@@ -78,6 +86,9 @@ func (s *Server) Metrics() Metrics {
 		SessionsAbandoned: s.abandoned.Load(),
 		InflightDepth:     s.mx.inflightDepth.Load(),
 		CompactRuns:       s.mx.compactRuns.Load(),
+		IOAsync:           s.mx.ioAsync.Load(),
+		IOShedTimeouts:    s.mx.ioShedTimeouts.Load(),
+		IOShedQueueFull:   s.mx.ioShedQueueFull.Load(),
 		CmdLatency:        s.mx.cmdLatency.Snapshot(),
 		Drains:            s.mx.drains.Load(),
 		LastDrainNs:       s.mx.drainNs.Load(),
@@ -104,6 +115,9 @@ func (m Metrics) Series() metrics.Series {
 		"server.sessions_abandoned": float64(m.SessionsAbandoned),
 		"server.inflight_depth":     float64(m.InflightDepth),
 		"server.compact_runs":       float64(m.CompactRuns),
+		"server.io_async":           float64(m.IOAsync),
+		"server.io_shed_timeouts":   float64(m.IOShedTimeouts),
+		"server.io_shed_queue_full": float64(m.IOShedQueueFull),
 		"server.drains":             float64(m.Drains),
 		"server.last_drain_ns":      float64(m.LastDrainNs),
 	}

@@ -212,7 +212,15 @@ func ListenAndServe(store *faster.Store, addr string, cfg Config) (*Server, erro
 		// Pooled sessions are parked while idle: they keep their
 		// epoch-table slot but pin no epoch, so an idle pool never stalls
 		// the store's flush/eviction machinery for active sessions.
+		//
+		// They are also resident-only: a storage miss returns WouldBlock
+		// instead of going Pending, and the handler re-routes the miss
+		// through the store's io-worker pool after releasing the session
+		// and admission token — no pooled session ever blocks on device
+		// I/O, so a device latency spike slows only the cold misses that
+		// touch it while hot in-memory traffic keeps its full speed.
 		sess := store.StartSession()
+		sess.SetResidentOnly(true)
 		sess.Park()
 		s.sessions <- sess
 	}
@@ -507,6 +515,15 @@ type connState struct {
 	segs  []replySeg
 	vecs  net.Buffers
 
+	// Asynchronous miss state: async describes a command step that hit
+	// WouldBlock on the resident-only session and must continue through
+	// the io-worker pool once the session and admission token are back in
+	// their pools; ioch is the reusable completion channel the pool's
+	// done callback delivers into (buffered, so a late delivery after a
+	// defensive timeout can never block a worker).
+	async asyncCmd
+	ioch  chan faster.Result
+
 	// Exactly-once session state: token is the connection's durable
 	// session binding (SESSION <guid>), released on teardown. smeta and
 	// slotop carry per-slot serial bookkeeping through a batched run:
@@ -516,6 +533,16 @@ type connState struct {
 	smeta  []slotMeta
 	slotop []int
 	ackBuf []byte // scratch for rendering "ACK <serial> <result>" bodies
+}
+
+// asyncCmd is a command continuation for a WouldBlock miss: the step of
+// the command that must resume through the io-worker pool. kind 0 means
+// no continuation is pending.
+type asyncCmd struct {
+	kind  byte   // 'G' = GET, 'I' = INCRBY
+	key   []byte // borrowed from the window's decode storage
+	delta int64  // INCRBY operand
+	step  int    // INCRBY resume point: 0 pre-read, 1 RMW, 2 post-read
 }
 
 // slotMeta is one batched slot's serial bookkeeping. verdict is only
@@ -568,7 +595,19 @@ func (c *connState) dispatch(args [][]byte) bool {
 		c.w.WriteSimple("OK")
 		return false
 	case "GET", "SET", "DEL", "INCRBY":
-		return c.dataCommand(name, args)
+		ok := c.dataCommand(name, args)
+		if c.async.kind != 0 {
+			// The command hit a storage miss on the resident-only session.
+			// dataCommand's deferred releases have already returned the
+			// session and admission token, so the continuation holds
+			// nothing that hot traffic needs — only this connection waits.
+			a := c.async
+			c.async = asyncCmd{}
+			if ok {
+				c.runAsync(&a)
+			}
+		}
+		return ok
 	case "SESSION":
 		return c.doSession(args)
 	case "COMPACT":
@@ -679,7 +718,17 @@ func (c *connState) dataCommand(name string, args [][]byte) bool {
 	defer func() { s.mx.cmdLatency.Observe(time.Since(start)) }()
 
 	if serial > 0 {
+		// Stamped ops stay on the synchronous pinned-session path: the
+		// serial window must not stay open across an out-of-band pool
+		// completion. Blocking I/O is allowed again for the duration, with
+		// the op deadline propagated down to the device retry chain so a
+		// wedged device sheds the op with -TIMEOUT (serial retryable,
+		// health ladder untouched) instead of pinning the handler.
+		sess.SetResidentOnly(false)
+		sess.SetOpDeadline(start.Add(s.cfg.OpTimeout))
 		healthy = c.doStamped(sess, name, args, serial)
+		sess.SetOpDeadline(time.Time{})
+		sess.SetResidentOnly(true)
 		return true
 	}
 	switch name {
@@ -878,9 +927,20 @@ func (c *connState) drainPending(sess *faster.Session, token *opToken) (faster.R
 	return faster.Result{}, false
 }
 
-// writeStoreErr renders a store error as a RESP error reply.
+// writeStoreErr renders a store error as a RESP error reply. Deadline
+// and admission sheds from the io-worker pool are explicit, counted
+// replies — back-pressure, not silent drops — and deliberately do not
+// retire sessions or feed the health ladder.
 func (c *connState) writeStoreErr(err error) {
 	switch {
+	case errors.Is(err, faster.ErrOpDeadline):
+		c.s.mx.ioShedTimeouts.Inc()
+		c.w.WriteError("TIMEOUT operation deadline expired")
+	case errors.Is(err, faster.ErrIOQueueFull):
+		c.s.mx.ioShedQueueFull.Inc()
+		c.w.WriteError("OVERLOADED io queue full")
+	case errors.Is(err, faster.ErrStoreClosed):
+		c.w.WriteError("ERR server shutting down")
 	case errors.Is(err, faster.ErrReadOnly):
 		c.s.mx.readonlyRejects.Inc()
 		c.w.WriteError("READONLY store is read-only (write path lost)")
@@ -911,6 +971,8 @@ func (c *connState) doGet(sess *faster.Session, args [][]byte) bool {
 		c.w.WriteBulk(payload)
 	case faster.NotFound:
 		c.w.WriteNil()
+	case faster.WouldBlock:
+		c.async = asyncCmd{kind: 'G', key: args[1]}
 	default:
 		c.writeStoreErr(err)
 	}
@@ -1024,6 +1086,10 @@ func (c *connState) incrByCore(sess *faster.Session, args [][]byte) (n int64, ok
 	if !rok {
 		return 0, false, false
 	}
+	if st == faster.WouldBlock {
+		c.async = asyncCmd{kind: 'I', key: key, delta: delta, step: 0}
+		return 0, false, true
+	}
 	if st == faster.OK {
 		if _, isCtr := faster.VarLenCounter(c.out); !isCtr {
 			c.w.WriteError("ERR value is not an integer or out of range")
@@ -1043,6 +1109,10 @@ func (c *connState) incrByCore(sess *faster.Session, args [][]byte) (n int64, ok
 	token := &opToken{}
 	st, err = sess.RMW(key, input[:], token)
 	overflowed := input[8] != 0
+	if st == faster.WouldBlock {
+		c.async = asyncCmd{kind: 'I', key: key, delta: delta, step: 1}
+		return 0, false, true
+	}
 	if st == faster.Pending {
 		r, drok := c.drainPending(sess, token)
 		if !drok {
@@ -1070,6 +1140,10 @@ func (c *connState) incrByCore(sess *faster.Session, args [][]byte) (n int64, ok
 	if !rok {
 		return 0, false, false
 	}
+	if st == faster.WouldBlock {
+		c.async = asyncCmd{kind: 'I', key: key, delta: delta, step: 2}
+		return 0, false, true
+	}
 	if st != faster.OK {
 		c.writeStoreErr(fmt.Errorf("counter vanished: %v %v", st, err))
 		return 0, false, true
@@ -1080,6 +1154,145 @@ func (c *connState) incrByCore(sess *faster.Session, args [][]byte) (n int64, ok
 		return 0, false, true
 	}
 	return n, true, true
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-band miss completion (the stall-free slow path)
+// ---------------------------------------------------------------------------
+
+// runAsync finishes a command whose storage miss was re-routed through
+// the store's io-worker pool. It runs on the connection goroutine with
+// no pooled session and no admission token held: the only thing waiting
+// is this connection's reply slot, which RESP's in-order protocol
+// requires anyway. Every outcome — including deadline and queue-full
+// sheds — produces an explicit reply.
+func (c *connState) runAsync(a *asyncCmd) {
+	s := c.s
+	start := time.Now()
+	deadline := start.Add(s.cfg.OpTimeout)
+	defer func() { s.mx.cmdLatency.Observe(time.Since(start)) }()
+	switch a.kind {
+	case 'G':
+		c.asyncGet(a, deadline)
+	default: // 'I'
+		c.asyncIncrBy(a, deadline)
+	}
+}
+
+// submitWait routes one operation through the io-worker pool and blocks
+// this connection (only) until its out-of-band completion. The pool
+// guarantees delivery by the deadline even when the device never
+// answers; the generous extra grace below is a defensive backstop, and
+// tripping it abandons the channel so a late delivery cannot leak into
+// a later command's wait.
+func (c *connState) submitWait(isRMW bool, key, input []byte, outLen int, deadline time.Time) (faster.Result, error) {
+	s := c.s
+	if c.ioch == nil {
+		c.ioch = make(chan faster.Result, 1)
+	}
+	ch := c.ioch
+	done := func(r faster.Result) { ch <- r }
+	var err error
+	if isRMW {
+		err = s.store.SubmitRMW(key, input, deadline, nil, done)
+	} else {
+		err = s.store.SubmitRead(key, input, outLen, deadline, nil, done)
+	}
+	if err != nil {
+		return faster.Result{}, err
+	}
+	s.mx.ioAsync.Inc()
+	t := time.NewTimer(time.Until(deadline) + 2*time.Second)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-t.C:
+		c.ioch = nil
+		return faster.Result{}, faster.ErrOpDeadline
+	}
+}
+
+// asyncGet completes a GET whose record lives below the in-memory
+// region. The output buffer is pool-allocated (ownership transfers with
+// the result), sized like the synchronous read buffer so any value the
+// server accepts decodes.
+func (c *connState) asyncGet(a *asyncCmd, deadline time.Time) {
+	r, err := c.submitWait(false, a.key, nil, len(c.out), deadline)
+	if err != nil {
+		c.writeStoreErr(err)
+		return
+	}
+	switch r.Status {
+	case faster.OK:
+		payload, ok := faster.VarLenDecode(r.Output)
+		if !ok {
+			c.w.WriteError("ERR stored value exceeds server read buffer")
+			return
+		}
+		c.w.WriteBulk(payload)
+	case faster.NotFound:
+		c.w.WriteNil()
+	default:
+		c.writeStoreErr(r.Err)
+	}
+}
+
+// asyncIncrBy resumes an INCRBY from the step that missed, driving the
+// remaining pre-read / RMW / post-read steps through the pool. All
+// steps share one command deadline. Semantics match incrByCore; the
+// overflow verdict rides back in Result.Input's 9th byte.
+func (c *connState) asyncIncrBy(a *asyncCmd, deadline time.Time) {
+	if a.step <= 0 {
+		r, err := c.submitWait(false, a.key, nil, len(c.out), deadline)
+		if err != nil {
+			c.writeStoreErr(err)
+			return
+		}
+		switch r.Status {
+		case faster.OK:
+			if _, isCtr := faster.VarLenCounter(r.Output); !isCtr {
+				c.w.WriteError("ERR value is not an integer or out of range")
+				return
+			}
+		case faster.NotFound:
+		default:
+			c.writeStoreErr(r.Err)
+			return
+		}
+	}
+	if a.step <= 1 {
+		var input [9]byte
+		binary.LittleEndian.PutUint64(input[:8], uint64(a.delta))
+		r, err := c.submitWait(true, a.key, input[:], 0, deadline)
+		if err != nil {
+			c.writeStoreErr(err)
+			return
+		}
+		if r.Status != faster.OK {
+			c.writeStoreErr(r.Err)
+			return
+		}
+		if len(r.Input) >= 9 && r.Input[8] != 0 {
+			c.w.WriteError("ERR increment or decrement would overflow")
+			return
+		}
+	}
+	r, err := c.submitWait(false, a.key, nil, len(c.out), deadline)
+	if err != nil {
+		c.writeStoreErr(err)
+		return
+	}
+	if r.Status != faster.OK {
+		c.writeStoreErr(fmt.Errorf("counter vanished: %v %v", r.Status, r.Err))
+		return
+	}
+	n, isCtr := faster.VarLenCounter(r.Output)
+	if !isCtr {
+		c.w.WriteError("ERR value is not an integer or out of range")
+		return
+	}
+	c.w.WriteInt(n)
 }
 
 // doCompact runs a log compaction over the whole stable region and
@@ -1189,37 +1402,106 @@ func (c *connState) dataBatch(cmds []resp.Command) bool {
 		}
 		return true
 	}
-	defer func() { <-s.inflight }()
 	s.mx.inflightDepth.Inc()
-	defer s.mx.inflightDepth.Dec()
 
 	sess, shed, down := s.acquireSession()
-	if down {
-		c.w.WriteError("ERR server shutting down")
-		return false
-	}
-	if shed {
+	if down || shed {
+		<-s.inflight
+		s.mx.inflightDepth.Dec()
+		if down {
+			c.w.WriteError("ERR server shutting down")
+			return false
+		}
 		for range cmds {
 			c.w.WriteError("OVERLOADED no session available")
 		}
 		return true
 	}
 	sess.Unpark()
-	healthy := true
-	defer func() {
+
+	// The session and admission token go back to their pools as soon as
+	// the resident work is done — before any cold WouldBlock slot is
+	// resolved through the io-worker pool — so a batch of cold misses
+	// cannot hold capacity that hot traffic needs. The deferred release
+	// is only the panic backstop.
+	released := false
+	release := func(healthy bool) {
+		if released {
+			return
+		}
+		released = true
 		if healthy {
 			sess.Park()
 			s.sessions <- sess
 		} else {
 			s.retireSession(sess)
 		}
-	}()
+		<-s.inflight
+		s.mx.inflightDepth.Dec()
+	}
+	defer func() { release(false) }()
 
 	start := time.Now()
-	defer func() { s.mx.cmdLatency.Observe(time.Since(start)) }()
-
-	healthy = c.execBatch(sess, cmds)
+	healthy := c.execBatch(sess, cmds)
+	release(healthy)
+	s.mx.cmdLatency.Observe(time.Since(start))
+	c.resolveBatchAsync(healthy)
 	return c.flushBatchReplies(cmds)
+}
+
+// resolveBatchAsync completes the run's WouldBlock GET slots through the
+// io-worker pool, submitting them all before waiting so independent
+// misses overlap on the device. Submit failures (queue full, shutdown)
+// land in the slot's Err and render as explicit sheds.
+func (c *connState) resolveBatchAsync(healthy bool) {
+	s := c.s
+	if !healthy {
+		return // unresolved slots render -TIMEOUT below
+	}
+	outstanding := 0
+	for i := range c.bops {
+		if c.bops[i].Kind == faster.BatchRead && c.bops[i].Status == faster.WouldBlock {
+			outstanding++
+		}
+	}
+	if outstanding == 0 {
+		return
+	}
+	deadline := time.Now().Add(s.cfg.OpTimeout)
+	ch := make(chan faster.Result, outstanding)
+	submitted := 0
+	for i := range c.bops {
+		op := &c.bops[i]
+		if op.Kind != faster.BatchRead || op.Status != faster.WouldBlock {
+			continue
+		}
+		err := s.store.SubmitRead(op.Key, nil, 8+s.cfg.MaxValueBytes, deadline, i,
+			func(r faster.Result) { ch <- r })
+		if err != nil {
+			op.Status, op.Err = faster.Err, err
+			continue
+		}
+		s.mx.ioAsync.Inc()
+		submitted++
+	}
+	t := time.NewTimer(time.Until(deadline) + 2*time.Second)
+	defer t.Stop()
+	for k := 0; k < submitted; k++ {
+		select {
+		case r := <-ch:
+			if idx, ok := r.Ctx.(int); ok && idx >= 0 && idx < len(c.bops) {
+				c.bops[idx].Status, c.bops[idx].Err, c.bops[idx].Output = r.Status, r.Err, r.Output
+			}
+		case <-t.C:
+			// Defensive backstop only: pool delivery is deadline-bounded.
+			for i := range c.bops {
+				if c.bops[i].Kind == faster.BatchRead && c.bops[i].Status == faster.WouldBlock {
+					c.bops[i].Status, c.bops[i].Err = faster.Err, faster.ErrOpDeadline
+				}
+			}
+			return
+		}
+	}
 }
 
 // execBatch builds the BatchOps for a run, executes them, drains any
@@ -1422,7 +1704,7 @@ func (c *connState) flushBatchReplies(cmds []resp.Command) bool {
 			c.reply = append(c.reply, '\r', '\n')
 		case faster.NotFound:
 			c.reply = append(c.reply, "$-1\r\n"...)
-		case faster.Pending:
+		case faster.Pending, faster.WouldBlock:
 			c.s.mx.pendingTimeouts.Inc()
 			c.reply = append(c.reply, "-TIMEOUT operation did not complete in time\r\n"...)
 		default:
@@ -1503,6 +1785,14 @@ func (c *connState) appendSerialReply(m *slotMeta, j int) {
 // mirroring writeStoreErr.
 func (c *connState) appendErrReply(err error) {
 	switch {
+	case errors.Is(err, faster.ErrOpDeadline):
+		c.s.mx.ioShedTimeouts.Inc()
+		c.reply = append(c.reply, "-TIMEOUT operation deadline expired\r\n"...)
+	case errors.Is(err, faster.ErrIOQueueFull):
+		c.s.mx.ioShedQueueFull.Inc()
+		c.reply = append(c.reply, "-OVERLOADED io queue full\r\n"...)
+	case errors.Is(err, faster.ErrStoreClosed):
+		c.reply = append(c.reply, "-ERR server shutting down\r\n"...)
 	case errors.Is(err, faster.ErrReadOnly):
 		c.s.mx.readonlyRejects.Inc()
 		c.reply = append(c.reply, "-READONLY store is read-only (write path lost)\r\n"...)

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,10 +26,12 @@ import (
 // each asserting the explicit failure contract and zero leaked
 // goroutines.
 //
-//   - overload: a cold-key GET parks on injected device latency while
-//     holding the single admission token; a second client must be shed
-//     with -OVERLOADED immediately, and the parked request must still
-//     complete correctly.
+//   - stallfree: a cold-key GET parks on injected device latency; it
+//     must release the single admission token and its pooled session to
+//     the io-worker pool, so a second client's hot GET completes at full
+//     speed while the miss is still in flight, no handler goroutine sits
+//     inside the store's pending machinery, and the parked request still
+//     completes correctly out of band.
 //   - readonly: the device dies mid-run; writes must start failing with
 //     -READONLY while resident reads keep succeeding and /healthz goes
 //     503.
@@ -41,7 +44,7 @@ import (
 //     seeded run must end with the exact counter value (nothing lost,
 //     nothing double-applied).
 func TestServerChaosSoak(t *testing.T) {
-	t.Run("overload", soakOverload)
+	t.Run("stallfree", soakStallFree)
 	t.Run("readonly", soakReadOnly)
 	t.Run("drain", soakDrain)
 	t.Run("exactlyonce", soakExactlyOnce)
@@ -190,7 +193,12 @@ func chaosServer(t *testing.T) *Server {
 	return srv
 }
 
-func soakOverload(t *testing.T) {
+// soakStallFree is the stall detector: with one admission token and a
+// device serving cold reads 2s late, a cold-miss GET must not hold the
+// token, the session, or any goroutine inside the store's pending
+// machinery — hot traffic keeps full speed and the miss completes out
+// of band through the io-worker pool.
+func soakStallFree(t *testing.T) {
 	testutil.CheckGoroutines(t)
 	mem := device.NewMem(device.MemConfig{})
 	defer mem.Close()
@@ -245,8 +253,8 @@ func soakOverload(t *testing.T) {
 	}
 	defer srv.Close()
 
-	// Park the only admission token on a cold read that now takes ≥250ms.
-	faulty.InjectLatency(250*time.Millisecond, 0)
+	// Park a cold read on a device that now answers 2 seconds late.
+	faulty.InjectLatency(2*time.Second, 0)
 	conn1, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -258,22 +266,43 @@ func soakOverload(t *testing.T) {
 		t.Fatal(err)
 	}
 	testutil.WaitUntil(t, 5*time.Second,
-		func() bool { return srv.Metrics().InflightDepth > 0 },
-		"cold GET to occupy the admission token")
+		func() bool { return srv.Metrics().IOAsync > 0 },
+		"cold GET to be re-routed through the io-worker pool")
 
-	// A second client must be shed immediately, not queued.
+	// The stall detector proper: while the miss is in flight, no server
+	// handler goroutine may be inside the store's pending-completion or
+	// device machinery — the wait happens on a channel, with the session
+	// and admission token already back in their pools.
+	stacks := make([]byte, 1<<20)
+	stacks = stacks[:runtime.Stack(stacks, true)]
+	for _, g := range strings.Split(string(stacks), "\n\n") {
+		if !strings.Contains(g, "internal/server.") {
+			continue
+		}
+		if strings.Contains(g, "CompletePending") || strings.Contains(g, "internal/device.") {
+			t.Fatalf("handler goroutine blocked in store I/O machinery:\n%s", g)
+		}
+	}
+
+	// Hot traffic keeps full speed: the single admission token must be
+	// free, so a resident-key GET on a second connection completes while
+	// the cold miss is still parked on the slow device.
 	c2, err := resp.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c2.Close()
 	c2.Timeout = 5 * time.Second
-	v, err := c2.Do([]byte("GET"), []byte(fmt.Sprintf("cold-%03d", keys-1)))
+	hotKey := []byte(fmt.Sprintf("cold-%03d", keys-1)) // tail of the log: resident
+	v, err := c2.Do([]byte("GET"), hotKey)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !v.IsError() || !strings.Contains(string(v.Str), "OVERLOADED") {
-		t.Fatalf("under load got %q, want -OVERLOADED", v.Str)
+	if v.Kind != resp.BulkString || !bytes.Equal(v.Str, val(keys-1)) {
+		t.Fatalf("hot GET under cold miss = %q (%c), want %q", v.Str, v.Kind, val(keys-1))
+	}
+	if fm := store.Metrics(); fm.IOInflight == 0 {
+		t.Fatalf("hot GET did not overlap the cold miss (io_inflight=0, io_delivered=%d)", fm.IODelivered)
 	}
 
 	// The parked request completes correctly once the device delivers.
@@ -285,8 +314,11 @@ func soakOverload(t *testing.T) {
 	if got.Kind != resp.BulkString || !bytes.Equal(got.Str, val(coldIdx)) {
 		t.Fatalf("cold GET = %q (%c), want %q", got.Str, got.Kind, val(coldIdx))
 	}
-	if sheds := srv.Metrics().OverloadSheds; sheds == 0 {
-		t.Fatal("OverloadSheds not counted")
+	if m := srv.Metrics(); m.IOShedTimeouts != 0 || m.IOShedQueueFull != 0 {
+		t.Fatalf("unexpected sheds: %+v", m)
+	}
+	if h := store.Health(); h != faster.Healthy {
+		t.Fatalf("health = %v after a slow (not failing) device, want Healthy", h)
 	}
 
 	faulty.InjectLatency(0, 0)

@@ -45,10 +45,24 @@ FASTER_EXACTLYONCE_SEEDS=100 go test -race -run 'TestExactlyOnceCrashRetryTortur
 # swallow the compacted prefix.
 go test -race -run 'TestSerialTableCrashMatrix|TestSessionTableCheckpointRecover|TestCheckpointCompactRace' -count=1 ./internal/faster/
 
-# Exactly-once mutation-gate seed: the torn, unsynced session table must
-# be flagged by the dedup-aware linearize model (the rest of the gate
-# runs via `make mutation-gate`).
-go test -tags mutate -run 'TestMutationGateSkipSerialFsync' -count=1 -timeout 300s ./internal/faster/
+# Stall-free pending-I/O gate: io-worker pool lifecycle (leak and drain
+# assertions, deadline/queue-full sheds, seeded chaos soak) and the
+# server-side stall detector (no session goroutine may block in device
+# calls on the miss path), under the race detector.
+go test -race -run 'TestIOPool|TestServerChaosSoak/stallfree' -count=1 -timeout 300s ./internal/faster/ ./internal/server/
+
+# Open-loop SLO smoke: constant-arrival-rate load over a larger-than-
+# memory store, no-chaos vs 100ms device latency spikes — hot (resident)
+# p999 must ride through the chaos while cold misses slow, with exact
+# shed accounting and the health ladder untouched. `make bench-openloop`
+# emits the full BENCH_07.json curves.
+go test -race -run TestOpenLoopSmoke -count=1 -timeout 300s ./internal/bench/
+
+# Mutation-gate seeds: the torn, unsynced session table must be flagged
+# by the dedup-aware linearize model, and a dropped pending-I/O
+# re-enqueue (acknowledged-but-lost RMW deferral) by the async-workload
+# checker (the rest of the gate runs via `make mutation-gate`).
+go test -tags mutate -run 'TestMutationGateSkipSerialFsync|TestMutationGateDroppedReenqueue' -count=1 -timeout 300s ./internal/faster/
 
 # Fuzz smoke over the wire codecs: a few seconds per target beyond the
 # committed seed corpora. `make fuzz` / `make verify` run longer.
