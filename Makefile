@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench bench-paper bench-openloop fmt
+.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench bench-paper bench-openloop bench-shard fmt
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,14 @@ bench-compact:
 bench-openloop:
 	$(GO) test -run '^$$' -bench 'OpenLoopSLO' -benchtime 1x -count=1 \
 		./internal/bench/ | $(GO) run ./cmd/benchreport -out BENCH_07.json
+
+# Shard-scaling benchmarks: 64-op read and upsert windows at shards in
+# {1,4,16} with a fixed TOTAL buffer budget (so shards win by overlapping
+# per-shard io-pools/flushers, never by caching more). BENCH_08.json must
+# show 16-shard cold-read throughput >= 2x single-shard at 16 procs.
+bench-shard:
+	$(GO) test -run '^$$' -bench 'ShardedBatch.*U64' -benchmem -cpu 16 -count=1 \
+		./internal/bench/ | $(GO) run ./cmd/benchreport -out BENCH_08.json
 
 # The paper-figure experiment micro-benchmarks (see cmd/faster-bench for
 # the full tables).

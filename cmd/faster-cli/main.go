@@ -233,13 +233,15 @@ func main() {
 }
 
 // dumpSessions implements `faster-cli sessions <checkpoint-dir>`: the
-// committed session table as a recovered store would answer it.
+// committed session table as a recovered store would answer it. Sharded
+// checkpoint directories (manifest over per-shard generations) merge
+// each GUID's per-shard frontiers to the max acked serial.
 func dumpSessions(dir string) {
 	if dir == "" {
 		fmt.Fprintln(os.Stderr, "usage: faster-cli sessions <checkpoint-dir>")
 		os.Exit(2)
 	}
-	states, err := faster.ReadCheckpointSessions(dir)
+	states, err := faster.ReadShardedCheckpointSessions(dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faster-cli: %v\n", err)
 		os.Exit(1)

@@ -9,7 +9,14 @@
 //	redis-cli -p 6379 GET greeting
 //	curl localhost:8080/healthz
 //
-// Supported commands: GET, SET, DEL, INCRBY, PING, ECHO, QUIT. Under
+// With -shards N the key space is partitioned over N independent
+// shards (each with its own log device, index, epoch domain, and
+// checkpoint generation) behind the same single-node RESP surface;
+// pipelined windows and MGET/MSET fan out per shard and rejoin in
+// order, and one degraded shard sheds only its own keys.
+//
+// Supported commands: GET, SET, DEL, INCRBY, MGET, MSET, PING, ECHO,
+// QUIT, plus SESSION/SERIAL exactly-once stamping. Under
 // overload the server replies -OVERLOADED instead of queueing; with the
 // store degraded to read-only, writes get -READONLY while reads keep
 // serving. SIGINT/SIGTERM trigger a graceful drain: accepting stops,
@@ -38,6 +45,7 @@ func main() {
 		admin   = flag.String("admin", "", "admin HTTP address for /healthz and /metrics (empty: disabled)")
 		doPprof = flag.Bool("pprof", false, "expose /debug/pprof/ on the admin address (requires -admin)")
 
+		shards  = flag.Int("shards", 1, "independent store shards behind the front-end")
 		dataDir = flag.String("data", "", "data directory for the log device (empty: in-memory device)")
 		doRecov = flag.Bool("recover", false, "recover from the newest checkpoint in -data/checkpoints before serving")
 		doCkpt  = flag.Bool("checkpoint", false, "take a final checkpoint into -data/checkpoints during graceful drain")
@@ -68,34 +76,55 @@ func main() {
 		fatal("-pprof requires -admin")
 	}
 
-	// Device: file-backed under -data, else a process-lifetime Mem device
-	// (useful for benchmarking the network path without a disk).
-	var dev device.Device
+	if *shards < 1 {
+		fatal("-shards must be at least 1")
+	}
+
+	// Devices: file-backed under -data (hlog for a single shard, hlog-<i>
+	// per shard otherwise, so single-shard data dirs stay recoverable),
+	// else process-lifetime Mem devices (useful for benchmarking the
+	// network path without a disk). Shards never share a device.
+	devs := make([]device.Device, *shards)
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			fatal("create data dir: %v", err)
 		}
-		f, err := device.OpenFile(filepath.Join(*dataDir, "hlog"), *ioWorkers)
-		if err != nil {
-			fatal("open log device: %v", err)
+		for i := range devs {
+			name := "hlog"
+			if *shards > 1 {
+				name = fmt.Sprintf("hlog-%d", i)
+			}
+			f, err := device.OpenFile(filepath.Join(*dataDir, name), *ioWorkers)
+			if err != nil {
+				fatal("open log device %s: %v", name, err)
+			}
+			devs[i] = f
 		}
-		dev = f
 	} else {
-		dev = device.NewMem(device.MemConfig{})
+		for i := range devs {
+			devs[i] = device.NewMem(device.MemConfig{})
+		}
 	}
-	defer dev.Close()
+	defer func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	}()
 
-	cfg := faster.Config{
-		Ops:          faster.VarLenOps{},
-		IndexBuckets: *indexBuckets,
-		PageBits:     *pageBits,
-		BufferPages:  *bufferPages,
-		Device:       dev,
-		MaxSessions:  *sessions + 8, // pool + admin/recovery headroom
-		IOWorkers:    *ioPool,
-		IOQueueDepth: *ioQueueDepth,
+	cfg := faster.ShardedConfig{
+		Shards: *shards,
+		Base: faster.Config{
+			Ops:          faster.VarLenOps{},
+			IndexBuckets: *indexBuckets,
+			PageBits:     *pageBits,
+			BufferPages:  *bufferPages,
+			MaxSessions:  *sessions + 8, // pool + admin/recovery headroom
+			IOWorkers:    *ioPool,
+			IOQueueDepth: *ioQueueDepth,
 
-		CompactionThreshold: *compactAt,
+			CompactionThreshold: *compactAt,
+		},
+		NewDevice: func(i int) device.Device { return devs[i] },
 	}
 
 	var ckptDir string
@@ -103,16 +132,16 @@ func main() {
 		ckptDir = filepath.Join(*dataDir, "checkpoints")
 	}
 
-	var store *faster.Store
+	var store *faster.ShardedStore
 	var err error
 	if *doRecov {
-		store, err = faster.Recover(cfg, ckptDir)
+		store, err = faster.RecoverSharded(cfg, ckptDir)
 		if err != nil {
 			fatal("recover: %v", err)
 		}
-		fmt.Printf("faster-server: recovered from %s\n", ckptDir)
+		fmt.Printf("faster-server: recovered %d shard(s) from %s\n", store.NumShards(), ckptDir)
 	} else {
-		store, err = faster.Open(cfg)
+		store, err = faster.OpenSharded(cfg)
 		if err != nil {
 			fatal("open store: %v", err)
 		}
@@ -138,7 +167,7 @@ func main() {
 	}
 	scfg.EnablePprof = *doPprof
 
-	srv, err := server.ListenAndServe(store, *addr, scfg)
+	srv, err := server.ListenAndServeSharded(store, *addr, scfg)
 	if err != nil {
 		fatal("listen: %v", err)
 	}
@@ -146,8 +175,8 @@ func main() {
 	if inflight <= 0 {
 		inflight = 4 * *sessions
 	}
-	fmt.Printf("faster-server: serving RESP on %s (sessions=%d conns<=%d inflight<=%d)\n",
-		srv.Addr(), *sessions, *maxConns, inflight)
+	fmt.Printf("faster-server: serving RESP on %s (shards=%d sessions=%d conns<=%d inflight<=%d)\n",
+		srv.Addr(), store.NumShards(), *sessions, *maxConns, inflight)
 
 	var adminSrv *http.Server
 	if *admin != "" {

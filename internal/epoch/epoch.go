@@ -300,6 +300,18 @@ func (m *Manager) Registered() int {
 // Slots returns the capacity of the epoch table.
 func (m *Manager) Slots() int { return len(m.table) }
 
+// LocalEpochs snapshots every occupied slot's published epoch (parked
+// slots report math.MaxUint64). Diagnostic use only.
+func (m *Manager) LocalEpochs() []uint64 {
+	var out []uint64
+	for i := range m.table {
+		if le := m.table[i].localEpoch.Load(); le != Unprotected {
+			out = append(out, le)
+		}
+	}
+	return out
+}
+
 func max64(a, b int64) int64 {
 	if a > b {
 		return a

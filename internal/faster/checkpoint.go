@@ -69,17 +69,44 @@ type CheckpointInfo struct {
 // It runs without quiescing the store: concurrent operations proceed, and
 // their effects either fall below t2 (captured) or land after it. The
 // calling goroutine must not hold a session.
+//
+// The body is split into prepare/cut/finish phases so a sharded
+// coordinator (sharded.go) can hold every shard's cut lock across all
+// the cuts — a single global serial barrier — while the expensive
+// prepare and finish phases still run per shard in parallel.
 func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
+	prep, err := s.checkpointPrepare(dir)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	s.sessions.cutMu.Lock()
+	sessPayload, sessSnaps, t2 := s.checkpointCut()
+	s.sessions.cutMu.Unlock()
+	return s.checkpointFinish(prep, sessPayload, sessSnaps, t2)
+}
+
+// ckptPrep carries checkpoint state between the prepare and finish
+// phases.
+type ckptPrep struct {
+	dir       string
+	begin, t1 hlog.Address
+	indexTmp  string
+	indexPath string
+}
+
+// checkpointPrepare validates the store, captures the [Begin, t1)
+// bracket and stages the fuzzy index image. No locks are held.
+func (s *Store) checkpointPrepare(dir string) (ckptPrep, error) {
 	if s.log.Mode() == hlog.ModeInMemory {
-		return CheckpointInfo{}, errors.New("faster: in-memory stores cannot checkpoint (no device)")
+		return ckptPrep{}, errors.New("faster: in-memory stores cannot checkpoint (no device)")
 	}
 	// A checkpoint must advance the durability watermark; with the write
 	// path gone it can only hang on the flush, so fail fast.
 	if err := s.checkWritable(); err != nil {
-		return CheckpointInfo{}, err
+		return ckptPrep{}, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return CheckpointInfo{}, err
+		return ckptPrep{}, err
 	}
 
 	// Capture Begin before t1, not at meta-write time. A concurrent
@@ -100,29 +127,42 @@ func (s *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 	indexTmp := indexPath + ".tmp"
 	f, err := os.Create(indexTmp)
 	if err != nil {
-		return CheckpointInfo{}, err
+		return ckptPrep{}, err
 	}
 	if err := s.idx.WriteCheckpoint(f); err != nil {
 		f.Close()
-		return CheckpointInfo{}, fmt.Errorf("faster: index checkpoint: %w", err)
+		return ckptPrep{}, fmt.Errorf("faster: index checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return CheckpointInfo{}, err
+		return ckptPrep{}, err
 	}
 	if err := f.Close(); err != nil {
-		return CheckpointInfo{}, err
+		return ckptPrep{}, err
 	}
-	// The serial cut: freeze stamped windows, snapshot the session
-	// frontiers, then capture t2. Every snapshotted serial's record lies
-	// below the tail here (≤ t2, durable after the flush); any serial
-	// admitted after the lock releases publishes at or above t2 and is
-	// discarded by a recovery of this checkpoint — exactly the frontier
-	// contract recovery promises reconnecting clients.
-	s.sessions.cutMu.Lock()
+	return ckptPrep{dir: dir, begin: begin, t1: t1, indexTmp: indexTmp, indexPath: indexPath}, nil
+}
+
+// checkpointCut is the serial cut: snapshot the session frontiers, then
+// capture t2. The caller must hold s.sessions.cutMu exclusively — with
+// the write lock held no stamped window is open, so every snapshotted
+// serial's record lies below the tail here (≤ t2, durable after the
+// flush); any serial admitted after the lock releases publishes at or
+// above t2 and is discarded by a recovery of this checkpoint — exactly
+// the frontier contract recovery promises reconnecting clients.
+func (s *Store) checkpointCut() ([]byte, []sessSnap, hlog.Address) {
 	sessPayload, sessSnaps := s.sessions.serialize()
 	t2 := s.log.ShiftReadOnlyToTail()
-	s.sessions.cutMu.Unlock()
+	return sessPayload, sessSnaps, t2
+}
+
+// checkpointFinish waits for durability of the cut and commits the
+// generation: index rename, session table, meta rotation. No locks are
+// held; the flush wait is the slow part and runs fully concurrent with
+// foreground operations.
+func (s *Store) checkpointFinish(prep ckptPrep, sessPayload []byte, sessSnaps []sessSnap, t2 hlog.Address) (CheckpointInfo, error) {
+	dir, begin, t1 := prep.dir, prep.begin, prep.t1
+	indexTmp, indexPath := prep.indexTmp, prep.indexPath
 	// The safe read-only shift needs every session to refresh; the log's
 	// wait loop drains trigger actions for us.
 	if err := s.log.WaitUntilFlushed(t2); err != nil {
@@ -434,7 +474,12 @@ func Recover(cfg Config, dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	return recoverFrom(cfg, info, idx, sess)
+}
 
+// recoverFrom opens a store from an already-loaded checkpoint
+// generation (shared by Recover and the sharded per-shard recovery).
+func recoverFrom(cfg Config, info CheckpointInfo, idx *index.Index, sess []SessionState) (*Store, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}

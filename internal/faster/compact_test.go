@@ -294,14 +294,12 @@ func TestBackgroundCompactionPolicy(t *testing.T) {
 	sess.Park()
 	defer sess.Unpark()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for s.Metrics().Compactions == 0 {
-		if time.Now().After(deadline) {
-			m := s.Metrics()
-			t.Fatalf("maintainer never compacted (begin=%#x safeRO=%#x threshold=%d)",
-				m.Log.BeginAddress, m.Log.SafeReadOnlyAddress, 16<<10)
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !testutil.Eventually(10*time.Second, func() bool {
+		return s.Metrics().Compactions > 0
+	}) {
+		m := s.Metrics()
+		t.Fatalf("maintainer never compacted (begin=%#x safeRO=%#x threshold=%d)",
+			m.Log.BeginAddress, m.Log.SafeReadOnlyAddress, 16<<10)
 	}
 	if s.Log().BeginAddress() == 0 {
 		t.Fatal("compaction ran but begin never advanced")

@@ -12,9 +12,13 @@ func mutTornWrite() bool        { return false }
 func mutDoubleRMW() bool        { return false }
 func mutSkipSerialFsync() bool  { return false }
 func mutDroppedReenqueue() bool { return false }
+func mutRouteStale() bool       { return false }
+func mutSkipShardFsync() bool   { return false }
 
 // tornAddU64 and tornSessionPayload are never reachable when
 // mutationsEnabled is false; the stubs keep the !mutate build compiling.
 func tornAddU64(p *uint64, delta uint64) { _ = p; _ = delta }
 
 func tornSessionPayload(payload []byte) []byte { return payload }
+
+func tearShardMeta(path string) { _ = path }

@@ -4,6 +4,7 @@ package faster
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync/atomic"
 	"unsafe"
@@ -21,12 +22,16 @@ var (
 	mutDouble     atomic.Bool
 	mutSerialSync atomic.Bool
 	mutDropReenq  atomic.Bool
+	mutStaleRing  atomic.Bool
+	mutShardSync  atomic.Bool
 )
 
 func mutTornWrite() bool        { return mutTorn.Load() }
 func mutDoubleRMW() bool        { return mutDouble.Load() }
 func mutSkipSerialFsync() bool  { return mutSerialSync.Load() }
 func mutDroppedReenqueue() bool { return mutDropReenq.Load() }
+func mutRouteStale() bool       { return mutStaleRing.Load() }
+func mutSkipShardFsync() bool   { return mutShardSync.Load() }
 
 // EnableMutation turns on one seeded bug by name: "torn-write" (SumOps
 // in-place adds become a non-atomic two-half write), "double-rmw"
@@ -35,7 +40,13 @@ func mutDroppedReenqueue() bool { return mutDropReenq.Load() }
 // losing its tail entry — and recovery trusts whatever survived instead
 // of verifying the meta's length and CRC) or "dropped-reenqueue" (a
 // fuzzy-region RMW deferral is acknowledged OK without ever being
-// re-executed — the classic lost-continuation bug in an async I/O path).
+// re-executed — the classic lost-continuation bug in an async I/O path)
+// or "route-stale-map" (a sharded router consults a retained pre-rehash
+// ring for a fraction of lookups, landing keys on the wrong shard) or
+// "skip-shard-fsync" (a sharded manifest commits over one shard whose
+// generation meta was never fsynced — modeled as a torn meta — and
+// recovery falls back per shard instead of per ensemble, mixing
+// checkpoint generations).
 func EnableMutation(name string) {
 	switch name {
 	case "torn-write":
@@ -46,6 +57,10 @@ func EnableMutation(name string) {
 		mutSerialSync.Store(true)
 	case "dropped-reenqueue":
 		mutDropReenq.Store(true)
+	case "route-stale-map":
+		mutStaleRing.Store(true)
+	case "skip-shard-fsync":
+		mutShardSync.Store(true)
 	default:
 		panic(fmt.Sprintf("faster: unknown mutation %q", name))
 	}
@@ -57,6 +72,8 @@ func DisableMutations() {
 	mutDouble.Store(false)
 	mutSerialSync.Store(false)
 	mutDropReenq.Store(false)
+	mutStaleRing.Store(false)
+	mutShardSync.Store(false)
 }
 
 // tornSessionPayload drops the serialized session table's final entry,
@@ -94,6 +111,18 @@ func uint64FromLE(b []byte) uint64 {
 
 func uint32FromLE(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// tearShardMeta models one shard's un-fsynced generation meta being torn
+// by the crash the fsync would have survived: the file loses its CRC
+// trailer, so a verifying reader rejects the generation while the naive
+// per-shard fallback silently recovers that shard from an older one.
+func tearShardMeta(path string) {
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() <= 8 {
+		return
+	}
+	os.Truncate(path, fi.Size()-8)
 }
 
 // tornAddU64 is the torn-write variant of atomic.AddUint64: it loads the

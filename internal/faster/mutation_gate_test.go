@@ -75,6 +75,66 @@ func TestMutationGateBaseline(t *testing.T) {
 				r.Outcome, linearize.Format(linearize.KVModel(), r.Counterexample))
 		}
 	}
+	// The sharded scenarios' exact configurations must be green with the
+	// bugs off: the mutate build retains the stale ring and the naive
+	// manifest reader as dead code, and neither may leak into routing or
+	// recovery while its switch is down.
+	for _, seed := range []int64{1, 2} {
+		ss, err := faster.OpenSharded(faster.ShardedConfig{
+			Shards: 4,
+			Base: faster.Config{
+				Mode:         hlog.ModeInMemory,
+				PageBits:     12,
+				IndexBuckets: 1 << 9,
+				Ops:          faster.SumOps{},
+			},
+			NewDevice: func(int) device.Device { return device.NewNull() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := linearize.RunWorkloadTarget(linearize.ShardedTarget{ShardedStore: ss}, linearize.Workload{
+			Clients: 4, Ops: 80, Keys: 16, Seed: seed,
+			ReadPct: 40, UpsertPct: 25, RMWPct: 25, DeletePct: 10,
+		})
+		r := linearize.CheckKV(h, 10*time.Second)
+		ss.Close()
+		if r.Outcome != linearize.Ok {
+			t.Fatalf("sharded baseline (mutations off) not linearizable (outcome %v):\n%s",
+				r.Outcome, linearize.Format(linearize.KVModel(), r.Counterexample))
+		}
+
+		devs := make([]device.Device, 4)
+		for i := range devs {
+			devs[i] = device.NewMem(device.MemConfig{})
+		}
+		cfg := faster.ShardedConfig{
+			Shards: 4,
+			Base: faster.Config{
+				Mode:         hlog.ModeHybrid,
+				PageBits:     12,
+				BufferPages:  8,
+				IndexBuckets: 1 << 9,
+				Ops:          faster.SumOps{},
+			},
+			NewDevice: func(i int) device.Device { return devs[i] },
+		}
+		eh, err := linearize.RunExactlyOnceSharded(cfg, t.TempDir(), linearize.EOShardedWorkload{
+			Sessions: 3, Serials: 16, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		er := linearize.Check(linearize.EOShardedModel(), eh, 10*time.Second)
+		for _, d := range devs {
+			d.Close()
+		}
+		if er.Outcome != linearize.Ok {
+			t.Fatalf("sharded exactly-once baseline (mutations off) not linearizable (outcome %v):\n%s",
+				er.Outcome, linearize.Format(linearize.EOShardedModel(), er.Counterexample))
+		}
+	}
+
 	// The skip-epoch-bump scenario's exact configuration — pausing value
 	// ops, constant read-only shifts — must be green with the bug off,
 	// or the gate's red signal means nothing.
@@ -284,6 +344,99 @@ func TestMutationGateSkipSerialFsync(t *testing.T) {
 		if r.Outcome == linearize.Illegal {
 			t.Logf("seeded bug detected on schedule %d (%d states explored)\nminimized counterexample:\n%s",
 				seed, r.States, linearize.Format(linearize.EOModel(), r.Counterexample))
+			return
+		}
+	}
+}
+
+// TestMutationGateRouteStaleMap seeds the route-after-rehash bug: every
+// fourth routing decision consults a retained pre-rehash ring, so a
+// fraction of the key space intermittently lands on the wrong shard. A
+// write routed astray is invisible to correctly-routed reads (and a
+// stale replica resurrects overwritten values), which the KV checker
+// refutes as a lost or time-travelling update.
+func TestMutationGateRouteStaleMap(t *testing.T) {
+	faster.EnableMutation("route-stale-map")
+	defer faster.DisableMutations()
+	start := time.Now()
+	budget := 60 * time.Second
+	for seed := int64(1); ; seed++ {
+		if time.Since(start) > budget {
+			t.Fatalf("seeded bug NOT detected within %v (%d schedules) — the harness lost its teeth", budget, seed-1)
+		}
+		ss, err := faster.OpenSharded(faster.ShardedConfig{
+			Shards: 4,
+			Base: faster.Config{
+				Mode:         hlog.ModeInMemory,
+				PageBits:     12,
+				IndexBuckets: 1 << 9,
+				Ops:          faster.SumOps{},
+			},
+			NewDevice: func(int) device.Device { return device.NewNull() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := linearize.RunWorkloadTarget(linearize.ShardedTarget{ShardedStore: ss}, linearize.Workload{
+			Clients: 4, Ops: 80, Keys: 16, Seed: seed,
+			ReadPct: 40, UpsertPct: 25, RMWPct: 25, DeletePct: 10,
+		})
+		r := linearize.CheckKV(h, 10*time.Second)
+		ss.Close()
+		if r.Outcome == linearize.Illegal {
+			t.Logf("seeded bug detected on schedule %d (%d states explored)\nminimized counterexample:\n%s",
+				seed, r.States, linearize.Format(linearize.KVModel(), r.Counterexample))
+			return
+		}
+	}
+}
+
+// TestMutationGateSkipShardFsync seeds the sharded manifest durability
+// bug: one shard's generation meta is committed without fsync (modeled
+// as a torn meta file) yet the manifest still advances, and recovery
+// falls back per shard instead of per ensemble — the torn shard
+// silently reloads an older generation while its siblings serve the new
+// one. The connection frontier (max acked over shards) then overstates
+// what the torn shard holds, the retrying client never resubmits the
+// serials that shard lost, and their deltas vanish — which the sharded
+// dedup-aware counter model refutes.
+func TestMutationGateSkipShardFsync(t *testing.T) {
+	faster.EnableMutation("skip-shard-fsync")
+	defer faster.DisableMutations()
+	start := time.Now()
+	budget := 60 * time.Second
+	for seed := int64(1); ; seed++ {
+		if time.Since(start) > budget {
+			t.Fatalf("seeded bug NOT detected within %v (%d schedules) — the harness lost its teeth", budget, seed-1)
+		}
+		devs := make([]device.Device, 4)
+		for i := range devs {
+			devs[i] = device.NewMem(device.MemConfig{})
+		}
+		cfg := faster.ShardedConfig{
+			Shards: 4,
+			Base: faster.Config{
+				Mode:         hlog.ModeHybrid,
+				PageBits:     12,
+				BufferPages:  8,
+				IndexBuckets: 1 << 9,
+				Ops:          faster.SumOps{},
+			},
+			NewDevice: func(i int) device.Device { return devs[i] },
+		}
+		h, err := linearize.RunExactlyOnceSharded(cfg, t.TempDir(), linearize.EOShardedWorkload{
+			Sessions: 3, Serials: 16, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := linearize.Check(linearize.EOShardedModel(), h, 10*time.Second)
+		for _, d := range devs {
+			d.Close()
+		}
+		if r.Outcome == linearize.Illegal {
+			t.Logf("seeded bug detected on schedule %d (%d states explored)\nminimized counterexample:\n%s",
+				seed, r.States, linearize.Format(linearize.EOShardedModel(), r.Counterexample))
 			return
 		}
 	}

@@ -137,6 +137,13 @@ type sessionTable struct {
 	// Checkpoint holds it exclusive across [snapshot, t2 capture].
 	cutMu sync.RWMutex
 
+	// sparse relaxes serial admission from strictly-successive to
+	// strictly-ascending. A sharded store routes each stamped operation
+	// to its key's shard, so one shard's table observes an ascending
+	// subsequence of a connection's serial stream — jumps are normal, and
+	// gap detection moves up to the facade, which sees the whole stream.
+	sparse bool
+
 	mu      sync.Mutex
 	entries map[string]*sessionEntry
 }
@@ -251,8 +258,9 @@ func (tok *SessionToken) Check(serial uint64) (SerialVerdict, []byte) {
 		tok.s.mx.serialFenced.Inc()
 		return SerialFenced, nil
 	}
+	sparse := tok.s.sessions.sparse
 	switch {
-	case serial == e.issued+1:
+	case serial == e.issued+1 || (sparse && serial > e.issued):
 		e.issued = serial
 		e.mu.Unlock()
 		return SerialApply, nil
@@ -287,7 +295,11 @@ func (tok *SessionToken) Commit(serial uint64, reply []byte) bool {
 		e.mu.Unlock()
 		return false
 	}
-	if serial != e.acked+1 || serial > e.issued {
+	ordered := serial == e.acked+1
+	if tok.s.sessions.sparse {
+		ordered = serial > e.acked
+	}
+	if !ordered || serial > e.issued {
 		e.mu.Unlock()
 		panic(fmt.Sprintf("faster: commit of serial %d with acked %d issued %d", serial, e.acked, e.issued))
 	}

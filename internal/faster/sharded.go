@@ -1,0 +1,1141 @@
+package faster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/hlog"
+	"repro/internal/metrics"
+	"repro/internal/xhash"
+)
+
+// Sharding: N fully independent stores — each with its own hash index,
+// HybridLog, epoch domain, io-worker pool and checkpoint generation —
+// behind one facade that routes every key by consistent hashing. Because
+// the shards share nothing, per-shard flushes, compactions, epoch drains
+// and checkpoints never serialize against each other; a poisoned device
+// degrades one shard's health ladder while its siblings keep serving.
+//
+// Two pieces need genuine cross-shard coordination:
+//
+//   - Exactly-once serials. A connection's serial stream scatters over
+//     shards with its keys, so each shard's session table observes an
+//     ascending *subsequence* (sessionTable.sparse); gap detection moves
+//     up to the RESP front-end, which sees the whole stream. The
+//     connection frontier is the maximum acked serial over shards —
+//     sound only because the sharded checkpoint cuts every shard at one
+//     global serial barrier (see Checkpoint below).
+//
+//   - Checkpoints. Each generation is a directory of per-shard
+//     checkpoints committed atomically by a top-level manifest. The
+//     serial cuts of all shards are taken while holding every shard's
+//     cut lock (in ascending shard order, the same order stamped windows
+//     acquire them), so no serial can commit on one shard between two
+//     shards' cuts: for any connection, the set of serials covered by
+//     the generation is a prefix of its stream, and max-over-shards of
+//     the recovered acked frontiers is exactly the newest serial of that
+//     prefix. Recovery is all-or-nothing per generation: if any shard of
+//     the manifest's generation fails to load, the whole ensemble falls
+//     back to the previous manifest — never mixing generations, which
+//     would tear the barrier invariant.
+
+// ShardedConfig describes a sharded store.
+type ShardedConfig struct {
+	// Shards is the number of independent shards (default 1).
+	Shards int
+	// Base is the per-shard configuration. Base.Device is used only when
+	// NewDevice is nil and Shards == 1; otherwise NewDevice supplies one
+	// device per shard (shards must never share a device).
+	Base Config
+	// NewDevice returns shard i's device. Required for persistent modes
+	// with Shards > 1.
+	NewDevice func(shard int) device.Device
+}
+
+// ringVnodes is the number of virtual nodes each shard contributes to
+// the consistent-hash ring. 64 keeps the per-shard key imbalance within
+// a few percent while the ring stays small enough to search in L1.
+const ringVnodes = 64
+
+// shardRing is an immutable consistent-hash ring: sorted vnode points,
+// each owning the arc that ends at it.
+type shardRing struct {
+	points []uint64
+	owners []int
+}
+
+func buildRing(shards, vnodes int) *shardRing {
+	type pt struct {
+		h     uint64
+		shard int
+	}
+	pts := make([]pt, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, pt{h: xhash.Uint64(uint64(s)<<20 | uint64(v)<<1 | 1), shard: s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].h < pts[j].h })
+	r := &shardRing{points: make([]uint64, len(pts)), owners: make([]int, len(pts))}
+	for i, p := range pts {
+		r.points[i] = p.h
+		r.owners[i] = p.shard
+	}
+	return r
+}
+
+// shardOf returns the shard owning hash h: the first ring point at or
+// after h, wrapping at the top.
+func (r *shardRing) shardOf(h uint64) int {
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.points[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return r.owners[lo]
+}
+
+// ShardedStore is the N-shard facade. All methods are safe for
+// concurrent use; sessions (StartSession) carry the usual one-goroutine
+// contract.
+type ShardedStore struct {
+	shards []*Store
+	ring   atomic.Pointer[shardRing]
+	// stale is the pre-rehash ring the route-stale-map mutation consults
+	// (mutate builds only; nil otherwise). Modeling note: doubling the
+	// vnode count is the "rehash" — the stale ring maps a fraction of the
+	// key space to different shards.
+	stale     *shardRing
+	routeTick atomic.Uint64
+	ckptSeq   atomic.Uint64
+}
+
+// OpenSharded opens cfg.Shards independent stores and the routing ring.
+func OpenSharded(cfg ShardedConfig) (*ShardedStore, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	ss := &ShardedStore{shards: make([]*Store, 0, n)}
+	for i := 0; i < n; i++ {
+		c := cfg.Base
+		if cfg.NewDevice != nil {
+			c.Device = cfg.NewDevice(i)
+		} else if i > 0 {
+			ss.closeShards()
+			return nil, errors.New("faster: ShardedConfig.NewDevice required for Shards > 1")
+		}
+		s, err := Open(c)
+		if err != nil {
+			ss.closeShards()
+			return nil, fmt.Errorf("faster: open shard %d: %w", i, err)
+		}
+		s.sessions.sparse = n > 1
+		ss.shards = append(ss.shards, s)
+	}
+	ss.initRing()
+	return ss, nil
+}
+
+// NewShardedFromStores wraps already-open stores (all must share a
+// compatible configuration). Ownership transfers: Close closes them.
+func NewShardedFromStores(stores []*Store) (*ShardedStore, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("faster: no stores")
+	}
+	ss := &ShardedStore{shards: stores}
+	for _, s := range stores {
+		s.sessions.sparse = len(stores) > 1
+	}
+	ss.initRing()
+	return ss, nil
+}
+
+func (ss *ShardedStore) initRing() {
+	ss.ring.Store(buildRing(len(ss.shards), ringVnodes))
+	if mutationsEnabled && len(ss.shards) > 1 {
+		ss.stale = buildRing(len(ss.shards), ringVnodes/2)
+	}
+}
+
+func (ss *ShardedStore) closeShards() {
+	for _, s := range ss.shards {
+		s.Close()
+	}
+}
+
+// NumShards returns the shard count.
+func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
+
+// Shard exposes shard i for per-shard operations (compaction, metrics,
+// direct sessions in tests).
+func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
+
+// ShardFor returns the shard index owning key.
+func (ss *ShardedStore) ShardFor(key []byte) int { return ss.shardFor(hashKey(key)) }
+
+func (ss *ShardedStore) shardFor(h uint64) int {
+	if len(ss.shards) == 1 {
+		return 0
+	}
+	r := ss.ring.Load()
+	if mutationsEnabled && mutRouteStale() && ss.stale != nil {
+		// The seeded route-after-rehash bug: every fourth routing decision
+		// consults the retained pre-rehash ring.
+		if ss.routeTick.Add(1)%4 == 0 {
+			r = ss.stale
+		}
+	}
+	return r.shardOf(h)
+}
+
+// MaxSessions is the number of concurrent sharded sessions the store
+// supports — each one holds a session on every shard.
+func (ss *ShardedStore) MaxSessions() int {
+	m := ss.shards[0].MaxSessions()
+	for _, s := range ss.shards[1:] {
+		if n := s.MaxSessions(); n < m {
+			m = n
+		}
+	}
+	return m
+}
+
+// Health reports the worst shard's health: the ensemble can serve a key
+// space only as well as its sickest shard. Per-key decisions should use
+// HealthFor / ShardHealth instead, which is what lets one poisoned
+// shard degrade alone.
+func (ss *ShardedStore) Health() Health {
+	worst := Healthy
+	for _, s := range ss.shards {
+		if h := s.Health(); h > worst {
+			worst = h
+		}
+	}
+	return worst
+}
+
+// HealthCause returns the cause recorded by the worst shard.
+func (ss *ShardedStore) HealthCause() error {
+	worst, cause := Healthy, error(nil)
+	for _, s := range ss.shards {
+		if h := s.Health(); h > worst || (h == worst && cause == nil) {
+			worst, cause = h, s.HealthCause()
+		}
+	}
+	return cause
+}
+
+// ShardHealth reports shard i's health.
+func (ss *ShardedStore) ShardHealth(i int) Health { return ss.shards[i].Health() }
+
+// HealthFor reports the health of the shard owning key.
+func (ss *ShardedStore) HealthFor(key []byte) Health {
+	return ss.shards[ss.ShardFor(key)].Health()
+}
+
+// SubmitRead routes an asynchronous read to its key's shard io-pool.
+func (ss *ShardedStore) SubmitRead(key, input []byte, outLen int, deadline time.Time, ctx any, done func(Result)) error {
+	return ss.shards[ss.ShardFor(key)].SubmitRead(key, input, outLen, deadline, ctx, done)
+}
+
+// SubmitRMW routes an asynchronous RMW to its key's shard io-pool.
+func (ss *ShardedStore) SubmitRMW(key, input []byte, deadline time.Time, ctx any, done func(Result)) error {
+	return ss.shards[ss.ShardFor(key)].SubmitRMW(key, input, deadline, ctx, done)
+}
+
+// CompactAll compacts every shard up to its own safe read-only address,
+// summing the per-shard stats. Shards compact independently; a failure
+// on one shard does not stop the others (first error is returned).
+func (ss *ShardedStore) CompactAll() (CompactStats, error) {
+	var total CompactStats
+	var firstErr error
+	for _, s := range ss.shards {
+		st, err := s.Compact(s.Log().SafeReadOnlyAddress())
+		total.Copied += st.Copied
+		total.CopiedBytes += st.CopiedBytes
+		total.Skipped += st.Skipped
+		total.ReclaimedBytes += st.ReclaimedBytes
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// Close closes every shard, returning the first error.
+func (ss *ShardedStore) Close() error {
+	var firstErr error
+	for _, s := range ss.shards {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sessions
+// ---------------------------------------------------------------------------
+
+// ShardedSession mirrors Session over the facade: one underlying
+// session per shard, with every operation routed to its key's shard.
+// Exactly one goroutine may drive it at a time.
+type ShardedSession struct {
+	ss   *ShardedStore
+	subs []*Session
+	stok *ShardedToken
+	// curTok is the token holding the open stamped window during the
+	// SerialCheckKey/SerialCommitKey convenience protocol.
+	curTok *SessionToken
+	// batch scratch, reused across ExecBatch calls
+	groups  [][]BatchOp
+	origIdx [][]int
+}
+
+// Epoch discipline: every sub-session stays PARKED except while it is
+// actively executing an operation. A sharded session routes each op to
+// one shard, so at any instant its other sub-sessions are idle — were
+// they left unparked they would pin stale epochs on their shards, and
+// two clients blocked inside different shards' flush waits would stall
+// each other's drains forever (a cross-shard distributed deadlock:
+// A waits on shard 0 pinning shard 1, B waits on shard 1 pinning
+// shard 0). Parking makes an idle sub-session invisible to its shard's
+// epoch domain; the active one follows the flat store's own discipline.
+
+// StartSession opens a session on every shard. Each sub-session starts
+// parked; routed operations unpark exactly one for their duration.
+func (ss *ShardedStore) StartSession() *ShardedSession {
+	subs := make([]*Session, len(ss.shards))
+	for i, s := range ss.shards {
+		subs[i] = s.StartSession()
+		subs[i].Park()
+	}
+	return &ShardedSession{ss: ss, subs: subs,
+		groups: make([][]BatchOp, len(ss.shards)), origIdx: make([][]int, len(ss.shards))}
+}
+
+// Close closes every per-shard session. Each sub is unparked first:
+// Close drains its pending operations, which needs epoch protection.
+func (sess *ShardedSession) Close() error {
+	sess.Unbind()
+	var firstErr error
+	for _, sub := range sess.subs {
+		sub.Unpark()
+		if err := sub.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SetResidentOnly applies to every shard session.
+func (sess *ShardedSession) SetResidentOnly(on bool) {
+	for _, sub := range sess.subs {
+		sub.SetResidentOnly(on)
+	}
+}
+
+// SetOpDeadline applies to every shard session.
+func (sess *ShardedSession) SetOpDeadline(t time.Time) {
+	for _, sub := range sess.subs {
+		sub.SetOpDeadline(t)
+	}
+}
+
+// Refresh is a no-op: idle sub-sessions are parked (pinning nothing),
+// and the active one refreshes itself on the flat store's cadence.
+func (sess *ShardedSession) Refresh() {}
+
+// Park is a no-op for the same reason; it exists so callers can treat
+// sharded and flat sessions uniformly around blocking waits.
+func (sess *ShardedSession) Park() {}
+
+// Unpark mirrors Park.
+func (sess *ShardedSession) Unpark() {}
+
+// Sub exposes the shard-i session (tests, per-shard drains).
+func (sess *ShardedSession) Sub(i int) *Session { return sess.subs[i] }
+
+// SubFor returns the session of the shard owning key.
+func (sess *ShardedSession) SubFor(key []byte) *Session {
+	return sess.subs[sess.ss.ShardFor(key)]
+}
+
+// Read routes to the key's shard.
+func (sess *ShardedSession) Read(key, input, output []byte, ctx any) (Status, error) {
+	sub := sess.SubFor(key)
+	sub.Unpark()
+	st, err := sub.Read(key, input, output, ctx)
+	sub.Park()
+	return st, err
+}
+
+// Upsert routes to the key's shard.
+func (sess *ShardedSession) Upsert(key, value []byte) (Status, error) {
+	sub := sess.SubFor(key)
+	sub.Unpark()
+	st, err := sub.Upsert(key, value)
+	sub.Park()
+	return st, err
+}
+
+// RMW routes to the key's shard.
+func (sess *ShardedSession) RMW(key, input []byte, ctx any) (Status, error) {
+	sub := sess.SubFor(key)
+	sub.Unpark()
+	st, err := sub.RMW(key, input, ctx)
+	sub.Park()
+	return st, err
+}
+
+// Delete routes to the key's shard.
+func (sess *ShardedSession) Delete(key []byte) (Status, error) {
+	sub := sess.SubFor(key)
+	sub.Unpark()
+	st, err := sub.Delete(key)
+	sub.Park()
+	return st, err
+}
+
+// CompletePending drains completions from every shard session. With
+// wait set it spins across all shards until none holds an outstanding
+// operation, never blocking inside any single shard's wait: a blocked
+// sub-session cannot drain its siblings' completions, and parking keeps
+// the idle shards from stalling the flushes the pending operations
+// need.
+func (sess *ShardedSession) CompletePending(wait bool) []Result {
+	out, _ := sess.completePendingAll(wait, time.Time{})
+	return out
+}
+
+// CompletePendingTimeout drains every shard within one shared deadline.
+func (sess *ShardedSession) CompletePendingTimeout(d time.Duration) ([]Result, error) {
+	return sess.completePendingAll(true, time.Now().Add(d))
+}
+
+func (sess *ShardedSession) completePendingAll(wait bool, deadline time.Time) ([]Result, error) {
+	var out []Result
+	spins := 0
+	for {
+		progressed := false
+		busy := 0
+		for _, sub := range sess.subs {
+			sub.Unpark()
+			res := sub.CompletePending(false)
+			busyHere := sub.inFlight > 0 || len(sub.retries) > 0
+			sub.Park()
+			if len(res) > 0 {
+				progressed = true
+				out = append(out, res...)
+			}
+			if busyHere {
+				busy++
+			}
+		}
+		if !wait || busy == 0 {
+			return out, nil
+		}
+		if progressed {
+			spins = 0
+			continue
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return out, fmt.Errorf("%w (%d shards busy)", ErrPendingTimeout, busy)
+		}
+		// Let flush/eviction trigger actions run and yield so device
+		// workers get the processor (critical on small GOMAXPROCS).
+		for _, sub := range sess.subs {
+			sub.s.em.Drain()
+		}
+		spins++
+		if spins > 64 {
+			time.Sleep(5 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ExecBatch splits the window by shard and executes the per-shard
+// sub-batches as a concurrent fan-out, rejoining per-slot statuses in
+// place. Slot order within a shard is preserved; outputs land in the
+// caller's buffers exactly as with Session.ExecBatch. Slots that go
+// Pending complete through CompletePending as usual.
+func (sess *ShardedSession) ExecBatch(ops []BatchOp) error {
+	if len(sess.subs) == 1 {
+		sub := sess.subs[0]
+		sub.Unpark()
+		err := sub.ExecBatch(ops)
+		sub.Park()
+		return err
+	}
+	groups, origIdx := sess.groups, sess.origIdx
+	for i := range groups {
+		groups[i] = groups[i][:0]
+		origIdx[i] = origIdx[i][:0]
+	}
+	used := 0
+	last := -1
+	for i := range ops {
+		sh := sess.ss.ShardFor(ops[i].Key)
+		if len(groups[sh]) == 0 {
+			used++
+		}
+		last = sh
+		groups[sh] = append(groups[sh], ops[i])
+		origIdx[sh] = append(origIdx[sh], i)
+	}
+	if used == 1 {
+		// Single-shard window: run in place on this goroutine.
+		sub := sess.subs[last]
+		sub.Unpark()
+		err := sub.ExecBatch(groups[last])
+		sub.Park()
+		for j, oi := range origIdx[last] {
+			ops[oi].Status = groups[last][j].Status
+			ops[oi].Err = groups[last][j].Err
+			ops[oi].Output = groups[last][j].Output
+		}
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sess.subs))
+	for sh := range groups {
+		if len(groups[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			sub := sess.subs[sh]
+			sub.Unpark()
+			errs[sh] = sub.ExecBatch(groups[sh])
+			sub.Park()
+		}(sh)
+	}
+	wg.Wait()
+	var firstErr error
+	for sh := range groups {
+		if errs[sh] != nil && firstErr == nil {
+			firstErr = errs[sh]
+		}
+		for j, oi := range origIdx[sh] {
+			ops[oi].Status = groups[sh][j].Status
+			ops[oi].Err = groups[sh][j].Err
+			ops[oi].Output = groups[sh][j].Output
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Sharded exactly-once serials
+// ---------------------------------------------------------------------------
+
+// ShardedToken is one bound GUID's capability across every shard: the
+// serial stream shards with its keys, so each stamped operation runs
+// under the key's shard token. Frontier is the maximum recovered acked
+// serial over shards — the newest serial of the globally-committed
+// prefix (see the barrier argument at the top of the file).
+type ShardedToken struct {
+	ss   *ShardedStore
+	toks []*SessionToken
+}
+
+// BindSession binds guid on every shard and fences all previous owners.
+// The returned frontier is the connection's resume point: every serial
+// at or below it applied exactly once, everything above is safe to
+// re-submit. The reply is the saved reply of the frontier serial.
+func (ss *ShardedStore) BindSession(guid string) (*ShardedToken, uint64, []byte, error) {
+	st := &ShardedToken{ss: ss, toks: make([]*SessionToken, len(ss.shards))}
+	var frontier uint64
+	var reply []byte
+	for i, s := range ss.shards {
+		tok, acked, rep, err := s.BindSession(guid)
+		if err != nil {
+			for _, t := range st.toks[:i] {
+				t.Release()
+			}
+			return nil, 0, nil, err
+		}
+		st.toks[i] = tok
+		if acked >= frontier {
+			if acked > frontier || rep != nil {
+				reply = rep
+			}
+			frontier = acked
+		}
+	}
+	return st, frontier, reply, nil
+}
+
+// For returns the shard token owning key.
+func (st *ShardedToken) For(key []byte) *SessionToken {
+	return st.toks[st.ss.ShardFor(key)]
+}
+
+// Tok returns shard i's token.
+func (st *ShardedToken) Tok(i int) *SessionToken { return st.toks[i] }
+
+// Release closes any open windows on every shard token.
+func (st *ShardedToken) Release() {
+	for _, t := range st.toks {
+		t.Release()
+	}
+}
+
+// Bind attaches the sharded session to guid on every shard, returning
+// the connection frontier (max acked over shards).
+func (sess *ShardedSession) Bind(guid string) (uint64, error) {
+	tok, frontier, _, err := sess.ss.BindSession(guid)
+	if err != nil {
+		return 0, err
+	}
+	if sess.stok != nil {
+		sess.stok.Release()
+	}
+	sess.stok = tok
+	sess.curTok = nil
+	return frontier, nil
+}
+
+// Token exposes the bound sharded capability (nil when unbound).
+func (sess *ShardedSession) Token() *ShardedToken { return sess.stok }
+
+// Unbind releases the durable binding.
+func (sess *ShardedSession) Unbind() {
+	if sess.stok != nil {
+		sess.stok.Release()
+		sess.stok = nil
+		sess.curTok = nil
+	}
+}
+
+// SerialCheckKey classifies serial under the token of key's shard and,
+// on SerialApply, leaves that shard's stamped window open; the caller
+// must execute the operation on the same key and then call
+// SerialCommitKey or SerialAbort. Note the sparse admission rule:
+// serials ascend per shard but need not be dense — gap detection is the
+// caller's job, because only the caller sees the whole stream.
+func (sess *ShardedSession) SerialCheckKey(key []byte, serial uint64) (SerialVerdict, []byte, error) {
+	if sess.stok == nil {
+		return SerialFenced, nil, ErrNotBound
+	}
+	tok := sess.stok.For(key)
+	if !tok.inWindow {
+		tok.WindowEnter()
+	}
+	v, reply := tok.Check(serial)
+	if v != SerialApply {
+		tok.WindowExit()
+		return v, reply, nil
+	}
+	sess.curTok = tok
+	return v, reply, nil
+}
+
+// SerialCommitKey commits an admitted serial on the open shard window.
+func (sess *ShardedSession) SerialCommitKey(serial uint64, reply []byte) {
+	tok := sess.curTok
+	tok.Commit(serial, reply)
+	if tok.inWindow {
+		tok.WindowExit()
+	}
+	sess.curTok = nil
+}
+
+// SerialAbort rolls back an admitted serial whose operation failed,
+// closing the open shard window; the client may retry the serial.
+func (sess *ShardedSession) SerialAbort() {
+	if sess.curTok != nil && sess.curTok.inWindow {
+		sess.curTok.WindowExit()
+	}
+	sess.curTok = nil
+}
+
+// ---------------------------------------------------------------------------
+// Sharded checkpoint: per-shard generations under one manifest
+// ---------------------------------------------------------------------------
+
+const manifestMagic uint64 = 0xFA57E2C05A4DED01
+
+// ShardedCheckpointInfo describes a committed sharded checkpoint.
+type ShardedCheckpointInfo struct {
+	// Seq is the generation sequence number the manifest committed.
+	Seq uint64
+	// Shards holds each shard's checkpoint bracket.
+	Shards []CheckpointInfo
+}
+
+type manifest struct {
+	seq uint64
+	t1s []hlog.Address
+}
+
+func genDirName(seq uint64) string { return fmt.Sprintf("gen-%06d", seq) }
+func shardDirName(i int) string    { return fmt.Sprintf("shard-%03d", i) }
+func shardGenDir(dir string, seq uint64, i int) string {
+	return filepath.Join(dir, genDirName(seq), shardDirName(i))
+}
+
+// Checkpoint writes one consistent generation: every shard checkpoints
+// into dir/gen-<seq>/shard-<i>/, all serial cuts are taken under a
+// single global barrier (every shard's cut lock held at once, acquired
+// in ascending shard order), and the generation commits atomically by
+// the manifest rename. A crash anywhere before that rename leaves the
+// previous manifest in force — a consistent, if older, ensemble.
+//
+// With one shard the store delegates to the flat single-store layout,
+// so -shards 1 deployments stay bit-compatible with unsharded ones.
+func (ss *ShardedStore) Checkpoint(dir string) (ShardedCheckpointInfo, error) {
+	n := len(ss.shards)
+	if n == 1 {
+		info, err := ss.shards[0].Checkpoint(dir)
+		if err != nil {
+			return ShardedCheckpointInfo{}, err
+		}
+		return ShardedCheckpointInfo{Shards: []CheckpointInfo{info}}, nil
+	}
+	seq := ss.ckptSeq.Add(1)
+	genDir := filepath.Join(dir, genDirName(seq))
+	// A failed earlier attempt may have left a partial generation with
+	// this sequence; recovery never reads uncommitted generations, so
+	// clearing it is safe.
+	if err := os.RemoveAll(genDir); err != nil {
+		return ShardedCheckpointInfo{}, err
+	}
+
+	// Phase 1 — parallel per-shard prepare (index images). No locks.
+	preps := make([]ckptPrep, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			preps[i], errs[i] = ss.shards[i].checkpointPrepare(shardGenDir(dir, seq, i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return ShardedCheckpointInfo{}, fmt.Errorf("faster: shard %d checkpoint prepare: %w", i, err)
+		}
+	}
+
+	// Phase 2 — the global serial barrier: acquire every shard's cut
+	// lock in ascending order (stamped windows acquire in the same
+	// order, so no hold-and-wait cycle exists), cut all shards, release.
+	// While all locks are held no stamped window is open anywhere, so
+	// the set of committed serials is a per-connection prefix and every
+	// cut covers exactly that prefix's records on its shard.
+	payloads := make([][]byte, n)
+	snaps := make([][]sessSnap, n)
+	t2s := make([]hlog.Address, n)
+	for i := 0; i < n; i++ {
+		ss.shards[i].sessions.cutMu.Lock()
+	}
+	for i := 0; i < n; i++ {
+		payloads[i], snaps[i], t2s[i] = ss.shards[i].checkpointCut()
+	}
+	for i := n - 1; i >= 0; i-- {
+		ss.shards[i].sessions.cutMu.Unlock()
+	}
+
+	// Phase 3 — parallel per-shard finish (flush waits, meta commits).
+	infos := make([]CheckpointInfo, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = ss.shards[i].checkpointFinish(preps[i], payloads[i], snaps[i], t2s[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return ShardedCheckpointInfo{}, fmt.Errorf("faster: shard %d checkpoint: %w", i, err)
+		}
+	}
+
+	if mutationsEnabled && mutSkipShardFsync() {
+		// The seeded bug: one shard's generation meta was never fsynced
+		// and the crash the manifest survived tore it. Tear the
+		// highest-index shard that checkpointed session frontiers (the
+		// shard whose regression the exactly-once checker can see).
+		victim := n - 1
+		for i := n - 1; i >= 0; i-- {
+			if len(payloads[i]) > sessHeaderLen {
+				victim = i
+				break
+			}
+		}
+		tearShardMeta(filepath.Join(shardGenDir(dir, seq, victim), "meta.ckpt"))
+	}
+
+	// Phase 4 — manifest commit: tmp + fsync, rotate manifest.ckpt →
+	// manifest.prev, rename, dir fsync. The rename is the single commit
+	// point for the whole generation.
+	man := manifest{seq: seq, t1s: make([]hlog.Address, n)}
+	for i, info := range infos {
+		man.t1s[i] = info.T1
+	}
+	manTmp := filepath.Join(dir, "manifest.ckpt.tmp")
+	if err := writeManifest(manTmp, man); err != nil {
+		return ShardedCheckpointInfo{}, err
+	}
+	manPath := filepath.Join(dir, "manifest.ckpt")
+	if _, err := os.Stat(manPath); err == nil {
+		if err := os.Rename(manPath, filepath.Join(dir, "manifest.prev")); err != nil {
+			return ShardedCheckpointInfo{}, err
+		}
+	} else if !os.IsNotExist(err) {
+		return ShardedCheckpointInfo{}, err
+	}
+	if err := os.Rename(manTmp, manPath); err != nil {
+		return ShardedCheckpointInfo{}, err
+	}
+	if err := syncDir(dir); err != nil {
+		return ShardedCheckpointInfo{}, err
+	}
+	gcGenerations(dir)
+	return ShardedCheckpointInfo{Seq: seq, Shards: infos}, nil
+}
+
+func writeManifest(path string, man manifest) error {
+	var buf []byte
+	put := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	put(manifestMagic)
+	put(man.seq)
+	put(uint64(len(man.t1s)))
+	for _, t1 := range man.t1s {
+		put(uint64(t1))
+	}
+	put(uint64(crc32.ChecksumIEEE(buf)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readManifest(path string) (manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return manifest{}, err
+	}
+	if len(raw) < 32 || len(raw)%8 != 0 {
+		return manifest{}, errors.New("faster: bad manifest size")
+	}
+	body := raw[:len(raw)-8]
+	if binary.LittleEndian.Uint64(raw[len(raw)-8:]) != uint64(crc32.ChecksumIEEE(body)) {
+		return manifest{}, errors.New("faster: manifest crc mismatch")
+	}
+	if binary.LittleEndian.Uint64(raw) != manifestMagic {
+		return manifest{}, errors.New("faster: manifest bad magic")
+	}
+	man := manifest{seq: binary.LittleEndian.Uint64(raw[8:])}
+	count := binary.LittleEndian.Uint64(raw[16:])
+	if uint64(len(raw)) != 32+8*count {
+		return manifest{}, errors.New("faster: manifest shard count mismatch")
+	}
+	man.t1s = make([]hlog.Address, count)
+	for i := range man.t1s {
+		man.t1s[i] = hlog.Address(binary.LittleEndian.Uint64(raw[24+8*i:]))
+	}
+	return man, nil
+}
+
+// gcGenerations removes generation directories no manifest references —
+// best-effort, after a committed checkpoint.
+func gcGenerations(dir string) {
+	keep := map[string]bool{}
+	for _, m := range []string{"manifest.ckpt", "manifest.prev"} {
+		if man, err := readManifest(filepath.Join(dir, m)); err == nil {
+			keep[genDirName(man.seq)] = true
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() && len(name) > 4 && name[:4] == "gen-" && !keep[name] {
+			os.RemoveAll(filepath.Join(dir, name))
+		}
+	}
+}
+
+// recoverWithInfo is Recover exposing the recovered generation's
+// bracket, so a sharded recovery can verify each shard landed on the
+// generation its manifest names.
+func recoverWithInfo(cfg Config, dir string) (*Store, CheckpointInfo, error) {
+	info, idx, sess, err := loadCheckpoint(dir)
+	if err != nil {
+		return nil, CheckpointInfo{}, err
+	}
+	s, err := recoverFrom(cfg, info, idx, sess)
+	return s, info, err
+}
+
+// RecoverSharded reopens a sharded store from its manifest. Recovery is
+// all-or-nothing per generation: the manifest's generation loads only
+// if every shard recovers and matches its recorded T1; otherwise the
+// whole ensemble falls back to the previous manifest. Under the
+// skip-shard-fsync mutation the naive per-shard fallback runs instead —
+// each shard independently falls back (prev generation, then empty),
+// silently mixing generations.
+func RecoverSharded(cfg ShardedConfig, dir string) (*ShardedStore, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if n == 1 {
+		c := cfg.Base
+		if cfg.NewDevice != nil {
+			c.Device = cfg.NewDevice(0)
+		}
+		s, err := Recover(c, dir)
+		if err != nil {
+			return nil, err
+		}
+		return NewShardedFromStores([]*Store{s})
+	}
+
+	shardCfg := func(i int) Config {
+		c := cfg.Base
+		if cfg.NewDevice != nil {
+			c.Device = cfg.NewDevice(i)
+		}
+		return c
+	}
+
+	if mutationsEnabled && mutSkipShardFsync() {
+		return recoverShardedNaive(cfg, dir, shardCfg)
+	}
+
+	man, manErr := readManifest(filepath.Join(dir, "manifest.ckpt"))
+	var lastErr error
+	if manErr == nil {
+		if ss, err := recoverGeneration(cfg, dir, man, shardCfg); err == nil {
+			return ss, nil
+		} else {
+			lastErr = err
+		}
+	} else {
+		lastErr = manErr
+	}
+	if pman, perr := readManifest(filepath.Join(dir, "manifest.prev")); perr == nil {
+		if ss, err := recoverGeneration(cfg, dir, pman, shardCfg); err == nil {
+			return ss, nil
+		} else if lastErr == nil {
+			lastErr = err
+		}
+	}
+	return nil, fmt.Errorf("faster: sharded recovery: %w", lastErr)
+}
+
+// recoverGeneration loads every shard of one manifest generation,
+// verifying each shard recovered the T1 the manifest recorded.
+func recoverGeneration(cfg ShardedConfig, dir string, man manifest, shardCfg func(int) Config) (*ShardedStore, error) {
+	n := cfg.Shards
+	if int(len(man.t1s)) != n {
+		return nil, fmt.Errorf("faster: manifest has %d shards, config %d", len(man.t1s), n)
+	}
+	stores := make([]*Store, 0, n)
+	closeAll := func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		s, info, err := recoverWithInfo(shardCfg(i), shardGenDir(dir, man.seq, i))
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("faster: shard %d of generation %d: %w", i, man.seq, err)
+		}
+		if info.T1 != man.t1s[i] {
+			s.Close()
+			closeAll()
+			return nil, fmt.Errorf("faster: shard %d recovered T1 %#x, manifest records %#x", i, info.T1, man.t1s[i])
+		}
+		stores = append(stores, s)
+	}
+	ss, err := NewShardedFromStores(stores)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	ss.ckptSeq.Store(man.seq)
+	return ss, nil
+}
+
+// recoverShardedNaive is the seeded skip-shard-fsync reader: each shard
+// independently tries the current generation, then the previous, then
+// comes up empty — mixing generations across shards, which silently
+// reverts one shard's acked frontiers and data while the connection
+// frontier (max over shards) stays high. The exactly-once checker
+// refutes the resulting double-applies and lost updates.
+func recoverShardedNaive(cfg ShardedConfig, dir string, shardCfg func(int) Config) (*ShardedStore, error) {
+	n := cfg.Shards
+	man, err := readManifest(filepath.Join(dir, "manifest.ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	pman, havePrev := manifest{}, false
+	if m, err := readManifest(filepath.Join(dir, "manifest.prev")); err == nil {
+		pman, havePrev = m, true
+	}
+	stores := make([]*Store, 0, n)
+	var maxSeq uint64
+	for i := 0; i < n; i++ {
+		s, _, err := recoverWithInfo(shardCfg(i), shardGenDir(dir, man.seq, i))
+		if err == nil {
+			if man.seq > maxSeq {
+				maxSeq = man.seq
+			}
+			stores = append(stores, s)
+			continue
+		}
+		if havePrev {
+			if s, _, err := recoverWithInfo(shardCfg(i), shardGenDir(dir, pman.seq, i)); err == nil {
+				if pman.seq > maxSeq {
+					maxSeq = pman.seq
+				}
+				stores = append(stores, s)
+				continue
+			}
+		}
+		s, err = Open(shardCfg(i))
+		if err != nil {
+			for _, st := range stores {
+				st.Close()
+			}
+			return nil, err
+		}
+		stores = append(stores, s)
+	}
+	ss, err := NewShardedFromStores(stores)
+	if err != nil {
+		for _, st := range stores {
+			st.Close()
+		}
+		return nil, err
+	}
+	ss.ckptSeq.Store(maxSeq)
+	return ss, nil
+}
+
+// ReadShardedCheckpointSessions aggregates the committed exactly-once
+// session state of a sharded checkpoint directory: per GUID, the
+// connection frontier (max acked over shards) of the manifest's
+// generation — the offline view `faster-cli sessions` prints. Falls
+// back to the flat single-store layout when no manifest exists.
+func ReadShardedCheckpointSessions(dir string) ([]SessionState, error) {
+	man, err := readManifest(filepath.Join(dir, "manifest.ckpt"))
+	if err != nil {
+		if m, perr := readManifest(filepath.Join(dir, "manifest.prev")); perr == nil {
+			man = m
+		} else {
+			return ReadCheckpointSessions(dir)
+		}
+	}
+	byGUID := map[string]SessionState{}
+	for i := range man.t1s {
+		states, err := ReadCheckpointSessions(shardGenDir(dir, man.seq, i))
+		if err != nil {
+			return nil, fmt.Errorf("faster: shard %d sessions: %w", i, err)
+		}
+		for _, st := range states {
+			cur, ok := byGUID[st.GUID]
+			if !ok || st.Acked > cur.Acked {
+				byGUID[st.GUID] = st
+			}
+		}
+	}
+	out := make([]SessionState, 0, len(byGUID))
+	for _, st := range byGUID {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GUID < out[j].GUID })
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sharded metrics
+// ---------------------------------------------------------------------------
+
+// ShardedMetrics is a snapshot of every shard's instrumentation.
+type ShardedMetrics struct {
+	Shards []StoreMetrics
+}
+
+// Metrics snapshots every shard.
+func (ss *ShardedStore) Metrics() ShardedMetrics {
+	m := ShardedMetrics{Shards: make([]StoreMetrics, len(ss.shards))}
+	for i, s := range ss.shards {
+		m.Shards[i] = s.Metrics()
+	}
+	return m
+}
+
+// Series flattens the ensemble: counters and gauges sum across shards
+// under their usual names, latency series (*_ns) are reported per shard
+// only (a sum of quantiles means nothing), health takes the worst
+// shard, and every shard's full series rides under a shard<i>. prefix.
+func (m ShardedMetrics) Series() metrics.Series {
+	if len(m.Shards) == 1 {
+		return m.Shards[0].Series()
+	}
+	agg := metrics.Series{}
+	for i, sm := range m.Shards {
+		s := sm.Series()
+		agg.Merge(fmt.Sprintf("shard%d", i), s)
+		for k, v := range s {
+			if strings.HasSuffix(k, "_ns") {
+				continue
+			}
+			if k == "faster.health" {
+				if v > agg[k] {
+					agg[k] = v
+				}
+				continue
+			}
+			agg[k] += v
+		}
+	}
+	return agg
+}

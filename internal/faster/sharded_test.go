@@ -1,0 +1,469 @@
+package faster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/hlog"
+	"repro/internal/testutil"
+)
+
+// openTestSharded opens an n-shard store over fresh Mem devices; the
+// devices are returned so recovery tests can reopen the same contents.
+func openTestSharded(t testing.TB, n int, base Config) (*ShardedStore, []*device.Mem) {
+	t.Helper()
+	devs := make([]*device.Mem, n)
+	for i := range devs {
+		devs[i] = device.NewMem(device.MemConfig{})
+	}
+	t.Cleanup(func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	})
+	ss, err := OpenSharded(shardedTestConfig(n, base, devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss, devs
+}
+
+func shardedTestConfig(n int, base Config, devs []*device.Mem) ShardedConfig {
+	if base.Ops == nil {
+		base.Ops = SumOps{}
+	}
+	if base.PageBits == 0 {
+		base.PageBits = 12
+	}
+	if base.BufferPages == 0 {
+		base.BufferPages = 8
+	}
+	if base.IndexBuckets == 0 {
+		base.IndexBuckets = 1 << 9
+	}
+	return ShardedConfig{
+		Shards:    n,
+		Base:      base,
+		NewDevice: func(i int) device.Device { return devs[i] },
+	}
+}
+
+func TestShardedRoutingDeterministic(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	ss, _ := openTestSharded(t, 4, Config{})
+	defer ss.Close()
+
+	seen := make(map[int]int)
+	for i := uint64(0); i < 4096; i++ {
+		k := key(i)
+		sh := ss.ShardFor(k)
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("key %d routed to shard %d", i, sh)
+		}
+		if again := ss.ShardFor(k); again != sh {
+			t.Fatalf("key %d routed to %d then %d", i, sh, again)
+		}
+		seen[sh]++
+	}
+	for sh := 0; sh < 4; sh++ {
+		if seen[sh] == 0 {
+			t.Fatalf("shard %d owns no keys out of 4096: %v", sh, seen)
+		}
+	}
+	// The ring is a pure function of the shard count: a second store
+	// must route identically, or recovery would scatter keys.
+	ss2, _ := openTestSharded(t, 4, Config{})
+	defer ss2.Close()
+	for i := uint64(0); i < 256; i++ {
+		if a, b := ss.ShardFor(key(i)), ss2.ShardFor(key(i)); a != b {
+			t.Fatalf("key %d routes to %d in one store, %d in another", i, a, b)
+		}
+	}
+}
+
+func TestShardedBasicOpsAndBatch(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	ss, _ := openTestSharded(t, 4, Config{})
+	defer ss.Close()
+
+	sess := ss.StartSession()
+	defer sess.Close()
+
+	const n = 400
+	for i := uint64(1); i <= n; i++ {
+		if st, err := sess.Upsert(key(i), u64(i*10)); st != OK || err != nil {
+			t.Fatalf("upsert %d: %v %v", i, st, err)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		out := make([]byte, 8)
+		st, err := sess.Read(key(i), nil, out, nil)
+		if st == Pending {
+			for _, res := range sess.CompletePending(true) {
+				st = res.Status
+				if res.Output != nil {
+					copy(out, res.Output)
+				}
+			}
+		}
+		if st != OK || err != nil {
+			t.Fatalf("read %d: %v %v", i, st, err)
+		}
+		if got := leU64(out); got != i*10 {
+			t.Fatalf("read %d = %d, want %d", i, got, i*10)
+		}
+	}
+
+	// Mixed multi-shard batch window: RMW every key, read half, delete a
+	// few — statuses and outputs must rejoin in the caller's slots.
+	ops := make([]BatchOp, 0, 64)
+	outs := make(map[int][]byte)
+	for i := uint64(1); i <= 32; i++ {
+		ops = append(ops, BatchOp{Kind: BatchRMW, Key: key(i), Value: u64(1)})
+		if i%2 == 0 {
+			out := make([]byte, 8)
+			outs[len(ops)] = out
+			ops = append(ops, BatchOp{Kind: BatchRead, Key: key(i), Output: out})
+		}
+	}
+	if err := sess.ExecBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	sess.CompletePending(true)
+	for idx, out := range outs {
+		op := ops[idx]
+		if op.Status == OK {
+			i := leU64(op.Key)
+			if got := leU64(out); got != i*10+1 {
+				t.Fatalf("batch read key %d = %d, want %d", i, got, i*10+1)
+			}
+		}
+	}
+	if st, _ := sess.Delete(key(7)); st != OK {
+		t.Fatalf("delete: %v", st)
+	}
+	if st, _ := sess.Read(key(7), nil, make([]byte, 8), nil); st != NotFound {
+		t.Fatalf("read after delete: %v", st)
+	}
+}
+
+func TestShardedSparseSerialVerdicts(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	ss, _ := openTestSharded(t, 4, Config{})
+	defer ss.Close()
+
+	sess := ss.StartSession()
+	defer sess.Close()
+	if _, err := sess.Bind("sparse-client"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick two keys on different shards so the serial stream visibly
+	// scatters.
+	k1, k2 := key(1), key(1)
+	for i := uint64(2); ; i++ {
+		if ss.ShardFor(key(i)) != ss.ShardFor(k1) {
+			k2 = key(i)
+			break
+		}
+	}
+
+	apply := func(k []byte, serial uint64) {
+		t.Helper()
+		v, _, err := sess.SerialCheckKey(k, serial)
+		if err != nil || v != SerialApply {
+			t.Fatalf("serial %d: verdict %v err %v, want APPLY", serial, v, err)
+		}
+		if st, _ := sess.RMW(k, u64(1), nil); st != OK {
+			t.Fatalf("serial %d rmw: %v", serial, st)
+		}
+		sess.SerialCommitKey(serial, []byte("ok"))
+	}
+	// Serials 1,2 on shard(k1); 3 on shard(k2); 4 back on shard(k1):
+	// each shard sees an ascending subsequence with jumps.
+	apply(k1, 1)
+	apply(k1, 2)
+	apply(k2, 3)
+	apply(k1, 4)
+
+	// Duplicate of the newest serial on each shard replays.
+	if v, reply, _ := sess.SerialCheckKey(k1, 4); v != SerialReplay || string(reply) != "ok" {
+		t.Fatalf("dup of newest on shard(k1): %v %q", v, reply)
+	}
+	if v, _, _ := sess.SerialCheckKey(k2, 3); v != SerialReplay {
+		t.Fatalf("dup of newest on shard(k2): %v", v)
+	}
+	// Older serials are stale, never re-applied.
+	if v, _, _ := sess.SerialCheckKey(k1, 2); v != SerialStale {
+		t.Fatalf("old serial: %v", v)
+	}
+	// A jump forward on a shard is admissible (sparse mode): serial 9
+	// lands on shard(k2) even though that shard last saw 3.
+	apply(k2, 9)
+
+	// Frontier reported on rebind is the max acked over shards.
+	sess2 := ss.StartSession()
+	defer sess2.Close()
+	frontier, err := sess2.Bind("sparse-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frontier != 9 {
+		t.Fatalf("rebound frontier %d, want 9", frontier)
+	}
+}
+
+// shardedSeedData drives stamped serials and plain upserts through a
+// sharded session: serial i RMWs key (i%5)+1 with delta i.
+func shardedSeedData(t testing.TB, ss *ShardedStore, guid string, from, to uint64) {
+	t.Helper()
+	sess := ss.StartSession()
+	defer sess.Close()
+	if _, err := sess.Bind(guid); err != nil {
+		t.Fatal(err)
+	}
+	for serial := from; serial <= to; serial++ {
+		k := key(serial%5 + 1)
+		v, _, err := sess.SerialCheckKey(k, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != SerialApply {
+			t.Fatalf("serial %d: verdict %v", serial, v)
+		}
+		if st, _ := sess.RMW(k, u64(serial), nil); st != OK {
+			t.Fatalf("serial %d rmw status", serial)
+		}
+		sess.SerialCommitKey(serial, []byte(fmt.Sprintf("r%d", serial)))
+	}
+}
+
+// shardedSums returns the expected per-key counter sums for serials
+// [1, to] under shardedSeedData's layout.
+func shardedSums(to uint64) map[uint64]uint64 {
+	sums := map[uint64]uint64{}
+	for serial := uint64(1); serial <= to; serial++ {
+		sums[serial%5+1] += serial
+	}
+	return sums
+}
+
+func verifyShardedSums(t testing.TB, ss *ShardedStore, want map[uint64]uint64) {
+	t.Helper()
+	sess := ss.StartSession()
+	defer sess.Close()
+	for k, v := range want {
+		out := make([]byte, 8)
+		st, err := sess.Read(key(k), nil, out, nil)
+		if st == Pending {
+			for _, res := range sess.CompletePending(true) {
+				st = res.Status
+				if res.Output != nil {
+					copy(out, res.Output)
+				}
+			}
+		}
+		if st != OK || err != nil {
+			t.Fatalf("read key %d: %v %v", k, st, err)
+		}
+		if got := leU64(out); got != v {
+			t.Fatalf("key %d = %d, want %d", k, got, v)
+		}
+	}
+}
+
+func TestShardedCheckpointRecoverRoundTrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	dir := t.TempDir()
+	ss, devs := openTestSharded(t, 4, Config{})
+
+	shardedSeedData(t, ss, "rt-client", 1, 20)
+	if _, err := ss.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	shardedSeedData(t, ss, "rt-client", 21, 40)
+	info, err := ss.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 2 || len(info.Shards) != 4 {
+		t.Fatalf("checkpoint info %+v", info)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := RecoverSharded(shardedTestConfig(4, Config{}, devs), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.ckptSeq.Load() != 2 {
+		t.Fatalf("recovered seq %d, want 2", r.ckptSeq.Load())
+	}
+	verifyShardedSums(t, r, shardedSums(40))
+
+	sess := r.StartSession()
+	defer sess.Close()
+	frontier, err := sess.Bind("rt-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frontier != 40 {
+		t.Fatalf("recovered frontier %d, want 40", frontier)
+	}
+
+	// The offline sessions view agrees with the live rebind.
+	states, err := ReadShardedCheckpointSessions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].GUID != "rt-client" || states[0].Acked != 40 {
+		t.Fatalf("offline sessions view: %+v", states)
+	}
+}
+
+func TestShardedManifestFallbackConsistentPrefix(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	dir := t.TempDir()
+	ss, devs := openTestSharded(t, 4, Config{})
+
+	shardedSeedData(t, ss, "fb-client", 1, 20)
+	if _, err := ss.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	shardedSeedData(t, ss, "fb-client", 21, 40)
+	if _, err := ss.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	ss.Close()
+
+	// Tear one shard's generation-2 meta, modeling a crash that beat the
+	// shard's fsync: the whole ensemble must fall back to generation 1 —
+	// a consistent prefix — never mix gen-2 shards with a gen-1 shard.
+	metaPath := filepath.Join(shardGenDir(dir, 2, 1), "meta.ckpt")
+	raw, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metaPath, raw[:len(raw)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The per-shard meta.prev fallback inside the gen dir must not save
+	// gen 2 either (each gen dir holds exactly one generation).
+	if _, err := os.Stat(filepath.Join(shardGenDir(dir, 2, 1), "meta.prev")); err == nil {
+		t.Fatal("gen dir unexpectedly holds a meta.prev")
+	}
+
+	r, err := RecoverSharded(shardedTestConfig(4, Config{}, devs), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	verifyShardedSums(t, r, shardedSums(20))
+	sess := r.StartSession()
+	defer sess.Close()
+	frontier, err := sess.Bind("fb-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frontier != 20 {
+		t.Fatalf("fallback frontier %d, want 20 (generation 1)", frontier)
+	}
+}
+
+func TestShardedPerShardHealthIsolation(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	ss, _ := openTestSharded(t, 4, Config{})
+	defer ss.Close()
+
+	bad := errors.New("injected shard fault")
+	ss.Shard(2).raiseHealth(ReadOnly, bad)
+
+	if h := ss.ShardHealth(2); h != ReadOnly {
+		t.Fatalf("shard 2 health %v", h)
+	}
+	for i := 0; i < 4; i++ {
+		if i != 2 && ss.ShardHealth(i) != Healthy {
+			t.Fatalf("sibling shard %d degraded to %v", i, ss.ShardHealth(i))
+		}
+	}
+	if ss.Health() != ReadOnly {
+		t.Fatalf("aggregate health %v, want worst shard's", ss.Health())
+	}
+	if !errors.Is(ss.HealthCause(), bad) {
+		t.Fatalf("aggregate cause %v", ss.HealthCause())
+	}
+
+	// Writes to the poisoned shard fail; the siblings keep serving both
+	// reads and writes.
+	sess := ss.StartSession()
+	defer sess.Close()
+	served, rejected := 0, 0
+	for i := uint64(1); i <= 64; i++ {
+		st, err := sess.Upsert(key(i), u64(i))
+		if ss.ShardFor(key(i)) == 2 {
+			if st != Err || !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("write to poisoned shard: %v %v", st, err)
+			}
+			rejected++
+		} else {
+			if st != OK || err != nil {
+				t.Fatalf("write to healthy shard %d: %v %v", ss.ShardFor(key(i)), st, err)
+			}
+			served++
+		}
+	}
+	if served == 0 || rejected == 0 {
+		t.Fatalf("test keys never straddled the poisoned shard (served %d rejected %d)", served, rejected)
+	}
+}
+
+func TestShardedSingleShardCheckpointLayoutCompat(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	dir := t.TempDir()
+	ss, devs := openTestSharded(t, 1, Config{})
+
+	sess := ss.StartSession()
+	for i := uint64(1); i <= 50; i++ {
+		sess.Upsert(key(i), u64(i))
+	}
+	sess.Close()
+	if _, err := ss.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	ss.Close()
+
+	// One shard uses the flat layout: plain Recover must read it.
+	if _, err := os.Stat(filepath.Join(dir, "meta.ckpt")); err != nil {
+		t.Fatalf("single-shard checkpoint did not use the flat layout: %v", err)
+	}
+	cfg := shardedTestConfig(1, Config{}, devs).Base
+	cfg.Device = devs[0]
+	s, err := Recover(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rsess := s.StartSession()
+	defer rsess.Close()
+	if got, st := readU64(t, rsess, key(7)); st != OK || got != 7 {
+		t.Fatalf("recovered key 7 = %d (%v)", got, st)
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+var _ = hlog.Address(0)
+var _ = bytes.Equal

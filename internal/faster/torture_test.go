@@ -279,3 +279,282 @@ func runTortureCase(t *testing.T, seed, crashBudget int64, noisy bool, crashed, 
 		}
 	}
 }
+
+// TestShardedCrashTorture is the per-shard crash matrix: a stamped
+// client scatters its serial stream over a 4-shard store (per-key
+// counters, seeded duplicate re-deliveries), sharded checkpoints commit
+// generations mid-stream, and then one seeded victim shard's device is
+// armed to die on its next write — which lands inside the next
+// checkpoint's flush, killing that shard mid-checkpoint. The manifest
+// must not advance over the dead shard's generation, the siblings must
+// keep serving while the victim alone fails, and recovery over the
+// surviving media must restore the last committed generation's
+// consistent cut on every shard: the re-bound connection frontier is
+// exactly the serial cut of that generation, and resubmitting
+// everything above it yields every delta applied exactly once.
+func TestShardedCrashTorture(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	seeds := exactlyOnceSeeds(t)
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runShardedCrashCase(t, int64(seed)*7919+17)
+		})
+	}
+}
+
+func runShardedCrashCase(t *testing.T, seed int64) {
+	const (
+		shards    = 4
+		totalOps  = 60
+		keySpace  = 16
+		killAfter = totalOps / 2
+	)
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+
+	mems := make([]*device.Mem, shards)
+	faulties := make([]*device.Faulty, shards)
+	for i := range mems {
+		mems[i] = device.NewMem(device.MemConfig{})
+		faulties[i] = device.NewFaulty(mems[i])
+	}
+	defer func() {
+		for _, m := range mems {
+			m.Close()
+		}
+	}()
+	base := Config{Ops: SumOps{}, PageBits: 12, BufferPages: 8,
+		IndexBuckets: 1 << 9,
+		ReadRetry:    retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
+		WriteRetry:   retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond}}
+	cfg := ShardedConfig{Shards: shards, Base: base,
+		NewDevice: func(i int) device.Device { return faulties[i] }}
+	ss, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fixed schedule: serial i targets keys[i] with deltas[i], so the
+	// post-crash retry resends byte-identical operations and the final
+	// per-key sums are computable up front.
+	keys := make([]uint64, totalOps+1)
+	deltas := make([]uint64, totalOps+1)
+	want := map[uint64]uint64{}
+	for i := 1; i <= totalOps; i++ {
+		keys[i] = uint64(rng.Intn(keySpace) + 1)
+		deltas[i] = uint64(rng.Intn(9) + 1)
+		want[keys[i]] += deltas[i]
+	}
+	// The victim must own at least one scheduled key, or no write ever
+	// reaches its device and there is nothing to kill mid-checkpoint.
+	owners := map[int]bool{}
+	for i := 1; i <= totalOps; i++ {
+		owners[ss.ShardFor(key(keys[i]))] = true
+	}
+	victims := make([]int, 0, shards)
+	for i := 0; i < shards; i++ {
+		if owners[i] {
+			victims = append(victims, i)
+		}
+	}
+	victim := victims[int(seed)%len(victims)]
+
+	sess := ss.StartSession()
+	if _, err := sess.Bind("torture-client"); err != nil {
+		t.Fatal(err)
+	}
+
+	drain := func() Result {
+		results, derr := sess.CompletePendingTimeout(10 * time.Second)
+		if derr != nil {
+			t.Fatalf("pending op hung instead of completing: %v", derr)
+		}
+		if len(results) != 1 {
+			t.Fatalf("drained %d results, want 1", len(results))
+		}
+		return results[0]
+	}
+	submit := func(serial uint64) {
+		k := key(keys[serial])
+		v, _, err := sess.SerialCheckKey(k, serial)
+		if err != nil {
+			t.Fatalf("serial %d: %v", serial, err)
+		}
+		if v != SerialApply {
+			// Sparse per-shard tables: a re-delivered serial is Replay
+			// while it is the newest on its shard, Stale once a later
+			// serial has landed there.
+			if v != SerialReplay && v != SerialStale {
+				t.Fatalf("serial %d: verdict %v", serial, v)
+			}
+			return
+		}
+		st, rerr := sess.RMW(k, u64(deltas[serial]), nil)
+		if st == Pending {
+			res := drain()
+			st, rerr = res.Status, res.Err
+		}
+		if st != OK {
+			t.Fatalf("serial %d: rmw failed: %v %v", serial, st, rerr)
+		}
+		sess.SerialCommitKey(serial, []byte("ACK"))
+	}
+
+	var (
+		clientAcked   uint64
+		checkpoints   int
+		lastCkptAcked uint64
+		victimTouched bool
+	)
+	for clientAcked < totalOps {
+		next := clientAcked + 1
+		submit(next)
+		clientAcked = next
+		if ss.ShardFor(key(keys[next])) == victim {
+			victimTouched = true
+		}
+		if rng.Intn(10) == 0 {
+			submit(next) // duplicate re-delivery
+		}
+		if clientAcked >= killAfter && checkpoints > 0 && victimTouched {
+			break // go kill the victim mid-checkpoint
+		}
+		if rng.Intn(8) == 0 {
+			if _, err := ss.Checkpoint(dir); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			checkpoints++
+			lastCkptAcked = clientAcked
+			victimTouched = false
+		}
+	}
+	if clientAcked >= totalOps {
+		t.Fatalf("schedule never reached its kill point (checkpoints=%d)", checkpoints)
+	}
+
+	// Arm the victim: its very next device write tears and the device
+	// dies — and the next write is the checkpoint's flush of the
+	// victim's unflushed tail, so the shard dies mid-checkpoint.
+	faulties[victim].CrashAfterBytes(1)
+	if _, err := ss.Checkpoint(dir); err == nil {
+		t.Fatal("checkpoint committed its manifest over a dead shard")
+	}
+
+	// Siblings keep serving: one probe key per healthy shard must accept
+	// a write and read it back; the victim's probe must fail alone.
+	probes := make(map[int]uint64)
+	for j := uint64(10000); len(probes) < shards && j < 12000; j++ {
+		sh := ss.ShardFor(key(j))
+		if _, ok := probes[sh]; !ok {
+			probes[sh] = j
+		}
+	}
+	for sh, pk := range probes {
+		st, perr := sess.Upsert(key(pk), u64(pk))
+		if sh == victim {
+			if st == OK {
+				// The write may be acknowledged in memory; durability is
+				// gone but in-memory serving can legitimately continue
+				// until the health ladder trips. Either outcome is fine
+				// for the victim — the siblings are the assertion.
+				continue
+			}
+			continue
+		}
+		if st != OK {
+			t.Fatalf("healthy shard %d stopped serving after sibling death: %v %v", sh, st, perr)
+		}
+		got, gst := readShardedU64(t, sess, pk)
+		if gst != OK || got != pk {
+			t.Fatalf("healthy shard %d read = (%d, %v), want (%d, OK)", sh, got, gst, pk)
+		}
+	}
+
+	if _, derr := sess.CompletePendingTimeout(10 * time.Second); derr != nil {
+		t.Fatalf("post-kill drain hung: %v", derr)
+	}
+	sess.Close()
+	ss.Close()
+
+	// Recover from the surviving media: fresh handles on the same Mems.
+	rcfg := cfg
+	rcfg.NewDevice = func(i int) device.Device { return mems[i] }
+	r, err := RecoverSharded(rcfg, dir)
+	if err != nil {
+		t.Fatalf("sharded recovery after mid-checkpoint kill: %v", err)
+	}
+	defer r.Close()
+
+	rs := r.StartSession()
+	defer rs.Close()
+	frontier, err := rs.Bind("torture-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead shard's generation never committed, so recovery must land
+	// on the last manifest that did — whose serial cut is exactly the
+	// client's acked frontier at that checkpoint, on every shard.
+	if frontier != lastCkptAcked {
+		t.Fatalf("recovered frontier %d, want last committed cut %d (checkpoints=%d)",
+			frontier, lastCkptAcked, checkpoints)
+	}
+	for serial := frontier + 1; serial <= totalOps; serial++ {
+		submit2 := func() {
+			k := key(keys[serial])
+			v, _, err := rs.SerialCheckKey(k, serial)
+			if err != nil {
+				t.Fatalf("retry serial %d: %v", serial, err)
+			}
+			if v != SerialApply {
+				t.Fatalf("retry serial %d: verdict %v, want Apply above frontier", serial, v)
+			}
+			st, rerr := rs.RMW(k, u64(deltas[serial]), nil)
+			if st == Pending {
+				results, derr := rs.CompletePendingTimeout(10 * time.Second)
+				if derr != nil || len(results) != 1 {
+					t.Fatalf("retry serial %d stalled: %v", serial, derr)
+				}
+				st, rerr = results[0].Status, results[0].Err
+			}
+			if st != OK {
+				t.Fatalf("retry serial %d: %v %v", serial, st, rerr)
+			}
+			rs.SerialCommitKey(serial, []byte("ACK"))
+		}
+		submit2()
+	}
+	rs.Unbind()
+	for k2 := uint64(1); k2 <= keySpace; k2++ {
+		wantV, ok := want[k2]
+		got, st := readShardedU64(t, rs, k2)
+		switch {
+		case ok && (st != OK || got != wantV):
+			t.Errorf("key %d = (%d, %v) after recovery+retry, want (%d, OK)", k2, got, st, wantV)
+		case !ok && st != NotFound:
+			t.Errorf("key %d = (%d, %v) after recovery+retry, want NotFound", k2, got, st)
+		}
+	}
+}
+
+// readShardedU64 reads key k through a sharded session, draining a
+// pending completion if the read chases storage.
+func readShardedU64(t *testing.T, sess *ShardedSession, k uint64) (uint64, Status) {
+	t.Helper()
+	out := make([]byte, 8)
+	st, err := sess.Read(key(k), nil, out, nil)
+	if st == Pending {
+		results, derr := sess.CompletePendingTimeout(10 * time.Second)
+		if derr != nil || len(results) != 1 {
+			t.Fatalf("read of key %d stalled: %v (%d results)", k, derr, len(results))
+		}
+		st, err = results[0].Status, results[0].Err
+		if results[0].Output != nil {
+			copy(out, results[0].Output)
+		}
+	}
+	if err != nil && st != Err {
+		t.Fatalf("read of key %d: %v %v", k, st, err)
+	}
+	return binary.LittleEndian.Uint64(out), st
+}

@@ -492,16 +492,27 @@ func (l *Log) Allocate(size uint32, g *epoch.Guard) (Address, error) {
 		}
 		// Another thread is opening the new page: spin until the tail
 		// word becomes valid again, then retry (Alg 1 lines 17-19).
+		//
+		// The wait must refresh eagerly and back off to sleeps, not busy
+		// Gosched: the opener is blocked behind two epoch round-trips
+		// (flush the read-only span, then close the evicted frames), and
+		// each round-trip completes only after every waiter here has
+		// published a fresh epoch. Waiters that spin hot with rare
+		// refreshes starve the opener of CPU and stretch every
+		// page turn into a scheduler convoy — with enough writers the
+		// whole store collapses to a few page turns per second.
 		waitStart := time.Now()
 		for spins := 0; ; spins++ {
 			_, off := unpack(l.tailWord.Load())
 			if off <= l.pageSize {
 				break
 			}
-			if spins%64 == 63 {
-				if g != nil {
-					g.Refresh()
-				}
+			if g != nil {
+				g.Refresh()
+			}
+			if spins > 64 {
+				time.Sleep(10 * time.Microsecond)
+			} else {
 				runtime.Gosched()
 			}
 			if l.closed.Load() {

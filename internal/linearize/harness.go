@@ -16,6 +16,41 @@ import (
 // CompletePending) into a history the checker can verify. Values are the
 // 8-byte counters of faster.SumOps.
 
+// Target abstracts the store under test so the same workloads run
+// against a plain *faster.Store or a *faster.ShardedStore. Both satisfy
+// the method set directly except for session construction, whose
+// concrete return types differ; the two adapters below bridge that.
+type Target interface {
+	NewSession() TargetSession
+	SubmitRead(key, input []byte, outLen int, deadline time.Time, ctx any, done func(faster.Result)) error
+	SubmitRMW(key, input []byte, deadline time.Time, ctx any, done func(faster.Result)) error
+}
+
+// TargetSession is the slice of the session API the harness drives.
+type TargetSession interface {
+	Read(key, input, output []byte, ctx any) (faster.Status, error)
+	Upsert(key, value []byte) (faster.Status, error)
+	RMW(key, input []byte, ctx any) (faster.Status, error)
+	Delete(key []byte) (faster.Status, error)
+	ExecBatch(ops []faster.BatchOp) error
+	CompletePending(wait bool) []faster.Result
+	Park()
+	Unpark()
+	Close() error
+}
+
+// StoreTarget adapts *faster.Store to Target.
+type StoreTarget struct{ *faster.Store }
+
+// NewSession starts a plain store session.
+func (t StoreTarget) NewSession() TargetSession { return t.Store.StartSession() }
+
+// ShardedTarget adapts *faster.ShardedStore to Target.
+type ShardedTarget struct{ *faster.ShardedStore }
+
+// NewSession starts a sharded session spanning every shard.
+func (t ShardedTarget) NewSession() TargetSession { return t.ShardedStore.StartSession() }
+
 // Workload describes one concurrent run.
 type Workload struct {
 	// Clients is the number of concurrent sessions (default 4).
@@ -110,15 +145,25 @@ func (w *Workload) defaults() {
 // recorded history. The recorder is returned too so callers can extend
 // the history on the same clock (checkpoint/recover scenarios).
 func RunWorkload(store *faster.Store, w Workload) ([]Op, *Recorder) {
-	w.defaults()
-	rec := NewRecorder()
-	RecordWorkload(store, rec, w)
-	return rec.History(), rec
+	return RunWorkloadTarget(StoreTarget{store}, w)
 }
 
 // RecordWorkload runs the workload, recording into rec (which may
 // already hold history from an earlier phase on the same clock).
 func RecordWorkload(store *faster.Store, rec *Recorder, w Workload) {
+	RecordWorkloadTarget(StoreTarget{store}, rec, w)
+}
+
+// RunWorkloadTarget is RunWorkload over any Target (plain or sharded).
+func RunWorkloadTarget(store Target, w Workload) ([]Op, *Recorder) {
+	w.defaults()
+	rec := NewRecorder()
+	RecordWorkloadTarget(store, rec, w)
+	return rec.History(), rec
+}
+
+// RecordWorkloadTarget is RecordWorkload over any Target.
+func RecordWorkloadTarget(store Target, rec *Recorder, w Workload) {
 	w.defaults()
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -152,7 +197,7 @@ type pendingCtx struct {
 }
 
 // runClient issues one session's operations, recording each into log.
-func runClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
+func runClient(store Target, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
 	if w.Batch > 1 {
 		runBatchClient(store, clientID, log, rng, w)
 		return
@@ -161,7 +206,7 @@ func runClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand
 		runAsyncClient(store, clientID, log, rng, w)
 		return
 	}
-	sess := store.StartSession()
+	sess := store.NewSession()
 	inFlight := 0
 
 	drain := func(wait bool) {
@@ -266,8 +311,8 @@ type asyncDone struct {
 // and deletes run on the client's session as usual. The invoke/response
 // interval of a pooled op spans submit to delivery, which is exactly
 // the pool's linearizability surface.
-func runAsyncClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
-	sess := store.StartSession()
+func runAsyncClient(store Target, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
+	sess := store.NewSession()
 	resCh := make(chan asyncDone, w.Ops+1)
 	inFlight := 0
 
@@ -367,8 +412,8 @@ func runAsyncClient(store *faster.Store, clientID int, log *ClientLog, rng *rand
 // Status after the batch call, so its history interval brackets the
 // batch execution; slots that go Pending complete through the ordinary
 // CompletePending drain, matched by the same pendingCtx.
-func runBatchClient(store *faster.Store, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
-	sess := store.StartSession()
+func runBatchClient(store Target, clientID int, log *ClientLog, rng *rand.Rand, w Workload) {
+	sess := store.NewSession()
 	inFlight := 0
 
 	drain := func(wait bool) {

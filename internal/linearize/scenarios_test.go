@@ -10,6 +10,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/faster"
 	"repro/internal/hlog"
+	"repro/internal/testutil"
 )
 
 // The scenarios below replay seeded pseudo-random schedules against real
@@ -495,6 +496,223 @@ func TestLinearizableExactlyOnce(t *testing.T) {
 			case Illegal:
 				t.Fatalf("history is NOT linearizable (%d states explored)\nminimized counterexample:\n%s",
 					r.States, Format(EOModel(), r.Counterexample))
+			case Unknown:
+				t.Fatalf("checker exceeded its %v budget (longest prefix %d/%d)",
+					checkBudget, r.LongestPrefix, len(h))
+			}
+			t.Logf("history=%d ops, states=%d", len(h), r.States)
+		})
+	}
+}
+
+// openScenarioSharded builds an n-shard store with one fault-injecting
+// device per shard; the devices survive a store crash so recovery
+// scenarios can reopen over them.
+func openScenarioSharded(t *testing.T, n int, seed int64, base faster.Config) (faster.ShardedConfig, *faster.ShardedStore) {
+	t.Helper()
+	if base.Ops == nil {
+		base.Ops = faster.SumOps{}
+	}
+	if base.IndexBuckets == 0 {
+		base.IndexBuckets = 1 << 9
+	}
+	devs := make([]device.Device, n)
+	for i := range devs {
+		f := device.NewFaulty(device.NewMem(device.MemConfig{}))
+		f.SeedFaults(uint64(seed)+uint64(i), 0.05, 0)
+		devs[i] = f
+	}
+	t.Cleanup(func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	})
+	cfg := faster.ShardedConfig{
+		Shards:    n,
+		Base:      base,
+		NewDevice: func(i int) device.Device { return devs[i] },
+	}
+	ss, err := faster.OpenSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, ss
+}
+
+// TestLinearizableSharded is the cluster scenario: multi-key batch
+// windows span shards as concurrent per-shard fan-outs while a chaos
+// goroutine compacts every shard independently, then a second
+// (non-batched) phase on the same clock races a sharded checkpoint —
+// every shard cut under the global serial barrier — crashes the
+// ensemble, recovers from the manifest and observes every key. Each
+// shard runs on its own fault-injecting device, so reads chase evicted
+// records into per-shard pending I/O throughout.
+func TestLinearizableSharded(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testutil.CheckGoroutines(t)
+			const shards, keys = 4, 32
+			dir := t.TempDir()
+			cfg, ss := openScenarioSharded(t, shards, seed, faster.Config{
+				Mode:        hlog.ModeHybrid,
+				PageBits:    9, // 512-byte pages: records spill to storage fast
+				BufferPages: 4,
+			})
+
+			rec := NewRecorder()
+
+			// Phase 1: batched multi-shard windows racing per-shard
+			// compaction. The compaction sweep stops at half the phase's
+			// events: continuous compaction would copy every record back
+			// to the resident tail, so the second half is what lets the
+			// per-shard buffers overflow and batched reads chase evicted
+			// records into pending I/O.
+			compactions := 0
+			RecordWorkloadTarget(ShardedTarget{ss}, rec, Workload{
+				// Four shards split the data: the per-shard volume must
+				// still overflow each shard's 4-page buffer.
+				Clients: 4, Ops: 400, Keys: keys, Seed: seed,
+				Batch: 7, PendingBatch: 6,
+				// The shift keeps every shard flushing and evicting even
+				// after the compaction sweep stops.
+				Interleave: func(client, n int) {
+					if n%4 == 0 {
+						for i := 0; i < ss.NumShards(); i++ {
+							ss.Shard(i).Log().ShiftReadOnlyToTail()
+						}
+					}
+				},
+				Chaos: func(stop <-chan struct{}) {
+					for rec.Peek() < 4*400 {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for i := 0; i < ss.NumShards(); i++ {
+							sh := ss.Shard(i)
+							sh.Log().ShiftReadOnlyToTail()
+							cut := sh.Log().SafeReadOnlyAddress() &^ (sh.Log().PageSize() - 1)
+							if cut > sh.Log().BeginAddress() {
+								if _, err := sh.Compact(cut); err == nil {
+									compactions++
+								}
+							}
+						}
+						runtime.Gosched()
+					}
+				},
+			})
+			if compactions == 0 {
+				t.Error("phase 1 never completed a per-shard compaction")
+			}
+
+			// Phase 2: per-op traffic racing a sharded checkpoint, then a
+			// crash. Quiesce bounds the crash window exactly as in the
+			// single-store checkpoint scenario.
+			phase1End := rec.Now()
+			var ckptStart, ckptEnd int64
+			ckptDone := make(chan error, 1)
+			quiesce := make(chan struct{})
+			RecordWorkloadTarget(ShardedTarget{ss}, rec, Workload{
+				Clients: 4, Ops: 80, Keys: keys, Seed: seed + 1,
+				PendingBatch: 6,
+				Quiesce:      quiesce, QuiesceTail: 5,
+				Chaos: func(stop <-chan struct{}) {
+					for rec.Peek() < phase1End+4*80*2/3 {
+						select {
+						case <-stop:
+							goto checkpoint
+						default:
+							runtime.Gosched()
+						}
+					}
+				checkpoint:
+					ckptStart = rec.Now()
+					close(quiesce)
+					_, err := ss.Checkpoint(dir)
+					ckptEnd = rec.Now()
+					ckptDone <- err
+				},
+			})
+			if err := <-ckptDone; err != nil {
+				t.Fatal(err)
+			}
+			var pendingIOs uint64
+			for i := 0; i < ss.NumShards(); i++ {
+				pendingIOs += ss.Shard(i).Stats().PendingIOs
+			}
+			if pendingIOs == 0 {
+				t.Error("scenario did not exercise per-shard pending I/O")
+			}
+			pre := PruneCrashWindow(rec.History(), ckptStart, ckptEnd)
+			ss.Close() // the "crash": recovery trusts only the manifest
+
+			r, err := faster.RecoverSharded(cfg, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			// Observe the recovered state of every key on the same clock.
+			c := rec.Client(99)
+			sess := r.StartSession()
+			for k := uint64(1); k <= keys; k++ {
+				key := make([]byte, 8)
+				binary.LittleEndian.PutUint64(key, k)
+				out := make([]byte, 8)
+				id := c.Begin(KVInput{Kind: KVRead, Key: k})
+				st, err := sess.Read(key, nil, out, nil)
+				if st == faster.Pending {
+					results := sess.CompletePending(true)
+					if len(results) != 1 {
+						t.Fatalf("CompletePending: %d results", len(results))
+					}
+					st, err = results[0].Status, results[0].Err
+				}
+				switch st {
+				case faster.OK:
+					c.End(id, KVOutput{Found: true, Val: binary.LittleEndian.Uint64(out)})
+				case faster.NotFound:
+					c.End(id, KVOutput{})
+				default:
+					t.Fatalf("post-recovery read of key %d: %v %v", k, st, err)
+				}
+			}
+			sess.Close()
+
+			checkHistory(t, nil, append(pre, c.History()...))
+		})
+	}
+}
+
+// TestLinearizableExactlyOnceSharded is the sharded duplicate-delivery
+// scenario: stamped sessions scatter their serial streams across shards
+// (each shard's table admitting an ascending subsequence), two sharded
+// checkpoints commit generations mid-run, the ensemble crashes and
+// recovers from the manifest, and every session resubmits above the
+// connection frontier — the max acked serial over shards, sound only
+// because the checkpoint cut every shard at one serial barrier.
+func TestLinearizableExactlyOnceSharded(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testutil.CheckGoroutines(t)
+			cfg, ss := openScenarioSharded(t, 4, seed, faster.Config{
+				Mode:        hlog.ModeHybrid,
+				PageBits:    12,
+				BufferPages: 8,
+			})
+			ss.Close() // RunExactlyOnceSharded opens its own store over the devices
+
+			h, err := RunExactlyOnceSharded(cfg, t.TempDir(), EOShardedWorkload{Sessions: 3, Serials: 12, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := Check(EOShardedModel(), h, checkBudget)
+			switch r.Outcome {
+			case Illegal:
+				t.Fatalf("history is NOT linearizable (%d states explored)\nminimized counterexample:\n%s",
+					r.States, Format(EOShardedModel(), r.Counterexample))
 			case Unknown:
 				t.Fatalf("checker exceeded its %v budget (longest prefix %d/%d)",
 					checkBudget, r.LongestPrefix, len(h))

@@ -51,6 +51,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if cause := s.store.HealthCause(); cause != nil {
 		body["health_cause"] = cause.Error()
 	}
+	// Per-shard detail: the aggregate is the worst shard, so a balancer
+	// (or an operator) can see which shard is degrading the node and how
+	// much of the key space is still served.
+	if n := s.store.NumShards(); n > 1 {
+		shardHealth := make([]string, n)
+		serving := 0
+		for i := 0; i < n; i++ {
+			h := s.store.ShardHealth(i)
+			shardHealth[i] = h.String()
+			if h <= faster.Degraded {
+				serving++
+			}
+		}
+		body["shards"] = n
+		body["shard_health"] = shardHealth
+		body["shards_serving"] = serving
+	}
 	code := http.StatusServiceUnavailable
 	// ReadOnly is deliberately not ready: a balancer that can't route by
 	// command type must stop sending this node writes.

@@ -1,5 +1,17 @@
 // Package server is the FASTER network front-end: a RESP2-speaking TCP
-// server over a *faster.Store, designed around failure from day one.
+// server over a sharded FASTER store, designed around failure from day
+// one.
+//
+// The front-end is cluster-aware: it serves a *faster.ShardedStore
+// whose shards are independent stores (own index, log, epoch domain,
+// io-pool and checkpoint generation) behind consistent-hash routing.
+// Single-key commands route to their key's shard; pipelined windows and
+// the multi-key MGET/MSET split into concurrent per-shard sub-batches
+// inside the session facade and rejoin in command order. The health
+// ladder is per shard: one poisoned shard degrades or sheds only the
+// keys it owns while its siblings keep full service, and only a fully
+// failed ensemble sheds connections. ListenAndServe wraps a flat store
+// as a one-shard ensemble, so the single-store behaviour is unchanged.
 //
 // The ROADMAP's north star is a store "serving heavy traffic from
 // millions of users"; what turns a storage engine into such a service is
@@ -33,10 +45,11 @@
 //     takes a final checkpoint — provably leak-free (the chaos soak
 //     asserts zero leaked goroutines under -race).
 //
-// Protocol: GET/SET/DEL return Redis-shaped replies; INCRBY maps onto
-// FASTER's RMW with faster.VarLenOps counter semantics (the store must
-// be opened with Ops: faster.VarLenOps{}); PING/ECHO/QUIT/COMMAND cover
-// interop. Values are framed server-side with faster.VarLenEncode.
+// Protocol: GET/SET/DEL return Redis-shaped replies; MGET/MSET execute
+// multi-key windows as per-shard fan-outs; INCRBY maps onto FASTER's
+// RMW with faster.VarLenOps counter semantics (the store must be opened
+// with Ops: faster.VarLenOps{}); PING/ECHO/QUIT/COMMAND cover interop.
+// Values are framed server-side with faster.VarLenEncode.
 //
 // Exactly-once sessions (the CPR session extension): "SESSION <guid>"
 // binds the connection to a durable store session and replies :<acked>,
@@ -166,11 +179,11 @@ var ErrDrainTimeout = errors.New("server: graceful drain exceeded its deadline")
 
 // Server is a running front-end.
 type Server struct {
-	store *faster.Store
+	store *faster.ShardedStore
 	cfg   Config
 	ln    net.Listener
 
-	sessions chan *faster.Session
+	sessions chan *faster.ShardedSession
 	inflight chan struct{}
 
 	connMu sync.Mutex
@@ -187,9 +200,22 @@ type Server struct {
 	mx serverMetrics
 }
 
-// ListenAndServe starts a front-end for store on addr ("127.0.0.1:0"
-// picks a free port; see Addr).
+// ListenAndServe starts a front-end for a flat store on addr
+// ("127.0.0.1:0" picks a free port; see Addr). The store is served as a
+// one-shard ensemble; semantics are identical to the pre-sharding
+// server.
 func ListenAndServe(store *faster.Store, addr string, cfg Config) (*Server, error) {
+	ss, err := faster.NewShardedFromStores([]*faster.Store{store})
+	if err != nil {
+		return nil, err
+	}
+	return ListenAndServeSharded(ss, addr, cfg)
+}
+
+// ListenAndServeSharded starts a cluster-aware front-end over a sharded
+// store: commands route to their keys' shards, pipelined and multi-key
+// windows fan out per shard, and the health ladder gates per shard.
+func ListenAndServeSharded(store *faster.ShardedStore, addr string, cfg Config) (*Server, error) {
 	cfg.setDefaults()
 	if cfg.Sessions > store.MaxSessions() {
 		return nil, fmt.Errorf("server: %d sessions exceed the store's cap of %d",
@@ -203,7 +229,7 @@ func ListenAndServe(store *faster.Store, addr string, cfg Config) (*Server, erro
 		store:    store,
 		cfg:      cfg,
 		ln:       ln,
-		sessions: make(chan *faster.Session, cfg.Sessions),
+		sessions: make(chan *faster.ShardedSession, cfg.Sessions),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
@@ -232,8 +258,22 @@ func ListenAndServe(store *faster.Store, addr string, cfg Config) (*Server, erro
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Store exposes the store being served (admin handler, tests).
-func (s *Server) Store() *faster.Store { return s.store }
+// Store exposes shard 0's flat store (single-shard servers, tests).
+func (s *Server) Store() *faster.Store { return s.store.Shard(0) }
+
+// Sharded exposes the full ensemble being served.
+func (s *Server) Sharded() *faster.ShardedStore { return s.store }
+
+// allShardsFailed reports whether every shard has lost its device — the
+// only condition under which the ensemble as a whole sheds connections.
+func (s *Server) allShardsFailed() bool {
+	for i := 0; i < s.store.NumShards(); i++ {
+		if s.store.ShardHealth(i) != faster.Failed {
+			return false
+		}
+	}
+	return true
+}
 
 // ---------------------------------------------------------------------------
 // Accept loop
@@ -525,14 +565,21 @@ type connState struct {
 	ioch  chan faster.Result
 
 	// Exactly-once session state: token is the connection's durable
-	// session binding (SESSION <guid>), released on teardown. smeta and
-	// slotop carry per-slot serial bookkeeping through a batched run:
-	// slotop[i] indexes the slot's BatchOp, or -1 when the serial verdict
-	// resolved the slot without executing (replay/stale/gap/fenced).
-	token  *faster.SessionToken
-	smeta  []slotMeta
-	slotop []int
-	ackBuf []byte // scratch for rendering "ACK <serial> <result>" bodies
+	// sharded session binding (SESSION <guid>), released on teardown; a
+	// stamped operation runs under its key's shard token. nextSerial is
+	// the connection's stream-wide gap detector — sparse per-shard serial
+	// tables admit any forward serial, so only the connection (which sees
+	// the whole stream) can reject one that skips ahead. smeta and slotop
+	// carry per-slot serial bookkeeping through a batched run: slotop[i]
+	// indexes the slot's BatchOp, or -1 when the serial verdict resolved
+	// the slot without executing (replay/stale/gap/fenced).
+	token      *faster.ShardedToken
+	nextSerial uint64
+	smeta      []slotMeta
+	slotop     []int
+	slotTok    []*faster.SessionToken // per-slot shard token (batch pre-scan)
+	winOpen    []bool                 // per-shard open-window marks (batch scratch)
+	ackBuf     []byte                 // scratch for rendering "ACK <serial> <result>" bodies
 }
 
 // asyncCmd is a command continuation for a WouldBlock miss: the step of
@@ -547,11 +594,13 @@ type asyncCmd struct {
 
 // slotMeta is one batched slot's serial bookkeeping. verdict is only
 // meaningful when serial > 0; saved holds the reply body to emit for
-// replayed and committed slots.
+// replayed and committed slots; tok is the key's shard token the serial
+// was admitted on.
 type slotMeta struct {
 	serial    uint64
 	verdict   faster.SerialVerdict
 	saved     []byte
+	tok       *faster.SessionToken
 	committed bool
 }
 
@@ -608,6 +657,10 @@ func (c *connState) dispatch(args [][]byte) bool {
 			}
 		}
 		return ok
+	case "MGET":
+		return c.doMGet(args)
+	case "MSET":
+		return c.doMSet(args)
 	case "SESSION":
 		return c.doSession(args)
 	case "COMPACT":
@@ -662,16 +715,37 @@ func (c *connState) dataCommand(name string, args [][]byte) bool {
 			c.w.WriteError("ERR no session bound; send SESSION <guid> first")
 			return true
 		}
+		if name == "DEL" && len(sargs) != 2 {
+			// A serial lives on exactly one shard — its key's — so a
+			// stamped DEL cannot span the key space.
+			c.w.WriteError("ERR a stamped DEL takes exactly one key")
+			return true
+		}
 	}
 	args = sargs
 
-	// Health ladder. ReadOnly: writes fail fast, reads keep serving.
-	// Failed: shed the connection — nothing behind us can serve it.
-	switch s.store.Health() {
+	// Health ladder, per shard: the command is gated by the health of the
+	// shards its keys route to, so one poisoned shard degrades only its
+	// own keys. ReadOnly: writes fail fast, reads keep serving. Failed:
+	// the key is unservable, but the connection is shed only when every
+	// shard is gone — siblings keep serving their keys.
+	var kh faster.Health
+	if len(args) >= 2 {
+		if name == "DEL" {
+			for _, k := range args[1:] {
+				if h := s.store.HealthFor(k); h > kh {
+					kh = h
+				}
+			}
+		} else {
+			kh = s.store.HealthFor(args[1])
+		}
+	}
+	switch kh {
 	case faster.Failed:
 		s.mx.failedRejects.Inc()
 		c.w.WriteError("FAILED store failed (device lost)")
-		return false
+		return !s.allShardsFailed()
 	case faster.ReadOnly:
 		if isWrite {
 			s.mx.readonlyRejects.Inc()
@@ -776,19 +850,32 @@ func (c *connState) doSession(args [][]byte) bool {
 		c.token.Release()
 	}
 	c.token = tok
+	// The frontier is the maximum committed serial across shards; the
+	// barrier inside the sharded checkpoint guarantees the committed
+	// serials form a prefix, so frontier+1 is the next expected serial.
+	c.nextSerial = acked + 1
 	c.w.WriteInt(int64(acked))
 	return true
 }
 
-// doStamped executes one serial-tagged write under the session's window
-// discipline: admit the serial, run the op, commit the rendered reply
-// crash-atomically with respect to checkpoints, then acknowledge with
-// "+ACK <serial> <result>". Non-apply verdicts resolve without touching
-// the store.
-func (c *connState) doStamped(sess *faster.Session, name string, args [][]byte, serial uint64) bool {
-	tok := c.token
+// doStamped executes one serial-tagged write under the key's shard
+// window discipline: admit the serial on the shard owning the key, run
+// the op, commit the rendered reply crash-atomically with respect to
+// checkpoints, then acknowledge with "+ACK <serial> <result>".
+// Non-apply verdicts resolve without touching the store. The shard
+// token only orders its own sub-stream, so the connection-level
+// nextSerial check rejects serials that skip ahead of the whole stream.
+func (c *connState) doStamped(sess *faster.ShardedSession, name string, args [][]byte, serial uint64) bool {
+	tok := c.token.For(args[1])
 	tok.WindowEnter()
 	v, saved := tok.Check(serial)
+	if v == faster.SerialApply && serial > c.nextSerial {
+		// Exiting the window rolls the admission back, so the serial
+		// stays retryable once the client fills the gap.
+		tok.WindowExit()
+		c.w.WriteError(fmt.Sprintf("ERR serial %d skips the next expected serial", serial))
+		return true
+	}
 	switch v {
 	case faster.SerialApply:
 	case faster.SerialReplay:
@@ -843,6 +930,7 @@ func (c *connState) doStamped(sess *faster.Session, name string, args [][]byte, 
 	c.ackBuf = body
 	tok.Commit(serial, body)
 	tok.WindowExit()
+	c.nextSerial = serial + 1
 	c.w.WriteSimple(string(body))
 	return healthy
 }
@@ -850,7 +938,7 @@ func (c *connState) doStamped(sess *faster.Session, name string, args [][]byte, 
 // acquireSession takes a pooled session under the acquire timeout.
 // shed means the pool stayed empty past the timeout (-OVERLOADED);
 // down means the server is shutting down (close the connection).
-func (s *Server) acquireSession() (sess *faster.Session, shed, down bool) {
+func (s *Server) acquireSession() (sess *faster.ShardedSession, shed, down bool) {
 	select {
 	case sess = <-s.sessions:
 		return sess, false, false
@@ -875,7 +963,7 @@ func (s *Server) acquireSession() (sess *faster.Session, shed, down bool) {
 // path; if the drain completes the session rejoins the pool, otherwise
 // it is abandoned (counted — its epoch slot is lost until restart, which
 // is the correct trade against a handler goroutine wedged forever).
-func (s *Server) retireSession(sess *faster.Session) {
+func (s *Server) retireSession(sess *faster.ShardedSession) {
 	s.mx.sessionsRetired.Inc()
 	s.wg.Add(1)
 	go func() {
@@ -909,7 +997,7 @@ func (s *Server) retireSession(sess *faster.Session) {
 type opToken struct{}
 
 // drainPending completes one Pending operation under the op deadline.
-func (c *connState) drainPending(sess *faster.Session, token *opToken) (faster.Result, bool) {
+func (c *connState) drainPending(sess *faster.ShardedSession, token *opToken) (faster.Result, bool) {
 	results, err := sess.CompletePendingTimeout(c.s.cfg.OpTimeout)
 	if err != nil {
 		c.s.mx.pendingTimeouts.Inc()
@@ -952,7 +1040,7 @@ func (c *connState) writeStoreErr(err error) {
 	}
 }
 
-func (c *connState) doGet(sess *faster.Session, args [][]byte) bool {
+func (c *connState) doGet(sess *faster.ShardedSession, args [][]byte) bool {
 	if len(args) != 2 || len(args[1]) == 0 {
 		c.w.WriteError("ERR wrong number of arguments for 'get'")
 		return true
@@ -981,12 +1069,12 @@ func (c *connState) doGet(sess *faster.Session, args [][]byte) bool {
 
 // readValue reads args key into c.out, draining a Pending completion.
 // ok=false means the session must be retired (pending timeout).
-func (c *connState) readValue(sess *faster.Session, key []byte) (faster.Status, error, bool) {
+func (c *connState) readValue(sess *faster.ShardedSession, key []byte) (faster.Status, error, bool) {
 	return c.readInto(sess, key, c.out)
 }
 
 // readInto is readValue with an explicit output buffer.
-func (c *connState) readInto(sess *faster.Session, key, out []byte) (faster.Status, error, bool) {
+func (c *connState) readInto(sess *faster.ShardedSession, key, out []byte) (faster.Status, error, bool) {
 	token := &opToken{}
 	st, err := sess.Read(key, nil, out, token)
 	if st == faster.Pending {
@@ -999,7 +1087,7 @@ func (c *connState) readInto(sess *faster.Session, key, out []byte) (faster.Stat
 	return st, err, true
 }
 
-func (c *connState) doSet(sess *faster.Session, args [][]byte) bool {
+func (c *connState) doSet(sess *faster.ShardedSession, args [][]byte) bool {
 	ok, healthy := c.setCore(sess, args)
 	if ok {
 		c.w.WriteSimple("OK")
@@ -1009,7 +1097,7 @@ func (c *connState) doSet(sess *faster.Session, args [][]byte) bool {
 
 // setCore validates and executes a SET. ok=false means an error reply
 // has already been written; healthy=false retires the session.
-func (c *connState) setCore(sess *faster.Session, args [][]byte) (ok, healthy bool) {
+func (c *connState) setCore(sess *faster.ShardedSession, args [][]byte) (ok, healthy bool) {
 	if len(args) != 3 || len(args[1]) == 0 {
 		c.w.WriteError("ERR wrong number of arguments for 'set'")
 		return false, true
@@ -1026,7 +1114,7 @@ func (c *connState) setCore(sess *faster.Session, args [][]byte) (ok, healthy bo
 	return true, true
 }
 
-func (c *connState) doDel(sess *faster.Session, args [][]byte) bool {
+func (c *connState) doDel(sess *faster.ShardedSession, args [][]byte) bool {
 	deleted, ok, healthy := c.delCore(sess, args)
 	if ok {
 		c.w.WriteInt(deleted)
@@ -1035,7 +1123,7 @@ func (c *connState) doDel(sess *faster.Session, args [][]byte) bool {
 }
 
 // delCore validates and executes a DEL, returning the deleted count.
-func (c *connState) delCore(sess *faster.Session, args [][]byte) (deleted int64, ok, healthy bool) {
+func (c *connState) delCore(sess *faster.ShardedSession, args [][]byte) (deleted int64, ok, healthy bool) {
 	if len(args) < 2 {
 		c.w.WriteError("ERR wrong number of arguments for 'del'")
 		return 0, false, true
@@ -1057,7 +1145,7 @@ func (c *connState) delCore(sess *faster.Session, args [][]byte) (deleted int64,
 	return deleted, true, true
 }
 
-func (c *connState) doIncrBy(sess *faster.Session, args [][]byte) bool {
+func (c *connState) doIncrBy(sess *faster.ShardedSession, args [][]byte) bool {
 	n, ok, healthy := c.incrByCore(sess, args)
 	if ok {
 		c.w.WriteInt(n)
@@ -1067,7 +1155,7 @@ func (c *connState) doIncrBy(sess *faster.Session, args [][]byte) bool {
 
 // incrByCore validates and executes an INCRBY, returning the updated
 // counter value.
-func (c *connState) incrByCore(sess *faster.Session, args [][]byte) (n int64, ok, healthy bool) {
+func (c *connState) incrByCore(sess *faster.ShardedSession, args [][]byte) (n int64, ok, healthy bool) {
 	if len(args) != 3 || len(args[1]) == 0 {
 		c.w.WriteError("ERR wrong number of arguments for 'incrby'")
 		return 0, false, true
@@ -1295,10 +1383,10 @@ func (c *connState) asyncIncrBy(a *asyncCmd, deadline time.Time) {
 	c.w.WriteInt(n)
 }
 
-// doCompact runs a log compaction over the whole stable region and
-// replies with the number of log bytes reclaimed. The command runs on
-// the connection goroutine without a pooled session (Compact drives its
-// own); concurrent COMPACTs serialize inside the store.
+// doCompact runs a log compaction over every shard's stable region and
+// replies with the total log bytes reclaimed. The command runs on the
+// connection goroutine without a pooled session (each shard's Compact
+// drives its own); concurrent COMPACTs serialize inside the shards.
 func (c *connState) doCompact(args [][]byte) bool {
 	s := c.s
 	if len(args) != 1 {
@@ -1309,14 +1397,14 @@ func (c *connState) doCompact(args [][]byte) bool {
 	case faster.Failed:
 		s.mx.failedRejects.Inc()
 		c.w.WriteError("FAILED store failed (device lost)")
-		return false
+		return !s.allShardsFailed()
 	case faster.ReadOnly:
 		s.mx.readonlyRejects.Inc()
 		c.w.WriteError("READONLY store is read-only (write path lost)")
 		return true
 	}
 	s.mx.compactRuns.Inc()
-	stats, err := s.store.Compact(s.store.Log().SafeReadOnlyAddress())
+	stats, err := s.store.CompactAll()
 	if err != nil {
 		c.writeStoreErr(err)
 		return true
@@ -1326,13 +1414,19 @@ func (c *connState) doCompact(args [][]byte) bool {
 }
 
 // doMemory reports the log's space accounting as a flat array of
-// name/value bulk-string pairs (MEMORY or MEMORY STATS).
+// name/value bulk-string pairs (MEMORY or MEMORY STATS). A single-shard
+// server reports the flat store's exact accounting; a sharded one sums
+// the byte and event counters across shards (per-shard addresses do not
+// aggregate) and adds a "shards" pair.
 func (c *connState) doMemory(args [][]byte) bool {
 	if len(args) > 2 || (len(args) == 2 && commandName(args[1]) != "STATS") {
 		c.w.WriteError("ERR unknown MEMORY subcommand")
 		return true
 	}
-	store := c.s.store
+	if n := c.s.store.NumShards(); n > 1 {
+		return c.memoryPairsSharded(n)
+	}
+	store := c.s.store.Shard(0)
 	l := store.Log()
 	m := store.Metrics()
 	pairs := [][2]string{
@@ -1360,6 +1454,296 @@ func (c *connState) doMemory(args [][]byte) bool {
 	return true
 }
 
+// memoryPairsSharded renders the ensemble's aggregated accounting.
+func (c *connState) memoryPairsSharded(n int) bool {
+	var logBytes, stable, mutable, compactions, compacted, reclaimed, truncated, stored uint64
+	haveStored := false
+	for i := 0; i < n; i++ {
+		s := c.s.store.Shard(i)
+		l := s.Log()
+		m := s.Metrics()
+		logBytes += l.TailAddress() - l.BeginAddress()
+		stable += m.Log.StableBytes
+		mutable += m.Log.MutableBytes
+		compactions += m.Compactions
+		compacted += m.CompactedBytes
+		reclaimed += m.ReclaimedBytes
+		truncated += m.Log.TruncatedBytes
+		if db, ok := s.DeviceStoredBytes(); ok {
+			stored += db
+			haveStored = true
+		}
+	}
+	pairs := [][2]string{
+		{"shards", strconv.Itoa(n)},
+		{"log_bytes", strconv.FormatUint(logBytes, 10)},
+		{"stable_bytes", strconv.FormatUint(stable, 10)},
+		{"mutable_bytes", strconv.FormatUint(mutable, 10)},
+		{"compactions", strconv.FormatUint(compactions, 10)},
+		{"compacted_bytes", strconv.FormatUint(compacted, 10)},
+		{"reclaimed_bytes", strconv.FormatUint(reclaimed, 10)},
+		{"truncated_bytes", strconv.FormatUint(truncated, 10)},
+	}
+	if haveStored {
+		pairs = append(pairs, [2]string{"device_stored_bytes", strconv.FormatUint(stored, 10)})
+	}
+	c.w.WriteArrayHeader(2 * len(pairs))
+	for _, p := range pairs {
+		c.w.WriteBulk([]byte(p[0]))
+		c.w.WriteBulk([]byte(p[1]))
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Multi-key commands (MGET/MSET): explicit cluster windows
+// ---------------------------------------------------------------------------
+
+// runMulti executes c.bops as one admitted window on a pooled session:
+// the session facade splits it into concurrent per-shard sub-batches
+// and rejoins the statuses in slot order. Cold read misses resolve
+// through the shards' io-worker pools after the session and admission
+// token are back in their pools. ok=false means the run was shed (an
+// error reply has been written); closeConn reports that the connection
+// must close.
+func (c *connState) runMulti() (ok, closeConn bool) {
+	s := c.s
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.mx.overloadSheds.Inc()
+		c.w.WriteError("OVERLOADED too many requests in flight")
+		return false, false
+	}
+	s.mx.inflightDepth.Inc()
+	sess, shed, down := s.acquireSession()
+	if down || shed {
+		<-s.inflight
+		s.mx.inflightDepth.Dec()
+		if down {
+			c.w.WriteError("ERR server shutting down")
+			return false, true
+		}
+		c.w.WriteError("OVERLOADED no session available")
+		return false, false
+	}
+	sess.Unpark()
+	released := false
+	release := func(healthy bool) {
+		if released {
+			return
+		}
+		released = true
+		if healthy {
+			sess.Park()
+			s.sessions <- sess
+		} else {
+			s.retireSession(sess)
+		}
+		<-s.inflight
+		s.mx.inflightDepth.Dec()
+	}
+	defer func() { release(false) }()
+
+	start := time.Now()
+	healthy := true
+	if err := sess.ExecBatch(c.bops); err != nil {
+		for i := range c.bops {
+			c.bops[i].Status, c.bops[i].Err = faster.Err, err
+		}
+		release(true)
+		s.mx.cmdLatency.Observe(time.Since(start))
+		return true, false
+	}
+	pending := 0
+	for i := range c.bops {
+		if c.bops[i].Status == faster.Pending {
+			pending++
+		}
+	}
+	if pending > 0 {
+		results, derr := sess.CompletePendingTimeout(s.cfg.OpTimeout)
+		if derr != nil {
+			s.mx.pendingTimeouts.Inc()
+			healthy = false // unresolved slots render -TIMEOUT in the caller
+		} else {
+			for _, r := range results {
+				if k, rok := r.Ctx.(int); rok && k >= 0 && k < len(c.bops) {
+					c.bops[k].Status, c.bops[k].Err = r.Status, r.Err
+				}
+			}
+		}
+	}
+	// Oversized values: re-read through an exact-size buffer, mirroring
+	// the pipelined batch path.
+	for i := range c.bops {
+		op := &c.bops[i]
+		if !healthy || op.Kind != faster.BatchRead || op.Status != faster.OK {
+			continue
+		}
+		if _, dok := faster.VarLenDecode(op.Output); !dok {
+			big := make([]byte, 8+s.cfg.MaxValueBytes)
+			st, rerr, rok := c.readInto(sess, op.Key, big)
+			if !rok {
+				healthy = false
+				op.Status = faster.Pending
+				continue
+			}
+			op.Status, op.Err, op.Output = st, rerr, big
+		}
+	}
+	release(healthy)
+	s.mx.cmdLatency.Observe(time.Since(start))
+	c.resolveBatchAsync(healthy)
+	return true, false
+}
+
+// doMGet reads every key as one window. The facade fans the reads out
+// per shard concurrently; keys on read-only shards keep serving. RESP2
+// arrays carry no per-element errors, so the first hard failure fails
+// the whole command.
+func (c *connState) doMGet(args [][]byte) bool {
+	s := c.s
+	if len(args) < 2 {
+		c.w.WriteError("ERR wrong number of arguments for 'mget'")
+		return true
+	}
+	keys := args[1:]
+	if len(keys) > maxWindowCmds {
+		c.w.WriteError(fmt.Sprintf("ERR MGET takes at most %d keys", maxWindowCmds))
+		return true
+	}
+	worst := faster.Healthy
+	for _, k := range keys {
+		if len(k) == 0 {
+			c.w.WriteError("ERR empty key")
+			return true
+		}
+		if h := s.store.HealthFor(k); h > worst {
+			worst = h
+		}
+	}
+	if worst == faster.Failed {
+		s.mx.failedRejects.Inc()
+		c.w.WriteError("FAILED store failed (device lost)")
+		return !s.allShardsFailed()
+	}
+	if cap(c.bops) < len(keys) {
+		c.bops = make([]faster.BatchOp, 0, maxWindowCmds)
+	}
+	c.bops = c.bops[:0]
+	for i, k := range keys {
+		c.bops = append(c.bops, faster.BatchOp{
+			Kind: faster.BatchRead, Key: k, Output: c.slotOut(i), Ctx: i,
+		})
+	}
+	ok, closeConn := c.runMulti()
+	if !ok {
+		return !closeConn
+	}
+	for i := range c.bops {
+		switch c.bops[i].Status {
+		case faster.OK, faster.NotFound:
+		case faster.Pending, faster.WouldBlock:
+			s.mx.pendingTimeouts.Inc()
+			c.w.WriteError("TIMEOUT operation did not complete in time")
+			return true
+		default:
+			c.writeStoreErr(c.bops[i].Err)
+			return true
+		}
+	}
+	c.w.WriteArrayHeader(len(c.bops))
+	for i := range c.bops {
+		if c.bops[i].Status == faster.NotFound {
+			c.w.WriteNil()
+			continue
+		}
+		payload, dok := faster.VarLenDecode(c.bops[i].Output)
+		if !dok {
+			payload = nil // defensive: the oversized re-read resolved these
+		}
+		c.w.WriteBulk(payload)
+	}
+	return true
+}
+
+// doMSet writes every key/value pair as one window, fanned out per
+// shard. All-or-error reply: +OK only when every pair applied; a
+// failure on any shard reports that shard's error (earlier pairs may
+// have applied — MSET is not transactional, matching Redis).
+func (c *connState) doMSet(args [][]byte) bool {
+	s := c.s
+	if len(args) < 3 || len(args)%2 != 1 {
+		c.w.WriteError("ERR wrong number of arguments for 'mset'")
+		return true
+	}
+	pairs := (len(args) - 1) / 2
+	if pairs > maxWindowCmds {
+		c.w.WriteError(fmt.Sprintf("ERR MSET takes at most %d pairs", maxWindowCmds))
+		return true
+	}
+	worst := faster.Healthy
+	need := 0
+	for i := 0; i < pairs; i++ {
+		k, v := args[1+2*i], args[2+2*i]
+		if len(k) == 0 {
+			c.w.WriteError("ERR empty key")
+			return true
+		}
+		if len(v) > s.cfg.MaxValueBytes {
+			c.w.WriteError(fmt.Sprintf("ERR value exceeds %d bytes", s.cfg.MaxValueBytes))
+			return true
+		}
+		need += 8 + len(v)
+		if h := s.store.HealthFor(k); h > worst {
+			worst = h
+		}
+	}
+	switch worst {
+	case faster.Failed:
+		s.mx.failedRejects.Inc()
+		c.w.WriteError("FAILED store failed (device lost)")
+		return !s.allShardsFailed()
+	case faster.ReadOnly:
+		s.mx.readonlyRejects.Inc()
+		c.w.WriteError("READONLY store is read-only (write path lost)")
+		return true
+	}
+	if cap(c.val) < need {
+		c.val = make([]byte, 0, need)
+	}
+	val := c.val[:0]
+	if cap(c.bops) < pairs {
+		c.bops = make([]faster.BatchOp, 0, maxWindowCmds)
+	}
+	c.bops = c.bops[:0]
+	for i := 0; i < pairs; i++ {
+		frame := faster.VarLenAppend(val, args[2+2*i])
+		c.bops = append(c.bops, faster.BatchOp{
+			Kind: faster.BatchUpsert, Key: args[1+2*i], Value: frame[len(val):], Ctx: i,
+		})
+		val = frame
+	}
+	ok, closeConn := c.runMulti()
+	if !ok {
+		return !closeConn
+	}
+	for i := range c.bops {
+		if st := c.bops[i].Status; st != faster.OK {
+			if st == faster.Pending || st == faster.WouldBlock {
+				s.mx.pendingTimeouts.Inc()
+				c.w.WriteError("TIMEOUT operation did not complete in time")
+			} else {
+				c.writeStoreErr(c.bops[i].Err)
+			}
+			return true
+		}
+	}
+	c.w.WriteSimple("OK")
+	return true
+}
+
 // ---------------------------------------------------------------------------
 // Batched execution (pipelined GET/SET windows)
 // ---------------------------------------------------------------------------
@@ -1373,16 +1757,21 @@ func (c *connState) doMemory(args [][]byte) bool {
 func (c *connState) dataBatch(cmds []resp.Command) bool {
 	s := c.s
 
-	// Health ladder, once per run. ReadOnly degrades to the single-op
-	// path so SETs get their -READONLY replies while GETs keep serving;
-	// batching is a fast-path concern, not a degraded-mode one.
+	// Health ladder, once per run, on the worst shard. Any shard worse
+	// than Degraded degrades the run to the single-op path, whose
+	// per-key gates isolate the sick shard: keys on healthy shards keep
+	// full service, SETs on a read-only shard get -READONLY, keys on a
+	// failed shard get -FAILED. Only a fully failed ensemble sheds the
+	// connection. Batching is a fast-path concern, not a degraded-mode
+	// one.
 	switch s.store.Health() {
-	case faster.Failed:
-		s.mx.commands.Inc()
-		s.mx.failedRejects.Inc()
-		c.w.WriteError("FAILED store failed (device lost)")
-		return false
-	case faster.ReadOnly:
+	case faster.Failed, faster.ReadOnly:
+		if s.allShardsFailed() {
+			s.mx.commands.Inc()
+			s.mx.failedRejects.Inc()
+			c.w.WriteError("FAILED store failed (device lost)")
+			return false
+		}
 		for i := range cmds {
 			if !c.dispatch(cmds[i].Args) {
 				return false
@@ -1508,7 +1897,7 @@ func (c *connState) resolveBatchAsync(healthy bool) {
 // pending completions and resolves oversized GETs. Outcomes land in
 // c.bops[i].Status/Err with outputs filled; the return value is the
 // session's health (false retires it).
-func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
+func (c *connState) execBatch(sess *faster.ShardedSession, cmds []resp.Command) bool {
 	s := c.s
 	if cap(c.bops) < len(cmds) {
 		c.bops = make([]faster.BatchOp, 0, maxWindowCmds)
@@ -1530,10 +1919,54 @@ func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
 	}
 	val := c.val[:0]
 
-	// Serial admission happens in command order inside one session
-	// window, which stays open across the store batch so a concurrent
-	// checkpoint cannot cut between an op's record and its commit.
+	// Serial admission happens in command order inside per-shard session
+	// windows, which stay open across the store batch so a concurrent
+	// checkpoint cannot cut between an op's record and its commit. The
+	// windows of every shard a stamped slot routes to are opened up front
+	// in ascending shard order — the same global order the sharded
+	// checkpoint barrier takes its write locks in — so a multi-window
+	// batch can never deadlock against a concurrent checkpoint. The
+	// stream-wide gap check lives here on the connection (sparse shard
+	// tables admit any forward serial); expect tracks admissions within
+	// the window, c.nextSerial advances only on commit.
 	windowOpen := false
+	nShards := 0
+	if c.token != nil {
+		nShards = s.store.NumShards()
+		if cap(c.winOpen) < nShards {
+			c.winOpen = make([]bool, nShards)
+		}
+		c.winOpen = c.winOpen[:nShards]
+		for i := range c.winOpen {
+			c.winOpen[i] = false
+		}
+		c.slotTok = c.slotTok[:0]
+		for i := range cmds {
+			var tok *faster.SessionToken
+			if cmds[i].Is("SET") && len(cmds[i].Args) == 5 {
+				if serial, _, _ := splitSerial(cmds[i].Args); serial > 0 {
+					sh := s.store.ShardFor(cmds[i].Args[1])
+					c.winOpen[sh] = true
+					tok = c.token.Tok(sh)
+				}
+			}
+			c.slotTok = append(c.slotTok, tok)
+		}
+		for sh := 0; sh < nShards; sh++ {
+			if c.winOpen[sh] {
+				c.token.Tok(sh).WindowEnter()
+				windowOpen = true
+			}
+		}
+	}
+	closeWindows := func() {
+		for sh := nShards - 1; sh >= 0; sh-- {
+			if c.winOpen[sh] {
+				c.token.Tok(sh).WindowExit()
+			}
+		}
+	}
+	expect := c.nextSerial
 	for i := range cmds {
 		cmd := &cmds[i]
 		var meta slotMeta
@@ -1541,17 +1974,23 @@ func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
 			meta.serial, _, _ = splitSerial(cmd.Args)
 		}
 		if meta.serial > 0 {
-			if !windowOpen {
-				c.token.WindowEnter()
-				windowOpen = true
+			meta.tok = c.slotTok[i]
+			if meta.serial > expect {
+				// Connection-level gap: resolved before the shard token so
+				// no admission needs rolling back.
+				meta.verdict = faster.SerialGap
+				c.smeta = append(c.smeta, meta)
+				c.slotop = append(c.slotop, -1)
+				continue
 			}
-			meta.verdict, meta.saved = c.token.Check(meta.serial)
+			meta.verdict, meta.saved = meta.tok.Check(meta.serial)
 			if meta.verdict != faster.SerialApply {
 				// Resolved without touching the store.
 				c.smeta = append(c.smeta, meta)
 				c.slotop = append(c.slotop, -1)
 				continue
 			}
+			expect = meta.serial + 1
 		}
 		c.smeta = append(c.smeta, meta)
 		c.slotop = append(c.slotop, len(c.bops))
@@ -1575,7 +2014,7 @@ func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
 			c.bops[i].Status, c.bops[i].Err = faster.Err, err
 		}
 		if windowOpen {
-			c.token.WindowExit()
+			closeWindows()
 		}
 		return true
 	}
@@ -1644,11 +2083,13 @@ func (c *connState) execBatch(sess *faster.Session, cmds []resp.Command) bool {
 			scratch = append(scratch, "ACK "...)
 			scratch = strconv.AppendUint(scratch, m.serial, 10)
 			scratch = append(scratch, " OK"...)
-			c.token.Commit(m.serial, scratch)
+			m.tok.Commit(m.serial, scratch)
 			m.committed = true
+			c.nextSerial = m.serial + 1
 		}
 		c.ackBuf = scratch
-		c.token.WindowExit()
+		// Uncommitted admissions roll back as each window closes.
+		closeWindows()
 	}
 	return healthy
 }

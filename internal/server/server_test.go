@@ -550,7 +550,7 @@ func TestServerCompactAndMemory(t *testing.T) {
 			}
 		}
 	}
-	srv.store.Log().ShiftReadOnlyToTail()
+	srv.Store().Log().ShiftReadOnlyToTail()
 
 	memStats := func() map[string]string {
 		t.Helper()
@@ -578,20 +578,14 @@ func TestServerCompactAndMemory(t *testing.T) {
 	// SafeReadOnly needs the epoch to drain past the shift; COMPACT
 	// no-ops (0 reclaimed) until it has, so retry briefly.
 	var reclaimed int64
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
 		v, err := c.Do([]byte("COMPACT"))
 		if err != nil || v.Kind != resp.Integer {
 			t.Fatalf("COMPACT = %v %v", v, err)
 		}
-		if reclaimed = v.Int; reclaimed > 0 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
-	if reclaimed == 0 {
-		t.Fatal("COMPACT never reclaimed any bytes")
-	}
+		reclaimed = v.Int
+		return reclaimed > 0
+	}, "COMPACT to reclaim bytes once SafeReadOnly drains")
 
 	after := memStats()
 	if after["compactions"] == "0" || after["reclaimed_bytes"] == "0" {

@@ -58,11 +58,24 @@ go test -race -run 'TestIOPool|TestServerChaosSoak/stallfree' -count=1 -timeout 
 # emits the full BENCH_07.json curves.
 go test -race -run TestOpenLoopSmoke -count=1 -timeout 300s ./internal/bench/
 
+# Sharded-store gate: the sharded linearizability matrix (cross-shard
+# histories and exactly-once replay over 4 shards), the per-shard crash
+# torture (one shard dies and recovers while its siblings serve), and
+# the cluster-aware RESP front-end (multi-shard fan-out windows,
+# MGET/MSET, per-shard health isolation, session fencing), all under
+# the race detector.
+go test -race -run 'TestLinearizableSharded|TestLinearizableExactlyOnceSharded' -count=1 -timeout 300s ./internal/linearize/
+go test -race -run TestShardedCrashTorture -count=1 -timeout 300s ./internal/faster/
+go test -race -run 'TestServerSharded' -count=1 ./internal/server/
+
 # Mutation-gate seeds: the torn, unsynced session table must be flagged
-# by the dedup-aware linearize model, and a dropped pending-I/O
-# re-enqueue (acknowledged-but-lost RMW deferral) by the async-workload
-# checker (the rest of the gate runs via `make mutation-gate`).
-go test -tags mutate -run 'TestMutationGateSkipSerialFsync|TestMutationGateDroppedReenqueue' -count=1 -timeout 300s ./internal/faster/
+# by the dedup-aware linearize model, a dropped pending-I/O re-enqueue
+# (acknowledged-but-lost RMW deferral) by the async-workload checker,
+# and the two sharded seeds — a router consulting a stale pre-rehash
+# shard map and a checkpoint skipping one shard's manifest fsync — by
+# the sharded linearize + torture tier (the rest of the gate runs via
+# `make mutation-gate`).
+go test -tags mutate -run 'TestMutationGateSkipSerialFsync|TestMutationGateDroppedReenqueue|TestMutationGateRouteStaleMap|TestMutationGateSkipShardFsync' -count=1 -timeout 300s ./internal/faster/
 
 # Fuzz smoke over the wire codecs: a few seconds per target beyond the
 # committed seed corpora. `make fuzz` / `make verify` run longer.
