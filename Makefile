@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench bench-paper bench-openloop bench-shard fmt
+.PHONY: build test race torture soak linearize mutation-gate fuzz check verify bench bench-paper bench-openloop bench-shard bench-cache fmt
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,15 @@ bench-openloop:
 bench-shard:
 	$(GO) test -run '^$$' -bench 'ShardedBatch.*U64' -benchmem -cpu 16 -count=1 \
 		./internal/bench/ | $(GO) run ./cmd/benchreport -out BENCH_08.json
+
+# Read-cache zipfian sweep: 64-op zipf(0.99) read windows over a
+# larger-than-memory keyspace on simulated flash (150us reads), with
+# the record read cache sized to 1/8 and 1/16 of the keyspace, cache on
+# vs off, at 1 and 16 shards. BENCH_09.json must show cache-on read
+# throughput >= 2x cache-off at the 1/8 resident fraction.
+bench-cache:
+	$(GO) test -run '^$$' -bench 'CacheZipfReadU64' -benchmem -cpu 16 -count=1 \
+		./internal/bench/ | $(GO) run ./cmd/benchreport -out BENCH_09.json
 
 # The paper-figure experiment micro-benchmarks (see cmd/faster-bench for
 # the full tables).

@@ -66,6 +66,8 @@ func main() {
 		ioQueueDepth = flag.Int("io-queue-depth", 0, "bounded cold-miss admission queue (0: 16x io-pool); overflow sheds -OVERLOADED")
 
 		compactAt = flag.Uint64("compact-threshold", 0, "compact when the stable log region exceeds this many bytes (0: manual COMPACT only)")
+
+		readCache = flag.Uint64("read-cache-bytes", 0, "total in-memory read-cache budget across all shards for cold reads (0: disabled; ignored for in-memory devices)")
 	)
 	flag.Parse()
 
@@ -123,6 +125,7 @@ func main() {
 			IOQueueDepth: *ioQueueDepth,
 
 			CompactionThreshold: *compactAt,
+			ReadCacheBytes:      *readCache,
 		},
 		NewDevice: func(i int) device.Device { return devs[i] },
 	}

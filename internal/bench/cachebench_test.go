@@ -1,0 +1,158 @@
+package bench
+
+// Read-cache benchmarks behind `make bench-cache` (BENCH_09.json).
+//
+// The tentpole claim is that a skewed read workload over a larger-than-
+// memory store stops paying a device round-trip per cold read once the
+// hot set fits in the record read cache. The sweep replays zipf(0.99)
+// 64-op read windows against simulated flash (150us read latency) with
+// the cache sized to hold 1/8 or 1/16 of the keyspace, cache on vs off,
+// at 1 and 16 shards. The hlog buffer is held small and constant so the
+// comparison isolates the cache: with it off, nearly every read misses
+// the buffer and queues on the io-pool; with it on, the zipf head is
+// served synchronously from the cache log.
+//
+// Acceptance (ISSUE 10): cache-on read throughput >= 2x cache-off on
+// the zipf(0.99) workload at 1/8 resident fraction.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faster"
+	"repro/internal/ycsb"
+)
+
+const (
+	cacheBenchKeys  = 1 << 17
+	cacheBenchBatch = 64
+	cacheBenchRec   = 32 // recordSize(8, 8)
+	// Total hlog buffer across ALL shards: 64 pages of 4 KiB = 1/16 of
+	// the 4 MiB keyspace. Small and fixed so residency comes from the
+	// read cache, not from shard-count-dependent buffer growth.
+	cacheBenchTotalPages = 64
+)
+
+// openCacheBenchStore builds a sharded store over flash-like devices
+// with a total read-cache budget of cacheBytes (0 disables the cache)
+// and preloads the full keyspace (key k+1 holds value 1).
+func openCacheBenchStore(b *testing.B, shards int, cacheBytes uint64) *faster.ShardedStore {
+	b.Helper()
+	devs := make([]*device.Mem, shards)
+	for i := range devs {
+		devs[i] = device.NewMem(device.MemConfig{
+			ReadLatency: 150 * time.Microsecond,
+			Workers:     8,
+		})
+	}
+	pages := cacheBenchTotalPages / shards
+	if pages < 4 {
+		pages = 4
+	}
+	ss, err := faster.OpenSharded(faster.ShardedConfig{
+		Shards: shards,
+		Base: faster.Config{
+			Ops:            faster.SumOps{},
+			IndexBuckets:   1 << 15,
+			PageBits:       12,
+			BufferPages:    pages,
+			IOWorkers:      4,
+			IOQueueDepth:   4096,
+			ReadCacheBytes: cacheBytes,
+		},
+		NewDevice: func(i int) device.Device { return devs[i] },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ss.Close()
+		for _, d := range devs {
+			d.Close()
+		}
+	})
+	sess := ss.StartSession()
+	defer sess.Close()
+	const chunk = 256
+	backing := make([]byte, 8*chunk)
+	one := make([]byte, 8)
+	binary.LittleEndian.PutUint64(one, 1)
+	ops := make([]faster.BatchOp, chunk)
+	for k := uint64(0); k < cacheBenchKeys; k += chunk {
+		for j := 0; j < chunk; j++ {
+			kb := backing[j*8 : j*8+8]
+			binary.LittleEndian.PutUint64(kb, k+uint64(j)+1)
+			ops[j] = faster.BatchOp{Kind: faster.BatchUpsert, Key: kb, Value: one}
+		}
+		if err := sess.ExecBatch(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ss
+}
+
+// BenchmarkCacheZipfReadU64 issues 64-op zipf(0.99) read windows; the
+// cache=off rows are the device-bound baseline (identical at both
+// fractions — the fraction only sizes the cache), and the cache=on rows
+// measure the same workload with the hot set resident.
+func BenchmarkCacheZipfReadU64(b *testing.B) {
+	for _, frac := range []uint64{8, 16} {
+		for _, cache := range []string{"off", "on"} {
+			for _, shards := range []int{1, 16} {
+				cacheBytes := uint64(0)
+				if cache == "on" {
+					cacheBytes = cacheBenchKeys / frac * cacheBenchRec
+				}
+				name := fmt.Sprintf("resident=1_%d/cache=%s/shards=%d", frac, cache, shards)
+				b.Run(name, func(b *testing.B) {
+					ss := openCacheBenchStore(b, shards, cacheBytes)
+					var seq atomic.Uint64
+					b.ReportAllocs()
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						sess := ss.StartSession()
+						defer sess.Close()
+						g := ycsb.NewZipfian(cacheBenchKeys, ycsb.DefaultTheta, int64(seq.Add(1)))
+						keys := make([]byte, 8*cacheBenchBatch)
+						outs := make([]byte, 8*cacheBenchBatch)
+						ops := make([]faster.BatchOp, cacheBenchBatch)
+						slot := 0
+						for pb.Next() {
+							binary.LittleEndian.PutUint64(keys[slot*8:slot*8+8], g.Next()+1)
+							ops[slot] = faster.BatchOp{Kind: faster.BatchRead,
+								Key:    keys[slot*8 : slot*8+8],
+								Output: outs[slot*8 : slot*8+8]}
+							slot++
+							if slot != cacheBenchBatch {
+								continue
+							}
+							slot = 0
+							if err := sess.ExecBatch(ops); err != nil {
+								b.Fatal(err)
+							}
+							pending := false
+							for j := range ops {
+								switch ops[j].Status {
+								case faster.OK:
+								case faster.Pending:
+									pending = true
+								default:
+									b.Fatalf("read %x: %v %v", ops[j].Key, ops[j].Status, ops[j].Err)
+								}
+							}
+							if pending {
+								if _, err := sess.CompletePendingTimeout(30 * time.Second); err != nil {
+									b.Fatal(err)
+								}
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}

@@ -57,7 +57,8 @@ var errBadBatchKind = errors.New("faster: invalid BatchKind")
 type batchAppend struct {
 	idx       int          // slot in the run
 	h         uint64       // key hash
-	chainHead hlog.Address // chain head observed at probe time
+	expect    hlog.Address // raw index entry observed at probe time (CAS expectation)
+	chainHead hlog.Address // underlying hlog chain head (the record's prev)
 	overwrite hlog.Address // record superseded by this append (RCU), or invalid
 	size      uint32
 	addr      hlog.Address // assigned when the reservation is carved
@@ -214,8 +215,9 @@ func (sess *Session) execReadRun(run []BatchOp, hs []uint64) {
 			continue
 		}
 		// Touch the chain head's record line (resident iff >= head; the
-		// epoch held since the probe keeps it mapped).
-		if a := addrs[k]; a >= head {
+		// epoch held since the probe keeps it mapped). Cache-tagged
+		// addresses live outside the hlog; readAt dereferences them itself.
+		if a := addrs[k]; a >= head && !isCacheAddr(a) {
 			_ = atomic.LoadUint64(s.headerPtr(a))
 		}
 	}
@@ -270,7 +272,7 @@ func (sess *Session) execUpsertRun(run []BatchOp, hs []uint64) {
 	}
 	head := s.log.HeadAddress()
 	for _, a := range warm {
-		if a >= head && a != hlog.InvalidAddress {
+		if a >= head && a != hlog.InvalidAddress && !isCacheAddr(a) {
 			_ = atomic.LoadUint64(s.headerPtr(a))
 		}
 	}
@@ -289,22 +291,30 @@ probe:
 		}
 		for first := true; ; first = false {
 			var entry index.Entry
-			var chainHead hlog.Address
+			var raw hlog.Address
 			if first && warm[k] != hlog.InvalidAddress {
 				// Reuse the warm-up probe: exactly as current as a probe
 				// taken here would be (a racing RCU seals the record
 				// first, and a stale chain head loses its publish CAS).
-				entry, chainHead = ents[k], warm[k]
+				entry, raw = ents[k], warm[k]
 			} else {
-				entry, chainHead = s.idx.FindOrCreateEntry(h)
+				entry, raw = s.idx.FindOrCreateEntry(h)
 			}
-			if chainHead != 0 && chainHead < s.log.BeginAddress() {
-				entry.CompareAndDelete(chainHead)
+			// The entry may point at a read-cache copy: the CAS expects the
+			// raw address, the appended record's prev is the underlying
+			// hlog chain head (publishing then invalidates the cached copy
+			// RCU-style, same as the single-op path).
+			chainHead, _, cached, stale := s.splitProbe(raw)
+			if stale {
+				continue
+			}
+			if !cached && chainHead != 0 && chainHead < s.log.BeginAddress() {
+				entry.CompareAndDelete(raw)
 				continue
 			}
 			ro := s.log.ReadOnlyAddress()
 			laddr, rec, found := s.traceBack(op.Key, chainHead, maxAddr(ro, s.log.HeadAddress()))
-			if found && !rec.tombstone() && !rec.delta() && !rec.sealed() {
+			if found && !rec.tombstone() && !rec.delta() && !rec.sealed() && !cached {
 				if s.ops.ConcurrentWriter(op.Key, rec.value, op.Value) {
 					sess.stat.inPlace.Add(1)
 					op.Status = OK
@@ -319,7 +329,7 @@ probe:
 				over = laddr
 			}
 			plan = append(plan, batchAppend{
-				idx: k, h: h, chainHead: chainHead, overwrite: over,
+				idx: k, h: h, expect: raw, chainHead: chainHead, overwrite: over,
 				size: recordSize(len(op.Key), len(op.Value)),
 			})
 			break
@@ -390,11 +400,14 @@ func (sess *Session) publishChunk(run []BatchOp, chunk []batchAppend, total uint
 		p := &chunk[i]
 		op := &run[p.idx]
 		e, cur := s.idx.FindOrCreateEntry(p.h)
-		if cur != p.chainHead || !e.CompareAndSwapAddress(p.chainHead, p.addr) {
+		if cur != p.expect || !e.CompareAndSwapAddress(p.expect, p.addr) {
 			s.setInvalid(p.addr)
 			sess.stat.failedCAS.Add(1)
 			op.Status, op.Err = sess.upsertInternal(op.Key, op.Value, p.h)
 			continue
+		}
+		if isCacheAddr(p.expect) {
+			s.noteCacheInvalidation()
 		}
 		sess.stat.appends.Add(1)
 		op.Status, op.Err = OK, nil

@@ -129,7 +129,7 @@ func (s *Store) checkpointPrepare(dir string) (ckptPrep, error) {
 	if err != nil {
 		return ckptPrep{}, err
 	}
-	if err := s.idx.WriteCheckpoint(f); err != nil {
+	if err := s.writeIndexCheckpoint(f); err != nil {
 		f.Close()
 		return ckptPrep{}, fmt.Errorf("faster: index checkpoint: %w", err)
 	}
@@ -141,6 +141,33 @@ func (s *Store) checkpointPrepare(dir string) (ckptPrep, error) {
 		return ckptPrep{}, err
 	}
 	return ckptPrep{dir: dir, begin: begin, t1: t1, indexTmp: indexTmp, indexPath: indexPath}, nil
+}
+
+// writeIndexCheckpoint serializes the fuzzy index image with read-cache
+// redirections resolved: the cache is volatile, so a tagged entry is
+// persisted as the underlying hlog chain head its cached record
+// preserves. Holding rc.mu across the scan freezes fills and evictions
+// (hit-path reads stay lock-free), so every tagged live entry's record is
+// guaranteed dereferenceable — no entry is ever dropped for raciness.
+func (s *Store) writeIndexCheckpoint(f *os.File) error {
+	if s.rc == nil {
+		return s.idx.WriteCheckpoint(f)
+	}
+	s.rc.mu.Lock()
+	defer s.rc.mu.Unlock()
+	return s.idx.WriteCheckpointMapped(f, func(addr uint64) (uint64, bool) {
+		if !isCacheAddr(addr) {
+			return addr, true
+		}
+		rec, ok := s.rc.recordAt(addr)
+		if !ok {
+			// Unreachable while rc.mu is held (eviction restores every
+			// live entry before the offset drops below head); dropping the
+			// entry is the conservative recovery answer if it ever fires.
+			return 0, false
+		}
+		return uint64(rec.prev()), true
+	})
 }
 
 // checkpointCut is the serial cut: snapshot the session frontiers, then
@@ -488,6 +515,17 @@ func recoverFrom(cfg Config, info CheckpointInfo, idx *index.Index, sess []Sessi
 		return nil, err
 	}
 	s.idx = idx
+	// The read cache is volatile: no checkpoint image may reinstate a
+	// cache-tagged address (the writer maps them to the underlying chain
+	// head; this scrub is defense in depth against images written before
+	// that mapping existed). A tagged address's low bits are cache offsets,
+	// meaningless after restart, so the entry is dropped outright.
+	idx.UpdateAddresses(func(a uint64) uint64 {
+		if isCacheAddr(a) {
+			return 0
+		}
+		return a
+	})
 	if err := s.log.RecoverTo(info.Begin, info.T2); err != nil {
 		s.Close()
 		return nil, err

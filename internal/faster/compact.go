@@ -184,12 +184,21 @@ func (sess *Session) compactKey(key, val []byte, until hlog.Address, stats *Comp
 			stats.Skipped++ // deleted since the scan (entry released)
 			return
 		}
-		if cur < s.log.BeginAddress() {
+		// The entry may point at a read-cache copy. A cached copy is
+		// volatile and must not suppress the copy-forward (truncation would
+		// strand the cache with no durable backing): trace the underlying
+		// hlog chain, and publish with the raw address as the CAS
+		// expectation (which drops the cached copy, RCU-style).
+		chain, _, cached, stale := s.splitProbe(cur)
+		if stale {
+			continue
+		}
+		if !cached && chain < s.log.BeginAddress() {
 			entry.CompareAndDelete(cur)
 			stats.Skipped++
 			return
 		}
-		laddr, _, found := s.traceBack(key, cur, maxAddr(s.log.HeadAddress(), until))
+		laddr, _, found := s.traceBack(key, chain, maxAddr(s.log.HeadAddress(), until))
 		if found {
 			stats.Skipped++ // superseded at or above the cut
 			return
@@ -207,7 +216,7 @@ func (sess *Session) compactKey(key, val []byte, until hlog.Address, stats *Comp
 			// is the key's newest version. Publish the copy against the
 			// observed chain head; a lost CAS means a concurrent append
 			// landed, so re-examine from the index.
-			_, st, err := sess.appendRecord(h, key, cur, hlog.InvalidAddress, 0, len(val), func(dst record) {
+			_, st, err := sess.appendRecord(h, key, cur, chain, hlog.InvalidAddress, 0, len(val), func(dst record) {
 				copy(dst.value, val)
 			})
 			if err != nil {
@@ -265,7 +274,22 @@ func (sess *Session) republishCompact(op *PendingOp) (Result, bool) {
 	h := hashKey(op.key)
 	chainHead := op.verifyCur
 	for {
-		_, st, err := sess.appendRecord(h, op.key, chainHead, hlog.InvalidAddress, 0, len(op.compactVal), func(dst record) {
+		// chainHead is the raw index-entry address; it may point at a
+		// read-cache copy, in which case the appended record's prev must be
+		// the underlying hlog chain head (a cached copy never supersedes
+		// the scanned value — it mirrors the newest hlog version, which the
+		// span check just proved is the scanned one).
+		expect := chainHead
+		prev, _, _, stale := s.splitProbe(chainHead)
+		if stale {
+			_, cur, ok := s.idx.FindEntry(h)
+			if !ok {
+				return finish(NotFound, nil) // entry released: key dead
+			}
+			chainHead = cur
+			continue
+		}
+		_, st, err := sess.appendRecord(h, op.key, expect, prev, hlog.InvalidAddress, 0, len(op.compactVal), func(dst record) {
 			copy(dst.value, op.compactVal)
 		})
 		if err != nil {
@@ -277,21 +301,29 @@ func (sess *Session) republishCompact(op *PendingOp) (Result, bool) {
 		// Lost the CAS: check only the span that appeared above our
 		// verified head.
 		_, cur, ok := s.idx.FindEntry(h)
-		if !ok || cur < s.log.BeginAddress() {
+		if !ok {
 			return finish(NotFound, nil) // entry released: key dead
 		}
-		floor := maxAddr(s.log.HeadAddress(), chainHead+1)
-		laddr, _, found := s.traceBack(op.key, cur, floor)
+		nchain, _, ncached, nstale := s.splitProbe(cur)
+		if nstale {
+			chainHead = cur
+			continue
+		}
+		if !ncached && nchain < s.log.BeginAddress() {
+			return finish(NotFound, nil) // entry released: key dead
+		}
+		floor := maxAddr(s.log.HeadAddress(), prev+1)
+		laddr, _, found := s.traceBack(op.key, nchain, floor)
 		if found {
 			return finish(NotFound, nil) // superseded while verifying
 		}
-		if laddr != hlog.InvalidAddress && laddr > chainHead {
+		if laddr != hlog.InvalidAddress && laddr > prev {
 			// The new span was partially evicted: verify it on storage.
 			if op.buf != nil {
 				sess.putIOBuf(op.buf)
 				op.buf = nil
 			}
-			op.verifyStop = chainHead
+			op.verifyStop = prev
 			op.verifyCur = cur
 			op.addr = laddr
 			sess.ioDone()

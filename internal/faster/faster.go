@@ -116,6 +116,15 @@ type Config struct {
 	// instead of queuing unboundedly. Default 16 * IOWorkers.
 	IOQueueDepth int
 
+	// ReadCacheBytes, when > 0, enables the latch-free record read cache
+	// (readcache.go): cold reads completed from storage are copied into a
+	// small in-memory circular log and the index entry is redirected to
+	// the cached copy, so repeated reads of the same cold record skip the
+	// device. The cache is volatile — checkpoints and recovery never
+	// depend on it — and sized to roughly this many bytes. Ignored by
+	// in-memory stores (nothing is ever cold).
+	ReadCacheBytes uint64
+
 	// ReadRetry bounds retries of pending record reads; the zero value
 	// selects retry.DefaultRead(). Set MaxAttempts to 1 to disable
 	// retries (every device error surfaces immediately).
@@ -293,6 +302,12 @@ type Store struct {
 	ioOnce sync.Once
 	iop    *ioPool
 
+	// Read cache (readcache.go); nil unless Config.ReadCacheBytes > 0.
+	rc *readCache
+	// Cold-read coalescer (coalesce.go): same-page concurrent cold reads
+	// share one device call. Nil when disabled.
+	co *coalescer
+
 	mx struct {
 		pendingDepth      metrics.Gauge     // I/Os issued and not yet returned to the user
 		pendingLatency    metrics.Histogram // issue -> completion-queue drain
@@ -315,6 +330,11 @@ type Store struct {
 		ioInflight      metrics.Gauge     // operations a worker has issued, not yet resolved
 		ioQueueWait     metrics.Histogram // submit -> worker pickup
 		ioService       metrics.Histogram // worker pickup -> result delivery
+
+		// Cold-read coalescing (coalesce.go): pending reads that attached
+		// to another read's in-flight device call instead of issuing their
+		// own.
+		ioCoalesced metrics.Counter
 	}
 
 	closed atomic.Bool
@@ -355,6 +375,12 @@ func Open(cfg Config) (*Store, error) {
 	s.log = log
 	if cfg.CRDT {
 		s.merge = cfg.Ops.(MergeOps)
+	}
+	if cfg.Mode != hlog.ModeInMemory {
+		if cfg.ReadCacheBytes > 0 {
+			s.rc = newReadCache(s, cfg.ReadCacheBytes)
+		}
+		s.co = newCoalescer(s)
 	}
 	if cfg.CompactionThreshold > 0 && cfg.Mode != hlog.ModeInMemory {
 		s.maintStop = make(chan struct{})

@@ -47,6 +47,12 @@ type StoreMetrics struct {
 	IOQueueWait     metrics.HistogramSnapshot // submit -> worker pickup
 	IOService       metrics.HistogramSnapshot // pickup -> delivery
 
+	// Read cache (readcache.go) and cold-read coalescing (coalesce.go).
+	// IOCoalescedReads counts pending reads resolved from another read's
+	// block fetch instead of their own device call.
+	ReadCache        ReadCacheMetrics
+	IOCoalescedReads uint64
+
 	// Compaction activity (compact.go). CompactedBytes over ReclaimedBytes
 	// is the compaction write amplification.
 	Compactions      uint64
@@ -102,6 +108,9 @@ func (s *Store) Metrics() StoreMetrics {
 		IOInflight:      s.mx.ioInflight.Load(),
 		IOQueueWait:     s.mx.ioQueueWait.Snapshot(),
 		IOService:       s.mx.ioService.Snapshot(),
+
+		ReadCache:        s.rc.metrics(),
+		IOCoalescedReads: s.mx.ioCoalesced.Load(),
 
 		Compactions:      s.mx.compactions.Load(),
 		CompactedRecords: s.mx.compactedRecords.Load(),
@@ -169,6 +178,14 @@ func (m StoreMetrics) Series() metrics.Series {
 		s["faster.compaction_write_amp"] = 0
 	}
 	s.AddHistogram("faster.pending_latency", m.PendingLatency)
+
+	s["readcache.hits"] = float64(m.ReadCache.Hits)
+	s["readcache.misses"] = float64(m.ReadCache.Misses)
+	s["readcache.fills"] = float64(m.ReadCache.Fills)
+	s["readcache.evictions"] = float64(m.ReadCache.Evictions)
+	s["readcache.invalidations"] = float64(m.ReadCache.Invalidations)
+	s["readcache.bytes"] = float64(m.ReadCache.Bytes)
+	s["io.coalesced_reads"] = float64(m.IOCoalescedReads)
 
 	s["faster.io_submitted"] = float64(m.IOSubmitted)
 	s["faster.io_delivered"] = float64(m.IODelivered)

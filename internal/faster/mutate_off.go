@@ -14,6 +14,7 @@ func mutSkipSerialFsync() bool  { return false }
 func mutDroppedReenqueue() bool { return false }
 func mutRouteStale() bool       { return false }
 func mutSkipShardFsync() bool   { return false }
+func mutCacheInval() bool       { return false }
 
 // tornAddU64 and tornSessionPayload are never reachable when
 // mutationsEnabled is false; the stubs keep the !mutate build compiling.

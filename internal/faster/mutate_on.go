@@ -24,6 +24,7 @@ var (
 	mutDropReenq  atomic.Bool
 	mutStaleRing  atomic.Bool
 	mutShardSync  atomic.Bool
+	mutCacheInv   atomic.Bool
 )
 
 func mutTornWrite() bool        { return mutTorn.Load() }
@@ -32,6 +33,7 @@ func mutSkipSerialFsync() bool  { return mutSerialSync.Load() }
 func mutDroppedReenqueue() bool { return mutDropReenq.Load() }
 func mutRouteStale() bool       { return mutStaleRing.Load() }
 func mutSkipShardFsync() bool   { return mutShardSync.Load() }
+func mutCacheInval() bool       { return mutCacheInv.Load() }
 
 // EnableMutation turns on one seeded bug by name: "torn-write" (SumOps
 // in-place adds become a non-atomic two-half write), "double-rmw"
@@ -46,7 +48,11 @@ func mutSkipShardFsync() bool   { return mutShardSync.Load() }
 // "skip-shard-fsync" (a sharded manifest commits over one shard whose
 // generation meta was never fsynced — modeled as a torn meta — and
 // recovery falls back per shard instead of per ensemble, mixing
-// checkpoint generations).
+// checkpoint generations) or "skip-cache-invalidate" (a write that finds
+// the index entry pointing at a read-cache copy links its new record
+// BEHIND the cached copy instead of republishing the entry, so readers
+// keep being served the stale cached value — the canonical
+// forgot-to-invalidate cache bug).
 func EnableMutation(name string) {
 	switch name {
 	case "torn-write":
@@ -61,6 +67,8 @@ func EnableMutation(name string) {
 		mutStaleRing.Store(true)
 	case "skip-shard-fsync":
 		mutShardSync.Store(true)
+	case "skip-cache-invalidate":
+		mutCacheInv.Store(true)
 	default:
 		panic(fmt.Sprintf("faster: unknown mutation %q", name))
 	}
@@ -74,6 +82,7 @@ func DisableMutations() {
 	mutDropReenq.Store(false)
 	mutStaleRing.Store(false)
 	mutShardSync.Store(false)
+	mutCacheInv.Store(false)
 }
 
 // tornSessionPayload drops the serialized session table's final entry,

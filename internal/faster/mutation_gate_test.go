@@ -168,6 +168,31 @@ func TestMutationGateBaseline(t *testing.T) {
 				r.Outcome, linearize.Format(linearize.KVModel(), r.Counterexample))
 		}
 	}
+
+	// The skip-cache-invalidate scenario's exact configuration — cold
+	// reads filling a read cache while writers land on cached keys — must
+	// be green with the bug off, or the gate's red signal means nothing.
+	for _, seed := range []int64{1, 2} {
+		s := openGateStore(t, faster.Config{
+			Mode:            hlog.ModeHybrid,
+			PageBits:        9,
+			BufferPages:     4,
+			MutableFraction: 0.5,
+			Device:          device.NewMem(device.MemConfig{}),
+			ReadCacheBytes:  4 << 10,
+		})
+		h, _ := linearize.RunWorkload(s, linearize.Workload{
+			Clients: 4, Ops: 300, Keys: 64, Seed: seed,
+			ReadPct: 50, UpsertPct: 25, RMWPct: 25, DeletePct: 0,
+			PendingBatch: 6,
+		})
+		r := linearize.CheckKV(h, 10*time.Second)
+		s.Close()
+		if r.Outcome != linearize.Ok {
+			t.Fatalf("baseline (read cache, mutations off) not linearizable (outcome %v):\n%s",
+				r.Outcome, linearize.Format(linearize.KVModel(), r.Counterexample))
+		}
+	}
 }
 
 // TestMutationGateTornWrite seeds a torn 64-bit counter write into
@@ -440,4 +465,34 @@ func TestMutationGateSkipShardFsync(t *testing.T) {
 			return
 		}
 	}
+}
+
+// TestMutationGateSkipCacheInvalidate seeds the read-cache staleness bug:
+// a write whose CAS expectation is a cache-tagged entry links the fresh
+// hlog record BEHIND the cached copy (redirecting the cached record's
+// prev) instead of republishing the index entry over it. The entry keeps
+// pointing at the cache, so every subsequent read of the key is served
+// the pre-write cached value — an acknowledged update that readers never
+// observe, which the KV checker refutes as a lost update.
+func TestMutationGateSkipCacheInvalidate(t *testing.T) {
+	faster.EnableMutation("skip-cache-invalidate")
+	defer faster.DisableMutations()
+	detectMutation(t, 120*time.Second, func(seed int64) ([]linearize.Op, *faster.Store) {
+		s := openGateStore(t, faster.Config{
+			Mode:            hlog.ModeHybrid,
+			PageBits:        9, // 512-byte pages over a 2 KB buffer: reads go cold fast
+			BufferPages:     4,
+			MutableFraction: 0.5,
+			Device:          device.NewMem(device.MemConfig{}),
+			ReadCacheBytes:  4 << 10,
+		})
+		h, _ := linearize.RunWorkload(s, linearize.Workload{
+			// 64 keys overflow the buffer, so reads keep filling the cache
+			// and the write-heavy mix keeps hitting cached entries.
+			Clients: 4, Ops: 300, Keys: 64, Seed: seed,
+			ReadPct: 50, UpsertPct: 25, RMWPct: 25, DeletePct: 0,
+			PendingBatch: 6,
+		})
+		return h, s
+	})
 }

@@ -79,6 +79,10 @@ type PendingOp struct {
 	issuedNs   int64 // set by issueIO; feeds the pending-latency histogram
 	deadlineNs int64 // completion deadline (0 = none), stamped from SetOpDeadline
 
+	// noCoalesce forces the individual two-phase read path: set when a
+	// coalesced block read could not serve this op (coalesce.go).
+	noCoalesce bool
+
 	hdr [recHeaderBytes]byte // header-probe buffer (avoids a per-I/O alloc)
 
 	trace []string // debug instrumentation (debugTraceOps)
@@ -283,6 +287,12 @@ func (sess *Session) issueIO(op *PendingOp) {
 	sess.stat.pendingIOs.Add(1)
 	op.issuedNs = time.Now().UnixNano()
 	s := sess.s
+	// Cold-read coalescing: share one block-sized device call with other
+	// pending reads on the same block (coalesce.go). Falls through to the
+	// individual two-phase read when the block is not wholly readable.
+	if s.co != nil && !op.noCoalesce && s.co.tryJoin(sess, op) {
+		return
+	}
 	hdr := op.hdr[:]
 	// The record buffer is allocated on the issuing (session) goroutine —
 	// the device callback below runs elsewhere and must not touch the
@@ -444,6 +454,16 @@ func (sess *Session) continueOp(op *PendingOp) (Result, bool) {
 		return Result{Kind: op.kind.String(), Key: op.key, Input: op.input,
 			Output: op.output, Status: st, Err: err, Ctx: op.ctx}, true
 	}
+	if op.err == errCoalesceRetry {
+		// The coalesced block read could not serve this op (leader shed on
+		// its own deadline, or the record straddles the block boundary):
+		// re-issue it individually.
+		op.err = nil
+		op.noCoalesce = true
+		sess.ioDone()
+		sess.issueIO(op)
+		return Result{}, false
+	}
 	if op.err != nil {
 		if op.addr < s.log.BeginAddress() {
 			return sess.resumeTruncated(op)
@@ -479,6 +499,14 @@ func (sess *Session) continueOp(op *PendingOp) (Result, bool) {
 			return sess.mergeAndDescend(op, rec)
 		}
 		s.ops.SingleReader(op.key, rec.value, op.input, op.output)
+		if s.rc != nil && !isCacheAddr(op.entryAddr) {
+			// Cold read completed: copy the record into the read cache so
+			// repeat reads of it skip the device. entryAddr is the chain
+			// head the read probed; the fill CASes the index entry from it
+			// to the cached copy, and silently does nothing if a writer (or
+			// a competing fill) moved the entry meanwhile.
+			s.rc.fill(sess.g, hashKey(op.key), op.key, rec.value, op.entryAddr)
+		}
 		res, done := fail(OK, nil)
 		res.ValueLen = len(rec.value)
 		return res, done
@@ -721,13 +749,30 @@ func (sess *Session) publishFetched(h uint64, op *PendingOp, old record, chainHe
 	s := sess.s
 	haveOld := !old.tombstone()
 	for {
+		// chainHead is the raw index-entry address (it may point into the
+		// read cache); the CAS expects it verbatim, while the appended
+		// record's prev must be the underlying hlog chain head.
+		expect := chainHead
+		prev, crec, cached, stale := s.splitProbe(chainHead)
+		if stale {
+			_, cur := s.idx.FindOrCreateEntry(h)
+			chainHead = cur
+			continue
+		}
+		if cached && !crec.invalid() && bytes.Equal(crec.key, op.key) {
+			// The entry points at a cached copy of OUR key, which is by
+			// construction its newest version. The re-executed RMW takes
+			// the cached fast path (no device read), so this cannot
+			// live-lock.
+			return statusRetry, nil
+		}
 		var valueLen int
 		if haveOld {
 			valueLen = s.ops.CopyValueLen(op.key, old.value, op.input)
 		} else {
 			valueLen = s.ops.InitialValueLen(op.key, op.input)
 		}
-		_, st, err := sess.appendRecord(h, op.key, chainHead, hlog.InvalidAddress, 0, valueLen, func(dst record) {
+		_, st, err := sess.appendRecord(h, op.key, expect, prev, hlog.InvalidAddress, 0, valueLen, func(dst record) {
 			if haveOld {
 				s.ops.CopyUpdater(op.key, old.value, dst.value, op.input)
 			} else {
@@ -744,12 +789,20 @@ func (sess *Session) publishFetched(h uint64, op *PendingOp, old record, chainHe
 		// head. All of them were appended after the fetch, so they are
 		// at the tail unless already evicted.
 		_, cur := s.idx.FindOrCreateEntry(h)
-		floor := maxAddr(s.log.HeadAddress(), chainHead+1)
-		laddr, _, found := s.traceBack(op.key, cur, floor)
+		ncur, ccrec, ncached, nstale := s.splitProbe(cur)
+		if nstale {
+			chainHead = cur
+			continue
+		}
+		if ncached && !ccrec.invalid() && bytes.Equal(ccrec.key, op.key) {
+			return statusRetry, nil // a newer cached version of our key
+		}
+		floor := maxAddr(s.log.HeadAddress(), prev+1)
+		laddr, _, found := s.traceBack(op.key, ncur, floor)
 		if found {
 			return statusRetry, nil // a newer version of our key exists
 		}
-		if laddr != hlog.InvalidAddress && laddr > chainHead {
+		if laddr != hlog.InvalidAddress && laddr > prev {
 			// Part of the span was evicted before we could check it in
 			// memory. Verify the evicted part on storage: this keeps
 			// per-attempt work proportional to the span (the appends
@@ -757,7 +810,7 @@ func (sess *Session) publishFetched(h uint64, op *PendingOp, old record, chainHe
 			// re-descent from the tail can outlive the eviction window
 			// and live-lock against a tag-colliding hot key.
 			op.kind = opRMWVerify
-			op.verifyStop = chainHead
+			op.verifyStop = prev
 			op.verifyCur = cur
 			op.addr = laddr
 			sess.issueIO(op)

@@ -30,6 +30,11 @@ const (
 	flagDelta     uint64 = 1 << 50
 	flagOverwrite uint64 = 1 << 51
 	flagSealed    uint64 = 1 << 52
+	// flagCacheRef is the second-chance reference bit of read-cache
+	// records (readcache.go). It is only ever set on records living in
+	// the cache's own circular log, never on hlog records, so durable
+	// log images are unaffected.
+	flagCacheRef uint64 = 1 << 53
 
 	prevMask uint64 = 1<<48 - 1
 )

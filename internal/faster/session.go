@@ -222,7 +222,35 @@ func (sess *Session) readInternal(key, input, output []byte, ctx any, h uint64) 
 // loads, so their cache misses overlap) and then completes each one here.
 func (sess *Session) readAt(key, input, output []byte, ctx any, entry index.Entry, addr hlog.Address) (Status, error) {
 	s := sess.s
+	raw := addr
+	if isCacheAddr(raw) {
+		// The entry points into the read cache. A key match serves the
+		// read from memory with zero I/O; a collision (the entry's chain
+		// carries several keys) continues on the underlying hlog chain
+		// the cached record's prev preserves.
+		crec, ok := s.rc.recordAt(raw)
+		if !ok {
+			// Evicted between the probe and the deref (rare): re-probe.
+			return sess.readInternal(key, input, output, ctx, hashKey(key))
+		}
+		if !crec.invalid() && !crec.tombstone() && !crec.delta() && bytes.Equal(crec.key, key) {
+			s.rc.noteHit(raw)
+			s.ops.ConcurrentReader(key, crec.value, input, output)
+			return OK, nil
+		}
+		addr = crec.prev()
+		if addr == hlog.InvalidAddress {
+			return NotFound, nil
+		}
+	}
 	if addr < s.log.BeginAddress() {
+		if isCacheAddr(raw) {
+			// The underlying chain is truncated but the entry still serves
+			// another key from the cache: nothing to GC, and the sought
+			// key is provably dead (a live version would have been copied
+			// forward and the entry republished off the cache).
+			return NotFound, nil
+		}
 		// Dangling entry below the truncation point: lazy GC (App. C).
 		entry.CompareAndDelete(addr)
 		return NotFound, nil
@@ -234,7 +262,7 @@ func (sess *Session) readAt(key, input, output []byte, ctx any, entry index.Entr
 			return NotFound, nil
 		}
 		if rec.delta() {
-			return sess.readReconcile(key, input, output, ctx, addr, laddr, rec)
+			return sess.readReconcile(key, input, output, ctx, raw, laddr, rec)
 		}
 		if laddr < s.log.SafeReadOnlyAddress() {
 			s.ops.SingleReader(key, rec.value, input, output)
@@ -250,12 +278,16 @@ func (sess *Session) readAt(key, input, output []byte, ctx any, entry index.Entr
 		return WouldBlock, nil
 	}
 	// The chain continues on storage: go asynchronous. entryAddr records
-	// the chain head observed here: if a truncation overtakes the descent,
-	// the continuation compares it against the current index entry to tell
-	// "key rescued by copy-forward" from "key provably dead".
+	// the (raw) chain head observed here: if a truncation overtakes the
+	// descent, the continuation compares it against the current index
+	// entry to tell "key rescued by copy-forward" from "key provably
+	// dead"; a completed cold read also fills the read cache against it.
+	if s.rc != nil {
+		s.rc.mx.misses.Inc()
+	}
 	op := sess.newPendingOp(opRead, key, input, output, ctx)
 	op.addr = laddr
-	op.entryAddr = addr
+	op.entryAddr = raw
 	sess.issueIO(op)
 	return Pending, nil
 }
@@ -332,16 +364,25 @@ func (sess *Session) Upsert(key, value []byte) (Status, error) {
 func (sess *Session) upsertInternal(key, value []byte, h uint64) (Status, error) {
 	s := sess.s
 	for {
-		entry, chainHead := s.idx.FindOrCreateEntry(h)
-		if chainHead != 0 && chainHead < s.log.BeginAddress() {
-			entry.CompareAndDelete(chainHead)
+		entry, raw := s.idx.FindOrCreateEntry(h)
+		chainHead, _, cached, stale := s.splitProbe(raw)
+		if stale {
+			continue
+		}
+		if !cached && chainHead != 0 && chainHead < s.log.BeginAddress() {
+			entry.CompareAndDelete(raw)
 			continue
 		}
 		// In-place only in the mutable region (Table 1): trace no lower
 		// than the read-only offset.
 		ro := s.log.ReadOnlyAddress()
 		laddr, rec, found := s.traceBack(key, chainHead, maxAddr(ro, s.log.HeadAddress()))
-		if found && !rec.tombstone() && !rec.delta() && !rec.sealed() {
+		// In-place only when the entry does not point into the read cache:
+		// updating behind a cached copy would leave readers on the stale
+		// cached value. (A cached entry with the key also in the mutable
+		// region cannot actually happen — the write that put it there would
+		// have republished the entry — but the append path is the safe one.)
+		if found && !cached && !rec.tombstone() && !rec.delta() && !rec.sealed() {
 			if debugAssert() && laddr < s.log.SafeReadOnlyAddress() {
 				panic("in-place upsert below safeRO")
 			}
@@ -353,8 +394,11 @@ func (sess *Session) upsertInternal(key, value []byte, h uint64) (Status, error)
 			// no later in-place write races with the RCU that follows.
 			s.seal(laddr)
 		}
-		// Otherwise append a new record at the tail (RCU / insert).
-		_, st, err := sess.appendRecord(h, key, chainHead, hlog.InvalidAddress, 0, len(value), func(dst record) {
+		// Otherwise append a new record at the tail (RCU / insert). The
+		// CAS expects the raw probed entry (which may be a cached copy —
+		// publishing over it is exactly how writes invalidate the cache),
+		// while the persisted prev is always the hlog chain head.
+		_, st, err := sess.appendRecord(h, key, raw, chainHead, hlog.InvalidAddress, 0, len(value), func(dst record) {
 			s.ops.SingleWriter(key, dst.value, value)
 		})
 		if err != nil {
@@ -402,10 +446,27 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 	}
 
 	for {
-		entry, chainHead := s.idx.FindOrCreateEntry(h)
-		if chainHead != 0 && chainHead < s.log.BeginAddress() {
-			entry.CompareAndDelete(chainHead)
+		entry, raw := s.idx.FindOrCreateEntry(h)
+		chainHead, crec, cached, stale := s.splitProbe(raw)
+		if stale {
 			continue
+		}
+		if !cached && chainHead != 0 && chainHead < s.log.BeginAddress() {
+			entry.CompareAndDelete(raw)
+			continue
+		}
+		if cached && !crec.invalid() && bytes.Equal(crec.key, key) {
+			// The cached copy is the key's newest version (any newer write
+			// would have republished the entry off the cache): copy-update
+			// from it directly, skipping the device read entirely.
+			st, err := sess.rmwCreate(h, key, input, raw, chainHead, raw, crec, true)
+			if err != nil {
+				return Err, err
+			}
+			if st == statusRetry {
+				continue
+			}
+			return OK, nil
 		}
 		head := s.log.HeadAddress()
 		laddr, rec, found := s.traceBack(key, chainHead, head)
@@ -413,7 +474,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 		switch {
 		case found && rec.tombstone():
 			// Key was deleted: re-insert with the initial value.
-			st, err := sess.rmwCreate(h, key, input, chainHead, hlog.InvalidAddress, record{}, false)
+			st, err := sess.rmwCreate(h, key, input, raw, chainHead, hlog.InvalidAddress, record{}, false)
 			if err != nil {
 				return Err, err
 			}
@@ -425,7 +486,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 		case found && rec.delta() && s.merge != nil:
 			// A CRDT delta chain is pending reconciliation; appending
 			// another delta keeps RMW latch-free (§6.3).
-			st, err := sess.rmwAppendDelta(h, key, input, chainHead)
+			st, err := sess.rmwAppendDelta(h, key, input, raw, chainHead)
 			if err != nil {
 				return Err, err
 			}
@@ -453,7 +514,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 				// The updater declined (value must grow): seal the
 				// record and copy-update from it.
 				s.seal(laddr)
-				st, err := sess.rmwCreate(h, key, input, chainHead, laddr, rec, true)
+				st, err := sess.rmwCreate(h, key, input, raw, chainHead, laddr, rec, true)
 				if err != nil {
 					return Err, err
 				}
@@ -464,7 +525,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 				return OK, nil
 
 			case laddr >= ro: // sealed: must copy-update
-				st, err := sess.rmwCreate(h, key, input, chainHead, laddr, rec, true)
+				st, err := sess.rmwCreate(h, key, input, raw, chainHead, laddr, rec, true)
 				if err != nil {
 					return Err, err
 				}
@@ -475,7 +536,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 			case laddr >= sro:
 				// Fuzzy region (§6.2-6.3).
 				if s.merge != nil {
-					st, err := sess.rmwAppendDelta(h, key, input, chainHead)
+					st, err := sess.rmwAppendDelta(h, key, input, raw, chainHead)
 					if err != nil {
 						return Err, err
 					}
@@ -494,7 +555,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 				return Pending, nil
 			default:
 				// Safe read-only region: copy-update to the tail.
-				st, err := sess.rmwCreate(h, key, input, chainHead, laddr, rec, true)
+				st, err := sess.rmwCreate(h, key, input, raw, chainHead, laddr, rec, true)
 				if err != nil {
 					return Err, err
 				}
@@ -507,7 +568,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 
 		case laddr == hlog.InvalidAddress:
 			// Key absent: insert the initial value.
-			st, err := sess.rmwCreate(h, key, input, chainHead, hlog.InvalidAddress, record{}, false)
+			st, err := sess.rmwCreate(h, key, input, raw, chainHead, hlog.InvalidAddress, record{}, false)
 			if err != nil {
 				return Err, err
 			}
@@ -523,7 +584,7 @@ func (sess *Session) rmwInternal(key, input []byte, ctx any, h uint64) (Status, 
 			}
 			op := sess.newPendingOp(opRMW, key, input, nil, ctx)
 			op.addr = laddr
-			op.entryAddr = chainHead
+			op.entryAddr = raw
 			sess.issueIO(op)
 			return Pending, nil
 		}
@@ -539,37 +600,70 @@ const (
 )
 
 // appendRecord allocates and publishes a record at the tail: write the
-// record, fill the value via fill, CAS the index entry from chainHead.
+// record, fill the value via fill, CAS the index entry from expect.
 // Returns statusRetry (with the record invalidated) on a lost CAS.
 //
+// expect is the raw probed entry value — possibly a cache-tagged address
+// — and is only the CAS expectation; prev is the hlog chain head written
+// into the new record's header. They differ exactly when the probed entry
+// pointed at a cached copy: the CAS over the tagged address is how writes
+// invalidate the read cache (RCU), while the persisted prev keeps the
+// durable chain free of volatile cache addresses — no hlog record ever
+// carries a tagged prev.
+//
 // Allocate may refresh the session's epoch while waiting for buffer
-// maintenance, which can let the log evict pages. srcAddr, if nonzero, is
-// an address whose record fill reads from (copy-updates); if it falls
-// below the head after allocation the source memory is gone and the whole
-// operation must be retried from the index.
-func (sess *Session) appendRecord(h uint64, key []byte, chainHead, srcAddr hlog.Address, flags uint64, valueLen int, fill func(dst record)) (hlog.Address, internalStatus, error) {
+// maintenance, which can let the log (or the read cache) evict pages.
+// srcAddr, if nonzero, is an address whose record fill reads from
+// (copy-updates); if its memory is reclaimed while Allocate waits the
+// whole operation must be retried from the index.
+func (sess *Session) appendRecord(h uint64, key []byte, expect, prev, srcAddr hlog.Address, flags uint64, valueLen int, fill func(dst record)) (hlog.Address, internalStatus, error) {
 	s := sess.s
+	if debugAssert() && isCacheAddr(prev) {
+		panic("appendRecord: cache-tagged prev")
+	}
 	size := recordSize(len(key), valueLen)
 	newAddr, err := s.log.Allocate(size, sess.g)
 	if err != nil {
 		return 0, statusDone, fmt.Errorf("faster: allocate record: %w", err)
 	}
-	if srcAddr != hlog.InvalidAddress && srcAddr < s.log.HeadAddress() {
+	if srcAddr != hlog.InvalidAddress && s.sourceEvicted(srcAddr) {
 		// The copy source was evicted while Allocate waited: abandon the
 		// slot and retry from the index.
 		s.abandonSlot(newAddr, key, valueLen)
 		return 0, statusRetry, nil
 	}
-	dst := writeRecord(s.log.Slice(newAddr)[:size], chainHead, flags, key, valueLen)
+	dst := writeRecord(s.log.Slice(newAddr)[:size], prev, flags, key, valueLen)
 	fill(dst)
 	e, cur := s.idx.FindOrCreateEntry(h)
-	if cur != chainHead || !e.CompareAndSwapAddress(chainHead, newAddr) {
+	if mutationsEnabled && mutCacheInval() && isCacheAddr(expect) && cur == expect &&
+		s.rc.redirectPrev(expect, prev, newAddr) {
+		// Seeded bug (skip-cache-invalidate): the new record is linked
+		// into the chain BEHIND the cached copy instead of republishing
+		// the entry over it — readers of the cached key keep being served
+		// the stale cached value after this write acknowledges.
+		sess.stat.appends.Add(1)
+		return newAddr, statusDone, nil
+	}
+	if cur != expect || !e.CompareAndSwapAddress(expect, newAddr) {
 		s.setInvalid(newAddr)
 		sess.stat.failedCAS.Add(1)
 		return 0, statusRetry, nil
 	}
+	if isCacheAddr(expect) {
+		s.noteCacheInvalidation()
+	}
 	sess.stat.appends.Add(1)
 	return newAddr, statusDone, nil
+}
+
+// sourceEvicted reports whether the memory behind a copy-update source
+// address may have been reclaimed: hlog addresses below the head, cache
+// addresses below the cache's eviction head.
+func (s *Store) sourceEvicted(srcAddr hlog.Address) bool {
+	if isCacheAddr(srcAddr) {
+		return srcAddr&^cacheAddrBit < s.rc.head.Load()
+	}
+	return srcAddr < s.log.HeadAddress()
 }
 
 // abandonSlot lays a freshly allocated, never-published slot out as a
@@ -588,8 +682,9 @@ func (s *Store) abandonSlot(addr hlog.Address, key []byte, valueLen int) {
 }
 
 // rmwCreate appends the updated record for an RMW: either the initial
-// value (absent/tombstoned key) or a copy-update of old.
-func (sess *Session) rmwCreate(h uint64, key, input []byte, chainHead, srcAddr hlog.Address, old record, haveOld bool) (internalStatus, error) {
+// value (absent/tombstoned key) or a copy-update of old. expect is the
+// raw probed entry (the CAS expectation), prev the hlog chain head.
+func (sess *Session) rmwCreate(h uint64, key, input []byte, expect, prev, srcAddr hlog.Address, old record, haveOld bool) (internalStatus, error) {
 	s := sess.s
 	var valueLen int
 	if haveOld {
@@ -597,7 +692,7 @@ func (sess *Session) rmwCreate(h uint64, key, input []byte, chainHead, srcAddr h
 	} else {
 		valueLen = s.ops.InitialValueLen(key, input)
 	}
-	_, st, err := sess.appendRecord(h, key, chainHead, srcAddr, 0, valueLen, func(dst record) {
+	_, st, err := sess.appendRecord(h, key, expect, prev, srcAddr, 0, valueLen, func(dst record) {
 		if haveOld {
 			s.ops.CopyUpdater(key, old.value, dst.value, input)
 		} else {
@@ -612,10 +707,10 @@ func (sess *Session) rmwCreate(h uint64, key, input []byte, chainHead, srcAddr h
 
 // rmwAppendDelta appends a CRDT delta record: the update applied to an
 // empty initial value, flagged so reads reconcile the chain (§6.3).
-func (sess *Session) rmwAppendDelta(h uint64, key, input []byte, chainHead hlog.Address) (internalStatus, error) {
+func (sess *Session) rmwAppendDelta(h uint64, key, input []byte, expect, prev hlog.Address) (internalStatus, error) {
 	s := sess.s
 	valueLen := s.ops.InitialValueLen(key, input)
-	_, st, err := sess.appendRecord(h, key, chainHead, hlog.InvalidAddress, flagDelta, valueLen, func(dst record) {
+	_, st, err := sess.appendRecord(h, key, expect, prev, hlog.InvalidAddress, flagDelta, valueLen, func(dst record) {
 		s.ops.InitialUpdater(key, dst.value, input)
 	})
 	if st == statusDone && err == nil {
@@ -650,12 +745,17 @@ func (sess *Session) Delete(key []byte) (Status, error) {
 func (sess *Session) deleteInternal(key []byte, h uint64) (Status, error) {
 	s := sess.s
 	for {
-		entry, chainHead, ok := s.idx.FindEntry(h)
+		entry, raw, ok := s.idx.FindEntry(h)
 		if !ok {
 			return NotFound, nil
 		}
-		if chainHead < s.log.BeginAddress() {
-			entry.CompareAndDelete(chainHead)
+		chainHead, crec, cached, stale := s.splitProbe(raw)
+		if stale {
+			continue
+		}
+		cachedKey := cached && !crec.invalid() && bytes.Equal(crec.key, key)
+		if !cached && chainHead < s.log.BeginAddress() {
+			entry.CompareAndDelete(raw)
 			return NotFound, nil
 		}
 		head := s.log.HeadAddress()
@@ -666,8 +766,13 @@ func (sess *Session) deleteInternal(key []byte, h uint64) (Status, error) {
 		if found && !rec.delta() && laddr >= s.log.ReadOnlyAddress() {
 			if laddr == chainHead && rec.prev() == hlog.InvalidAddress {
 				// Singleton chain wholly in memory: free the index slot
-				// so it can be reused (§4). The record becomes garbage.
-				if entry.CompareAndDelete(chainHead) {
+				// so it can be reused (§4). The record becomes garbage
+				// (and so does any cached copy — unreachable, skipped at
+				// eviction since the entry no longer points to it).
+				if entry.CompareAndDelete(raw) {
+					if cached {
+						s.noteCacheInvalidation()
+					}
 					s.setInvalid(laddr)
 					return OK, nil
 				}
@@ -681,16 +786,39 @@ func (sess *Session) deleteInternal(key []byte, h uint64) (Status, error) {
 					return NotFound, nil
 				}
 				if atomic.CompareAndSwapUint64(p, oldH, oldH|flagTombstone) {
+					if cachedKey {
+						// The entry still points at a cached copy of this
+						// key: drop it back to the (now tombstoned) hlog
+						// chain so readers see the delete. A failed CAS
+						// means a newer write already moved the entry.
+						if entry.CompareAndSwapAddress(raw, chainHead) {
+							s.noteCacheInvalidation()
+						}
+					}
 					return OK, nil
 				}
 			}
 		}
 		if !found && laddr == hlog.InvalidAddress {
+			if cachedKey && !crec.tombstone() {
+				// The underlying chain was truncated away but the cached
+				// copy still serves this key: the delete must supersede
+				// it with a tombstone, not report NotFound, or concurrent
+				// cached reads would contradict the acknowledged delete.
+				_, st, err := sess.appendRecord(h, key, raw, hlog.InvalidAddress, hlog.InvalidAddress, flagTombstone, 0, func(record) {})
+				if err != nil {
+					return Err, err
+				}
+				if st == statusRetry {
+					continue
+				}
+				return OK, nil
+			}
 			return NotFound, nil
 		}
 		// Record is read-only, on disk, or a delta chain: append a
 		// tombstone record.
-		_, st, err := sess.appendRecord(h, key, chainHead, hlog.InvalidAddress, flagTombstone, 0, func(record) {})
+		_, st, err := sess.appendRecord(h, key, raw, chainHead, hlog.InvalidAddress, flagTombstone, 0, func(record) {})
 		if err != nil {
 			return Err, err
 		}

@@ -138,6 +138,9 @@ func OpenSharded(cfg ShardedConfig) (*ShardedStore, error) {
 	ss := &ShardedStore{shards: make([]*Store, 0, n)}
 	for i := 0; i < n; i++ {
 		c := cfg.Base
+		// ReadCacheBytes is a total budget for the ensemble; each shard
+		// gets an equal slice so -shards N doesn't multiply memory use.
+		c.ReadCacheBytes = cfg.Base.ReadCacheBytes / uint64(n)
 		if cfg.NewDevice != nil {
 			c.Device = cfg.NewDevice(i)
 		} else if i > 0 {
@@ -937,6 +940,7 @@ func RecoverSharded(cfg ShardedConfig, dir string) (*ShardedStore, error) {
 
 	shardCfg := func(i int) Config {
 		c := cfg.Base
+		c.ReadCacheBytes = cfg.Base.ReadCacheBytes / uint64(n)
 		if cfg.NewDevice != nil {
 			c.Device = cfg.NewDevice(i)
 		}

@@ -111,8 +111,13 @@ func runTortureCase(t *testing.T, seed, crashBudget int64, noisy bool, crashed, 
 	cfg := Config{
 		Ops: SumOps{}, PageBits: 12, BufferPages: 8, MutableFraction: 0.5,
 		IndexBuckets: 1 << 10, Device: faulty,
-		ReadRetry:  retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
-		WriteRetry: retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
+		// The read cache stays warm across every checkpoint in the matrix:
+		// checkpoints must map cache-tagged index entries back to their
+		// underlying addresses, and recovery must never trust a cache
+		// address from a persisted image (the cache is volatile).
+		ReadCacheBytes: 8 << 10,
+		ReadRetry:      retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
+		WriteRetry:     retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
 	}
 	s, err := Open(cfg)
 	if err != nil {
@@ -325,9 +330,10 @@ func runShardedCrashCase(t *testing.T, seed int64) {
 		}
 	}()
 	base := Config{Ops: SumOps{}, PageBits: 12, BufferPages: 8,
-		IndexBuckets: 1 << 9,
-		ReadRetry:    retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
-		WriteRetry:   retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond}}
+		IndexBuckets:   1 << 9,
+		ReadCacheBytes: 8 << 10,
+		ReadRetry:      retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
+		WriteRetry:     retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond}}
 	cfg := ShardedConfig{Shards: shards, Base: base,
 		NewDevice: func(i int) device.Device { return faulties[i] }}
 	ss, err := OpenSharded(cfg)
@@ -557,4 +563,122 @@ func readShardedU64(t *testing.T, sess *ShardedSession, k uint64) (uint64, Statu
 		t.Fatalf("read of key %d: %v %v", k, st, err)
 	}
 	return binary.LittleEndian.Uint64(out), st
+}
+
+// TestCrashRecoveryWarmReadCache crashes a store whose read cache is
+// deliberately hot at checkpoint time: cold keys are read twice (fill +
+// hit) so their index entries point into the cache when the fuzzy index
+// scan runs, some cached keys are then overwritten (invalidation), and
+// the device dies on its next write. Recovery from the surviving media
+// must serve every committed key correctly — a checkpoint that persisted
+// a cache-tagged address, or a recovery that trusted one, would read
+// garbage or lose the key's chain.
+func TestCrashRecoveryWarmReadCache(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const n = 1500
+	mem := device.NewMem(device.MemConfig{})
+	defer mem.Close()
+	faulty := device.NewFaulty(mem)
+	dir := t.TempDir()
+	cfg := Config{
+		Ops: SumOps{}, PageBits: 12, BufferPages: 8, MutableFraction: 0.5,
+		IndexBuckets: 1 << 10, Device: faulty,
+		ReadCacheBytes: 16 << 10,
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.StartSession()
+	spill(t, s, sess, n) // key i holds u64(i+1)
+
+	// Warm the cache: read a band of cold keys twice. The second read must
+	// be a hit, proving the index entries are cache-tagged right now.
+	for pass := 0; pass < 2; pass++ {
+		for k := uint64(0); k < 120; k++ {
+			if v, st := rcRead(t, sess, k); st != OK || v != k+1 {
+				t.Fatalf("warming read of key %d = (%d, %v)", k, v, st)
+			}
+		}
+	}
+	m := s.Metrics().ReadCache
+	if m.Fills == 0 || m.Hits == 0 {
+		t.Fatalf("cache not warm before checkpoint: %+v", m)
+	}
+
+	// Overwrite a few cached keys so the workload also covers entries that
+	// moved OFF the cache between fills and the checkpoint.
+	for k := uint64(0); k < 120; k += 10 {
+		if st, err := sess.Upsert(key(k), u64(k+1000)); st != OK || err != nil {
+			t.Fatalf("upsert of cached key %d: %v %v", k, st, err)
+		}
+	}
+
+	// Checkpoint with the cache warm: the index image must carry the
+	// underlying hlog addresses, never the tagged ones.
+	sess.Close()
+	info, err := s.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess = s.StartSession()
+
+	// Keep serving off the warm cache, then crash the device.
+	for k := uint64(0); k < 120; k++ {
+		want := k + 1
+		if k%10 == 0 {
+			want = k + 1000
+		}
+		if v, st := rcRead(t, sess, k); st != OK || v != want {
+			t.Fatalf("post-checkpoint read of key %d = (%d, %v), want %d", k, v, st, want)
+		}
+	}
+	faulty.CrashAfterBytes(1)
+	sess.Upsert(key(5000), u64(1)) // may or may not ack; the device is now dead
+	if _, derr := sess.CompletePendingTimeout(10 * time.Second); derr != nil {
+		t.Fatalf("post-crash drain hung: %v", derr)
+	}
+	sess.Close()
+	s.Close()
+
+	// Recover on the surviving media and verify the committed snapshot:
+	// every key readable, overwrites durable, nothing served from a stale
+	// or dangling cache address.
+	rcfg := cfg
+	rcfg.Device = mem
+	r, err := Recover(rcfg, dir)
+	if err != nil {
+		t.Fatalf("recovery with warm-cache checkpoint: %v", err)
+	}
+	defer r.Close()
+	if got := r.Log().TailAddress(); got != pageUp(info.T2) {
+		t.Fatalf("recovered tail = %#x, want %#x", got, pageUp(info.T2))
+	}
+	rs := r.StartSession()
+	defer rs.Close()
+	for k := uint64(0); k < n; k++ {
+		want := k + 1
+		if k < 120 && k%10 == 0 {
+			want = k + 1000
+		}
+		if v, st := rcRead(t, rs, k); st != OK || v != want {
+			t.Fatalf("recovered read of key %d = (%d, %v), want %d", k, v, st, want)
+		}
+	}
+	// The recovered store's own cache must work too: re-read a cold band
+	// and require fresh fills and hits.
+	for pass := 0; pass < 2; pass++ {
+		for k := uint64(0); k < 60; k++ {
+			want := k + 1
+			if k%10 == 0 {
+				want = k + 1000
+			}
+			if v, st := rcRead(t, rs, k); st != OK || v != want {
+				t.Fatalf("recovered warm read of key %d = (%d, %v)", k, v, st)
+			}
+		}
+	}
+	if rm := r.Metrics().ReadCache; rm.Fills == 0 || rm.Hits == 0 {
+		t.Fatalf("recovered store's read cache inert: %+v", rm)
+	}
 }

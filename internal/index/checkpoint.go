@@ -35,6 +35,16 @@ var errCorrupt = errors.New("index: corrupt checkpoint")
 // run concurrently with index mutations; entries captured mid-insert
 // (tentative) are skipped. Resizing must not be in progress.
 func (idx *Index) WriteCheckpoint(w io.Writer) error {
+	return idx.WriteCheckpointMapped(w, func(addr uint64) (uint64, bool) { return addr, true })
+}
+
+// WriteCheckpointMapped is WriteCheckpoint with every live entry's address
+// rewritten through mapAddr before serialization. The store uses it to
+// keep volatile addresses (read-cache redirections) out of durable index
+// images: mapAddr returns the address to persist, or ok=false to omit the
+// entry entirely. mapAddr runs inside the fuzzy scan and must not mutate
+// the index.
+func (idx *Index) WriteCheckpointMapped(w io.Writer, mapAddr func(addr uint64) (uint64, bool)) error {
 	if phase, _ := unpackStatus(idx.status.Load()); phase != phaseStable {
 		return errors.New("index: cannot checkpoint during resize")
 	}
@@ -64,7 +74,11 @@ func (idx *Index) WriteCheckpoint(w io.Writer) error {
 			for j := 0; j < entriesPerBucket; j++ {
 				w := atomic.LoadUint64(&b[j])
 				if entryLive(w) {
-					recs = append(recs, rec{uint64(off), w})
+					addr, ok := mapAddr(w & AddressMask)
+					if !ok {
+						continue
+					}
+					recs = append(recs, rec{uint64(off), w&^AddressMask | addr&AddressMask})
 				}
 			}
 			ov := atomic.LoadUint64(&b[7])

@@ -721,3 +721,67 @@ func TestLinearizableExactlyOnceSharded(t *testing.T) {
 		})
 	}
 }
+
+// TestLinearizableReadCache runs the full mixed workload with the record
+// read cache enabled over a tiny log buffer, so cold reads constantly
+// fill the cache, writers constantly invalidate cached copies (upserts,
+// RMWs and deletes racing cached readers), pending I/O completions
+// publish fills against moving index entries, and a chaos goroutine
+// compacts and truncates the log underneath cached records. A reader
+// served a stale cached value after an acknowledged write — or a cached
+// copy surviving the truncation of its backing chain — has no
+// linearization.
+func TestLinearizableReadCache(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Read faults only: compaction's flush wait must be able to
+			// persist the copied records.
+			dev := device.NewFaulty(device.NewMem(device.MemConfig{}))
+			dev.SeedFaults(uint64(seed), 0.05, 0)
+			s := openScenarioStore(t, faster.Config{
+				Mode:            hlog.ModeHybrid,
+				PageBits:        9, // 512-byte pages: misses spill to storage fast
+				BufferPages:     4,
+				MutableFraction: 0.5,
+				Device:          dev,
+				ReadCacheBytes:  4 << 10,
+			})
+			h, _ := RunWorkload(s, Workload{
+				// 64 keys × 32-byte records exceed the 2 KB buffer, so a
+				// read of any key not updated very recently descends to
+				// storage — and the second such read must hit the cache.
+				Clients: 4, Ops: 400, Keys: 64, Seed: seed,
+				ReadPct: 50, UpsertPct: 22, RMWPct: 22, DeletePct: 6,
+				PendingBatch: 6,
+				Chaos: func(stop <-chan struct{}) {
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s.Log().ShiftReadOnlyToTail()
+						cut := s.Log().SafeReadOnlyAddress() &^ (s.Log().PageSize() - 1)
+						if cut > s.Log().BeginAddress() {
+							s.Compact(cut)
+						}
+						runtime.Gosched()
+					}
+				},
+			})
+			m := s.Metrics().ReadCache
+			if m.Fills == 0 {
+				t.Error("scenario never filled the read cache")
+			}
+			if m.Hits == 0 {
+				t.Error("scenario never served a cached read")
+			}
+			if m.Invalidations == 0 {
+				t.Error("scenario never invalidated a cached record")
+			}
+			t.Logf("readcache fills=%d hits=%d invalidations=%d evictions=%d",
+				m.Fills, m.Hits, m.Invalidations, m.Evictions)
+			checkHistory(t, s, h)
+		})
+	}
+}

@@ -1446,6 +1446,15 @@ func (c *connState) doMemory(args [][]byte) bool {
 	if stored, ok := store.DeviceStoredBytes(); ok {
 		pairs = append(pairs, [2]string{"device_stored_bytes", strconv.FormatUint(stored, 10)})
 	}
+	pairs = append(pairs,
+		[2]string{"read_cache_bytes", strconv.FormatInt(m.ReadCache.Bytes, 10)},
+		[2]string{"read_cache_hits", strconv.FormatUint(m.ReadCache.Hits, 10)},
+		[2]string{"read_cache_misses", strconv.FormatUint(m.ReadCache.Misses, 10)},
+		[2]string{"read_cache_fills", strconv.FormatUint(m.ReadCache.Fills, 10)},
+		[2]string{"read_cache_evictions", strconv.FormatUint(m.ReadCache.Evictions, 10)},
+		[2]string{"read_cache_invalidations", strconv.FormatUint(m.ReadCache.Invalidations, 10)},
+		[2]string{"coalesced_reads", strconv.FormatUint(m.IOCoalescedReads, 10)},
+	)
 	c.w.WriteArrayHeader(2 * len(pairs))
 	for _, p := range pairs {
 		c.w.WriteBulk([]byte(p[0]))
@@ -1457,6 +1466,8 @@ func (c *connState) doMemory(args [][]byte) bool {
 // memoryPairsSharded renders the ensemble's aggregated accounting.
 func (c *connState) memoryPairsSharded(n int) bool {
 	var logBytes, stable, mutable, compactions, compacted, reclaimed, truncated, stored uint64
+	var rcHits, rcMisses, rcFills, rcEvict, rcInval, coalesced uint64
+	var rcBytes int64
 	haveStored := false
 	for i := 0; i < n; i++ {
 		s := c.s.store.Shard(i)
@@ -1469,6 +1480,13 @@ func (c *connState) memoryPairsSharded(n int) bool {
 		compacted += m.CompactedBytes
 		reclaimed += m.ReclaimedBytes
 		truncated += m.Log.TruncatedBytes
+		rcBytes += m.ReadCache.Bytes
+		rcHits += m.ReadCache.Hits
+		rcMisses += m.ReadCache.Misses
+		rcFills += m.ReadCache.Fills
+		rcEvict += m.ReadCache.Evictions
+		rcInval += m.ReadCache.Invalidations
+		coalesced += m.IOCoalescedReads
 		if db, ok := s.DeviceStoredBytes(); ok {
 			stored += db
 			haveStored = true
@@ -1487,6 +1505,15 @@ func (c *connState) memoryPairsSharded(n int) bool {
 	if haveStored {
 		pairs = append(pairs, [2]string{"device_stored_bytes", strconv.FormatUint(stored, 10)})
 	}
+	pairs = append(pairs,
+		[2]string{"read_cache_bytes", strconv.FormatInt(rcBytes, 10)},
+		[2]string{"read_cache_hits", strconv.FormatUint(rcHits, 10)},
+		[2]string{"read_cache_misses", strconv.FormatUint(rcMisses, 10)},
+		[2]string{"read_cache_fills", strconv.FormatUint(rcFills, 10)},
+		[2]string{"read_cache_evictions", strconv.FormatUint(rcEvict, 10)},
+		[2]string{"read_cache_invalidations", strconv.FormatUint(rcInval, 10)},
+		[2]string{"coalesced_reads", strconv.FormatUint(coalesced, 10)},
+	)
 	c.w.WriteArrayHeader(2 * len(pairs))
 	for _, p := range pairs {
 		c.w.WriteBulk([]byte(p[0]))

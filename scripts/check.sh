@@ -68,14 +68,23 @@ go test -race -run 'TestLinearizableSharded|TestLinearizableExactlyOnceSharded' 
 go test -race -run TestShardedCrashTorture -count=1 -timeout 300s ./internal/faster/
 go test -race -run 'TestServerSharded' -count=1 ./internal/server/
 
+# Read-cache gate: fill/hit/invalidation/eviction correctness, the
+# coalesced cold-read counter, warm-cache checkpoint/crash recovery
+# (tagged index entries must map back to hlog addresses), and the CLOCK
+# simulator validation, under the race detector. The linearize tier above
+# already picks up TestLinearizableReadCache via its TestLinearizable run.
+go test -race -run 'TestReadCache|TestIOCoalescedReads|TestCrashRecoveryWarmReadCache' -count=1 -timeout 300s ./internal/faster/
+
 # Mutation-gate seeds: the torn, unsynced session table must be flagged
 # by the dedup-aware linearize model, a dropped pending-I/O re-enqueue
 # (acknowledged-but-lost RMW deferral) by the async-workload checker,
 # and the two sharded seeds — a router consulting a stale pre-rehash
 # shard map and a checkpoint skipping one shard's manifest fsync — by
-# the sharded linearize + torture tier (the rest of the gate runs via
-# `make mutation-gate`).
-go test -tags mutate -run 'TestMutationGateSkipSerialFsync|TestMutationGateDroppedReenqueue|TestMutationGateRouteStaleMap|TestMutationGateSkipShardFsync' -count=1 -timeout 300s ./internal/faster/
+# the sharded linearize + torture tier, and a writer that links its
+# record behind a cached copy instead of republishing the index entry
+# (stale read-cache serves) by the read-cache scenario (the rest of the
+# gate runs via `make mutation-gate`).
+go test -tags mutate -run 'TestMutationGateSkipSerialFsync|TestMutationGateDroppedReenqueue|TestMutationGateRouteStaleMap|TestMutationGateSkipShardFsync|TestMutationGateSkipCacheInvalidate' -count=1 -timeout 300s ./internal/faster/
 
 # Fuzz smoke over the wire codecs: a few seconds per target beyond the
 # committed seed corpora. `make fuzz` / `make verify` run longer.
